@@ -1,0 +1,146 @@
+//! The energy model (Table V plus the refresh-energy accounting of
+//! Figures 8 and 9).
+//!
+//! Constants come from the paper: the Micron DDR4 power-calculator numbers
+//! for device operations and the TSMC-40nm synthesis results for Graphene's
+//! own hardware. The paper's Table V lists Graphene's static energy as
+//! 4.03×10³ nJ per tREFW while the prose quotes 2.11×10³ nJ (0.373 % of
+//! refresh energy); we expose the table value and the derived percentage
+//! separately so both can be reported.
+
+use dram_model::timing::{DramTiming, Picoseconds};
+use serde::{Deserialize, Serialize};
+
+/// Energy constants and derived overhead computations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Energy of one ACT+PRE pair (nJ) — also the cost of refreshing one row
+    /// on demand. Micron power calculator: 11.49 nJ.
+    pub act_pre_nj: f64,
+    /// Auto-refresh energy per bank per tREFW (nJ): 1.08×10⁶ nJ.
+    pub refresh_per_bank_per_refw_nj: f64,
+    /// Graphene table dynamic energy per ACT (nJ): 3.69×10⁻³ nJ.
+    pub graphene_dynamic_per_act_nj: f64,
+    /// Graphene table static energy per tREFW (nJ): 4.03×10³ nJ (Table V).
+    pub graphene_static_per_refw_nj: f64,
+    /// The refresh window the per-window constants refer to.
+    pub t_refw: Picoseconds,
+}
+
+impl EnergyModel {
+    /// The paper's Table V constants for DDR4-2400 at tREFW = 64 ms.
+    pub fn micro2020() -> Self {
+        EnergyModel {
+            act_pre_nj: 11.49,
+            refresh_per_bank_per_refw_nj: 1.08e6,
+            graphene_dynamic_per_act_nj: 3.69e-3,
+            graphene_static_per_refw_nj: 4.03e3,
+            t_refw: DramTiming::ddr4_2400().t_refw,
+        }
+    }
+
+    /// Graphene's dynamic energy per ACT as a fraction of one ACT+PRE pair —
+    /// the paper reports 0.032 %.
+    pub fn graphene_dynamic_fraction(&self) -> f64 {
+        self.graphene_dynamic_per_act_nj / self.act_pre_nj
+    }
+
+    /// Graphene's static energy per tREFW as a fraction of per-bank refresh
+    /// energy over the same period.
+    pub fn graphene_static_fraction(&self) -> f64 {
+        self.graphene_static_per_refw_nj / self.refresh_per_bank_per_refw_nj
+    }
+
+    /// Refresh-energy increase of a run: victim-row refreshes cost one
+    /// ACT+PRE each, normalized to the auto-refresh energy the involved
+    /// banks spent over the run's duration.
+    ///
+    /// Returns a fraction (0.0034 = 0.34 %).
+    pub fn refresh_energy_overhead(
+        &self,
+        victim_rows_refreshed: u64,
+        duration: Picoseconds,
+        banks: u32,
+    ) -> f64 {
+        if duration == 0 || banks == 0 {
+            return 0.0;
+        }
+        let windows = duration as f64 / self.t_refw as f64;
+        let baseline = self.refresh_per_bank_per_refw_nj * windows * f64::from(banks);
+        victim_rows_refreshed as f64 * self.act_pre_nj / baseline
+    }
+
+    /// Energy of one victim-row refresh burst of `rows` rows (nJ).
+    pub fn victim_refresh_nj(&self, rows: u64) -> f64 {
+        rows as f64 * self.act_pre_nj
+    }
+
+    /// Constant refresh-energy overhead of PARA at probability `p`: PARA
+    /// issues `p` extra row refreshes per ACT regardless of the pattern, so
+    /// at full ACT rate the overhead is `p · W · E_actpre / E_refresh` per
+    /// window — the paper's "2.1 % more refresh energy constantly" at
+    /// p = 0.00145.
+    pub fn para_constant_overhead(&self, p: f64, acts_per_window: u64) -> f64 {
+        p * acts_per_window as f64 * self.act_pre_nj / self.refresh_per_bank_per_refw_nj
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::micro2020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_v_dynamic_fraction() {
+        // Paper: 0.032 % of one ACT+PRE pair.
+        let f = EnergyModel::micro2020().graphene_dynamic_fraction();
+        assert!((f - 0.00032).abs() < 0.00002, "fraction {f}");
+    }
+
+    #[test]
+    fn table_v_static_fraction() {
+        // Table V's 4.03e3 nJ / 1.08e6 nJ = 0.373 % — matching the prose's
+        // percentage (the prose's 2.11e3 nJ figure is the inconsistent one).
+        let f = EnergyModel::micro2020().graphene_static_fraction();
+        assert!((f - 0.00373).abs() < 0.0002, "fraction {f}");
+    }
+
+    #[test]
+    fn graphene_worst_case_is_0_34_percent() {
+        // §V-B2: 162 NRRs (2 windows × 81 crossings) × 2 rows over one tREFW
+        // on one bank → 0.34 % more refresh energy.
+        let m = EnergyModel::micro2020();
+        let overhead = m.refresh_energy_overhead(324, m.t_refw, 1);
+        assert!((overhead - 0.0034).abs() < 0.0002, "overhead {overhead}");
+    }
+
+    #[test]
+    fn para_constant_overhead_is_2_1_percent() {
+        // §V-B2: PARA-0.00145 consumes 2.1 % more refresh energy constantly.
+        let m = EnergyModel::micro2020();
+        let o = m.para_constant_overhead(0.00145, 1_358_404);
+        assert!((o - 0.021).abs() < 0.002, "overhead {o}");
+    }
+
+    #[test]
+    fn overhead_scales_with_duration_and_banks() {
+        let m = EnergyModel::micro2020();
+        let one = m.refresh_energy_overhead(100, m.t_refw, 1);
+        let two_banks = m.refresh_energy_overhead(100, m.t_refw, 2);
+        let two_windows = m.refresh_energy_overhead(100, 2 * m.t_refw, 1);
+        assert!((one / two_banks - 2.0).abs() < 1e-9);
+        assert!((one / two_windows - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_zero() {
+        let m = EnergyModel::micro2020();
+        assert_eq!(m.refresh_energy_overhead(10, 0, 1), 0.0);
+        assert_eq!(m.refresh_energy_overhead(10, 100, 0), 0.0);
+    }
+}

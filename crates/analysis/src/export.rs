@@ -1,0 +1,156 @@
+//! CSV export of experiment data.
+//!
+//! Every figure runner can emit its series as plain CSV so downstream users
+//! can plot the reproduction against the paper's figures without scraping
+//! stdout. No external dependency: the writer handles quoting for the small
+//! value space we emit (numbers and simple names).
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV table.
+///
+/// # Example
+///
+/// ```
+/// use rh_analysis::export::Csv;
+///
+/// let mut csv = Csv::new(vec!["k", "entries"]);
+/// csv.row(vec!["1".into(), "108".into()]);
+/// assert_eq!(csv.render(), "k,entries\n1,108\n");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Csv {
+    /// Starts a table with the given column names.
+    pub fn new<S: Into<String>>(header: Vec<S>) -> Self {
+        Csv { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width — ragged CSV
+    /// silently corrupts downstream plots, so it is rejected here.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders RFC-4180-style CSV (quoting cells containing commas, quotes
+    /// or newlines).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                if cell.contains([',', '"', '\n']) {
+                    let escaped = cell.replace('"', "\"\"");
+                    let _ = write!(out, "\"{escaped}\"");
+                } else {
+                    out.push_str(cell);
+                }
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        for r in &self.rows {
+            write_row(&mut out, r);
+        }
+        out
+    }
+
+    /// Writes the rendered CSV to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        if let Some(parent) = path.as_ref().parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.render())
+    }
+}
+
+/// Resolves the experiment output directory: `$RH_OUT` or `./experiment-data`.
+pub fn output_dir() -> std::path::PathBuf {
+    std::env::var_os("RH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("experiment-data"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_simple_table() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["1".into(), "2".into()]);
+        c.row(vec!["3".into(), "4".into()]);
+        assert_eq!(c.render(), "a,b\n1,2\n3,4\n");
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn quotes_special_cells() {
+        let mut c = Csv::new(vec!["name"]);
+        c.row(vec!["mix[a+b],2".into()]);
+        c.row(vec!["say \"hi\"".into()]);
+        assert_eq!(c.render(), "name\n\"mix[a+b],2\"\n\"say \"\"hi\"\"\"\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut c = Csv::new(vec!["a", "b"]);
+        c.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn writes_file_creating_directories() {
+        let dir = std::env::temp_dir().join("graphene_repro_csv_test");
+        let path = dir.join("nested").join("t.csv");
+        let mut c = Csv::new(vec!["x"]);
+        c.row(vec!["7".into()]);
+        c.write_to(&path).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(content, "x\n7\n");
+    }
+
+    #[test]
+    fn output_dir_default() {
+        // Do not mutate the environment (tests run in parallel); just check
+        // the default when RH_OUT is absent in this test environment.
+        if std::env::var_os("RH_OUT").is_none() {
+            assert_eq!(output_dir(), std::path::PathBuf::from("experiment-data"));
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! # rh-analysis
+//!
+//! The closed-form and semi-analytic models behind the Graphene paper's
+//! evaluation:
+//!
+//! * [`area`] — per-scheme table footprints: Table IV (CBT-128, TWiCe,
+//!   Graphene at `T_RH` = 50K) and the Figure 9(a) scaling sweep.
+//! * [`energy`] — the Table V energy constants (Micron DDR4 power-calculator
+//!   numbers plus Graphene's synthesis results) and the refresh-energy
+//!   overhead accounting used in Figures 8 and 9: one victim-row refresh
+//!   costs one ACT+PRE pair against the background of per-bank auto-refresh
+//!   energy per tREFW.
+//! * [`security`] — Section V-A: the PARA failure recurrence `P(e_N)`, the
+//!   system-level (64 banks × 1 year) failure probability, the minimal `p`
+//!   search that reproduces PARA-0.00145 and the Figure 9 `p` ladder, plus
+//!   the semi-analytic evaluation of PRoHIT/MRLoc under the Figure 7
+//!   patterns.
+//! * [`worstcase`] — Figure 6: worst-case additional refreshes and table
+//!   size versus the reset-window divisor `k`.
+//! * [`report`] — small fixed-width table formatting used by the experiment
+//!   binaries.
+//!
+//! # Example
+//!
+//! ```
+//! use rh_analysis::security;
+//!
+//! // The paper: p = 0.00145 gives near-complete protection at T_RH = 50K.
+//! let pw = security::para_window_failure(0.00145, 50_000, 1_358_404);
+//! let yearly = security::yearly_failure(pw, 64);
+//! assert!(yearly < 0.02, "yearly failure {yearly}");
+//! ```
+
+pub mod area;
+pub mod energy;
+pub mod export;
+pub mod montecarlo;
+pub mod report;
+pub mod security;
+pub mod sensitivity;
+pub mod worstcase;
+
+pub use area::AreaComparison;
+pub use energy::EnergyModel;
+pub use report::TablePrinter;

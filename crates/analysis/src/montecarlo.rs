@@ -1,0 +1,110 @@
+//! Monte-Carlo cross-validation of the analytic security models.
+//!
+//! The PARA failure recurrence of [`crate::security`] is a dynamic program;
+//! this module validates it empirically by simulating the actual Bernoulli
+//! process — per ACT, each victim of the hammered row is refreshed with
+//! probability `q` — and checking whether `T_RH` consecutive disturbing ACTs
+//! ever elapse without a refresh. The agreement test at small thresholds is
+//! part of the test suite; the harness also exposes the estimator so
+//! experiments can quote simulated confidence alongside analytic numbers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One simulated window: does the worst-case single-row hammer beat PARA?
+///
+/// Simulates `w` ACTs; each ACT each victim survives refresh with
+/// probability `1 − q`. Returns true if either victim accumulates `t_rh`
+/// ACTs since its last refresh.
+pub fn simulate_para_window(q: f64, t_rh: u64, w: u64, rng: &mut StdRng) -> bool {
+    let mut since_refresh = [0u64; 2];
+    for _ in 0..w {
+        for s in &mut since_refresh {
+            if rng.gen_bool(q) {
+                *s = 0;
+            } else {
+                *s += 1;
+                if *s >= t_rh {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Monte-Carlo estimate of the per-window failure probability, with the
+/// standard error of the estimate.
+///
+/// # Panics
+///
+/// Panics if `trials == 0` or `q` is not a probability.
+pub fn estimate_para_failure(
+    q: f64,
+    t_rh: u64,
+    w: u64,
+    trials: u32,
+    seed: u64,
+) -> (f64, f64) {
+    assert!(trials > 0, "need at least one trial");
+    assert!((0.0..=1.0).contains(&q), "q must be a probability");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut failures = 0u32;
+    for _ in 0..trials {
+        if simulate_para_window(q, t_rh, w, &mut rng) {
+            failures += 1;
+        }
+    }
+    let p = f64::from(failures) / f64::from(trials);
+    let se = (p * (1.0 - p) / f64::from(trials)).sqrt();
+    (p, se)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::security::victim_failure_probability;
+
+    /// The analytic recurrence and the simulated process must agree within
+    /// sampling error at parameters where failures are common enough to
+    /// measure.
+    #[test]
+    fn recurrence_matches_simulation() {
+        // Small threshold/window so the failure probability is ~10-50%.
+        let (q, t_rh, w) = (0.02, 200, 4_000);
+        let analytic = victim_failure_probability(q, t_rh, w, 2);
+        let (simulated, se) = estimate_para_failure(q, t_rh, w, 3_000, 7);
+        let tolerance = 4.0 * se + 0.01;
+        assert!(
+            (analytic - simulated).abs() < tolerance,
+            "analytic {analytic:.4} vs simulated {simulated:.4} ± {se:.4}"
+        );
+    }
+
+    #[test]
+    fn higher_q_lowers_simulated_failure() {
+        let (low_q, _) = estimate_para_failure(0.01, 200, 4_000, 1_500, 1);
+        let (high_q, _) = estimate_para_failure(0.04, 200, 4_000, 1_500, 1);
+        assert!(high_q < low_q, "{high_q} !< {low_q}");
+    }
+
+    #[test]
+    fn zero_q_always_fails_when_window_allows() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(simulate_para_window(0.0, 100, 100, &mut rng));
+        assert!(!simulate_para_window(0.0, 100, 99, &mut rng));
+    }
+
+    #[test]
+    fn estimator_is_deterministic_per_seed() {
+        let a = estimate_para_failure(0.02, 150, 2_000, 500, 42);
+        let b = estimate_para_failure(0.02, 150, 2_000, 500, 42);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = estimate_para_failure(0.1, 10, 10, 0, 0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Fixed-width table formatting for the experiment binaries.
+//!
+//! Every `exp-*` runner prints "paper value vs measured value" tables; this
+//! tiny formatter keeps them aligned without pulling in a table crate.
+
+/// A column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use rh_analysis::TablePrinter;
+///
+/// let mut t = TablePrinter::new(vec!["scheme", "bits"]);
+/// t.row(vec!["Graphene".into(), "2511".into()]);
+/// let out = t.render();
+/// assert!(out.contains("Graphene"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TablePrinter {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TablePrinter {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Self {
+        TablePrinter { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends one row; missing cells render empty, extra cells are kept.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Renders the table with a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self
+            .rows
+            .iter()
+            .map(|r| r.len())
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.headers.iter().enumerate() {
+            widths[i] = widths[i].max(h.chars().count());
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for i in 0..cols {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (`0.0034` → `0.34%`).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}%", fraction * 100.0)
+}
+
+/// Formats a bit count with thousands separators (`2511` → `2,511`).
+pub fn thousands(n: u64) -> String {
+    let s = n.to_string();
+    let mut out = String::new();
+    for (i, c) in s.chars().enumerate() {
+        if i > 0 && (s.len() - i) % 3 == 0 {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TablePrinter::new(vec!["a", "long-header"]);
+        t.row(vec!["xxxxxx".into(), "1".into()]);
+        let out = t.render();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a "));
+        assert!(lines[2].starts_with("xxxxxx"));
+    }
+
+    #[test]
+    fn handles_ragged_rows() {
+        let mut t = TablePrinter::new(vec!["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec![]);
+        assert!(t.render().contains('2'));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.0034), "0.34%");
+        assert_eq!(pct(0.5), "50.00%");
+    }
+
+    #[test]
+    fn thousands_formats() {
+        assert_eq!(thousands(2_511), "2,511");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1_358_404), "1,358,404");
+    }
+}

@@ -1,0 +1,51 @@
+//! Per-activation processing cost of each defense — the software analogue of
+//! the paper's claim that Graphene's table update hides within tRC (45 ns).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use dram_model::RowId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rh_sim::DefenseSpec;
+
+fn bench_defenses(c: &mut Criterion) {
+    let mut group = c.benchmark_group("defense_per_act");
+    let specs = [
+        DefenseSpec::None,
+        DefenseSpec::Graphene { t_rh: 50_000, k: 2 },
+        DefenseSpec::Para { p: 0.00145 },
+        DefenseSpec::Prohit,
+        DefenseSpec::Mrloc { p: 0.00145 },
+        DefenseSpec::Cbt { t_rh: 50_000 },
+        DefenseSpec::Twice { t_rh: 50_000 },
+        DefenseSpec::Ideal { t_rh: 50_000 },
+    ];
+    // Pre-generate a mixed stream: hot rows and random noise.
+    let mut rng = StdRng::seed_from_u64(3);
+    let stream: Vec<RowId> = (0..65_536u64)
+        .map(|i| {
+            if i % 2 == 0 {
+                RowId((i % 16) as u32 * 997)
+            } else {
+                RowId(rng.gen_range(0..65_536))
+            }
+        })
+        .collect();
+
+    for spec in specs {
+        group.bench_function(BenchmarkId::from_parameter(spec.name()), |b| {
+            let mut defense = spec.build(0, 65_536);
+            let mut i = 0usize;
+            let mut now = 0u64;
+            b.iter(|| {
+                let row = stream[i % stream.len()];
+                i += 1;
+                now += 45_000;
+                black_box(defense.on_activation(black_box(row), now))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_defenses);
+criterion_main!(benches);

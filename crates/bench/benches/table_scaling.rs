@@ -1,0 +1,42 @@
+//! Graphene table-update cost versus table size (N_entry), i.e. versus the
+//! Row Hammer threshold it is provisioned for — the software model of the
+//! CAM's constant-time search is a linear scan, so this measures how far the
+//! model can be pushed before simulation cost matters.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dram_model::RowId;
+use graphene_core::CounterTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_table_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graphene_table_scaling");
+    let mut rng = StdRng::seed_from_u64(9);
+    let stream: Vec<RowId> = (0..65_536u64)
+        .map(|i| {
+            if i % 3 == 0 {
+                RowId((i % 10) as u32)
+            } else {
+                RowId(rng.gen_range(0..65_536))
+            }
+        })
+        .collect();
+
+    // N_entry for T_RH = 50K (81) down to 1.56K (2,595-ish) per Figure 9.
+    for &n_entry in &[81usize, 162, 324, 648, 1_296, 2_592] {
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::from_parameter(n_entry), |b| {
+            let mut table = CounterTable::new(n_entry, 8_333);
+            let mut i = 0usize;
+            b.iter(|| {
+                let row = stream[i % stream.len()];
+                i += 1;
+                black_box(table.process_activation(black_box(row)))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table_sizes);
+criterion_main!(benches);

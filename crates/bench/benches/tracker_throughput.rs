@@ -1,0 +1,44 @@
+//! Throughput of the frequent-elements trackers at Graphene's table size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use freq_elems::{
+    CountMinSketch, FrequencyEstimator, LossyCounting, MisraGries, SpaceSaving, SpilloverSummary,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn stream() -> Vec<u32> {
+    let mut rng = StdRng::seed_from_u64(1);
+    (0..65_536u64)
+        .map(|i| if i % 2 == 0 { (i % 12) as u32 } else { rng.gen_range(0..65_536) })
+        .collect()
+}
+
+fn bench_trackers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_observe");
+    let data = stream();
+    let entries = 81;
+
+    macro_rules! bench_one {
+        ($name:expr, $mk:expr) => {
+            group.bench_function(BenchmarkId::from_parameter($name), |b| {
+                let mut est = $mk;
+                let mut i = 0usize;
+                b.iter(|| {
+                    est.observe(black_box(data[i % data.len()]));
+                    i += 1;
+                });
+            });
+        };
+    }
+
+    bench_one!("spillover", SpilloverSummary::new(entries));
+    bench_one!("misra-gries", MisraGries::new(entries));
+    bench_one!("space-saving", SpaceSaving::new(entries));
+    bench_one!("lossy-counting", LossyCounting::new(1.0 / entries as f64));
+    bench_one!("count-min-4x32", CountMinSketch::new(4, 32, 16));
+    group.finish();
+}
+
+criterion_group!(benches, bench_trackers);
+criterion_main!(benches);

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-ablation` experiment.
+
+fn main() {
+    rh_bench::exp_ablation::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-fig6` experiment.
+
+fn main() {
+    rh_bench::exp_fig6::run(rh_bench::fast_mode());
+}

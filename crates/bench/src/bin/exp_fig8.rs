@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-fig8` experiment.
+
+fn main() {
+    rh_bench::exp_fig8::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-fig9` experiment.
+
+fn main() {
+    rh_bench::exp_fig9::run(rh_bench::fast_mode());
+}

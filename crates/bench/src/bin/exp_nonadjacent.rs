@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-nonadjacent` experiment.
+
+fn main() {
+    rh_bench::exp_nonadjacent::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-security` experiment.
+
+fn main() {
+    rh_bench::exp_security::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-sensitivity` experiment.
+
+fn main() {
+    rh_bench::exp_sensitivity::run(rh_bench::fast_mode());
+}

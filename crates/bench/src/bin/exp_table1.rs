@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-table1` experiment.
+
+fn main() {
+    rh_bench::exp_table1::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-table2` experiment.
+
+fn main() {
+    rh_bench::exp_table2::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-table3` experiment.
+
+fn main() {
+    rh_bench::exp_table3::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-table4` experiment.
+
+fn main() {
+    rh_bench::exp_table4::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-table5` experiment.
+
+fn main() {
+    rh_bench::exp_table5::run(rh_bench::fast_mode());
+}

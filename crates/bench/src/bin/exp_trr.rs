@@ -1,0 +1,5 @@
+//! Binary wrapper for the `exp-trr` experiment.
+
+fn main() {
+    rh_bench::exp_trr::run(rh_bench::fast_mode());
+}

@@ -1,0 +1,18 @@
+//! Runs every experiment in order — the source of `EXPERIMENTS.md`.
+
+fn main() {
+    let fast = rh_bench::fast_mode();
+    rh_bench::exp_table1::run(fast);
+    rh_bench::exp_table2::run(fast);
+    rh_bench::exp_table3::run(fast);
+    rh_bench::exp_table4::run(fast);
+    rh_bench::exp_table5::run(fast);
+    rh_bench::exp_fig6::run(fast);
+    rh_bench::exp_security::run(fast);
+    rh_bench::exp_fig8::run(fast);
+    rh_bench::exp_fig9::run(fast);
+    rh_bench::exp_nonadjacent::run(fast);
+    rh_bench::exp_ablation::run(fast);
+    rh_bench::exp_sensitivity::run(fast);
+    rh_bench::exp_trr::run(fast);
+}

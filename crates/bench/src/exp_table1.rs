@@ -1,0 +1,36 @@
+//! Table I: DDR4 refresh parameters.
+
+use dram_model::DramTiming;
+use rh_analysis::TablePrinter;
+
+/// Prints Table I (paper values are definitions, so measured == paper).
+pub fn run(_fast: bool) {
+    crate::banner("Table I — DDR4 refresh parameters (JEDEC)");
+    let t = DramTiming::ddr4_2400();
+    let mut table = TablePrinter::new(vec!["term", "definition", "paper", "model"]);
+    table.row(vec![
+        "tREFI".into(),
+        "refresh interval".into(),
+        "7.8 us".into(),
+        format!("{} us", t.t_refi as f64 / 1e6),
+    ]);
+    table.row(vec![
+        "tRFC".into(),
+        "refresh command time".into(),
+        "350 ns".into(),
+        format!("{} ns", t.t_rfc as f64 / 1e3),
+    ]);
+    table.row(vec![
+        "tRC".into(),
+        "ACT to ACT interval".into(),
+        "45 ns".into(),
+        format!("{} ns", t.t_rc as f64 / 1e3),
+    ]);
+    table.row(vec![
+        "tREFW".into(),
+        "refresh window (assumed)".into(),
+        "64 ms".into(),
+        format!("{} ms", t.t_refw as f64 / 1e9),
+    ]);
+    table.print();
+}

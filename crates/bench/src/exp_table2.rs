@@ -1,0 +1,44 @@
+//! Table II: Graphene's derived parameters.
+
+use graphene_core::GrapheneConfig;
+use rh_analysis::report::thousands;
+use rh_analysis::TablePrinter;
+
+/// Derives Table II's parameters from first principles and compares.
+pub fn run(_fast: bool) {
+    crate::banner("Table II — Graphene parameters (T_RH = 50K, ±1 Row Hammer)");
+
+    let k1 = GrapheneConfig::builder()
+        .row_hammer_threshold(50_000)
+        .reset_window_divisor(1)
+        .build()
+        .expect("valid")
+        .derive()
+        .expect("derivable");
+
+    let mut table = TablePrinter::new(vec!["term", "paper", "derived (k=1)"]);
+    table.row(vec!["T_RH".into(), "50K".into(), thousands(k1.row_hammer_threshold)]);
+    table.row(vec!["W (max ACTs/window)".into(), "1,360K".into(), thousands(k1.acts_per_window)]);
+    table.row(vec!["T (tracking threshold)".into(), "12.5K".into(), thousands(k1.tracking_threshold)]);
+    table.row(vec!["N_entry".into(), "108".into(), k1.n_entry.to_string()]);
+    table.print();
+
+    let k2 = GrapheneConfig::micro2020().derive().expect("derivable");
+    println!();
+    println!("Optimized implementation (Section IV, k = 2):");
+    let mut table = TablePrinter::new(vec!["term", "paper", "derived (k=2)"]);
+    table.row(vec!["T".into(), "8,333".into(), thousands(k2.tracking_threshold)]);
+    table.row(vec!["N_entry".into(), "81".into(), k2.n_entry.to_string()]);
+    table.row(vec!["addr bits/entry".into(), "16".into(), k2.addr_bits.to_string()]);
+    table.row(vec![
+        "count bits/entry (incl. overflow)".into(),
+        "15".into(),
+        k2.count_bits.to_string(),
+    ]);
+    table.row(vec![
+        "table bits/bank".into(),
+        "2,511".into(),
+        thousands(k2.table_bits_per_bank()),
+    ]);
+    table.print();
+}

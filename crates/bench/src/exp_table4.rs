@@ -1,0 +1,44 @@
+//! Table IV: table size and memory type per scheme.
+
+use rh_analysis::report::thousands;
+use rh_analysis::{AreaComparison, TablePrinter};
+
+/// Computes Table IV from each scheme's sizing rule.
+pub fn run(_fast: bool) {
+    crate::banner("Table IV — table size per bank at T_RH = 50K");
+    let c = AreaComparison::at_threshold(50_000);
+
+    let mut table =
+        TablePrinter::new(vec!["scheme", "memory type", "paper (bits/bank)", "model (bits/bank)"]);
+    table.row(vec![
+        "CBT-128 (10 levels)".into(),
+        "SRAM".into(),
+        "3,824".into(),
+        thousands(c.cbt.total()),
+    ]);
+    table.row(vec![
+        "TWiCe".into(),
+        "CAM + SRAM".into(),
+        "20,484 + 15,932".into(),
+        format!("{} + {}", thousands(c.twice.cam_bits), thousands(c.twice.sram_bits)),
+    ]);
+    table.row(vec![
+        "Graphene".into(),
+        "CAM".into(),
+        "2,511".into(),
+        thousands(c.graphene.total()),
+    ]);
+    table.print();
+
+    println!();
+    println!(
+        "TWiCe / Graphene total-bit ratio: paper 14.5x, model {:.1}x \
+         (both an order of magnitude).",
+        c.twice_over_graphene()
+    );
+    println!(
+        "TWiCe note: entry count from the pruning-rate bound ({} entries); \
+         the original provisioning details differ slightly (DESIGN.md §4).",
+        thousands(mitigations::TwiceConfig::micro2020().analytic_max_entries())
+    );
+}

@@ -1,0 +1,72 @@
+//! Table V: Graphene energy versus DRAM background energy, plus measured
+//! CAM activity per ACT.
+
+use dram_model::RowId;
+use graphene_core::{Graphene, GrapheneConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rh_analysis::report::pct;
+use rh_analysis::{EnergyModel, TablePrinter};
+
+/// Prints the Table V constants and fractions, and measures the CAM
+/// operation mix on a representative stream.
+pub fn run(fast: bool) {
+    crate::banner("Table V — Graphene energy consumption");
+    let m = EnergyModel::micro2020();
+
+    let mut table = TablePrinter::new(vec!["quantity", "paper", "model"]);
+    table.row(vec![
+        "Graphene dynamic energy / ACT".into(),
+        "3.69e-3 nJ".into(),
+        format!("{:.2e} nJ", m.graphene_dynamic_per_act_nj),
+    ]);
+    table.row(vec![
+        "  as fraction of ACT+PRE (11.49 nJ)".into(),
+        "0.032%".into(),
+        pct(m.graphene_dynamic_fraction()),
+    ]);
+    table.row(vec![
+        "Graphene static energy / tREFW".into(),
+        "4.03e3 nJ".into(),
+        format!("{:.2e} nJ", m.graphene_static_per_refw_nj),
+    ]);
+    table.row(vec![
+        "  as fraction of refresh energy/bank/tREFW".into(),
+        "0.373%".into(),
+        pct(m.graphene_static_fraction()),
+    ]);
+    table.print();
+
+    // Measure the CAM operation mix per ACT on a mixed stream: the dynamic
+    // energy constant above is per table update; the mix shows how many CAM
+    // ops that update averages.
+    let acts: u64 = if fast { 100_000 } else { 1_000_000 };
+    let mut g = Graphene::from_config(&GrapheneConfig::micro2020()).expect("valid config");
+    let mut rng = StdRng::seed_from_u64(7);
+    for i in 0..acts {
+        let row = if rng.gen_bool(0.3) {
+            RowId(rng.gen_range(0..32) * 111)
+        } else {
+            RowId(rng.gen_range(0..65_536))
+        };
+        g.on_activation(row, i * 45_000);
+    }
+    let s = *g.cam_stats();
+    println!();
+    println!("Measured CAM activity over {acts} ACTs (mixed hot/random stream):");
+    let mut table = TablePrinter::new(vec!["operation", "count", "per ACT"]);
+    let per = |v: u64| format!("{:.3}", v as f64 / acts as f64);
+    table.row(vec!["addr-CAM searches".into(), s.addr_searches.to_string(), per(s.addr_searches)]);
+    table.row(vec![
+        "count-CAM searches".into(),
+        s.count_searches.to_string(),
+        per(s.count_searches),
+    ]);
+    table.row(vec!["addr-CAM writes".into(), s.addr_writes.to_string(), per(s.addr_writes)]);
+    table.row(vec!["count-CAM writes".into(), s.count_writes.to_string(), per(s.count_writes)]);
+    table.print();
+    println!(
+        "Critical path: {} sequential CAM ops (paper: two searches + one write).",
+        graphene_core::CamStats::CRITICAL_PATH_OPS
+    );
+}

@@ -1,0 +1,94 @@
+//! The TRRespass sweep: attack width versus in-DRAM TRR and Graphene.
+//!
+//! The paper's motivation (reference [16]) is that shipping in-DRAM TRR
+//! falls to many-sided hammering. This runner sweeps the number of attack
+//! sides against a 4-slot TRR sampler and Graphene at a reduced threshold,
+//! with the fault oracle as judge — reproducing the cliff the TRRespass
+//! paper found on real DIMMs and showing Graphene has no such cliff.
+
+use dram_model::fault::{DisturbanceModel, MuModel};
+use dram_model::{DramTiming, FaultOracle, RefreshEngine, RowId};
+use graphene_core::GrapheneConfig;
+use mitigations::{GrapheneDefense, RowHammerDefense, TrrConfig, TrrSampler};
+use rh_analysis::TablePrinter;
+use workloads::{NSidedAttack, Workload};
+
+const T_RH: u64 = 2_000;
+const ROWS: u32 = 65_536;
+
+fn hammer(defense: &mut dyn RowHammerDefense, sides: u32, acts: u64) -> (u64, u64) {
+    let timing = DramTiming::ddr4_2400();
+    let acts_per_tick = (timing.t_refi - timing.t_rfc) / timing.t_rc;
+    let mut attack = NSidedAttack::new(20_000, sides, ROWS);
+    let mut oracle = FaultOracle::new(DisturbanceModel { t_rh: T_RH, mu: MuModel::Adjacent }, ROWS);
+    let mut auto = RefreshEngine::new(&timing, ROWS);
+    let mut victim_rows = 0u64;
+    for i in 0..acts {
+        let now = i * timing.t_rc;
+        oracle.refresh_rows(auto.catch_up(now));
+        let a = attack.next_access();
+        oracle.activate(a.row, now);
+        let mut actions = defense.on_activation(a.row, now);
+        if i % acts_per_tick == acts_per_tick - 1 {
+            actions.extend(defense.on_refresh_tick(now));
+        }
+        for action in actions {
+            victim_rows += action.row_count(ROWS);
+            oracle.refresh_rows(action.rows(ROWS));
+        }
+    }
+    (oracle.flips().len() as u64, victim_rows)
+}
+
+/// Runs the width sweep.
+pub fn run(fast: bool) {
+    crate::banner("TRRespass sweep — attack sides vs in-DRAM TRR and Graphene (T_RH = 2,000)");
+    let acts: u64 = if fast { 150_000 } else { 600_000 };
+    let sides: &[u32] = if fast { &[2, 12] } else { &[1, 2, 4, 6, 8, 12, 16] };
+
+    let mut table = TablePrinter::new(vec![
+        "sides",
+        "TRR-4 flips (3 seeds)",
+        "TRR-4 victim rows",
+        "Graphene flips",
+        "Graphene victim rows",
+    ]);
+    for &n in sides {
+        // TRR's slot stealing and tie-breaks make individual runs noisy;
+        // aggregate three sampler seeds, as TRRespass does across DIMMs.
+        let mut trr_flips = 0u64;
+        let mut trr_rows = 0u64;
+        for seed in [9u64, 21, 33] {
+            let mut trr = TrrSampler::new(TrrConfig::ddr4_typical(), seed);
+            let (f, r) = hammer(&mut trr, n, acts);
+            trr_flips += f;
+            trr_rows += r;
+        }
+        trr_rows /= 3;
+
+        let cfg = GrapheneConfig::builder()
+            .row_hammer_threshold(T_RH)
+            .rows_per_bank(ROWS)
+            .build()
+            .expect("valid");
+        let mut graphene = GrapheneDefense::from_config(&cfg).expect("derivable");
+        let (g_flips, g_rows) = hammer(&mut graphene, n, acts);
+
+        table.row(vec![
+            n.to_string(),
+            trr_flips.to_string(),
+            trr_rows.to_string(),
+            g_flips.to_string(),
+            g_rows.to_string(),
+        ]);
+    }
+    table.print();
+    println!(
+        "TRR holds the narrow attacks, but specific widths (here 6 and 12) defeat it: \
+         their rotation aliases with the sampler's per-tick phase (gcd(165 mod n, n) > 1), \
+         so some aggressors never top the sampler and their victims starve — the \
+         TRRespass finding that *particular* many-sided patterns break *particular* \
+         samplers. Graphene is flip-free at every width because its table is \
+         provisioned from the worst-case ACT budget, not a fixed sampler size."
+    );
+}

@@ -1,0 +1,38 @@
+//! # rh-bench
+//!
+//! Experiment runners regenerating every table and figure of the Graphene
+//! paper (MICRO 2020). Each `exp_*` module exposes a `run(fast: bool)`
+//! function and has a matching thin binary (`cargo run --release -p rh-bench
+//! --bin exp-table4`). `run-all` executes every experiment in order and is
+//! the source of `EXPERIMENTS.md`.
+//!
+//! `fast` mode shrinks simulation lengths for smoke-testing; the recorded
+//! numbers in `EXPERIMENTS.md` come from full (`fast = false`) runs. Set
+//! `RH_FAST=1` in the environment (or pass `--fast`) to select it.
+
+pub mod exp_ablation;
+pub mod exp_fig6;
+pub mod exp_fig8;
+pub mod exp_fig9;
+pub mod exp_nonadjacent;
+pub mod exp_security;
+pub mod exp_sensitivity;
+pub mod exp_table1;
+pub mod exp_trr;
+pub mod exp_table2;
+pub mod exp_table3;
+pub mod exp_table4;
+pub mod exp_table5;
+
+/// Parses the shared `--fast` / `RH_FAST` switch for the experiment bins.
+pub fn fast_mode() -> bool {
+    std::env::args().any(|a| a == "--fast") || std::env::var_os("RH_FAST").is_some()
+}
+
+/// Prints the standard experiment header.
+pub fn banner(title: &str) {
+    println!();
+    println!("==================================================================");
+    println!("{title}");
+    println!("==================================================================");
+}

@@ -1,0 +1,201 @@
+//! A self-verifying Graphene wrapper.
+//!
+//! [`CheckedGraphene`] shadows the hardware-faithful mechanism with exact
+//! per-row activation counts and asserts, on every single activation, the
+//! three properties the paper proves in Section III-C:
+//!
+//! * **Lemma 1** — every tracked entry's estimated count ≥ the row's actual
+//!   count within the current reset window;
+//! * **Lemma 2** — the spillover count ≤ `acts_in_window / (N_entry + 1)`;
+//! * **Theorem** — no row's actual count reaches `m·T` before `m` NRRs have
+//!   been issued for it (equivalently: the actual count cannot grow by `T`
+//!   without a victim-row refresh).
+//!
+//! The wrapper is used by the property-based test-suite and is exported so
+//! downstream integrations can fuzz their own access patterns against the
+//! protection guarantee.
+
+use std::collections::HashMap;
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+
+use crate::config::{ConfigError, GrapheneConfig};
+use crate::mechanism::{Graphene, NrrRequest};
+
+/// Graphene plus exact shadow state and per-step verification.
+///
+/// # Panics
+///
+/// Every method that processes an activation panics as soon as any of the
+/// paper's invariants is violated — a panic here means the mechanism (or a
+/// modification to it) is unsound.
+///
+/// # Example
+///
+/// ```
+/// use dram_model::RowId;
+/// use graphene_core::{CheckedGraphene, GrapheneConfig};
+///
+/// # fn main() -> Result<(), graphene_core::ConfigError> {
+/// let mut g = CheckedGraphene::from_config(&GrapheneConfig::micro2020())?;
+/// for i in 0..100_000u64 {
+///     g.on_activation(RowId((i % 7) as u32 * 97), i * 45_000);
+/// }
+/// // No panic: all invariants held on every step.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CheckedGraphene {
+    inner: Graphene,
+    /// Exact ACT counts per row within the current reset window.
+    actual: HashMap<RowId, u64>,
+    /// NRRs issued per row within the current reset window.
+    nrrs: HashMap<RowId, u64>,
+    window_of_shadow: u64,
+}
+
+impl CheckedGraphene {
+    /// Wraps a fresh engine derived from `config`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the derivation.
+    pub fn from_config(config: &GrapheneConfig) -> Result<Self, ConfigError> {
+        Ok(CheckedGraphene {
+            inner: Graphene::from_config(config)?,
+            actual: HashMap::new(),
+            nrrs: HashMap::new(),
+            window_of_shadow: 0,
+        })
+    }
+
+    /// The wrapped engine.
+    pub fn inner(&self) -> &Graphene {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the engine.
+    pub fn into_inner(self) -> Graphene {
+        self.inner
+    }
+
+    /// Exact ACT count of `row` in the current reset window.
+    pub fn actual_count(&self, row: RowId) -> u64 {
+        self.actual.get(&row).copied().unwrap_or(0)
+    }
+
+    /// Processes one activation, verifying all invariants afterwards.
+    pub fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Option<NrrRequest> {
+        let window = now / self.inner.params().reset_window;
+        if window != self.window_of_shadow {
+            self.actual.clear();
+            self.nrrs.clear();
+            self.window_of_shadow = window;
+        }
+        let result = self.inner.on_activation(row, now);
+        *self.actual.entry(row).or_insert(0) += 1;
+        if let Some(req) = result {
+            *self.nrrs.entry(req.aggressor).or_insert(0) += 1;
+        }
+        self.verify(row);
+        result
+    }
+
+    fn verify(&self, last_row: RowId) {
+        let table = self.inner.table();
+        let t = self.inner.params().tracking_threshold;
+        let n = self.inner.params().n_entry as u64;
+
+        // Lemma 2: spillover bound.
+        let acts = table.acts_since_reset();
+        assert!(
+            table.spillover() <= acts / (n + 1),
+            "Lemma 2 violated: spillover {} > {}/{}",
+            table.spillover(),
+            acts,
+            n + 1
+        );
+
+        // Lemma 1: over every tracked entry.
+        for (r, est, _) in table.iter() {
+            let a = self.actual_count(r);
+            assert!(est >= a, "Lemma 1 violated for {r}: est {est} < actual {a}");
+        }
+
+        // Theorem: NRRs issued ≥ ⌊actual/T⌋ for the just-activated row (the
+        // only row whose actual count changed).
+        let a = self.actual_count(last_row);
+        let issued = self.nrrs.get(&last_row).copied().unwrap_or(0);
+        assert!(
+            issued >= a / t,
+            "Theorem violated for {last_row}: actual {a}, T {t}, NRRs {issued}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn checked() -> CheckedGraphene {
+        CheckedGraphene::from_config(&GrapheneConfig::micro2020()).unwrap()
+    }
+
+    #[test]
+    fn single_row_hammer_holds_invariants() {
+        let mut g = checked();
+        for i in 0..60_000u64 {
+            g.on_activation(RowId(0x10), i * 45_000);
+        }
+    }
+
+    #[test]
+    fn double_sided_hammer_holds_invariants() {
+        let mut g = checked();
+        for i in 0..60_000u64 {
+            let row = if i % 2 == 0 { RowId(100) } else { RowId(102) };
+            g.on_activation(row, i * 45_000);
+        }
+    }
+
+    #[test]
+    fn random_stream_holds_invariants() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = checked();
+        for i in 0..100_000u64 {
+            let row = RowId(rng.gen_range(0..65_536));
+            g.on_activation(row, i * 45_000);
+        }
+    }
+
+    #[test]
+    fn skewed_stream_holds_invariants_across_windows() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut g = checked();
+        let window = g.inner().params().reset_window;
+        // Spread the stream over ~3 reset windows.
+        let step = 3 * window / 150_000;
+        for i in 0..150_000u64 {
+            let row = if rng.gen_bool(0.7) {
+                RowId(rng.gen_range(0..8) * 11)
+            } else {
+                RowId(rng.gen_range(0..65_536))
+            };
+            g.on_activation(row, i * step);
+        }
+    }
+
+    #[test]
+    fn actual_count_tracks_exactly() {
+        let mut g = checked();
+        for i in 0..5u64 {
+            g.on_activation(RowId(1), i);
+        }
+        assert_eq!(g.actual_count(RowId(1)), 5);
+        assert_eq!(g.actual_count(RowId(2)), 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The per-bank Graphene engine: reset-window scheduling plus the counter
+//! table, producing Nearby-Row-Refresh requests.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+use serde::{Deserialize, Serialize};
+
+use crate::cam::CamStats;
+use crate::config::{ConfigError, GrapheneConfig, GrapheneParams};
+use crate::table::CounterTable;
+
+/// A request to refresh the neighbours of an aggressor row.
+///
+/// The memory controller turns this into an NRR command
+/// ([`dram_model::DramCommand::NearbyRowRefresh`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct NrrRequest {
+    /// The aggressor row whose estimated count reached a multiple of `T`.
+    pub aggressor: RowId,
+    /// Rows to refresh on each side (the configured blast radius).
+    pub radius: u32,
+}
+
+impl NrrRequest {
+    /// Number of victim rows this request refreshes (ignoring bank-edge
+    /// clipping).
+    pub fn victim_rows(&self) -> u64 {
+        2 * u64::from(self.radius)
+    }
+}
+
+/// Operation counters of one Graphene instance.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrapheneStats {
+    /// Activations processed.
+    pub activations: u64,
+    /// NRR requests issued.
+    pub nrrs_issued: u64,
+    /// Victim rows requested across all NRRs (2 × radius each).
+    pub victim_rows_requested: u64,
+    /// Reset windows completed (table resets).
+    pub table_resets: u64,
+}
+
+/// Graphene for a single DRAM bank.
+///
+/// Feed every ACT of the bank to [`Graphene::on_activation`]; issue an NRR
+/// whenever it returns one. The engine resets its table automatically at
+/// reset-window boundaries (windows are aligned to multiples of
+/// `tREFW / k` from time zero, matching a controller that derives the reset
+/// tick from its refresh counter).
+///
+/// # Example
+///
+/// ```
+/// use dram_model::RowId;
+/// use graphene_core::{Graphene, GrapheneConfig};
+///
+/// # fn main() -> Result<(), graphene_core::ConfigError> {
+/// let mut g = Graphene::from_config(&GrapheneConfig::micro2020())?;
+/// let t = g.params().tracking_threshold;
+/// let mut nrrs = 0;
+/// for i in 0..(2 * t) {
+///     if g.on_activation(RowId(42), i * 45_000).is_some() {
+///         nrrs += 1;
+///     }
+/// }
+/// assert_eq!(nrrs, 2); // one NRR per multiple of T
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Graphene {
+    params: GrapheneParams,
+    table: CounterTable,
+    current_window: u64,
+    stats: GrapheneStats,
+}
+
+impl Graphene {
+    /// Creates an engine from already-derived parameters.
+    pub fn new(params: GrapheneParams) -> Self {
+        Graphene {
+            table: CounterTable::new(params.n_entry, params.tracking_threshold),
+            params,
+            current_window: 0,
+            stats: GrapheneStats::default(),
+        }
+    }
+
+    /// Derives parameters from `config` and creates the engine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the derivation.
+    pub fn from_config(config: &GrapheneConfig) -> Result<Self, ConfigError> {
+        Ok(Self::new(config.derive()?))
+    }
+
+    /// The derived parameters this engine runs with.
+    pub fn params(&self) -> &GrapheneParams {
+        &self.params
+    }
+
+    /// Read access to the counter table.
+    pub fn table(&self) -> &CounterTable {
+        &self.table
+    }
+
+    /// Operation counters.
+    pub fn stats(&self) -> &GrapheneStats {
+        &self.stats
+    }
+
+    /// CAM access counters (delegates to the table).
+    pub fn cam_stats(&self) -> &CamStats {
+        self.table.cam_stats()
+    }
+
+    /// Processes one activation of `row` at absolute time `now` and returns
+    /// the NRR to issue, if the row's estimated count reached a multiple of
+    /// `T`.
+    ///
+    /// Crossing a reset-window boundary resets the table first, so a caller
+    /// may jump arbitrarily far forward in time between calls.
+    pub fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Option<NrrRequest> {
+        let window = now / self.params.reset_window;
+        if window != self.current_window {
+            self.table.reset();
+            self.stats.table_resets += 1;
+            self.current_window = window;
+        }
+        self.stats.activations += 1;
+        if self.table.process_activation(row).triggered() {
+            let req = NrrRequest { aggressor: row, radius: self.params.blast_radius };
+            self.stats.nrrs_issued += 1;
+            self.stats.victim_rows_requested += req.victim_rows();
+            Some(req)
+        } else {
+            None
+        }
+    }
+
+    /// Forces a table reset (e.g. for tests or an externally driven window).
+    pub fn force_reset(&mut self) {
+        self.table.reset();
+        self.stats.table_resets += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::timing::DramTiming;
+
+    fn engine() -> Graphene {
+        Graphene::from_config(&GrapheneConfig::micro2020()).unwrap()
+    }
+
+    #[test]
+    fn paper_parameters_flow_through() {
+        let g = engine();
+        assert_eq!(g.params().tracking_threshold, 8_333);
+        assert_eq!(g.params().n_entry, 81);
+        assert_eq!(g.params().blast_radius, 1);
+    }
+
+    #[test]
+    fn nrr_fires_before_trh_over_4() {
+        // With k = 2 the single-window budget for an unprotected row is
+        // T − 1 < T_RH/4: hammering one row must produce an NRR by ACT #T.
+        let mut g = engine();
+        let t = g.params().tracking_threshold;
+        for i in 0..(t - 1) {
+            assert!(g.on_activation(RowId(5), i * 45_000).is_none());
+        }
+        let req = g.on_activation(RowId(5), t * 45_000).expect("NRR at T-th ACT");
+        assert_eq!(req.aggressor, RowId(5));
+        assert_eq!(req.radius, 1);
+    }
+
+    #[test]
+    fn window_boundary_resets_table() {
+        let mut g = engine();
+        let w = g.params().reset_window;
+        let t = g.params().tracking_threshold;
+        // Accumulate T−1 ACTs at the end of window 0.
+        for i in 0..(t - 1) {
+            assert!(g.on_activation(RowId(9), i).is_none());
+        }
+        // One more ACT but in the next window: the table was reset, so no NRR.
+        assert!(g.on_activation(RowId(9), w).is_none());
+        assert_eq!(g.stats().table_resets, 1);
+        assert_eq!(g.table().estimate(RowId(9)), Some(1));
+    }
+
+    #[test]
+    fn jumping_many_windows_resets_once() {
+        let mut g = engine();
+        let w = g.params().reset_window;
+        g.on_activation(RowId(1), 0);
+        g.on_activation(RowId(1), 10 * w);
+        assert_eq!(g.stats().table_resets, 1);
+    }
+
+    #[test]
+    fn distinct_row_flood_never_triggers() {
+        // Rotating over many distinct rows keeps every estimate far below T.
+        let mut g = engine();
+        for i in 0..200_000u64 {
+            let row = RowId((i % 1024) as u32);
+            assert!(g.on_activation(row, i * 45_000).is_none());
+        }
+        assert_eq!(g.stats().nrrs_issued, 0);
+    }
+
+    #[test]
+    fn worst_case_nrrs_bounded_per_window() {
+        // Feed a full window of maximal-rate hammering on few rows and check
+        // the NRR count never exceeds ⌊W/T⌋ per window (Figure 6's bound).
+        let cfg = GrapheneConfig::micro2020();
+        let mut g = Graphene::from_config(&cfg).unwrap();
+        let p = *g.params();
+        let t_rc = DramTiming::ddr4_2400().t_rc;
+        let mut nrrs = 0u64;
+        for i in 0..p.acts_per_window {
+            let row = RowId((i % 4) as u32 * 1000);
+            if g.on_activation(row, i * t_rc).is_some() {
+                nrrs += 1;
+            }
+        }
+        assert!(nrrs <= p.acts_per_window / p.tracking_threshold);
+        assert!(nrrs > 0);
+    }
+
+    #[test]
+    fn stats_track_victim_rows() {
+        let mut g = engine();
+        let t = g.params().tracking_threshold;
+        for i in 0..t {
+            g.on_activation(RowId(3), i);
+        }
+        assert_eq!(g.stats().nrrs_issued, 1);
+        assert_eq!(g.stats().victim_rows_requested, 2);
+    }
+
+    #[test]
+    fn force_reset_clears_counts() {
+        let mut g = engine();
+        g.on_activation(RowId(3), 0);
+        g.force_reset();
+        assert_eq!(g.table().estimate(RowId(3)), None);
+    }
+
+    #[test]
+    fn nonadjacent_radius_flows_to_requests() {
+        let cfg = GrapheneConfig::builder()
+            .mu(dram_model::fault::MuModel::InverseSquare { radius: 3 })
+            .build()
+            .unwrap();
+        let mut g = Graphene::from_config(&cfg).unwrap();
+        let t = g.params().tracking_threshold;
+        let mut req = None;
+        for i in 0..=t {
+            if let Some(r) = g.on_activation(RowId(8), i) {
+                req = Some(r);
+                break;
+            }
+        }
+        let req = req.expect("trigger");
+        assert_eq!(req.radius, 3);
+        assert_eq!(req.victim_rows(), 6);
+    }
+}

@@ -1,0 +1,152 @@
+//! Multi-bank deployment: one Graphene engine per DRAM bank.
+//!
+//! Graphene's tables are strictly per-bank (Section III-B: "a counter table
+//! … for each DRAM bank"). [`BankSet`] owns the full array for a rank or a
+//! system, dispatches activations by flattened bank index, and aggregates
+//! statistics and the total hardware budget — the deployment-facing view a
+//! memory-controller integration needs.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+
+use crate::cam::CamStats;
+use crate::config::{ConfigError, GrapheneConfig, GrapheneParams};
+use crate::mechanism::{Graphene, GrapheneStats, NrrRequest};
+
+/// Graphene for every bank of a rank or system.
+///
+/// # Example
+///
+/// ```
+/// use dram_model::RowId;
+/// use graphene_core::{BankSet, GrapheneConfig};
+///
+/// # fn main() -> Result<(), graphene_core::ConfigError> {
+/// let mut set = BankSet::new(&GrapheneConfig::micro2020(), 16)?;
+/// assert!(set.on_activation(3, RowId(100), 0).is_none());
+/// assert_eq!(set.total_table_bits(), 16 * 2_511);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct BankSet {
+    engines: Vec<Graphene>,
+    params: GrapheneParams,
+}
+
+impl BankSet {
+    /// Creates `banks` independent engines from one configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the parameter derivation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `banks == 0`.
+    pub fn new(config: &GrapheneConfig, banks: usize) -> Result<Self, ConfigError> {
+        assert!(banks > 0, "need at least one bank");
+        let params = config.derive()?;
+        Ok(BankSet { engines: (0..banks).map(|_| Graphene::new(params)).collect(), params })
+    }
+
+    /// Number of protected banks.
+    pub fn banks(&self) -> usize {
+        self.engines.len()
+    }
+
+    /// The per-bank parameters.
+    pub fn params(&self) -> &GrapheneParams {
+        &self.params
+    }
+
+    /// Routes an activation to its bank's engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bank` is out of range.
+    pub fn on_activation(&mut self, bank: usize, row: RowId, now: Picoseconds) -> Option<NrrRequest> {
+        self.engines[bank].on_activation(row, now)
+    }
+
+    /// One bank's engine (for inspection).
+    pub fn engine(&self, bank: usize) -> &Graphene {
+        &self.engines[bank]
+    }
+
+    /// Sum of operation counters across banks.
+    pub fn aggregate_stats(&self) -> GrapheneStats {
+        let mut total = GrapheneStats::default();
+        for e in &self.engines {
+            let s = e.stats();
+            total.activations += s.activations;
+            total.nrrs_issued += s.nrrs_issued;
+            total.victim_rows_requested += s.victim_rows_requested;
+            total.table_resets += s.table_resets;
+        }
+        total
+    }
+
+    /// Sum of CAM activity across banks.
+    pub fn aggregate_cam_stats(&self) -> CamStats {
+        let mut total = CamStats::default();
+        for e in &self.engines {
+            total.merge(e.cam_stats());
+        }
+        total
+    }
+
+    /// Total table bits across all banks (the system's hardware budget).
+    pub fn total_table_bits(&self) -> u64 {
+        self.params.table_bits_per_bank() * self.engines.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set() -> BankSet {
+        BankSet::new(&GrapheneConfig::micro2020(), 4).unwrap()
+    }
+
+    #[test]
+    fn banks_are_independent() {
+        let mut s = set();
+        let t = s.params().tracking_threshold;
+        // Hammer bank 0 to just below its trigger.
+        for i in 0..(t - 1) {
+            assert!(s.on_activation(0, RowId(9), i).is_none());
+        }
+        // The same row in bank 1 is untouched: far from any trigger.
+        assert!(s.on_activation(1, RowId(9), t).is_none());
+        assert_eq!(s.engine(1).table().estimate(RowId(9)), Some(1));
+        // Bank 0 triggers on its next ACT.
+        assert!(s.on_activation(0, RowId(9), t + 1).is_some());
+    }
+
+    #[test]
+    fn aggregate_stats_sum_across_banks() {
+        let mut s = set();
+        for bank in 0..4 {
+            for i in 0..10u64 {
+                s.on_activation(bank, RowId(1), i);
+            }
+        }
+        let agg = s.aggregate_stats();
+        assert_eq!(agg.activations, 40);
+        let cam = s.aggregate_cam_stats();
+        assert_eq!(cam.addr_searches, 40);
+    }
+
+    #[test]
+    fn total_bits_scale_with_banks() {
+        assert_eq!(set().total_table_bits(), 4 * 2_511);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bank")]
+    fn zero_banks_panics() {
+        let _ = BankSet::new(&GrapheneConfig::micro2020(), 0);
+    }
+}

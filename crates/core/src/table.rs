@@ -1,0 +1,413 @@
+//! The hardware-faithful Graphene counter table.
+//!
+//! This is the spillover Misra-Gries table of Figures 4 and 5, modeled at the
+//! level the RTL implements it:
+//!
+//! * a fixed array of `N_entry` entries, each holding a row address (Address
+//!   CAM), a count field, and an **overflow bit** (Count CAM);
+//! * a single spillover-count register;
+//! * the count field stores the estimated count *modulo `T`*: when it reaches
+//!   `T` it wraps to zero and sets the overflow bit (Section IV-B), which
+//!   both shrinks the field from `⌈log₂W⌉` to `⌈log₂T⌉` bits and marks the
+//!   entry as non-evictable for the rest of the reset window;
+//! * every wrap is an NRR trigger — this realizes "estimated count reaches
+//!   `T` or a multiple of `T`" without ever storing more than `T` counts.
+//!
+//! The table also counts its CAM searches/writes ([`CamStats`]) so the
+//! energy model can be driven by real access mixes.
+
+use dram_model::geometry::RowId;
+use serde::{Deserialize, Serialize};
+
+use crate::cam::CamStats;
+
+/// One counter-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct Entry {
+    /// Tracked row address; `None` for an invalid (never-written) entry.
+    addr: Option<RowId>,
+    /// Count field, always `< T` (wraps at `T`).
+    low: u64,
+    /// Set once the entry's estimated count has reached `T`.
+    overflow: bool,
+    /// Number of times this entry wrapped (crossings of multiples of `T`).
+    /// Not hardware state — kept for statistics and verification; the
+    /// hardware only needs `overflow`.
+    crossings: u64,
+}
+
+impl Entry {
+    const EMPTY: Entry = Entry { addr: None, low: 0, overflow: false, crossings: 0 };
+
+    /// Full estimated count this entry represents.
+    fn estimate(&self, t: u64) -> u64 {
+        self.crossings * t + self.low
+    }
+}
+
+/// Outcome of processing one activation through the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum TableUpdate {
+    /// The row was already tracked; its count was incremented.
+    Hit {
+        /// True if the increment made the estimated count reach a multiple
+        /// of `T` (an NRR must be issued).
+        triggered: bool,
+    },
+    /// The row was inserted by replacing an entry whose count equaled the
+    /// spillover count.
+    Replaced {
+        /// The row address that was evicted (if the slot was occupied).
+        evicted: Option<RowId>,
+        /// True if the inherited count immediately reached `T`.
+        triggered: bool,
+    },
+    /// No entry matched the spillover count; the spillover register was
+    /// incremented instead.
+    SpilloverIncremented,
+}
+
+impl TableUpdate {
+    /// True if this update fired an NRR trigger.
+    pub fn triggered(&self) -> bool {
+        matches!(
+            self,
+            TableUpdate::Hit { triggered: true } | TableUpdate::Replaced { triggered: true, .. }
+        )
+    }
+}
+
+/// The Graphene per-bank counter table.
+///
+/// # Example
+///
+/// ```
+/// use dram_model::RowId;
+/// use graphene_core::CounterTable;
+///
+/// let mut table = CounterTable::new(3, 5); // 3 entries, T = 5
+/// for i in 0..4 {
+///     assert!(!table.process_activation(RowId(7)).triggered(), "act {i}");
+/// }
+/// assert!(table.process_activation(RowId(7)).triggered()); // 5th ACT hits T
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterTable {
+    entries: Vec<Entry>,
+    spillover: u64,
+    tracking_threshold: u64,
+    acts_since_reset: u64,
+    stats: CamStats,
+}
+
+impl CounterTable {
+    /// Creates a table with `n_entry` entries and tracking threshold `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_entry == 0` or `t == 0`.
+    pub fn new(n_entry: usize, t: u64) -> Self {
+        assert!(n_entry > 0, "table must have at least one entry");
+        assert!(t > 0, "tracking threshold must be positive");
+        CounterTable {
+            entries: vec![Entry::EMPTY; n_entry],
+            spillover: 0,
+            tracking_threshold: t,
+            acts_since_reset: 0,
+            stats: CamStats::default(),
+        }
+    }
+
+    /// Tracking threshold `T`.
+    pub fn tracking_threshold(&self) -> u64 {
+        self.tracking_threshold
+    }
+
+    /// Number of entries (fixed at construction).
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Current spillover count.
+    pub fn spillover(&self) -> u64 {
+        self.spillover
+    }
+
+    /// Activations processed since the last reset.
+    pub fn acts_since_reset(&self) -> u64 {
+        self.acts_since_reset
+    }
+
+    /// CAM access counters.
+    pub fn cam_stats(&self) -> &CamStats {
+        &self.stats
+    }
+
+    /// Estimated count of `row`, or `None` if untracked.
+    pub fn estimate(&self, row: RowId) -> Option<u64> {
+        self.entries
+            .iter()
+            .find(|e| e.addr == Some(row))
+            .map(|e| e.estimate(self.tracking_threshold))
+    }
+
+    /// True if `row` currently occupies a table entry.
+    pub fn is_tracked(&self, row: RowId) -> bool {
+        self.entries.iter().any(|e| e.addr == Some(row))
+    }
+
+    /// Iterator over occupied entries as `(row, estimated count, overflow)`.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, u64, bool)> + '_ {
+        let t = self.tracking_threshold;
+        self.entries
+            .iter()
+            .filter_map(move |e| e.addr.map(|a| (a, e.estimate(t), e.overflow)))
+    }
+
+    /// Processes one activation, following Figure 5's pseudo-code exactly,
+    /// and reports what happened (including whether an NRR trigger fired).
+    pub fn process_activation(&mut self, row: RowId) -> TableUpdate {
+        self.acts_since_reset += 1;
+        // Line 3: one Address-CAM search per ACT.
+        self.stats.addr_searches += 1;
+
+        if let Some(i) = self.entries.iter().position(|e| e.addr == Some(row)) {
+            // Row address HIT (lines 4-6): increment count, one Count-CAM write.
+            self.stats.count_writes += 1;
+            return TableUpdate::Hit { triggered: self.bump(i) };
+        }
+
+        // Row address MISS: one Count-CAM search for spillover match (line 9).
+        self.stats.count_searches += 1;
+        // Only non-overflowed entries can match: an overflowed entry's true
+        // estimate is at least T, which Lemma 2 keeps strictly above the
+        // spillover count, so the hardware masks them out of the search.
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| !e.overflow && e.low == self.spillover)
+        {
+            // Entry replace (lines 10-13): simultaneous addr + count writes.
+            self.stats.addr_writes += 1;
+            self.stats.count_writes += 1;
+            let evicted = self.entries[i].addr;
+            self.entries[i].addr = Some(row);
+            self.entries[i].low = self.spillover;
+            let triggered = self.bump(i);
+            TableUpdate::Replaced { evicted, triggered }
+        } else {
+            // No replacement (lines 15-16).
+            self.stats.spillover_increments += 1;
+            self.spillover += 1;
+            TableUpdate::SpilloverIncremented
+        }
+    }
+
+    /// Resets the table and the spillover register (end of a reset window).
+    pub fn reset(&mut self) {
+        self.entries.fill(Entry::EMPTY);
+        self.spillover = 0;
+        self.acts_since_reset = 0;
+    }
+
+    /// Increments entry `i`'s count, wrapping at `T`; returns whether the
+    /// wrap (NRR trigger) occurred.
+    fn bump(&mut self, i: usize) -> bool {
+        let e = &mut self.entries[i];
+        e.low += 1;
+        if e.low == self.tracking_threshold {
+            e.low = 0;
+            e.overflow = true;
+            e.crossings += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_2_walkthrough() {
+        // The paper's Figure 2 with T large enough not to trigger.
+        let mut t = CounterTable::new(3, 1000);
+        // Build the initial state via the public API: insert three rows and
+        // hammer them to the example counts (5, 7, 3) with spillover 2.
+        // Simpler: drive the exact state transitions below on a fresh table.
+        for _ in 0..5 {
+            t.process_activation(RowId(0x1010));
+        }
+        for _ in 0..7 {
+            t.process_activation(RowId(0x2020));
+        }
+        for _ in 0..3 {
+            t.process_activation(RowId(0x3030));
+        }
+        // Two misses on distinct rows raise the spillover to 2.
+        t.process_activation(RowId(0xAAAA));
+        t.process_activation(RowId(0xBBBB));
+        assert_eq!(t.spillover(), 2);
+
+        // Step 1: hit on 0x1010 → 6.
+        assert_eq!(t.process_activation(RowId(0x1010)), TableUpdate::Hit { triggered: false });
+        assert_eq!(t.estimate(RowId(0x1010)), Some(6));
+
+        // Step 2: miss on 0x4040, no entry has count 2 → spillover 3.
+        assert_eq!(t.process_activation(RowId(0x4040)), TableUpdate::SpilloverIncremented);
+        assert_eq!(t.spillover(), 3);
+
+        // Step 3: miss on 0x5050, 0x3030 has count 3 == spillover → replaced,
+        // count carried over: 4.
+        let u = t.process_activation(RowId(0x5050));
+        assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(0x3030)), triggered: false });
+        assert_eq!(t.estimate(RowId(0x5050)), Some(4));
+        assert!(!t.is_tracked(RowId(0x3030)));
+    }
+
+    #[test]
+    fn triggers_at_every_multiple_of_t() {
+        let mut t = CounterTable::new(2, 10);
+        let mut triggers = Vec::new();
+        for i in 1..=35u64 {
+            if t.process_activation(RowId(1)).triggered() {
+                triggers.push(i);
+            }
+        }
+        assert_eq!(triggers, vec![10, 20, 30]);
+        assert_eq!(t.estimate(RowId(1)), Some(35));
+    }
+
+    #[test]
+    fn overflowed_entry_never_evicted() {
+        let mut t = CounterTable::new(1, 5);
+        for _ in 0..5 {
+            t.process_activation(RowId(9));
+        }
+        // Entry has wrapped (low = 0), but overflow protects it: floods of
+        // distinct rows must only raise the spillover.
+        for i in 0..100u32 {
+            let u = t.process_activation(RowId(1000 + i));
+            assert_eq!(u, TableUpdate::SpilloverIncremented, "act {i}");
+        }
+        assert!(t.is_tracked(RowId(9)));
+        assert_eq!(t.estimate(RowId(9)), Some(5));
+    }
+
+    #[test]
+    fn count_field_stays_below_t() {
+        // The width optimization's invariant: the stored field never holds T.
+        let mut t = CounterTable::new(2, 7);
+        for i in 0..1000u64 {
+            t.process_activation(RowId((i % 3) as u32));
+            for e in &t.entries {
+                assert!(e.low < 7);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_entries_absorb_first_distinct_rows() {
+        let mut t = CounterTable::new(3, 100);
+        for r in 0..3u32 {
+            let u = t.process_activation(RowId(r));
+            assert!(matches!(u, TableUpdate::Replaced { evicted: None, .. }));
+        }
+        assert_eq!(t.spillover(), 0);
+        let u = t.process_activation(RowId(99));
+        assert_eq!(u, TableUpdate::SpilloverIncremented);
+    }
+
+    #[test]
+    fn spillover_bound_lemma_2() {
+        let n = 4;
+        let mut t = CounterTable::new(n, 1_000_000);
+        for i in 0..10_000u64 {
+            t.process_activation(RowId((i * 7 % 97) as u32));
+            assert!(t.spillover() <= t.acts_since_reset() / (n as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn estimate_never_below_actual_lemma_1() {
+        use std::collections::HashMap;
+        let mut t = CounterTable::new(5, 1_000_000);
+        let mut actual: HashMap<u32, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let r = (i * i % 37) as u32;
+            t.process_activation(RowId(r));
+            *actual.entry(r).or_insert(0) += 1;
+            for (row, est, _) in t.iter() {
+                assert!(est >= actual[&row.0], "row {row} est {est}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_clears_all_state() {
+        let mut t = CounterTable::new(2, 3);
+        for _ in 0..10 {
+            t.process_activation(RowId(1));
+        }
+        t.reset();
+        assert_eq!(t.spillover(), 0);
+        assert_eq!(t.acts_since_reset(), 0);
+        assert_eq!(t.estimate(RowId(1)), None);
+        assert_eq!(t.iter().count(), 0);
+        // Overflow bits cleared: entry becomes evictable again.
+        t.process_activation(RowId(2));
+        assert!(t.is_tracked(RowId(2)));
+    }
+
+    #[test]
+    fn cam_stats_per_figure_5() {
+        let mut t = CounterTable::new(2, 100);
+        // Insert (replacement of an empty slot): addr search + count search +
+        // addr write + count write.
+        t.process_activation(RowId(1));
+        let s = *t.cam_stats();
+        assert_eq!((s.addr_searches, s.count_searches, s.addr_writes, s.count_writes), (1, 1, 1, 1));
+        // Hit: +1 addr search, +1 count write.
+        t.process_activation(RowId(1));
+        let s = *t.cam_stats();
+        assert_eq!((s.addr_searches, s.count_writes), (2, 2));
+        // Fill the other slot then miss without a match: spillover increment.
+        t.process_activation(RowId(2));
+        t.process_activation(RowId(3)); // both slots count 1+, spillover 0 → no match? slot2 has low 1 ≠ 0 → increment
+        let s = *t.cam_stats();
+        assert_eq!(s.spillover_increments, 1);
+    }
+
+    #[test]
+    fn trigger_on_replacement_inheriting_near_t_count() {
+        // Degenerate sizing where spillover + 1 can reach T: the trigger must
+        // still fire on the replacement path.
+        let mut t = CounterTable::new(1, 3);
+        // Raise spillover to 2 while slot is pinned by row 0 at count 3...
+        // Simpler: row 0 occupies the slot with count 1; two distinct misses
+        // raise spillover to 2? No: slot low=1, spillover 0→ miss '1': no
+        // match(low1≠0)→spill 1; miss '2': match(low1==1)→replace, low=2.
+        t.process_activation(RowId(0)); // slot: (0, low 1)
+        t.process_activation(RowId(1)); // spillover 1
+        let u = t.process_activation(RowId(2)); // replaces, low 1+1=2
+        assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(0)), triggered: false });
+        t.process_activation(RowId(3)); // low2≠spill1 → spillover 2
+        let u = t.process_activation(RowId(4)); // replaces slot(low2==2), low 3 == T → trigger
+        assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(2)), triggered: true });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_entries_panics() {
+        let _ = CounterTable::new(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_panics() {
+        let _ = CounterTable::new(1, 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests tying the hardware-faithful counter table to its
+//! algorithmic specification.
+
+use dram_model::RowId;
+use freq_elems::{FrequencyEstimator, SpilloverSummary};
+use graphene_core::CounterTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Under valid Graphene sizing — `T > W/(N_entry+1)`, which Inequality 1
+    /// guarantees and which keeps the spillover count strictly below `T` —
+    /// the CAM table with the overflow-bit optimization is observationally
+    /// equivalent to the plain spillover summary: same spillover count and
+    /// same estimate for every tracked row. (Outside that regime the
+    /// hardware's never-evict-overflowed rule intentionally diverges, pinning
+    /// confirmed aggressors; see `overflowed_entry_never_evicted` in the
+    /// table's unit tests.)
+    #[test]
+    fn hardware_table_equals_spillover_summary(
+        raw_stream in prop::collection::vec(0u16..48, 1..3000),
+        capacity in 1usize..24,
+        t in 2u64..60,
+    ) {
+        // Keep the stream inside one validly-sized window: W < T·(N+1).
+        let max_len = (t * (capacity as u64 + 1) - 1) as usize;
+        let stream = &raw_stream[..raw_stream.len().min(max_len)];
+        let mut hw = CounterTable::new(capacity, t);
+        let mut sw = SpilloverSummary::new(capacity);
+        for &x in stream {
+            hw.process_activation(RowId(u32::from(x)));
+            sw.observe(u32::from(x));
+        }
+        prop_assert_eq!(hw.spillover(), sw.spillover());
+        let mut hw_rows = 0;
+        for (row, est, _) in hw.iter() {
+            hw_rows += 1;
+            prop_assert_eq!(est, sw.estimate(&row.0), "row {}", row.0);
+        }
+        prop_assert_eq!(hw_rows, sw.iter().count());
+    }
+
+    /// NRR triggers fire exactly ⌊estimate / T⌋ times per tracked row: no
+    /// trigger is lost or duplicated by the wrap-at-T width optimization.
+    #[test]
+    fn trigger_count_equals_estimate_over_t(
+        stream in prop::collection::vec(0u16..16, 1..2500),
+        capacity in 1usize..12,
+        t in 2u64..40,
+    ) {
+        let mut table = CounterTable::new(capacity, t);
+        let mut triggers: HashMap<u32, u64> = HashMap::new();
+        for &x in &stream {
+            if table.process_activation(RowId(u32::from(x))).triggered() {
+                *triggers.entry(u32::from(x)).or_insert(0) += 1;
+            }
+        }
+        for (row, est, overflow) in table.iter() {
+            let fired = triggers.get(&row.0).copied().unwrap_or(0);
+            prop_assert_eq!(fired, est / t, "row {} estimate {}", row.0, est);
+            prop_assert_eq!(overflow, est >= t);
+        }
+    }
+
+    /// Conservation through the optimization: spillover + Σ estimates equals
+    /// the activation count, regardless of wraps.
+    #[test]
+    fn conservation_with_overflow_bits(
+        stream in prop::collection::vec(0u16..32, 0..2500),
+        capacity in 1usize..16,
+        t in 2u64..30,
+    ) {
+        let mut table = CounterTable::new(capacity, t);
+        for &x in &stream {
+            table.process_activation(RowId(u32::from(x)));
+        }
+        let sum: u64 = table.iter().map(|(_, est, _)| est).sum::<u64>() + table.spillover();
+        prop_assert_eq!(sum, stream.len() as u64);
+    }
+
+    /// After a reset, the table behaves exactly like a fresh one.
+    #[test]
+    fn reset_equals_fresh(
+        prefix in prop::collection::vec(0u16..32, 0..800),
+        suffix in prop::collection::vec(0u16..32, 0..800),
+        capacity in 1usize..10,
+        t in 2u64..30,
+    ) {
+        let mut reused = CounterTable::new(capacity, t);
+        for &x in &prefix {
+            reused.process_activation(RowId(u32::from(x)));
+        }
+        reused.reset();
+        let mut fresh = CounterTable::new(capacity, t);
+        for &x in &suffix {
+            let a = reused.process_activation(RowId(u32::from(x)));
+            let b = fresh.process_activation(RowId(u32::from(x)));
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(reused.spillover(), fresh.spillover());
+    }
+}

@@ -1,0 +1,49 @@
+//! # dram-model
+//!
+//! A DDR4 DRAM device model used by the Graphene (MICRO 2020) reproduction.
+//!
+//! The crate provides the substrate every Row Hammer defense is evaluated on:
+//!
+//! * [`timing`] — JEDEC DDR4 timing parameters (Table I of the paper) and the
+//!   derived quantities the paper's sizing formulas need, most importantly the
+//!   maximum number of row activations that fit in a refresh window.
+//! * [`geometry`] — channel/rank/bank/row organization and strongly-typed
+//!   addresses ([`RowId`], [`BankCoord`]).
+//! * [`fault`] — a ground-truth Row Hammer *fault oracle*: it integrates the
+//!   disturbance every activation inflicts on neighbouring rows (with
+//!   configurable distance coefficients `μ_i`) and reports bit flips whenever
+//!   a victim row accumulates disturbance beyond the Row Hammer threshold
+//!   without being refreshed. Defenses are judged against this oracle.
+//! * [`refresh`] — the auto-refresh engine (8192 REF commands per tREFW),
+//!   which rotates through the rows of a bank.
+//! * [`device`] — a per-bank device model that consumes [`command`]s,
+//!   advances the refresh engine and the fault oracle, and exposes statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use dram_model::timing::DramTiming;
+//!
+//! let t = DramTiming::ddr4_2400();
+//! // The paper's W: max ACTs in one tREFW window (≈1360K for DDR4).
+//! let w = t.max_acts_per_refresh_window();
+//! assert!(w > 1_300_000 && w < 1_400_000);
+//! ```
+
+pub mod command;
+pub mod data;
+pub mod device;
+pub mod error;
+pub mod fault;
+pub mod geometry;
+pub mod refresh;
+pub mod timing;
+
+pub use command::DramCommand;
+pub use data::{DataPattern, DataShadow};
+pub use device::{BankDevice, DeviceStats};
+pub use error::DramError;
+pub use fault::{BitFlip, DisturbanceModel, FaultOracle, MuModel};
+pub use geometry::{BankCoord, DramGeometry, RowId};
+pub use refresh::RefreshEngine;
+pub use timing::{DramTiming, Picoseconds};

@@ -1,0 +1,162 @@
+//! Auto-refresh engine.
+//!
+//! A DDR4 device refreshes all of its rows once per tREFW by executing one REF
+//! command per tREFI; each REF covers `rows_per_bank / refresh_commands`
+//! consecutive rows (8 rows for a 64K-row bank and 8192 commands, the JEDEC
+//! arrangement). The engine tracks the rotating refresh pointer so the fault
+//! oracle can clear exactly the rows a REF burst restores — the paper's
+//! protection argument depends on every row being auto-refreshed once per
+//! tREFW, at a time the memory controller cannot observe.
+
+use serde::{Deserialize, Serialize};
+
+use crate::geometry::RowId;
+use crate::timing::{DramTiming, Picoseconds};
+
+/// Rotating auto-refresh state for one bank.
+///
+/// # Example
+///
+/// ```
+/// use dram_model::refresh::RefreshEngine;
+/// use dram_model::timing::DramTiming;
+///
+/// let mut eng = RefreshEngine::new(&DramTiming::ddr4_2400(), 65_536);
+/// let first_burst = eng.next_burst();
+/// assert_eq!(first_burst.len(), 8); // rows 0..8
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RefreshEngine {
+    rows_per_bank: u32,
+    /// Rows restored per REF command.
+    rows_per_ref: u32,
+    /// Next row to refresh.
+    pointer: u32,
+    /// REF commands executed so far.
+    refs_issued: u64,
+    /// REF period.
+    t_refi: Picoseconds,
+    /// Time the next REF is due.
+    next_ref_at: Picoseconds,
+}
+
+impl RefreshEngine {
+    /// Creates the engine with the standard rotation: all rows covered in one
+    /// tREFW using one REF per tREFI.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timing implies zero REF commands per window.
+    pub fn new(timing: &DramTiming, rows_per_bank: u32) -> Self {
+        let cmds = timing.refresh_commands_per_window();
+        assert!(cmds > 0, "timing must allow at least one REF per window");
+        // Round up so the full bank is covered within tREFW even when the row
+        // count does not divide evenly.
+        let rows_per_ref = rows_per_bank.div_ceil(cmds as u32).max(1);
+        RefreshEngine {
+            rows_per_bank,
+            rows_per_ref,
+            pointer: 0,
+            refs_issued: 0,
+            t_refi: timing.t_refi,
+            next_ref_at: timing.t_refi,
+        }
+    }
+
+    /// Rows restored by each REF command.
+    pub fn rows_per_ref(&self) -> u32 {
+        self.rows_per_ref
+    }
+
+    /// Time at which the next REF command is due.
+    pub fn next_ref_at(&self) -> Picoseconds {
+        self.next_ref_at
+    }
+
+    /// Total REF commands executed.
+    pub fn refs_issued(&self) -> u64 {
+        self.refs_issued
+    }
+
+    /// Executes one REF command and returns the rows it restores.
+    ///
+    /// The rotation wraps around the bank, so calling this
+    /// `refresh_commands_per_window` times refreshes every row at least once.
+    pub fn next_burst(&mut self) -> Vec<RowId> {
+        let mut rows = Vec::with_capacity(self.rows_per_ref as usize);
+        for _ in 0..self.rows_per_ref {
+            rows.push(RowId(self.pointer));
+            self.pointer = (self.pointer + 1) % self.rows_per_bank;
+        }
+        self.refs_issued += 1;
+        self.next_ref_at += self.t_refi;
+        rows
+    }
+
+    /// Executes every REF that is due at or before `now`, returning all rows
+    /// refreshed. Used by event-driven simulation to catch up in one call.
+    pub fn catch_up(&mut self, now: Picoseconds) -> Vec<RowId> {
+        let mut all = Vec::new();
+        while self.next_ref_at <= now {
+            all.extend(self.next_burst());
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_rows_within_one_window() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        let mut seen = vec![false; 65_536];
+        for _ in 0..t.refresh_commands_per_window() {
+            for r in eng.next_burst() {
+                seen[r.0 as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every row refreshed once per tREFW");
+    }
+
+    #[test]
+    fn rows_per_ref_for_64k_bank() {
+        let eng = RefreshEngine::new(&DramTiming::ddr4_2400(), 65_536);
+        // 65536 rows / 8205 commands → 8 rows per burst.
+        assert_eq!(eng.rows_per_ref(), 8);
+    }
+
+    #[test]
+    fn pointer_wraps_around() {
+        let mut t = DramTiming::ddr4_2400();
+        t.t_refw = t.t_refi * 4; // 4 REFs per window
+        let mut eng = RefreshEngine::new(&t, 8); // 2 rows per burst
+        let mut first_cycle = Vec::new();
+        for _ in 0..4 {
+            first_cycle.extend(eng.next_burst());
+        }
+        assert_eq!(first_cycle, (0..8).map(RowId).collect::<Vec<_>>());
+        // Next burst starts over at row 0.
+        assert_eq!(eng.next_burst(), vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn catch_up_executes_due_refs() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        let refreshed = eng.catch_up(3 * t.t_refi + 1);
+        assert_eq!(eng.refs_issued(), 3);
+        assert_eq!(refreshed.len(), 3 * 8);
+        assert_eq!(eng.next_ref_at(), 4 * t.t_refi);
+    }
+
+    #[test]
+    fn catch_up_before_first_ref_is_noop() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        assert!(eng.catch_up(t.t_refi - 1).is_empty());
+        assert_eq!(eng.refs_issued(), 0);
+    }
+}

@@ -1,0 +1,222 @@
+//! The Count-Min Sketch (Cormode & Muthukrishnan, 2003), with the standard
+//! heavy-hitter candidate heap.
+//!
+//! A `depth × width` array of counters with one hash function per row; each
+//! observation increments one counter per row, and the estimate is the row
+//! minimum. Estimates never under-count; the over-count is at most
+//! `e/width · W` with probability `1 − e^{-depth}` per query.
+//!
+//! Because a sketch cannot enumerate its keys, heavy-hitter queries are
+//! served from a bounded candidate set maintained alongside the sketch (the
+//! classic "CMS + heap" construction).
+
+use std::collections::HashMap;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use crate::traits::FrequencyEstimator;
+
+/// Count-Min Sketch with a bounded heavy-hitter candidate set.
+///
+/// # Example
+///
+/// ```
+/// use freq_elems::{CountMinSketch, FrequencyEstimator};
+///
+/// let mut cms = CountMinSketch::new(4, 256, 16);
+/// for _ in 0..100 {
+///     cms.observe("hot");
+/// }
+/// assert!(cms.estimate(&"hot") >= 100); // never under-counts
+/// ```
+#[derive(Debug, Clone)]
+pub struct CountMinSketch<K> {
+    depth: usize,
+    width: usize,
+    counters: Vec<u64>,
+    /// Bounded candidate set for heavy-hitter queries.
+    candidates: HashMap<K, u64>,
+    candidate_capacity: usize,
+    stream_len: u64,
+}
+
+impl<K: Eq + Hash + Clone> CountMinSketch<K> {
+    /// Creates a sketch with `depth` rows of `width` counters each, keeping
+    /// up to `candidate_capacity` heavy-hitter candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(depth: usize, width: usize, candidate_capacity: usize) -> Self {
+        assert!(depth > 0 && width > 0, "sketch dimensions must be positive");
+        assert!(candidate_capacity > 0, "candidate capacity must be positive");
+        CountMinSketch {
+            depth,
+            width,
+            counters: vec![0; depth * width],
+            candidates: HashMap::with_capacity(candidate_capacity),
+            candidate_capacity,
+            stream_len: 0,
+        }
+    }
+
+    /// Sketch depth (number of hash rows).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Sketch width (counters per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total counter bits the sketch would occupy in hardware, assuming
+    /// `bits_per_counter` wide counters (for the area ablation).
+    pub fn table_bits(&self, bits_per_counter: u32) -> u64 {
+        (self.depth * self.width) as u64 * u64::from(bits_per_counter)
+    }
+
+    fn index(&self, row: usize, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        // Mix a per-row seed so rows behave as independent hash functions.
+        (row as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15).hash(&mut h);
+        key.hash(&mut h);
+        row * self.width + (h.finish() as usize % self.width)
+    }
+
+    fn sketch_estimate(&self, key: &K) -> u64 {
+        (0..self.depth).map(|r| self.counters[self.index(r, key)]).min().unwrap_or(0)
+    }
+}
+
+impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for CountMinSketch<K> {
+    fn observe(&mut self, key: K) {
+        self.stream_len += 1;
+        for r in 0..self.depth {
+            let i = self.index(r, &key);
+            self.counters[i] += 1;
+        }
+        let est = self.sketch_estimate(&key);
+        // Maintain the candidate set: insert/update, evict the minimum when
+        // over capacity.
+        if let Some(c) = self.candidates.get_mut(&key) {
+            *c = est;
+        } else if self.candidates.len() < self.candidate_capacity {
+            self.candidates.insert(key, est);
+        } else {
+            let (min_key, min_est) = self
+                .candidates
+                .iter()
+                .min_by_key(|&(_, &v)| v)
+                .map(|(k, &v)| (k.clone(), v))
+                .expect("candidate set is full, hence non-empty");
+            if est > min_est {
+                self.candidates.remove(&min_key);
+                self.candidates.insert(key, est);
+            }
+        }
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.sketch_estimate(key)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .candidates
+            .keys()
+            .map(|k| (k.clone(), self.sketch_estimate(k)))
+            .filter(|&(_, c)| c >= threshold)
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    fn reset(&mut self) {
+        self.counters.iter_mut().for_each(|c| *c = 0);
+        self.candidates.clear();
+        self.stream_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates() {
+        let stream: Vec<u32> = (0..5000).map(|i| (i * 193) % 300).collect();
+        let mut cms = CountMinSketch::new(4, 512, 32);
+        let mut actual = HashMap::new();
+        for &x in &stream {
+            cms.observe(x);
+            *actual.entry(x).or_insert(0u64) += 1;
+        }
+        for (k, &a) in &actual {
+            assert!(cms.estimate(k) >= a, "key {k}");
+        }
+    }
+
+    #[test]
+    fn wide_sketch_is_accurate_on_skewed_stream() {
+        let mut cms = CountMinSketch::new(4, 4096, 16);
+        for _ in 0..10_000 {
+            cms.observe(1u32);
+        }
+        for i in 0..100u32 {
+            cms.observe(i + 10);
+        }
+        let e = cms.estimate(&1);
+        assert!(e >= 10_000 && e <= 10_100, "estimate {e}");
+    }
+
+    #[test]
+    fn heavy_hitters_found_via_candidates() {
+        let mut cms = CountMinSketch::new(4, 1024, 8);
+        for i in 0..2000u32 {
+            cms.observe(7);
+            cms.observe(i + 100);
+        }
+        let hh = cms.heavy_hitters(1000);
+        assert!(hh.iter().any(|(k, _)| *k == 7));
+    }
+
+    #[test]
+    fn candidate_set_bounded() {
+        let mut cms = CountMinSketch::new(2, 64, 4);
+        for i in 0..1000u32 {
+            cms.observe(i);
+        }
+        assert!(cms.candidates.len() <= 4);
+    }
+
+    #[test]
+    fn estimate_unknown_key_can_be_nonzero_but_bounded() {
+        let mut cms = CountMinSketch::new(4, 2048, 8);
+        for i in 0..1000u32 {
+            cms.observe(i);
+        }
+        // e/width · W ≈ 2.718/2048 · 1000 ≈ 1.3; allow generous slack.
+        assert!(cms.estimate(&999_999) <= 10);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut cms = CountMinSketch::new(2, 32, 4);
+        cms.observe(1u32);
+        cms.reset();
+        assert_eq!(cms.stream_len(), 0);
+        assert_eq!(cms.estimate(&1), 0);
+    }
+
+    #[test]
+    fn table_bits_product() {
+        let cms = CountMinSketch::<u32>::new(4, 256, 4);
+        assert_eq!(cms.table_bits(16), 4 * 256 * 16);
+    }
+}

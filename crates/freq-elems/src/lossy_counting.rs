@@ -1,0 +1,197 @@
+//! The Lossy Counting summary (Manku & Motwani — VLDB 2002).
+//!
+//! The stream is divided into buckets of width `⌈1/ε⌉`. Each tracked item
+//! carries a count and the bucket id at insertion minus one (`delta`, the
+//! maximum possible undercount). At every bucket boundary, items whose
+//! `count + delta` no longer exceeds the current bucket id are dropped.
+//! Guarantees: `estimate ≤ actual` and `actual − estimate ≤ ε·W`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::traits::FrequencyEstimator;
+
+#[derive(Debug, Clone, Copy)]
+struct LcEntry {
+    count: u64,
+    delta: u64,
+}
+
+/// Lossy Counting summary with error parameter `ε`.
+///
+/// # Example
+///
+/// ```
+/// use freq_elems::{FrequencyEstimator, LossyCounting};
+///
+/// let mut lc = LossyCounting::new(0.01); // ε = 1 %
+/// for _ in 0..500 {
+///     lc.observe("hot");
+/// }
+/// assert!(lc.estimate(&"hot") >= 500 - (0.01f64 * 500.0) as u64);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LossyCounting<K> {
+    entries: HashMap<K, LcEntry>,
+    bucket_width: u64,
+    current_bucket: u64,
+    stream_len: u64,
+    epsilon: f64,
+}
+
+impl<K: Eq + Hash + Clone> LossyCounting<K> {
+    /// Creates a summary with error bound `ε ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon` is not in `(0, 1)`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0, 1)");
+        LossyCounting {
+            entries: HashMap::new(),
+            bucket_width: (1.0 / epsilon).ceil() as u64,
+            current_bucket: 1,
+            stream_len: 0,
+            epsilon,
+        }
+    }
+
+    /// The configured error bound ε.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of currently tracked items (the space actually used).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if nothing is currently tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn prune(&mut self) {
+        let b = self.current_bucket;
+        self.entries.retain(|_, e| e.count + e.delta > b);
+    }
+}
+
+impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for LossyCounting<K> {
+    fn observe(&mut self, key: K) {
+        self.stream_len += 1;
+        let delta = self.current_bucket - 1;
+        self.entries
+            .entry(key)
+            .and_modify(|e| e.count += 1)
+            .or_insert(LcEntry { count: 1, delta });
+        if self.stream_len % self.bucket_width == 0 {
+            self.prune();
+            self.current_bucket += 1;
+        }
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.entries.get(key).map(|e| e.count).unwrap_or(0)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        // Standard query: report items with count ≥ threshold − εW so that no
+        // true heavy hitter is missed; we expose the raw counts and let the
+        // caller decide, but filter on count ≥ threshold.saturating_sub(εW).
+        let slack = (self.epsilon * self.stream_len as f64) as u64;
+        let floor = threshold.saturating_sub(slack);
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.count >= floor)
+            .map(|(k, e)| (k.clone(), e.count))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.current_bucket = 1;
+        self.stream_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_overestimates() {
+        let stream: Vec<u32> = (0..5000).map(|i| (i * 131) % 71).collect();
+        let mut lc = LossyCounting::new(0.02);
+        let mut actual = HashMap::new();
+        for &x in &stream {
+            lc.observe(x);
+            *actual.entry(x).or_insert(0u64) += 1;
+        }
+        for (k, &a) in &actual {
+            assert!(lc.estimate(k) <= a, "key {k}");
+        }
+    }
+
+    #[test]
+    fn undercount_bounded_by_epsilon_w() {
+        let stream: Vec<u32> = (0..10_000).map(|i| (i * 17) % 200).collect();
+        let eps = 0.01;
+        let mut lc = LossyCounting::new(eps);
+        let mut actual = HashMap::new();
+        for &x in &stream {
+            lc.observe(x);
+            *actual.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = (eps * stream.len() as f64).ceil() as u64;
+        for (k, &a) in &actual {
+            let e = lc.estimate(k);
+            assert!(a - e <= bound, "key {k}: actual {a} est {e} bound {bound}");
+        }
+    }
+
+    #[test]
+    fn space_stays_small_on_uniform_stream() {
+        let mut lc = LossyCounting::new(0.01);
+        for i in 0..100_000u32 {
+            lc.observe(i); // all distinct: worst case for space
+        }
+        // Classic bound: at most (1/ε)·log(εN) entries ≈ 100·log(1000) ≈ 691.
+        assert!(lc.len() <= 1000, "len {}", lc.len());
+    }
+
+    #[test]
+    fn heavy_hitter_query_does_not_miss() {
+        let mut lc = LossyCounting::new(0.05);
+        let mut stream = vec![1u32; 400];
+        stream.extend(2..602u32);
+        for &x in &stream {
+            lc.observe(x);
+        }
+        let hh = lc.heavy_hitters(300);
+        assert!(hh.iter().any(|(k, _)| *k == 1), "true heavy hitter missed");
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut lc = LossyCounting::new(0.1);
+        lc.observe(1u32);
+        lc.reset();
+        assert!(lc.is_empty());
+        assert_eq!(lc.stream_len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn invalid_epsilon_panics() {
+        let _ = LossyCounting::<u32>::new(1.5);
+    }
+}

@@ -1,0 +1,184 @@
+//! The Space-Saving summary (Metwally, Agrawal, El Abbadi — ICDT 2005).
+//!
+//! Keeps `capacity` counters; on a miss with a full table the *minimum*
+//! counter's key is replaced and its count incremented (carried over).
+//! Estimates over-count by at most the minimum counter value, which is itself
+//! bounded by `W / capacity`.
+
+use std::hash::Hash;
+
+use crate::traits::FrequencyEstimator;
+
+/// Space-Saving frequent-elements summary.
+///
+/// # Example
+///
+/// ```
+/// use freq_elems::{FrequencyEstimator, SpaceSaving};
+///
+/// let mut ss = SpaceSaving::new(2);
+/// for x in ["a", "a", "b", "c"] {
+///     ss.observe(x);
+/// }
+/// assert!(ss.estimate(&"a") >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K> {
+    entries: Vec<(K, u64)>,
+    capacity: usize,
+    stream_len: u64,
+}
+
+impl<K: Eq + Hash + Clone> SpaceSaving<K> {
+    /// Creates a summary holding at most `capacity` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving { entries: Vec::with_capacity(capacity), capacity, stream_len: 0 }
+    }
+
+    /// Maximum number of counters.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The current minimum counter value (0 when the table is not yet full) —
+    /// the worst-case over-estimation of any entry.
+    pub fn min_count(&self) -> u64 {
+        if self.entries.len() < self.capacity {
+            0
+        } else {
+            self.entries.iter().map(|&(_, c)| c).min().unwrap_or(0)
+        }
+    }
+
+    /// Iterator over tracked items and their (over-)estimates.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
+        self.entries.iter().map(|(k, c)| (k, *c))
+    }
+}
+
+impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
+    fn observe(&mut self, key: K) {
+        self.stream_len += 1;
+        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
+            e.1 += 1;
+        } else if self.entries.len() < self.capacity {
+            self.entries.push((key, 1));
+        } else {
+            let min_idx = self
+                .entries
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &(_, c))| c)
+                .map(|(i, _)| i)
+                .expect("table is full, hence non-empty");
+            self.entries[min_idx].0 = key;
+            self.entries[min_idx].1 += 1;
+        }
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.entries.iter().find(|(k, _)| k == key).map(|&(_, c)| c).unwrap_or(0)
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.stream_len
+    }
+
+    fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
+        let mut v: Vec<_> = self
+            .entries
+            .iter()
+            .filter(|&&(_, c)| c >= threshold)
+            .map(|(k, c)| (k.clone(), *c))
+            .collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    fn reset(&mut self) {
+        self.entries.clear();
+        self.stream_len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn never_underestimates_tracked_items() {
+        let stream: Vec<u32> = (0..3000).map(|i| (i * 911) % 41).collect();
+        let mut ss = SpaceSaving::new(6);
+        let mut actual = HashMap::new();
+        for &x in &stream {
+            ss.observe(x);
+            *actual.entry(x).or_insert(0u64) += 1;
+        }
+        for (k, c) in ss.iter() {
+            assert!(c >= actual[k], "key {k}");
+        }
+    }
+
+    #[test]
+    fn overestimate_bounded_by_w_over_capacity() {
+        let stream: Vec<u32> = (0..4000).map(|i| (i * 37) % 53).collect();
+        let cap = 8;
+        let mut ss = SpaceSaving::new(cap);
+        let mut actual = HashMap::new();
+        for &x in &stream {
+            ss.observe(x);
+            *actual.entry(x).or_insert(0u64) += 1;
+        }
+        let bound = stream.len() as u64 / cap as u64;
+        for (k, c) in ss.iter() {
+            assert!(c - actual[k] <= bound, "key {k}: over-estimate exceeds W/m");
+        }
+    }
+
+    #[test]
+    fn min_count_zero_until_full() {
+        let mut ss = SpaceSaving::new(3);
+        ss.observe(1u32);
+        ss.observe(2);
+        assert_eq!(ss.min_count(), 0);
+        ss.observe(3);
+        assert_eq!(ss.min_count(), 1);
+    }
+
+    #[test]
+    fn replaces_minimum_on_miss() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe("a");
+        ss.observe("a");
+        ss.observe("b");
+        ss.observe("c"); // replaces "b" (min count 1) → count 2
+        assert_eq!(ss.estimate(&"c"), 2);
+        assert_eq!(ss.estimate(&"b"), 0);
+        assert_eq!(ss.estimate(&"a"), 2);
+    }
+
+    #[test]
+    fn heavy_item_survives_noise() {
+        let mut ss = SpaceSaving::new(5);
+        for i in 0..1000u32 {
+            ss.observe(42);
+            ss.observe(1000 + i); // unique noise
+        }
+        assert!(ss.estimate(&42) >= 1000);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut ss = SpaceSaving::new(2);
+        ss.observe(5u32);
+        ss.reset();
+        assert_eq!(ss.stream_len(), 0);
+        assert_eq!(ss.estimate(&5), 0);
+    }
+}

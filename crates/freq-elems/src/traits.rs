@@ -1,0 +1,51 @@
+//! The common interface of the frequent-elements algorithms.
+
+use std::hash::Hash;
+
+/// A streaming summary that estimates per-item occurrence counts.
+///
+/// Implementations differ in whether their estimates over- or under-count and
+/// in which guarantee they provide; see the crate docs for the matrix.
+pub trait FrequencyEstimator<K: Eq + Hash + Clone> {
+    /// Feeds one occurrence of `key` into the summary.
+    fn observe(&mut self, key: K);
+
+    /// Estimated occurrence count of `key` (0 if untracked).
+    fn estimate(&self, key: &K) -> u64;
+
+    /// Total number of items observed since the last reset.
+    fn stream_len(&self) -> u64;
+
+    /// Items whose estimate is at least `threshold`, with their estimates.
+    ///
+    /// For the deterministic summaries this is a superset of the true heavy
+    /// hitters at that threshold (over-estimators) or may miss items whose
+    /// estimate was deflated (under-estimators) — exactly the asymmetry that
+    /// makes over-estimators the right choice for Row Hammer protection.
+    fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)>;
+
+    /// Clears the summary back to its empty state (Graphene's reset window).
+    fn reset(&mut self);
+}
+
+/// Convenience: observes every item of an iterator.
+///
+/// # Example
+///
+/// ```
+/// use freq_elems::{FrequencyEstimator, MisraGries, observe_all};
+///
+/// let mut mg = MisraGries::new(4);
+/// observe_all(&mut mg, ["a", "b", "a"]);
+/// assert_eq!(mg.stream_len(), 3);
+/// ```
+pub fn observe_all<K, E, I>(estimator: &mut E, items: I)
+where
+    K: Eq + Hash + Clone,
+    E: FrequencyEstimator<K> + ?Sized,
+    I: IntoIterator<Item = K>,
+{
+    for item in items {
+        estimator.observe(item);
+    }
+}

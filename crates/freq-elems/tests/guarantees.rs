@@ -1,0 +1,225 @@
+//! Property-based tests of the streaming-summary guarantees that Graphene's
+//! protection proof rests on (Lemmas 1 and 2 of the paper), plus the classic
+//! bounds of the other trackers used in the ablation.
+
+use std::collections::HashMap;
+
+use freq_elems::{
+    CountMinSketch, FrequencyEstimator, LossyCounting, MisraGries, SpaceSaving, SpilloverSummary,
+};
+use proptest::prelude::*;
+
+fn actual_counts(stream: &[u16]) -> HashMap<u16, u64> {
+    let mut m = HashMap::new();
+    for &x in stream {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lemma 1: the spillover summary never under-estimates a tracked item.
+    #[test]
+    fn spillover_lemma1_overestimates(
+        stream in prop::collection::vec(0u16..64, 1..2000),
+        cap in 1usize..20,
+    ) {
+        let mut s = SpilloverSummary::new(cap);
+        let mut actual: HashMap<u16, u64> = HashMap::new();
+        for &x in &stream {
+            s.observe(x);
+            *actual.entry(x).or_insert(0) += 1;
+            // The invariant holds at *every* step, not just at the end.
+            for (k, c) in s.iter() {
+                prop_assert!(c >= actual[k], "step invariant violated for {k}");
+            }
+        }
+    }
+
+    /// Lemma 2: spillover count ≤ W / (capacity + 1) at every step.
+    #[test]
+    fn spillover_lemma2_bound(
+        stream in prop::collection::vec(0u16..512, 1..2000),
+        cap in 1usize..20,
+    ) {
+        let mut s = SpilloverSummary::new(cap);
+        for (i, &x) in stream.iter().enumerate() {
+            s.observe(x);
+            let w = (i + 1) as u64;
+            prop_assert!(s.spillover() <= w / (cap as u64 + 1));
+        }
+    }
+
+    /// The tracking guarantee (Inequality 1): every item with actual count
+    /// strictly greater than W/(capacity+1) is present in the table.
+    #[test]
+    fn spillover_tracks_all_heavy_items(
+        stream in prop::collection::vec(0u16..32, 1..1500),
+        cap in 1usize..16,
+    ) {
+        let mut s = SpilloverSummary::new(cap);
+        for &x in &stream {
+            s.observe(x);
+        }
+        let w = stream.len() as u64;
+        for (k, &a) in &actual_counts(&stream) {
+            if a > w / (cap as u64 + 1) {
+                prop_assert!(s.estimate(k) > 0, "heavy key {k} ({a}/{w}) missing");
+            }
+        }
+    }
+
+    /// Conservation: spillover + Σ counts == stream length (the accounting
+    /// identity used in the proof of Lemma 2).
+    #[test]
+    fn spillover_conservation(
+        stream in prop::collection::vec(0u16..128, 0..1500),
+        cap in 1usize..12,
+    ) {
+        let mut s = SpilloverSummary::new(cap);
+        for &x in &stream {
+            s.observe(x);
+        }
+        let total: u64 = s.iter().map(|(_, c)| c).sum::<u64>() + s.spillover();
+        prop_assert_eq!(total, stream.len() as u64);
+    }
+
+    /// Classic Misra-Gries: under-estimates with error ≤ W/(capacity+1).
+    #[test]
+    fn misra_gries_error_bound(
+        stream in prop::collection::vec(0u16..64, 1..2000),
+        cap in 1usize..20,
+    ) {
+        let mut mg = MisraGries::new(cap);
+        for &x in &stream {
+            mg.observe(x);
+        }
+        let bound = stream.len() as u64 / (cap as u64 + 1);
+        for (k, &a) in &actual_counts(&stream) {
+            let e = mg.estimate(k);
+            prop_assert!(e <= a);
+            prop_assert!(a - e <= bound, "key {k}: {a} − {e} > {bound}");
+        }
+    }
+
+    /// Space-Saving: over-estimates, with over-count ≤ W/capacity, and tracks
+    /// all items heavier than W/capacity.
+    #[test]
+    fn space_saving_bounds(
+        stream in prop::collection::vec(0u16..64, 1..2000),
+        cap in 1usize..20,
+    ) {
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &stream {
+            ss.observe(x);
+        }
+        let actual = actual_counts(&stream);
+        let bound = stream.len() as u64 / cap as u64;
+        for (k, c) in ss.iter() {
+            let a = actual[k];
+            prop_assert!(c >= a);
+            prop_assert!(c - a <= bound);
+        }
+        for (k, &a) in &actual {
+            if a > bound {
+                prop_assert!(ss.estimate(k) > 0, "heavy key {k} missing");
+            }
+        }
+    }
+
+    /// Lossy Counting: under-estimates with error ≤ ⌈εW⌉.
+    #[test]
+    fn lossy_counting_error_bound(
+        stream in prop::collection::vec(0u16..64, 1..2000),
+        inv_eps in 5u64..100,
+    ) {
+        let eps = 1.0 / inv_eps as f64;
+        let mut lc = LossyCounting::new(eps);
+        for &x in &stream {
+            lc.observe(x);
+        }
+        let bound = (eps * stream.len() as f64).ceil() as u64;
+        for (k, &a) in &actual_counts(&stream) {
+            let e = lc.estimate(k);
+            prop_assert!(e <= a);
+            prop_assert!(a - e <= bound, "key {k}: {a} − {e} > {bound}");
+        }
+    }
+
+    /// Count-Min Sketch never under-estimates.
+    #[test]
+    fn count_min_overestimates(
+        stream in prop::collection::vec(0u16..64, 1..1000),
+        depth in 1usize..5,
+        width_pow in 4u32..10,
+    ) {
+        let mut cms = CountMinSketch::new(depth, 1 << width_pow, 8);
+        for &x in &stream {
+            cms.observe(x);
+        }
+        for (k, &a) in &actual_counts(&stream) {
+            prop_assert!(cms.estimate(k) >= a, "key {k}");
+        }
+    }
+
+    /// The spillover summary and Space-Saving both track every item above
+    /// their respective guarantee thresholds — `W/(m+1)` for the spillover
+    /// formulation, the (weaker) `W/m` for Space-Saving. Estimates may
+    /// differ; membership of items above the bound may not.
+    #[test]
+    fn spillover_and_space_saving_both_track_heavy(
+        stream in prop::collection::vec(0u16..24, 50..1500),
+        cap in 2usize..12,
+    ) {
+        let mut sp = SpilloverSummary::new(cap);
+        let mut ss = SpaceSaving::new(cap);
+        for &x in &stream {
+            sp.observe(x);
+            ss.observe(x);
+        }
+        let w = stream.len() as u64;
+        for (k, &a) in &actual_counts(&stream) {
+            if a > w / (cap as u64 + 1) {
+                prop_assert!(sp.estimate(k) > 0, "spillover missed {k} ({a}/{w})");
+            }
+            if a > w / cap as u64 {
+                prop_assert!(ss.estimate(k) > 0, "space-saving missed {k} ({a}/{w})");
+            }
+        }
+    }
+}
+
+#[test]
+fn all_estimators_reset_to_empty() {
+    let stream: Vec<u16> = (0..100).map(|i| i % 7).collect();
+
+    let mut mg = MisraGries::new(4);
+    let mut sp = SpilloverSummary::new(4);
+    let mut ss = SpaceSaving::new(4);
+    let mut lc = LossyCounting::new(0.05);
+    let mut cms = CountMinSketch::new(3, 64, 8);
+
+    for &x in &stream {
+        mg.observe(x);
+        sp.observe(x);
+        ss.observe(x);
+        lc.observe(x);
+        cms.observe(x);
+    }
+    mg.reset();
+    sp.reset();
+    ss.reset();
+    lc.reset();
+    cms.reset();
+    for e in [
+        mg.stream_len(),
+        sp.stream_len(),
+        ss.stream_len(),
+        lc.stream_len(),
+        cms.stream_len(),
+    ] {
+        assert_eq!(e, 0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Memory-controller configuration (Table III of the paper).
+
+use dram_model::fault::DisturbanceModel;
+use dram_model::geometry::DramGeometry;
+use dram_model::timing::DramTiming;
+use serde::{Deserialize, Serialize};
+
+use crate::pagepolicy::PagePolicy;
+
+/// Full simulator configuration.
+///
+/// [`McConfig::micro2020`] reproduces Table III: DDR4-2400, 4 channels ×
+/// 1 rank × 16 banks, minimalist-open paging, with the ground-truth fault
+/// oracle armed at `T_RH = 50K`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct McConfig {
+    /// DRAM timing parameters.
+    pub timing: DramTiming,
+    /// System organization.
+    pub geometry: DramGeometry,
+    /// Page policy.
+    pub page_policy: PagePolicy,
+    /// Ground-truth disturbance model; `None` disables the fault oracle
+    /// (faster, for pure performance runs).
+    pub fault_model: Option<DisturbanceModel>,
+}
+
+impl McConfig {
+    /// The paper's Table III system with the fault oracle enabled.
+    pub fn micro2020() -> Self {
+        McConfig {
+            timing: DramTiming::ddr4_2400(),
+            geometry: DramGeometry::micro2020(),
+            page_policy: PagePolicy::minimalist_open(),
+            fault_model: Some(DisturbanceModel::ddr4_50k()),
+        }
+    }
+
+    /// Table III system without the fault oracle (performance-only runs).
+    pub fn micro2020_no_oracle() -> Self {
+        McConfig { fault_model: None, ..Self::micro2020() }
+    }
+
+    /// A single-bank system for focused experiments and tests.
+    pub fn single_bank(rows: u32, fault_model: Option<DisturbanceModel>) -> Self {
+        McConfig {
+            timing: DramTiming::ddr4_2400(),
+            geometry: DramGeometry::single_bank(rows),
+            page_policy: PagePolicy::minimalist_open(),
+            fault_model,
+        }
+    }
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self::micro2020()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro2020_matches_table_iii() {
+        let c = McConfig::micro2020();
+        assert_eq!(c.geometry.channels, 4);
+        assert_eq!(c.geometry.banks_per_rank, 16);
+        assert_eq!(c.timing.t_rc, 45_000);
+        assert_eq!(c.page_policy, PagePolicy::MinimalistOpen { max_hits: 4 });
+        assert!(c.fault_model.is_some());
+    }
+
+    #[test]
+    fn no_oracle_variant_disables_fault_model() {
+        assert!(McConfig::micro2020_no_oracle().fault_model.is_none());
+    }
+}

@@ -1,0 +1,499 @@
+//! The memory controller: dispatch, refresh machinery, defense hook.
+
+use dram_model::fault::FaultOracle;
+use dram_model::geometry::RowId;
+use dram_model::refresh::RefreshEngine;
+use dram_model::timing::Picoseconds;
+use mitigations::{RefreshAction, RowHammerDefense};
+use workloads::Workload;
+
+use crate::bank::BankState;
+use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
+use crate::config::McConfig;
+use crate::scheduler::{BankQueue, SchedulerConfig};
+use crate::stats::RunStats;
+
+/// Bank-level memory-controller simulator with a per-bank Row Hammer
+/// defense and (optionally) the ground-truth fault oracle.
+///
+/// # Example
+///
+/// ```
+/// use memctrl::{McConfig, MemoryController};
+/// use mitigations::Para;
+/// use workloads::Synthetic;
+///
+/// let mut mc = MemoryController::new(McConfig::micro2020_no_oracle(), |bank| {
+///     Box::new(Para::new(0.001, bank as u64))
+/// });
+/// let stats = mc.run(&mut Synthetic::s1(10, 65_536, 3), 50_000);
+/// assert!(stats.defense_refresh_commands > 0);
+/// ```
+pub struct MemoryController {
+    config: McConfig,
+    banks: Vec<BankState>,
+    defenses: Vec<Box<dyn RowHammerDefense + Send>>,
+    oracles: Option<Vec<FaultOracle>>,
+    refresh_engines: Vec<RefreshEngine>,
+    next_refresh_at: Picoseconds,
+    clock: Picoseconds,
+    /// Latest service completion seen: the wall-clock high-water mark.
+    /// Saturating attacks advance this even when arrival gaps are zero, so
+    /// periodic refresh keeps firing in the service-time domain.
+    wall: Picoseconds,
+    command_log: Option<CommandLog>,
+    stats: RunStats,
+}
+
+impl std::fmt::Debug for MemoryController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MemoryController")
+            .field("banks", &self.banks.len())
+            .field("clock", &self.clock)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl MemoryController {
+    /// Builds the controller; `defense_factory` is called once per bank with
+    /// the flattened bank index (use it to seed RNG-based defenses
+    /// distinctly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's geometry or timing fail validation.
+    pub fn new(
+        config: McConfig,
+        defense_factory: impl FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
+    ) -> Self {
+        config.geometry.validate().expect("invalid geometry");
+        config.timing.validate().expect("invalid timing");
+        let n_banks = config.geometry.total_banks() as usize;
+        let banks =
+            vec![BankState::new(config.timing, config.page_policy); n_banks];
+        let defenses: Vec<_> = (0..n_banks).map(defense_factory).collect();
+        let oracles = config.fault_model.clone().map(|m| {
+            (0..n_banks)
+                .map(|_| FaultOracle::new(m.clone(), config.geometry.rows_per_bank))
+                .collect()
+        });
+        let refresh_engines = (0..n_banks)
+            .map(|_| RefreshEngine::new(&config.timing, config.geometry.rows_per_bank))
+            .collect();
+        let next_refresh_at = config.timing.t_refi;
+        MemoryController {
+            config,
+            banks,
+            defenses,
+            oracles,
+            refresh_engines,
+            next_refresh_at,
+            clock: 0,
+            wall: 0,
+            command_log: None,
+            stats: RunStats::default(),
+        }
+    }
+
+    /// Attaches a command log; every ACT slot, REF blackout start, and
+    /// victim-refresh burst is recorded for post-hoc protocol checking
+    /// ([`crate::cmdlog::ProtocolChecker`]).
+    pub fn enable_command_log(&mut self, log: CommandLog) {
+        self.command_log = Some(log);
+    }
+
+    /// The command log, if one was attached.
+    pub fn command_log(&self) -> Option<&CommandLog> {
+        self.command_log.as_ref()
+    }
+
+    fn log_command(&mut self, bank: usize, at: Picoseconds, cmd: LoggedCommand) {
+        if let Some(log) = &mut self.command_log {
+            log.push(CommandRecord { bank: bank as u16, at, cmd });
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &McConfig {
+        &self.config
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The defense attached to `bank`.
+    pub fn defense(&self, bank: usize) -> &dyn RowHammerDefense {
+        self.defenses[bank].as_ref()
+    }
+
+    /// Current arrival clock (ps).
+    pub fn clock(&self) -> Picoseconds {
+        self.clock
+    }
+
+    /// Runs `n` accesses from `workload` and returns a snapshot of the
+    /// statistics. Can be called repeatedly to extend the same run.
+    pub fn run(&mut self, workload: &mut dyn Workload, n: u64) -> RunStats {
+        for _ in 0..n {
+            let access = workload.next_access();
+            self.clock += access.gap;
+            self.catch_up_refresh();
+
+            let bank_idx = usize::from(access.bank) % self.banks.len();
+            let outcome = self.banks[bank_idx].serve(access.row, self.clock);
+
+            self.stats.accesses += 1;
+            self.stats.total_latency += outcome.finish - self.clock;
+            self.stats.note_stream(access.stream, outcome.finish - self.clock);
+            self.stats.completion = self.stats.completion.max(outcome.finish);
+            self.wall = self.wall.max(outcome.finish);
+            if outcome.row_hit {
+                self.stats.row_hits += 1;
+            }
+            if outcome.activated {
+                self.stats.activations += 1;
+                if let Some(at) = outcome.act_at {
+                    self.log_command(bank_idx, at, LoggedCommand::Activate { row: access.row.0 });
+                }
+                if let Some(oracles) = &mut self.oracles {
+                    let flips = oracles[bank_idx].activate(access.row, outcome.start);
+                    self.stats.bit_flips += flips.len() as u64;
+                }
+                let actions = self.defenses[bank_idx].on_activation(access.row, outcome.start);
+                for action in actions {
+                    self.apply_action(bank_idx, action);
+                }
+                self.charge_overhead(bank_idx);
+            }
+        }
+        self.stats.clone()
+    }
+
+    /// Runs `n` accesses through per-bank request queues with batched
+    /// FR-FCFS scheduling (the PAR-BS-like policy of Table III), instead of
+    /// [`run`](Self::run)'s in-order service. Row hits within a batch are
+    /// served first, so streams with row-buffer locality complete faster;
+    /// everything else (defense hook, refresh machinery, fault oracle,
+    /// statistics) behaves identically.
+    pub fn run_queued(
+        &mut self,
+        workload: &mut dyn Workload,
+        n: u64,
+        scheduler: SchedulerConfig,
+    ) -> RunStats {
+        let mut queues: Vec<BankQueue> =
+            (0..self.banks.len()).map(|_| BankQueue::new(scheduler)).collect();
+
+        for _ in 0..n {
+            let access = workload.next_access();
+            self.clock += access.gap;
+            self.catch_up_refresh();
+            let bank_idx = usize::from(access.bank) % self.banks.len();
+
+            // Back-pressure: a full queue forces the oldest batch through.
+            while queues[bank_idx].is_full() {
+                self.serve_one_queued(&mut queues, bank_idx);
+            }
+            queues[bank_idx]
+                .push(access.row, self.clock, access.stream)
+                .expect("queue has space after back-pressure drain");
+
+            // Opportunistically serve any bank that is ready "now".
+            for b in 0..queues.len() {
+                while !queues[b].is_empty() && self.banks[b].ready_at() <= self.clock {
+                    self.serve_one_queued(&mut queues, b);
+                }
+            }
+        }
+        // Drain everything still queued.
+        for b in 0..queues.len() {
+            while !queues[b].is_empty() {
+                self.serve_one_queued(&mut queues, b);
+            }
+        }
+        self.stats.clone()
+    }
+
+    /// Serves the scheduler's pick for `bank_idx` (which must be non-empty).
+    fn serve_one_queued(&mut self, queues: &mut [BankQueue], bank_idx: usize) {
+        let open = self.banks[bank_idx].open_row();
+        let req = queues[bank_idx].pop_next(open).expect("caller checked non-empty");
+        let outcome = self.banks[bank_idx].serve(req.row, req.arrival);
+        self.stats.accesses += 1;
+        self.stats.total_latency += outcome.finish - req.arrival;
+        self.stats.note_stream(req.stream, outcome.finish - req.arrival);
+        self.stats.completion = self.stats.completion.max(outcome.finish);
+        self.wall = self.wall.max(outcome.finish);
+        if outcome.row_hit {
+            self.stats.row_hits += 1;
+        }
+        if outcome.activated {
+            self.stats.activations += 1;
+            if let Some(at) = outcome.act_at {
+                self.log_command(bank_idx, at, LoggedCommand::Activate { row: req.row.0 });
+            }
+            if let Some(oracles) = &mut self.oracles {
+                let flips = oracles[bank_idx].activate(req.row, outcome.start);
+                self.stats.bit_flips += flips.len() as u64;
+            }
+            let actions = self.defenses[bank_idx].on_activation(req.row, outcome.start);
+            for action in actions {
+                self.apply_action(bank_idx, action);
+            }
+            self.charge_overhead(bank_idx);
+        }
+    }
+
+    /// Drains and charges the defense's bookkeeping traffic to its bank.
+    fn charge_overhead(&mut self, bank_idx: usize) {
+        let extra = self.defenses[bank_idx].drain_overhead_time();
+        if extra > 0 {
+            self.banks[bank_idx].delay(extra);
+            self.stats.defense_busy += extra;
+        }
+    }
+
+    /// Executes every periodic refresh tick due at or before the wall clock
+    /// (the later of the arrival clock and the service high-water mark).
+    fn catch_up_refresh(&mut self) {
+        let now = self.clock.max(self.wall);
+        while self.next_refresh_at <= now {
+            let at = self.next_refresh_at;
+            for bank_idx in 0..self.banks.len() {
+                let end = self.banks[bank_idx].block_for_refresh(at);
+                self.log_command(bank_idx, end - self.config.timing.t_rfc, LoggedCommand::Refresh);
+                self.stats.completion = self.stats.completion.max(end);
+                self.stats.refreshes += 1;
+                let burst = self.refresh_engines[bank_idx].next_burst();
+                if let Some(oracles) = &mut self.oracles {
+                    oracles[bank_idx].refresh_rows(burst);
+                }
+                let actions = self.defenses[bank_idx].on_refresh_tick(at);
+                for action in actions {
+                    self.apply_action(bank_idx, action);
+                }
+            }
+            self.next_refresh_at += self.config.timing.t_refi;
+        }
+    }
+
+    /// Charges and executes one defense-requested refresh.
+    fn apply_action(&mut self, bank_idx: usize, action: RefreshAction) {
+        let rows_per_bank = self.config.geometry.rows_per_bank;
+        let rows: Vec<RowId> = action.rows(rows_per_bank);
+        if rows.is_empty() {
+            return;
+        }
+        let before = self.banks[bank_idx].ready_at();
+        let end = self.banks[bank_idx].block_for_victim_refresh(rows.len() as u64, before);
+        self.log_command(
+            bank_idx,
+            before,
+            LoggedCommand::VictimRefresh { rows: rows.len() as u64 },
+        );
+        self.stats.defense_busy += end - before;
+        self.stats.completion = self.stats.completion.max(end);
+        self.wall = self.wall.max(end);
+        self.stats.defense_refresh_commands += 1;
+        self.stats.victim_rows_refreshed += rows.len() as u64;
+        if let Some(oracles) = &mut self.oracles {
+            oracles[bank_idx].refresh_rows(rows);
+        }
+    }
+
+    /// True if no ground-truth bit flip has occurred (always true when the
+    /// oracle is disabled).
+    pub fn is_clean(&self) -> bool {
+        self.stats.bit_flips == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dram_model::fault::{DisturbanceModel, MuModel};
+    use graphene_core::GrapheneConfig;
+    use mitigations::{GrapheneDefense, NoDefense, Para};
+    use workloads::Synthetic;
+
+    fn no_defense_mc(config: McConfig) -> MemoryController {
+        MemoryController::new(config, |_| Box::new(NoDefense::new()))
+    }
+
+    #[test]
+    fn unprotected_hammer_flips_bits() {
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, Some(model)));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 20_000);
+        assert!(stats.bit_flips > 0, "hammering without defense must flip bits");
+        assert!(!mc.is_clean());
+    }
+
+    #[test]
+    fn graphene_prevents_flips_on_same_attack() {
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let mut mc = MemoryController::new(
+            McConfig::single_bank(65_536, Some(model)),
+            |_| {
+                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+            },
+        );
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100_000);
+        assert_eq!(stats.bit_flips, 0);
+        assert!(stats.victim_rows_refreshed > 0, "NRRs must have fired");
+    }
+
+    #[test]
+    fn periodic_refresh_fires_per_trefi() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        // One access arriving after 10 tREFI of idleness.
+        struct Idle;
+        impl Workload for Idle {
+            fn name(&self) -> String {
+                "idle".into()
+            }
+            fn next_access(&mut self) -> workloads::Access {
+                workloads::Access { bank: 0, row: RowId(1), gap: 78_000_000, stream: 0 }
+            }
+        }
+        let stats = mc.run(&mut Idle, 1);
+        assert_eq!(stats.refreshes, 10);
+    }
+
+    #[test]
+    fn saturating_attack_throughput_is_trc_bound() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 50_000);
+        let per_access = stats.completion as f64 / stats.accesses as f64;
+        // Single-row hammering with minimalist-open: every 4th access
+        // re-activates; mean cost sits between tCL and tRC.
+        assert!(per_access < 45_000.0 * 1.3, "per access {per_access}");
+        assert!(per_access > 13_000.0);
+    }
+
+    #[test]
+    fn para_adds_measurable_busy_time() {
+        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
+            Box::new(Para::new(0.01, b as u64))
+        });
+        let stats = mc.run(&mut Synthetic::s1(10, 65_536, 1), 100_000);
+        assert!(stats.defense_refresh_commands > 0);
+        assert!(stats.defense_busy > 0);
+        // Roughly p × activations refreshes.
+        let rate = stats.defense_refresh_commands as f64 / stats.activations as f64;
+        assert!((rate - 0.01).abs() < 0.005, "rate {rate}");
+    }
+
+    #[test]
+    fn slowdown_of_defense_free_run_is_zero() {
+        let run = |with_para: bool| {
+            let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
+                if with_para {
+                    Box::new(Para::new(0.02, b as u64)) as Box<dyn RowHammerDefense + Send>
+                } else {
+                    Box::new(NoDefense::new())
+                }
+            });
+            mc.run(&mut Synthetic::s3(65_536, 9), 50_000)
+        };
+        let base = run(false);
+        let para = run(true);
+        assert!(para.slowdown_vs(&base) > 0.0, "PARA must slow a saturating attack");
+        assert_eq!(base.slowdown_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn multi_bank_traffic_spreads() {
+        let mut mc = no_defense_mc(McConfig::micro2020_no_oracle());
+        let mut w = workloads::ProxyWorkload::from_preset(
+            workloads::SpecPreset::Libquantum,
+            64,
+            65_536,
+            5,
+        );
+        let stats = mc.run(&mut w, 20_000);
+        assert_eq!(stats.accesses, 20_000);
+        assert!(stats.row_hit_rate() < 1.0);
+        assert!(mc.is_clean());
+    }
+
+    #[test]
+    fn queued_mode_serves_everything() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let stats = mc.run_queued(
+            &mut Synthetic::s1(10, 65_536, 1),
+            20_000,
+            crate::scheduler::SchedulerConfig::par_bs_like(),
+        );
+        assert_eq!(stats.accesses, 20_000);
+        assert_eq!(stats.activations + stats.row_hits, 20_000);
+    }
+
+    #[test]
+    fn batched_scheduling_beats_fcfs_on_interleaved_rows() {
+        // Two interleaved row streams: FCFS ping-pongs between rows, the
+        // batched scheduler groups row hits and finishes faster.
+        struct PingPong(u64);
+        impl Workload for PingPong {
+            fn name(&self) -> String {
+                "pingpong".into()
+            }
+            fn next_access(&mut self) -> workloads::Access {
+                self.0 += 1;
+                workloads::Access {
+                    bank: 0,
+                    row: RowId((self.0 % 2) as u32 * 64),
+                    gap: 0,
+                    stream: 0,
+                }
+            }
+        }
+        let run = |cfg: crate::scheduler::SchedulerConfig| {
+            let mut mc = no_defense_mc(McConfig {
+                page_policy: crate::PagePolicy::Open,
+                ..McConfig::single_bank(65_536, None)
+            });
+            mc.run_queued(&mut PingPong(0), 20_000, cfg)
+        };
+        let fcfs = run(crate::scheduler::SchedulerConfig::fcfs());
+        let batched = run(crate::scheduler::SchedulerConfig::par_bs_like());
+        assert!(
+            batched.row_hits > fcfs.row_hits,
+            "batched {} hits vs fcfs {}",
+            batched.row_hits,
+            fcfs.row_hits
+        );
+        assert!(batched.completion < fcfs.completion);
+    }
+
+    #[test]
+    fn queued_mode_graphene_still_protects() {
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let mut mc = MemoryController::new(
+            McConfig::single_bank(65_536, Some(model)),
+            |_| {
+                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+            },
+        );
+        let stats = mc.run_queued(
+            &mut Synthetic::s3(65_536, 1),
+            80_000,
+            crate::scheduler::SchedulerConfig::par_bs_like(),
+        );
+        assert_eq!(stats.bit_flips, 0);
+        assert!(stats.victim_rows_refreshed > 0);
+    }
+
+    #[test]
+    fn stats_snapshot_accumulates_across_runs() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        mc.run(&mut Synthetic::s3(65_536, 1), 100);
+        let s = mc.run(&mut Synthetic::s3(65_536, 1), 100);
+        assert_eq!(s.accesses, 200);
+    }
+}

@@ -1,0 +1,57 @@
+//! # memctrl
+//!
+//! A bank-level DDR4 memory-controller timing simulator — the substrate on
+//! which the Graphene paper's performance and energy evaluation runs.
+//!
+//! The simulator models what the paper's defenses actually perturb:
+//!
+//! * per-bank state machines with DDR4 service timing (tRCD/tRP/tCL, the
+//!   tRC activate-to-activate constraint, tRFC refresh blackout every
+//!   tREFI) — see [`bank`];
+//! * a page policy deciding when rows close ([`pagepolicy`], including the
+//!   paper's minimalist-open);
+//! * the periodic refresh machinery and the paper's **NRR** (Nearby Row
+//!   Refresh) protocol extension: a victim-row refresh occupies the bank
+//!   for `tRC × rows + tRP`, exactly the accounting of Section V-B;
+//! * the defense hook: every ACT is reported to the bank's
+//!   [`RowHammerDefense`](mitigations::RowHammerDefense), and every action
+//!   it returns is executed, charged for time, and applied to the
+//!   ground-truth fault oracle.
+//!
+//! Performance methodology (see DESIGN.md §4): the CPU side is abstracted
+//! into per-access arrival gaps carried by the workload; slowdown is the
+//! relative increase in trace completion time versus a defense-free run of
+//! the same trace — isolating precisely the victim-refresh interference the
+//! paper measures with McSimA+.
+//!
+//! # Example
+//!
+//! ```
+//! use memctrl::{McConfig, MemoryController};
+//! use mitigations::NoDefense;
+//! use workloads::Synthetic;
+//!
+//! let mut mc = MemoryController::new(McConfig::micro2020_no_oracle(), |_| {
+//!     Box::new(NoDefense::new())
+//! });
+//! let stats = mc.run(&mut Synthetic::s3(65_536, 1), 10_000);
+//! assert_eq!(stats.accesses, 10_000);
+//! ```
+
+pub mod bank;
+pub mod cmdlog;
+pub mod config;
+pub mod controller;
+pub mod mapping;
+pub mod pagepolicy;
+pub mod scheduler;
+pub mod stats;
+
+pub use bank::BankState;
+pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
+pub use config::McConfig;
+pub use controller::MemoryController;
+pub use mapping::{AddressMapper, DecodedAddress, MappingScheme};
+pub use pagepolicy::PagePolicy;
+pub use scheduler::{BankQueue, SchedulerConfig};
+pub use stats::RunStats;

@@ -1,0 +1,163 @@
+//! Run statistics.
+
+use dram_model::timing::Picoseconds;
+use serde::{Deserialize, Serialize};
+
+/// Aggregate counters of one simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Accesses served.
+    pub accesses: u64,
+    /// ACT commands issued (row misses + empties).
+    pub activations: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Periodic REF commands issued across all banks.
+    pub refreshes: u64,
+    /// Defense-requested refresh commands (NRR or row refreshes).
+    pub defense_refresh_commands: u64,
+    /// Individual victim rows refreshed on behalf of the defense.
+    pub victim_rows_refreshed: u64,
+    /// Total bank-busy time consumed by defense refreshes (ps).
+    pub defense_busy: Picoseconds,
+    /// Completion time of the last access (ps).
+    pub completion: Picoseconds,
+    /// Sum of per-access service latencies (ps).
+    pub total_latency: Picoseconds,
+    /// Ground-truth bit flips observed (0 unless the defense failed).
+    pub bit_flips: u64,
+    /// Per-stream (access count, total latency in ps), indexed by the
+    /// stream id carried on each access — the raw material for the paper's
+    /// weighted-speedup metric.
+    pub per_stream: Vec<(u64, u64)>,
+}
+
+impl RunStats {
+    /// Records one served access of `stream` with the given latency.
+    pub fn note_stream(&mut self, stream: u16, latency: Picoseconds) {
+        let i = usize::from(stream);
+        if self.per_stream.len() <= i {
+            self.per_stream.resize(i + 1, (0, 0));
+        }
+        self.per_stream[i].0 += 1;
+        self.per_stream[i].1 += latency;
+    }
+
+    /// Mean latency of one stream (ps), or `None` if it served no accesses.
+    pub fn stream_mean_latency(&self, stream: u16) -> Option<f64> {
+        self.per_stream
+            .get(usize::from(stream))
+            .filter(|&&(n, _)| n > 0)
+            .map(|&(n, total)| total as f64 / n as f64)
+    }
+
+    /// The paper's performance metric, adapted to latency: weighted speedup
+    /// = mean over streams of (baseline mean latency / this run's mean
+    /// latency); the returned value is the *loss*, `1 − WS` (0 = no
+    /// degradation). Streams absent from either run are skipped.
+    pub fn weighted_speedup_loss_vs(&self, baseline: &RunStats) -> f64 {
+        let streams = self.per_stream.len().min(baseline.per_stream.len());
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for s in 0..streams {
+            if let (Some(mine), Some(base)) = (
+                self.stream_mean_latency(s as u16),
+                baseline.stream_mean_latency(s as u16),
+            ) {
+                if mine > 0.0 {
+                    sum += base / mine;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            1.0 - sum / f64::from(n)
+        }
+    }
+
+    /// Mean access latency (ps).
+    pub fn mean_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.accesses as f64
+        }
+    }
+
+    /// Row-buffer hit rate.
+    pub fn row_hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / self.accesses as f64
+        }
+    }
+
+    /// Relative slowdown of this run versus a baseline run of the same
+    /// trace: `completion / baseline.completion − 1`.
+    pub fn slowdown_vs(&self, baseline: &RunStats) -> f64 {
+        if baseline.completion == 0 {
+            0.0
+        } else {
+            self.completion as f64 / baseline.completion as f64 - 1.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_latency_and_hit_rate() {
+        let s = RunStats {
+            accesses: 4,
+            row_hits: 3,
+            total_latency: 400,
+            ..RunStats::default()
+        };
+        assert_eq!(s.mean_latency(), 100.0);
+        assert_eq!(s.row_hit_rate(), 0.75);
+    }
+
+    #[test]
+    fn zero_access_run_is_safe() {
+        let s = RunStats::default();
+        assert_eq!(s.mean_latency(), 0.0);
+        assert_eq!(s.row_hit_rate(), 0.0);
+        assert_eq!(s.slowdown_vs(&RunStats::default()), 0.0);
+    }
+
+    #[test]
+    fn per_stream_accounting() {
+        let mut s = RunStats::default();
+        s.note_stream(0, 100);
+        s.note_stream(2, 300);
+        s.note_stream(0, 200);
+        assert_eq!(s.stream_mean_latency(0), Some(150.0));
+        assert_eq!(s.stream_mean_latency(1), None);
+        assert_eq!(s.stream_mean_latency(2), Some(300.0));
+    }
+
+    #[test]
+    fn weighted_speedup_loss() {
+        let mut base = RunStats::default();
+        base.note_stream(0, 100);
+        base.note_stream(1, 100);
+        let mut run = RunStats::default();
+        run.note_stream(0, 125); // 0.8 speedup
+        run.note_stream(1, 100); // 1.0 speedup
+        let loss = run.weighted_speedup_loss_vs(&base);
+        assert!((loss - 0.1).abs() < 1e-12, "loss {loss}");
+        assert_eq!(base.weighted_speedup_loss_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn slowdown_relative_to_baseline() {
+        let base = RunStats { completion: 1000, ..RunStats::default() };
+        let run = RunStats { completion: 1050, ..RunStats::default() };
+        assert!((run.slowdown_vs(&base) - 0.05).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,162 @@
+//! The defense trait and the refresh-action vocabulary.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+use serde::{Deserialize, Serialize};
+
+/// A proactive refresh a defense asks the memory controller to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum RefreshAction {
+    /// Refresh the neighbours of `aggressor` out to ±`radius` rows
+    /// (an NRR command).
+    Neighbors {
+        /// The aggressor row.
+        aggressor: RowId,
+        /// Rows refreshed on each side.
+        radius: u32,
+    },
+    /// Refresh one specific row.
+    Row(RowId),
+    /// Refresh `count` consecutive rows starting at `start` (CBT's bursty
+    /// subtree refresh).
+    Range {
+        /// First row of the burst.
+        start: RowId,
+        /// Number of rows.
+        count: u32,
+    },
+}
+
+impl RefreshAction {
+    /// The concrete rows this action refreshes, clipped to the bank.
+    pub fn rows(&self, rows_per_bank: u32) -> Vec<RowId> {
+        match *self {
+            RefreshAction::Neighbors { aggressor, radius } => {
+                aggressor.victims(radius, rows_per_bank)
+            }
+            RefreshAction::Row(r) => {
+                if r.0 < rows_per_bank {
+                    vec![r]
+                } else {
+                    Vec::new()
+                }
+            }
+            RefreshAction::Range { start, count } => (start.0
+                ..start.0.saturating_add(count).min(rows_per_bank))
+                .map(RowId)
+                .collect(),
+        }
+    }
+
+    /// Number of rows the action refreshes (after clipping).
+    pub fn row_count(&self, rows_per_bank: u32) -> u64 {
+        match *self {
+            RefreshAction::Neighbors { aggressor, radius } => {
+                aggressor.victims(radius, rows_per_bank).len() as u64
+            }
+            RefreshAction::Row(r) => u64::from(r.0 < rows_per_bank),
+            RefreshAction::Range { start, count } => {
+                u64::from(start.0.saturating_add(count).min(rows_per_bank).saturating_sub(start.0))
+            }
+        }
+    }
+}
+
+/// Hardware table footprint of a defense, split by memory type as the
+/// paper's Table IV reports it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableBits {
+    /// Content-addressable memory bits per bank.
+    pub cam_bits: u64,
+    /// SRAM bits per bank.
+    pub sram_bits: u64,
+}
+
+impl TableBits {
+    /// Total bits per bank.
+    pub fn total(&self) -> u64 {
+        self.cam_bits + self.sram_bits
+    }
+
+    /// Total bits for a rank of `banks` banks.
+    pub fn per_rank(&self, banks: u32) -> u64 {
+        self.total() * u64::from(banks)
+    }
+}
+
+/// A Row Hammer defense living in the memory controller.
+///
+/// The controller drives it with every ACT and every periodic refresh tick;
+/// the defense answers with refresh actions the controller must execute.
+/// Implementations are per-bank: instantiate one per protected bank.
+pub trait RowHammerDefense {
+    /// Short scheme name for reports (e.g. `"Graphene"`, `"PARA-0.00145"`).
+    fn name(&self) -> String;
+
+    /// Processes one activation at absolute time `now`; returns the
+    /// proactive refreshes to perform (usually empty).
+    fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Vec<RefreshAction>;
+
+    /// Called once per tREFI when the controller issues the periodic REF.
+    /// Schemes with time-based bookkeeping (TWiCe pruning, PRoHIT's refresh
+    /// slot) act here. Default: nothing.
+    fn on_refresh_tick(&mut self, _now: Picoseconds) -> Vec<RefreshAction> {
+        Vec::new()
+    }
+
+    /// DRAM busy time (ps) the defense's own bookkeeping consumed since the
+    /// last call — e.g. CRA's counter fetch/write-back traffic. The
+    /// controller drains this after every activation and charges it to the
+    /// bank. Default: none (on-chip-only schemes are free).
+    fn drain_overhead_time(&mut self) -> Picoseconds {
+        0
+    }
+
+    /// Hardware table footprint per bank.
+    fn table_bits(&self) -> TableBits;
+
+    /// Clears all defense state (not normally needed: schemes manage their
+    /// own windows; exposed for tests and reuse across runs).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbors_rows_and_count_agree() {
+        let a = RefreshAction::Neighbors { aggressor: RowId(5), radius: 2 };
+        assert_eq!(a.rows(100).len() as u64, a.row_count(100));
+        assert_eq!(a.rows(100), vec![RowId(4), RowId(6), RowId(3), RowId(7)]);
+    }
+
+    #[test]
+    fn neighbors_clipped_at_edge() {
+        let a = RefreshAction::Neighbors { aggressor: RowId(0), radius: 2 };
+        assert_eq!(a.rows(100), vec![RowId(1), RowId(2)]);
+        assert_eq!(a.row_count(100), 2);
+    }
+
+    #[test]
+    fn row_action_out_of_range_is_empty() {
+        let a = RefreshAction::Row(RowId(200));
+        assert!(a.rows(100).is_empty());
+        assert_eq!(a.row_count(100), 0);
+    }
+
+    #[test]
+    fn range_clipped_to_bank() {
+        let a = RefreshAction::Range { start: RowId(95), count: 10 };
+        assert_eq!(a.row_count(100), 5);
+        assert_eq!(a.rows(100).len(), 5);
+    }
+
+    #[test]
+    fn table_bits_totals() {
+        let t = TableBits { cam_bits: 100, sram_bits: 50 };
+        assert_eq!(t.total(), 150);
+        assert_eq!(t.per_rank(16), 2400);
+    }
+}

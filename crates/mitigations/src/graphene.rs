@@ -1,0 +1,102 @@
+//! Graphene behind the common defense trait.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+use graphene_core::{ConfigError, Graphene, GrapheneConfig};
+
+use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
+
+/// Adapter exposing [`graphene_core::Graphene`] as a [`RowHammerDefense`].
+///
+/// # Example
+///
+/// ```
+/// use graphene_core::GrapheneConfig;
+/// use mitigations::{GrapheneDefense, RowHammerDefense};
+/// use dram_model::RowId;
+///
+/// # fn main() -> Result<(), graphene_core::ConfigError> {
+/// let mut d = GrapheneDefense::from_config(&GrapheneConfig::micro2020())?;
+/// assert!(d.on_activation(RowId(1), 0).is_empty());
+/// assert_eq!(d.name(), "Graphene");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GrapheneDefense {
+    inner: Graphene,
+}
+
+impl GrapheneDefense {
+    /// Wraps an existing engine.
+    pub fn new(inner: Graphene) -> Self {
+        GrapheneDefense { inner }
+    }
+
+    /// Builds the engine from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the parameter derivation.
+    pub fn from_config(config: &GrapheneConfig) -> Result<Self, ConfigError> {
+        Ok(Self::new(Graphene::from_config(config)?))
+    }
+
+    /// The wrapped engine (stats, table, parameters).
+    pub fn inner(&self) -> &Graphene {
+        &self.inner
+    }
+}
+
+impl RowHammerDefense for GrapheneDefense {
+    fn name(&self) -> String {
+        "Graphene".to_owned()
+    }
+
+    fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Vec<RefreshAction> {
+        match self.inner.on_activation(row, now) {
+            Some(nrr) => {
+                vec![RefreshAction::Neighbors { aggressor: nrr.aggressor, radius: nrr.radius }]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn table_bits(&self) -> TableBits {
+        // Graphene's table is pure CAM (Figure 4).
+        TableBits { cam_bits: self.inner.params().table_bits_per_bank(), sram_bits: 0 }
+    }
+
+    fn reset(&mut self) {
+        self.inner.force_reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_bits_match_paper() {
+        let d = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        assert_eq!(d.table_bits().cam_bits, 2_511);
+        assert_eq!(d.table_bits().sram_bits, 0);
+    }
+
+    #[test]
+    fn nrr_converted_to_neighbors_action() {
+        let mut d = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        let t = d.inner().params().tracking_threshold;
+        let mut fired = Vec::new();
+        for i in 0..t {
+            fired.extend(d.on_activation(RowId(40), i));
+        }
+        assert_eq!(fired, vec![RefreshAction::Neighbors { aggressor: RowId(40), radius: 1 }]);
+    }
+
+    #[test]
+    fn refresh_tick_is_noop() {
+        let mut d = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        assert!(d.on_refresh_tick(0).is_empty());
+    }
+}

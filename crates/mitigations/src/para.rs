@@ -1,0 +1,190 @@
+//! PARA — Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+//!
+//! On every ACT, with probability `p`, PARA refreshes one of the activated
+//! row's adjacent rows, chosen uniformly — so each victim is refreshed with
+//! probability `p/2` per ACT, the quantity the paper's security recurrence
+//! (Section V-A, footnote 2) is written in.
+//!
+//! The paper derives `p = 0.00145` as the minimum giving "near-complete
+//! protection" (< 1 % chance of a successful attack per year over 64 banks)
+//! at `T_RH = 50K`, and scales it up for lower thresholds (Figure 9):
+//! 0.00295 (25K), 0.00602 (12.5K), 0.01224 (6.25K), 0.02485 (3.125K),
+//! 0.05034 (1.56K). `rh-analysis` recomputes these from the recurrence.
+//!
+//! The non-adjacent extension (§V-D) uses one probability per distance.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
+
+/// The PARA defense.
+///
+/// # Example
+///
+/// ```
+/// use mitigations::{Para, RowHammerDefense};
+/// use dram_model::RowId;
+///
+/// let mut para = Para::new(0.5, 7);
+/// let actions = para.on_activation(RowId(10), 0);
+/// for a in &actions {
+///     // Only ever refreshes an adjacent row of the aggressor.
+///     assert!(matches!(a, mitigations::RefreshAction::Row(r) if r.0 == 9 || r.0 == 11));
+/// }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Para {
+    /// Probability per distance: `probabilities[d-1]` is the chance of
+    /// refreshing a row at distance `d` per ACT.
+    probabilities: Vec<f64>,
+    rng: StdRng,
+    refreshes_issued: u64,
+}
+
+impl Para {
+    /// Classic ±1 PARA with refresh probability `p` and a deterministic RNG
+    /// seed (the simulator passes distinct seeds per bank).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not within `[0, 1]`.
+    pub fn new(p: f64, seed: u64) -> Self {
+        Self::with_distances(vec![p], seed)
+    }
+
+    /// Non-adjacent PARA (§V-D): `probabilities[x-1]` is `p_x`, the chance of
+    /// issuing a refresh for rows `x` away from the activated row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list is empty or any probability is outside `[0, 1]`.
+    pub fn with_distances(probabilities: Vec<f64>, seed: u64) -> Self {
+        assert!(!probabilities.is_empty(), "need at least one probability");
+        assert!(
+            probabilities.iter().all(|p| (0.0..=1.0).contains(p)),
+            "probabilities must be within [0, 1]"
+        );
+        Para { probabilities, rng: StdRng::seed_from_u64(seed), refreshes_issued: 0 }
+    }
+
+    /// The configured ±1 refresh probability.
+    pub fn probability(&self) -> f64 {
+        self.probabilities[0]
+    }
+
+    /// Total refreshes issued so far.
+    pub fn refreshes_issued(&self) -> u64 {
+        self.refreshes_issued
+    }
+}
+
+impl RowHammerDefense for Para {
+    fn name(&self) -> String {
+        format!("PARA-{}", self.probabilities[0])
+    }
+
+    fn on_activation(&mut self, row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+        let mut actions = Vec::new();
+        for (i, &p) in self.probabilities.iter().enumerate() {
+            if p > 0.0 && self.rng.gen_bool(p) {
+                let d = (i + 1) as u32;
+                // Choose a side uniformly; the controller clips at bank edges.
+                let victim = if self.rng.gen_bool(0.5) {
+                    RowId(row.0.saturating_add(d))
+                } else {
+                    RowId(row.0.saturating_sub(d))
+                };
+                actions.push(RefreshAction::Row(victim));
+                self.refreshes_issued += 1;
+            }
+        }
+        actions
+    }
+
+    fn table_bits(&self) -> TableBits {
+        // PARA is stateless: no tracking table at all.
+        TableBits::default()
+    }
+
+    fn reset(&mut self) {
+        self.refreshes_issued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refresh_rate_matches_p() {
+        let p = 0.01;
+        let mut para = Para::new(p, 123);
+        let n = 200_000u64;
+        let mut refreshes = 0u64;
+        for i in 0..n {
+            refreshes += para.on_activation(RowId(500), i).len() as u64;
+        }
+        let rate = refreshes as f64 / n as f64;
+        assert!((rate - p).abs() < 0.001, "rate {rate}");
+    }
+
+    #[test]
+    fn each_side_refreshed_roughly_equally() {
+        let mut para = Para::new(0.2, 5);
+        let (mut lo, mut hi) = (0u64, 0u64);
+        for i in 0..100_000u64 {
+            for a in para.on_activation(RowId(500), i) {
+                match a {
+                    RefreshAction::Row(RowId(499)) => lo += 1,
+                    RefreshAction::Row(RowId(501)) => hi += 1,
+                    other => panic!("unexpected action {other:?}"),
+                }
+            }
+        }
+        let ratio = lo as f64 / hi as f64;
+        assert!((0.9..1.1).contains(&ratio), "lo {lo} hi {hi}");
+    }
+
+    #[test]
+    fn p_zero_never_refreshes() {
+        let mut para = Para::new(0.0, 1);
+        for i in 0..10_000u64 {
+            assert!(para.on_activation(RowId(1), i).is_empty());
+        }
+    }
+
+    #[test]
+    fn nonadjacent_distances_respected() {
+        let mut para = Para::with_distances(vec![0.0, 1.0], 1);
+        let actions = para.on_activation(RowId(100), 0);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            RefreshAction::Row(r) => assert!(r.0 == 98 || r.0 == 102),
+            ref other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let run = |seed| {
+            let mut para = Para::new(0.1, seed);
+            (0..1000u64).map(|i| para.on_activation(RowId(7), i).len()).collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn no_table_bits() {
+        assert_eq!(Para::new(0.001, 0).table_bits().total(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = Para::new(1.5, 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Contract tests every defense implementation must satisfy, plus
+//! ground-truth protection checks for the counter-based schemes.
+
+use dram_model::fault::{DisturbanceModel, FaultOracle, MuModel};
+use dram_model::timing::DramTiming;
+use dram_model::RowId;
+use graphene_core::GrapheneConfig;
+use mitigations::{
+    Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters, Mrloc, MrlocConfig, NoDefense,
+    Para, Prohit, ProhitConfig, RefreshRateScaling, RowHammerDefense, Twice, TwiceConfig,
+};
+use mitigations::{TrrConfig, TrrSampler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ROWS: u32 = 8_192;
+const T_RH: u64 = 2_000;
+
+fn all_defenses(seed: u64) -> Vec<Box<dyn RowHammerDefense>> {
+    let timing = DramTiming::ddr4_2400();
+    let graphene_cfg = GrapheneConfig::builder()
+        .row_hammer_threshold(T_RH)
+        .rows_per_bank(ROWS)
+        .build()
+        .unwrap();
+    vec![
+        Box::new(NoDefense::new()),
+        Box::new(GrapheneDefense::from_config(&graphene_cfg).unwrap()),
+        Box::new(Para::new(0.01, seed)),
+        Box::new(Prohit::new(ProhitConfig::micro2020(), seed)),
+        Box::new(Mrloc::new(MrlocConfig::micro2020(), seed)),
+        Box::new(Cbt::new(CbtConfig {
+            rows_per_bank: ROWS,
+            row_hammer_threshold: T_RH,
+            ..CbtConfig::cbt128()
+        })),
+        Box::new(Twice::new(TwiceConfig::with_threshold(T_RH))),
+        Box::new(IdealCounters::new(T_RH, ROWS, timing.t_refw)),
+        Box::new(Cra::new(CraConfig {
+            row_hammer_threshold: T_RH,
+            rows_per_bank: ROWS,
+            ..CraConfig::micro2020()
+        })),
+        Box::new(TrrSampler::new(TrrConfig::ddr4_typical(), seed)),
+        Box::new(RefreshRateScaling::new(2, ROWS, 8)),
+    ]
+}
+
+#[test]
+fn actions_always_name_rows_inside_the_bank() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for mut defense in all_defenses(7) {
+        for i in 0..20_000u64 {
+            let row = RowId(rng.gen_range(0..ROWS));
+            let mut actions = defense.on_activation(row, i * 45_000);
+            if i % 170 == 0 {
+                actions.extend(defense.on_refresh_tick(i * 45_000));
+            }
+            for action in actions {
+                for r in action.rows(ROWS) {
+                    assert!(r.0 < ROWS, "{} produced out-of-bank row {r}", defense.name());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn names_are_stable_and_nonempty() {
+    for defense in all_defenses(3) {
+        assert!(!defense.name().is_empty());
+    }
+}
+
+#[test]
+fn reset_silences_pending_state() {
+    for mut defense in all_defenses(11) {
+        // Load state close to a trigger, then reset: the very next ACT must
+        // not produce a huge pre-accumulated burst for counter schemes.
+        for i in 0..(T_RH / 4 - 1) {
+            defense.on_activation(RowId(100), i * 45_000);
+        }
+        defense.reset();
+        let actions = defense.on_activation(RowId(100), T_RH * 45_000);
+        let rows: u64 = actions.iter().map(|a| a.row_count(ROWS)).sum();
+        assert!(
+            rows <= 2,
+            "{} fired {} rows immediately after reset",
+            defense.name(),
+            rows
+        );
+    }
+}
+
+#[test]
+fn table_bits_are_consistent_with_scheme_class() {
+    let timing = DramTiming::ddr4_2400();
+    assert_eq!(NoDefense::new().table_bits().total(), 0);
+    assert_eq!(Para::new(0.001, 0).table_bits().total(), 0);
+    // History-table schemes: tiny.
+    assert!(Prohit::new(ProhitConfig::micro2020(), 0).table_bits().total() < 1_000);
+    assert!(Mrloc::new(MrlocConfig::micro2020(), 0).table_bits().total() < 1_000);
+    // Counter-based: ordered Graphene < CBT < TWiCe < Ideal at 50K.
+    let graphene = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+    let cbt = Cbt::new(CbtConfig::cbt128());
+    let twice = Twice::new(TwiceConfig::micro2020());
+    let ideal = IdealCounters::new(50_000, 65_536, timing.t_refw);
+    assert!(graphene.table_bits().total() < cbt.table_bits().total());
+    assert!(cbt.table_bits().total() < twice.table_bits().total());
+    assert!(twice.table_bits().total() < ideal.table_bits().total());
+}
+
+/// Drives a double-sided hammer through a defense + oracle + auto-refresh,
+/// returning bit flips.
+fn hammer_with(defense: &mut dyn RowHammerDefense, acts: u64) -> u64 {
+    let timing = DramTiming::ddr4_2400();
+    let mut oracle = FaultOracle::new(DisturbanceModel { t_rh: T_RH, mu: MuModel::Adjacent }, ROWS);
+    let mut auto = dram_model::RefreshEngine::new(&timing, ROWS);
+    for i in 0..acts {
+        let now = i * timing.t_rc;
+        oracle.refresh_rows(auto.catch_up(now));
+        let row = if i % 2 == 0 { RowId(500) } else { RowId(502) };
+        oracle.activate(row, now);
+        let mut actions = defense.on_activation(row, now);
+        if i % 165 == 0 {
+            actions.extend(defense.on_refresh_tick(now));
+        }
+        for a in actions {
+            oracle.refresh_rows(a.rows(ROWS));
+        }
+    }
+    oracle.flips().len() as u64
+}
+
+#[test]
+fn counter_schemes_survive_double_sided_hammer() {
+    let timing = DramTiming::ddr4_2400();
+    let graphene_cfg = GrapheneConfig::builder()
+        .row_hammer_threshold(T_RH)
+        .rows_per_bank(ROWS)
+        .build()
+        .unwrap();
+    let mut schemes: Vec<Box<dyn RowHammerDefense>> = vec![
+        Box::new(GrapheneDefense::from_config(&graphene_cfg).unwrap()),
+        Box::new(Cbt::new(CbtConfig {
+            rows_per_bank: ROWS,
+            row_hammer_threshold: T_RH,
+            ..CbtConfig::cbt128()
+        })),
+        Box::new(Twice::new(TwiceConfig::with_threshold(T_RH))),
+        Box::new(IdealCounters::new(T_RH, ROWS, timing.t_refw)),
+        Box::new(Cra::new(CraConfig {
+            row_hammer_threshold: T_RH,
+            rows_per_bank: ROWS,
+            ..CraConfig::micro2020()
+        })),
+    ];
+    for defense in &mut schemes {
+        let flips = hammer_with(defense.as_mut(), 100_000);
+        assert_eq!(flips, 0, "{} failed the double-sided hammer", defense.name());
+    }
+}
+
+#[test]
+fn no_defense_fails_double_sided_hammer() {
+    let mut nd = NoDefense::new();
+    assert!(hammer_with(&mut nd, 100_000) > 0);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// RNG-based defenses are exactly reproducible for a fixed seed.
+    #[test]
+    fn probabilistic_defenses_are_deterministic(seed in any::<u64>()) {
+        let run = |seed: u64| {
+            let mut para = Para::new(0.05, seed);
+            let mut out = Vec::new();
+            for i in 0..500u64 {
+                out.push(para.on_activation(RowId((i % 7) as u32), i).len());
+            }
+            out
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// TWiCe never keeps more entries than its provisioned analytic bound
+    /// under random traffic with interleaved pruning.
+    #[test]
+    fn twice_occupancy_bounded(seed in any::<u64>()) {
+        let cfg = TwiceConfig::with_threshold(10_000);
+        let bound = cfg.analytic_max_entries();
+        let mut twice = Twice::new(cfg);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for i in 0..30_000u64 {
+            twice.on_activation(RowId(rng.gen_range(0..65_536)), i * 45_000);
+            if i % 165 == 164 {
+                twice.on_refresh_tick(i * 45_000);
+            }
+        }
+        prop_assert!((twice.max_occupancy() as u64) <= bound);
+    }
+}

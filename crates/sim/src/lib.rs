@@ -1,0 +1,33 @@
+//! # rh-sim
+//!
+//! The end-to-end simulation harness that regenerates the Graphene paper's
+//! Figures 8 and 9: it pairs every defense with every workload, runs each
+//! pair against a defense-free baseline of the *same* trace, and reports
+//! victim-refresh counts, refresh-energy overhead, performance slowdown,
+//! and ground-truth bit flips.
+//!
+//! * [`scenarios`] — the catalog: [`DefenseSpec`] (Graphene, PARA, PRoHIT,
+//!   MRLoc, CBT, TWiCe, Ideal, None) and [`WorkloadSpec`] (S1–S4, the
+//!   Figure 7 patterns, SPEC-like mixes).
+//! * [`runner`] — baseline-relative execution of one (defense, workload)
+//!   pair and parallel matrices of pairs.
+//!
+//! # Example
+//!
+//! ```
+//! use rh_sim::{DefenseSpec, SimConfig, WorkloadSpec};
+//!
+//! let cfg = SimConfig::attack_bank(5_000, 20_000);
+//! let report = rh_sim::run_pair(
+//!     &cfg,
+//!     &DefenseSpec::Graphene { t_rh: 5_000, k: 2 },
+//!     &WorkloadSpec::S3,
+//! );
+//! assert_eq!(report.stats.bit_flips, 0);
+//! ```
+
+pub mod runner;
+pub mod scenarios;
+
+pub use runner::{run_matrix, run_pair, SimConfig, SimReport};
+pub use scenarios::{DefenseSpec, WorkloadSpec};

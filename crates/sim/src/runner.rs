@@ -1,0 +1,260 @@
+//! Baseline-relative execution and parallel sweeps.
+
+use dram_model::fault::DisturbanceModel;
+use memctrl::{McConfig, MemoryController, RunStats};
+use rh_analysis::EnergyModel;
+use serde::{Deserialize, Serialize};
+
+use crate::scenarios::{DefenseSpec, WorkloadSpec};
+
+/// Configuration of one simulation campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Memory-controller/system configuration used for *normal* workloads.
+    pub system: McConfig,
+    /// Memory-controller configuration used for *adversarial* workloads
+    /// (single bank, as in §V-B's per-bank attack accounting).
+    pub attack: McConfig,
+    /// Accesses per run.
+    pub accesses: u64,
+    /// Workload seed (identical traces across defenses).
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// The paper's system at `T_RH = 50K` with the fault oracle armed.
+    pub fn micro2020(accesses: u64) -> Self {
+        SimConfig {
+            system: McConfig::micro2020(),
+            attack: McConfig::single_bank(65_536, Some(DisturbanceModel::ddr4_50k())),
+            accesses,
+            seed: 42,
+        }
+    }
+
+    /// Like [`SimConfig::micro2020`] with a custom Row Hammer threshold
+    /// (Figure 9 scaling runs).
+    pub fn with_threshold(t_rh: u64, accesses: u64) -> Self {
+        let model = DisturbanceModel { t_rh, ..DisturbanceModel::ddr4_50k() };
+        let mut cfg = Self::micro2020(accesses);
+        cfg.system.fault_model = Some(model.clone());
+        cfg.attack.fault_model = Some(model);
+        cfg
+    }
+
+    /// A fast single-bank configuration for tests: threshold `t_rh`, fault
+    /// oracle armed, `accesses` accesses.
+    pub fn attack_bank(t_rh: u64, accesses: u64) -> Self {
+        let model = DisturbanceModel { t_rh, ..DisturbanceModel::ddr4_50k() };
+        SimConfig {
+            system: McConfig::single_bank(65_536, Some(model.clone())),
+            attack: McConfig::single_bank(65_536, Some(model)),
+            accesses,
+            seed: 42,
+        }
+    }
+
+    fn mc_config_for(&self, workload: &WorkloadSpec) -> &McConfig {
+        if workload.is_adversarial() {
+            &self.attack
+        } else {
+            &self.system
+        }
+    }
+}
+
+/// Result of one (defense, workload) pair, relative to the defense-free
+/// baseline of the same trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Defense name.
+    pub defense: String,
+    /// Workload name.
+    pub workload: String,
+    /// Raw run counters.
+    pub stats: RunStats,
+    /// Refresh-energy increase versus auto-refresh over the run (fraction).
+    pub energy_overhead: f64,
+    /// Completion-time slowdown versus the defense-free baseline (fraction).
+    pub slowdown: f64,
+    /// Mean-access-latency increase versus the baseline (fraction). More
+    /// sensitive than completion time on underloaded systems, where defense
+    /// refreshes hide in idle gaps but still delay the requests they collide
+    /// with.
+    pub latency_increase: f64,
+    /// The paper's metric: weighted-speedup loss versus the baseline,
+    /// computed from per-stream (per-core) mean latencies (fraction; 0 = no
+    /// degradation).
+    pub weighted_speedup_loss: f64,
+}
+
+impl SimReport {
+    /// Victim-refresh commands per million activations — the false-positive
+    /// rate counter-based schemes are judged by on normal workloads.
+    pub fn refreshes_per_macts(&self) -> f64 {
+        if self.stats.activations == 0 {
+            0.0
+        } else {
+            self.stats.defense_refresh_commands as f64 * 1e6 / self.stats.activations as f64
+        }
+    }
+}
+
+fn execute(cfg: &McConfig, defense: &DefenseSpec, workload: &WorkloadSpec, accesses: u64, seed: u64) -> RunStats {
+    let rows = cfg.geometry.rows_per_bank;
+    let mut mc = MemoryController::new(cfg.clone(), |bank| defense.build(bank, rows));
+    let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
+    mc.run(w.as_mut(), accesses)
+}
+
+/// Runs one (defense, workload) pair plus its defense-free baseline and
+/// returns the relative report.
+pub fn run_pair(cfg: &SimConfig, defense: &DefenseSpec, workload: &WorkloadSpec) -> SimReport {
+    let mc_cfg = cfg.mc_config_for(workload);
+    let baseline = execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
+    let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
+    let energy = EnergyModel::micro2020();
+    let banks = mc_cfg.geometry.total_banks();
+    let energy_overhead =
+        energy.refresh_energy_overhead(stats.victim_rows_refreshed, stats.completion, banks);
+    let slowdown = stats.slowdown_vs(&baseline);
+    let latency_increase = latency_increase(&stats, &baseline);
+    let weighted_speedup_loss = stats.weighted_speedup_loss_vs(&baseline);
+    SimReport {
+        defense: defense.name(),
+        workload: workload.name(),
+        stats,
+        energy_overhead,
+        slowdown,
+        latency_increase,
+        weighted_speedup_loss,
+    }
+}
+
+fn latency_increase(stats: &memctrl::RunStats, baseline: &memctrl::RunStats) -> f64 {
+    if baseline.mean_latency() == 0.0 {
+        0.0
+    } else {
+        stats.mean_latency() / baseline.mean_latency() - 1.0
+    }
+}
+
+/// Runs the full (defenses × workloads) matrix in parallel and returns the
+/// reports in (workload-major, defense-minor) order.
+///
+/// The defense-free baseline of each workload is executed once and shared by
+/// every defense of that workload (unlike repeated [`run_pair`] calls, which
+/// would re-run it per pair).
+pub fn run_matrix(
+    cfg: &SimConfig,
+    defenses: &[DefenseSpec],
+    workloads: &[WorkloadSpec],
+) -> Vec<SimReport> {
+    let mut results: Vec<Vec<SimReport>> = Vec::new();
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = workloads
+            .iter()
+            .map(|workload| {
+                scope.spawn(move |_| {
+                    let mc_cfg = cfg.mc_config_for(workload);
+                    let baseline =
+                        execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
+                    let energy = EnergyModel::micro2020();
+                    let banks = mc_cfg.geometry.total_banks();
+                    defenses
+                        .iter()
+                        .map(|defense| {
+                            let stats =
+                                execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
+                            let energy_overhead = energy.refresh_energy_overhead(
+                                stats.victim_rows_refreshed,
+                                stats.completion,
+                                banks,
+                            );
+                            let slowdown = stats.slowdown_vs(&baseline);
+                            let latency_increase = latency_increase(&stats, &baseline);
+                            let weighted_speedup_loss =
+                                stats.weighted_speedup_loss_vs(&baseline);
+                            SimReport {
+                                defense: defense.name(),
+                                workload: workload.name(),
+                                stats,
+                                energy_overhead,
+                                slowdown,
+                                latency_increase,
+                                weighted_speedup_loss,
+                            }
+                        })
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("sweep worker panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+    results.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graphene_on_s3_is_clean_and_cheap() {
+        let cfg = SimConfig::attack_bank(5_000, 30_000);
+        let r = run_pair(&cfg, &DefenseSpec::Graphene { t_rh: 5_000, k: 2 }, &WorkloadSpec::S3);
+        assert_eq!(r.stats.bit_flips, 0);
+        assert!(r.stats.defense_refresh_commands > 0);
+        assert!(r.energy_overhead < 0.05, "energy {}", r.energy_overhead);
+    }
+
+    #[test]
+    fn no_defense_on_s3_flips() {
+        let cfg = SimConfig::attack_bank(5_000, 30_000);
+        let r = run_pair(&cfg, &DefenseSpec::None, &WorkloadSpec::S3);
+        assert!(r.stats.bit_flips > 0);
+        assert_eq!(r.slowdown, 0.0);
+    }
+
+    #[test]
+    fn cbt_slower_than_graphene_on_attack() {
+        let cfg = SimConfig::attack_bank(5_000, 30_000);
+        let g = run_pair(&cfg, &DefenseSpec::Graphene { t_rh: 5_000, k: 2 }, &WorkloadSpec::S3);
+        let c = run_pair(&cfg, &DefenseSpec::Cbt { t_rh: 5_000 }, &WorkloadSpec::S3);
+        assert_eq!(c.stats.bit_flips, 0, "CBT must protect");
+        assert!(
+            c.stats.victim_rows_refreshed > g.stats.victim_rows_refreshed,
+            "CBT bursts ({}) should dwarf Graphene ({})",
+            c.stats.victim_rows_refreshed,
+            g.stats.victim_rows_refreshed
+        );
+    }
+
+    #[test]
+    fn matrix_runs_all_pairs_in_order() {
+        let cfg = SimConfig::attack_bank(5_000, 5_000);
+        let defenses =
+            [DefenseSpec::Graphene { t_rh: 5_000, k: 2 }, DefenseSpec::Para { p: 0.001 }];
+        let workloads = [WorkloadSpec::S3, WorkloadSpec::S1 { n: 10 }];
+        let reports = run_matrix(&cfg, &defenses, &workloads);
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].workload, "S3");
+        assert_eq!(reports[0].defense, "Graphene");
+        assert_eq!(reports[3].workload, "S1-10");
+        assert_eq!(reports[3].defense, "PARA-0.001");
+    }
+
+    #[test]
+    fn identical_traces_across_defenses() {
+        // The baseline and the defended run must see the same trace: their
+        // access counts and (for deterministic defenses) activation counts
+        // coincide.
+        let cfg = SimConfig::attack_bank(5_000, 10_000);
+        let a = run_pair(&cfg, &DefenseSpec::None, &WorkloadSpec::S1 { n: 10 });
+        let b = run_pair(&cfg, &DefenseSpec::Twice { t_rh: 5_000 }, &WorkloadSpec::S1 { n: 10 });
+        assert_eq!(a.stats.accesses, b.stats.accesses);
+        assert_eq!(a.stats.activations, b.stats.activations);
+    }
+}

@@ -1,0 +1,340 @@
+//! The defense and workload catalogs used by the experiment harness.
+
+use dram_model::timing::DramTiming;
+use graphene_core::GrapheneConfig;
+use mitigations::{
+    Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters, Mrloc, MrlocConfig, NoDefense,
+    Para, Prohit, ProhitConfig, RowHammerDefense, Twice, TwiceConfig,
+};
+use serde::{Deserialize, Serialize};
+use workloads::{
+    Interleaved, MrlocAttack, ProhitAttack, ProxyWorkload, SpecPreset, Synthetic, Workload,
+};
+
+/// A named, buildable defense configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DefenseSpec {
+    /// No protection (the baseline).
+    None,
+    /// Graphene at the given threshold and reset-window divisor.
+    Graphene {
+        /// Row Hammer threshold.
+        t_rh: u64,
+        /// Reset-window divisor `k`.
+        k: u32,
+    },
+    /// PARA with refresh probability `p`.
+    Para {
+        /// Per-ACT refresh probability.
+        p: f64,
+    },
+    /// PRoHIT with the paper's 7-entry configuration.
+    Prohit,
+    /// MRLoc with the paper's 15-entry queue and base probability `p`.
+    Mrloc {
+        /// Base (PARA-equivalent) probability.
+        p: f64,
+    },
+    /// CBT with the Figure 9 counter scaling for the threshold.
+    Cbt {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
+    /// CRA with a 128-entry counter cache at the given threshold.
+    Cra {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
+    /// TWiCe at the given threshold.
+    Twice {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
+    /// Ideal per-row counters at the given threshold.
+    Ideal {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
+}
+
+impl DefenseSpec {
+    /// Scheme name for reports.
+    pub fn name(&self) -> String {
+        match *self {
+            DefenseSpec::None => "None".into(),
+            DefenseSpec::Graphene { .. } => "Graphene".into(),
+            DefenseSpec::Para { p } => format!("PARA-{p}"),
+            DefenseSpec::Prohit => "PRoHIT".into(),
+            DefenseSpec::Mrloc { .. } => "MRLoc".into(),
+            DefenseSpec::Cbt { t_rh } => {
+                format!("CBT-{}", CbtConfig::scaled_for_threshold(t_rh).num_counters)
+            }
+            DefenseSpec::Cra { .. } => "CRA-128".into(),
+            DefenseSpec::Twice { .. } => "TWiCe".into(),
+            DefenseSpec::Ideal { .. } => "Ideal".into(),
+        }
+    }
+
+    /// Builds one per-bank instance; `bank` seeds RNG-based schemes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec's parameters are underivable for the given bank
+    /// size (e.g. a threshold too low for Graphene).
+    pub fn build(&self, bank: usize, rows_per_bank: u32) -> Box<dyn RowHammerDefense + Send> {
+        let timing = DramTiming::ddr4_2400();
+        match *self {
+            DefenseSpec::None => Box::new(NoDefense::new()),
+            DefenseSpec::Graphene { t_rh, k } => {
+                let cfg = GrapheneConfig::builder()
+                    .row_hammer_threshold(t_rh)
+                    .reset_window_divisor(k)
+                    .rows_per_bank(rows_per_bank)
+                    .build()
+                    .expect("valid Graphene config");
+                Box::new(GrapheneDefense::from_config(&cfg).expect("derivable"))
+            }
+            DefenseSpec::Para { p } => Box::new(Para::new(p, bank as u64 + 1)),
+            DefenseSpec::Prohit => {
+                Box::new(Prohit::new(ProhitConfig::micro2020(), bank as u64 + 1))
+            }
+            DefenseSpec::Mrloc { p } => Box::new(Mrloc::new(
+                MrlocConfig { base_probability: p, ..MrlocConfig::micro2020() },
+                bank as u64 + 1,
+            )),
+            DefenseSpec::Cbt { t_rh } => {
+                let cfg = CbtConfig {
+                    rows_per_bank,
+                    ..CbtConfig::scaled_for_threshold(t_rh)
+                };
+                Box::new(Cbt::new(cfg))
+            }
+            DefenseSpec::Cra { t_rh } => Box::new(Cra::new(CraConfig {
+                row_hammer_threshold: t_rh,
+                rows_per_bank,
+                ..CraConfig::micro2020()
+            })),
+            DefenseSpec::Twice { t_rh } => Box::new(Twice::new(TwiceConfig::with_threshold(t_rh))),
+            DefenseSpec::Ideal { t_rh } => {
+                Box::new(IdealCounters::new(t_rh, rows_per_bank, timing.t_refw))
+            }
+        }
+    }
+
+    /// The four schemes Figure 8/9 compare, at threshold `t_rh` with the
+    /// Figure 9 PARA probability ladder.
+    pub fn paper_lineup(t_rh: u64) -> Vec<DefenseSpec> {
+        let p = rh_analysis::security::paper_para_ladder()
+            .iter()
+            .find(|&&(t, _)| t == t_rh)
+            .map(|&(_, p)| p)
+            .unwrap_or(0.00145);
+        vec![
+            DefenseSpec::Para { p },
+            DefenseSpec::Cbt { t_rh },
+            DefenseSpec::Twice { t_rh },
+            DefenseSpec::Graphene { t_rh, k: 2 },
+        ]
+    }
+}
+
+/// A named, buildable workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum WorkloadSpec {
+    /// S1 with `n` aggressor rows.
+    S1 {
+        /// Number of aggressor rows in rotation.
+        n: u32,
+    },
+    /// S2 with `n` aggressor rows plus noise.
+    S2 {
+        /// Number of aggressor rows in rotation.
+        n: u32,
+    },
+    /// Single-row hammer.
+    S3,
+    /// Single-row hammer mixed with random accesses.
+    S4,
+    /// The Figure 7(a) PRoHIT-defeating pattern.
+    Fig7a,
+    /// The Figure 7(b) MRLoc-defeating pattern.
+    Fig7b,
+    /// Sixteen copies of one SPEC-like preset (the paper's SPEC-high runs).
+    SpecHomogeneous {
+        /// The preset to replicate.
+        preset: SpecPreset,
+    },
+    /// The paper's mix-high: one copy of each SPEC-high application, plus
+    /// repeats to fill 16 cores.
+    MixHigh,
+    /// The paper's mix-blend: a blend across all presets.
+    MixBlend,
+}
+
+impl WorkloadSpec {
+    /// Workload name for reports.
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::S1 { n } => format!("S1-{n}"),
+            WorkloadSpec::S2 { n } => format!("S2-{n}"),
+            WorkloadSpec::S3 => "S3".into(),
+            WorkloadSpec::S4 => "S4".into(),
+            WorkloadSpec::Fig7a => "fig7a".into(),
+            WorkloadSpec::Fig7b => "fig7b".into(),
+            WorkloadSpec::SpecHomogeneous { preset } => {
+                format!("{}x16", ProxyWorkload::from_preset(*preset, 1, 1 << 20, 0).name())
+            }
+            WorkloadSpec::MixHigh => "mix-high".into(),
+            WorkloadSpec::MixBlend => "mix-blend".into(),
+        }
+    }
+
+    /// True for the adversarial (attacker-controlled, bank-saturating)
+    /// workloads, which are evaluated on a single bank as in §V-B.
+    pub fn is_adversarial(&self) -> bool {
+        matches!(
+            self,
+            WorkloadSpec::S1 { .. }
+                | WorkloadSpec::S2 { .. }
+                | WorkloadSpec::S3
+                | WorkloadSpec::S4
+                | WorkloadSpec::Fig7a
+                | WorkloadSpec::Fig7b
+        )
+    }
+
+    /// Builds the workload for a system of `banks` banks of `rows` rows.
+    pub fn build(&self, banks: u16, rows: u32, seed: u64) -> Box<dyn Workload + Send> {
+        match self {
+            WorkloadSpec::S1 { n } => Box::new(Synthetic::s1(*n, rows, seed)),
+            WorkloadSpec::S2 { n } => Box::new(Synthetic::s2(*n, rows, seed)),
+            WorkloadSpec::S3 => Box::new(Synthetic::s3(rows, seed)),
+            WorkloadSpec::S4 => Box::new(Synthetic::s4(rows, seed)),
+            WorkloadSpec::Fig7a => Box::new(ProhitAttack::new(rows / 2)),
+            WorkloadSpec::Fig7b => Box::new(MrlocAttack::new(rows / 2, 100)),
+            WorkloadSpec::SpecHomogeneous { preset } => {
+                let cores: Vec<Box<dyn Workload + Send>> = (0..16)
+                    .map(|c| {
+                        Box::new(ProxyWorkload::from_preset(*preset, banks, rows, seed + c))
+                            as Box<dyn Workload + Send>
+                    })
+                    .collect();
+                Box::new(Interleaved::new(cores))
+            }
+            WorkloadSpec::MixHigh => {
+                let presets = SpecPreset::spec_high();
+                let cores: Vec<Box<dyn Workload + Send>> = (0..16)
+                    .map(|c| {
+                        let preset = presets[c as usize % presets.len()];
+                        Box::new(ProxyWorkload::from_preset(preset, banks, rows, seed + c))
+                            as Box<dyn Workload + Send>
+                    })
+                    .collect();
+                Box::new(Interleaved::new(cores))
+            }
+            WorkloadSpec::MixBlend => {
+                let presets = SpecPreset::all();
+                let cores: Vec<Box<dyn Workload + Send>> = (0..16)
+                    .map(|c| {
+                        let preset = presets[c as usize % presets.len()];
+                        Box::new(ProxyWorkload::from_preset(preset, banks, rows, seed + c))
+                            as Box<dyn Workload + Send>
+                    })
+                    .collect();
+                Box::new(Interleaved::new(cores))
+            }
+        }
+    }
+
+    /// The adversarial set of Figure 8(b): S1-10, S1-20, S2-10, S3, S4.
+    pub fn adversarial_set() -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::S1 { n: 10 },
+            WorkloadSpec::S1 { n: 20 },
+            WorkloadSpec::S2 { n: 10 },
+            WorkloadSpec::S3,
+            WorkloadSpec::S4,
+        ]
+    }
+
+    /// The normal-workload set of Figure 8(a)/(c): the nine SPEC-high
+    /// homogeneous runs, the two mixes, and the multithreaded proxies.
+    pub fn normal_set() -> Vec<WorkloadSpec> {
+        let mut v: Vec<WorkloadSpec> = SpecPreset::spec_high()
+            .into_iter()
+            .map(|preset| WorkloadSpec::SpecHomogeneous { preset })
+            .collect();
+        v.push(WorkloadSpec::MixHigh);
+        v.push(WorkloadSpec::MixBlend);
+        v.extend(
+            SpecPreset::multithreaded()
+                .into_iter()
+                .map(|preset| WorkloadSpec::SpecHomogeneous { preset }),
+        );
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_defenses_build() {
+        for spec in [
+            DefenseSpec::None,
+            DefenseSpec::Graphene { t_rh: 50_000, k: 2 },
+            DefenseSpec::Para { p: 0.00145 },
+            DefenseSpec::Prohit,
+            DefenseSpec::Mrloc { p: 0.00145 },
+            DefenseSpec::Cbt { t_rh: 50_000 },
+            DefenseSpec::Cra { t_rh: 50_000 },
+            DefenseSpec::Twice { t_rh: 50_000 },
+            DefenseSpec::Ideal { t_rh: 50_000 },
+        ] {
+            let d = spec.build(0, 65_536);
+            assert!(!d.name().is_empty());
+            assert!(!spec.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_lineup_has_four_schemes() {
+        let lineup = DefenseSpec::paper_lineup(50_000);
+        assert_eq!(lineup.len(), 4);
+        assert_eq!(lineup[0].name(), "PARA-0.00145");
+        assert_eq!(lineup[1].name(), "CBT-128");
+    }
+
+    #[test]
+    fn paper_lineup_scales_cbt() {
+        let lineup = DefenseSpec::paper_lineup(12_500);
+        assert_eq!(lineup[1].name(), "CBT-512");
+        assert_eq!(lineup[0].name(), "PARA-0.00602");
+    }
+
+    #[test]
+    fn all_workloads_build_and_emit() {
+        let mut specs = WorkloadSpec::adversarial_set();
+        specs.push(WorkloadSpec::MixHigh);
+        for spec in specs {
+            let mut w = spec.build(64, 65_536, 7);
+            let a = w.next_access();
+            assert!(a.row.0 < 65_536, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn adversarial_classification() {
+        assert!(WorkloadSpec::S3.is_adversarial());
+        assert!(!WorkloadSpec::MixHigh.is_adversarial());
+    }
+
+    #[test]
+    fn normal_set_matches_paper_count() {
+        // 9 SPEC-high + 2 mixes + 5 multithreaded = 16 workloads.
+        assert_eq!(WorkloadSpec::normal_set().len(), 16);
+    }
+}

@@ -1,0 +1,136 @@
+//! Classic Row Hammer attack shapes.
+//!
+//! Beyond the paper's S1–S4, the literature names several canonical shapes
+//! that every defense test-bench should include:
+//!
+//! * **single-sided** — one aggressor (S3 already covers this);
+//! * **double-sided** — two aggressors sandwiching one victim, halving the
+//!   per-aggressor ACT budget (the reason for the `T_RH/2` term in
+//!   Inequality 2);
+//! * **many-sided** — `n` aggressors around a victim region, the TRRespass
+//!   family that defeated in-DRAM TRR samplers by exceeding their tracking
+//!   capacity. [`NSidedAttack`] places aggressors at every other row
+//!   (`v±1, v±3, …`), so all of them share victims.
+
+use dram_model::geometry::RowId;
+
+use crate::stream::{Access, Workload};
+
+/// An `n`-sided hammering pattern around a victim row.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{NSidedAttack, Workload};
+///
+/// let mut atk = NSidedAttack::new(100, 4, 65_536);
+/// // Aggressors at 99, 101, 97, 103 in rotation.
+/// let rows: Vec<u32> = (0..4).map(|_| atk.next_access().row.0).collect();
+/// assert_eq!(rows, vec![99, 101, 97, 103]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NSidedAttack {
+    aggressors: Vec<RowId>,
+    victim: RowId,
+    position: usize,
+}
+
+impl NSidedAttack {
+    /// Builds the pattern: `sides` aggressors at odd offsets around
+    /// `victim`, clipped to the bank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sides == 0` or the victim is outside the bank.
+    pub fn new(victim: u32, sides: u32, rows_per_bank: u32) -> Self {
+        assert!(sides > 0, "need at least one aggressor");
+        assert!(victim < rows_per_bank, "victim outside bank");
+        let mut aggressors = Vec::with_capacity(sides as usize);
+        let mut d = 1u32;
+        while aggressors.len() < sides as usize {
+            if let Some(lo) = victim.checked_sub(d) {
+                aggressors.push(RowId(lo));
+            }
+            if aggressors.len() < sides as usize && victim + d < rows_per_bank {
+                aggressors.push(RowId(victim + d));
+            }
+            d += 2; // odd offsets: every aggressor is adjacent to even rows
+        }
+        NSidedAttack { aggressors, victim: RowId(victim), position: 0 }
+    }
+
+    /// The victim row at the pattern's center.
+    pub fn victim(&self) -> RowId {
+        self.victim
+    }
+
+    /// The aggressor rows, in hammering order.
+    pub fn aggressors(&self) -> &[RowId] {
+        &self.aggressors
+    }
+}
+
+impl Workload for NSidedAttack {
+    fn name(&self) -> String {
+        format!("{}-sided", self.aggressors.len())
+    }
+
+    fn next_access(&mut self) -> Access {
+        let row = self.aggressors[self.position % self.aggressors.len()];
+        self.position += 1;
+        Access { bank: 0, row, gap: 0, stream: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn double_sided_sandwiches_victim() {
+        let atk = NSidedAttack::new(500, 2, 65_536);
+        assert_eq!(atk.aggressors(), &[RowId(499), RowId(501)]);
+        assert_eq!(atk.victim(), RowId(500));
+    }
+
+    #[test]
+    fn many_sided_uses_odd_offsets() {
+        let atk = NSidedAttack::new(500, 6, 65_536);
+        assert_eq!(
+            atk.aggressors(),
+            &[RowId(499), RowId(501), RowId(497), RowId(503), RowId(495), RowId(505)]
+        );
+        // All aggressors are odd-distance from the victim.
+        for a in atk.aggressors() {
+            assert_eq!(a.0.abs_diff(500) % 2, 1);
+        }
+    }
+
+    #[test]
+    fn clips_at_bank_start() {
+        let atk = NSidedAttack::new(1, 4, 65_536);
+        // d=1: rows 0 and 2; d=3: only row 4 (1-3 underflows); d=5: row 6.
+        assert_eq!(atk.aggressors(), &[RowId(0), RowId(2), RowId(4), RowId(6)]);
+    }
+
+    #[test]
+    fn rotation_is_fair() {
+        let mut atk = NSidedAttack::new(100, 4, 65_536);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..400 {
+            *counts.entry(atk.next_access().row).or_insert(0u32) += 1;
+        }
+        assert!(counts.values().all(|&c| c == 100));
+    }
+
+    #[test]
+    fn name_reflects_sides() {
+        assert_eq!(NSidedAttack::new(9, 8, 65_536).name(), "8-sided");
+    }
+
+    #[test]
+    #[should_panic(expected = "victim outside bank")]
+    fn victim_out_of_bank_panics() {
+        let _ = NSidedAttack::new(100, 2, 50);
+    }
+}

@@ -1,0 +1,200 @@
+//! The paper's adversarial synthetic benchmarks S1–S4 (Section V-B).
+//!
+//! * **S1** repeats `N` arbitrarily selected rows (the paper runs N = 10 and
+//!   N = 20);
+//! * **S2** is S1 with occasional random rows mixed in;
+//! * **S3** hammers a single row — the classic Row Hammer loop;
+//! * **S4** mixes S3 with random row accesses.
+
+use dram_model::geometry::RowId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::stream::{Access, Workload};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    S1 { n: u32 },
+    S2 { n: u32 },
+    S3,
+    S4,
+}
+
+/// The S1–S4 generators. All run at full rate (`gap = 0`) on bank 0, as an
+/// attacker saturating one bank would; wrap in
+/// [`Interleaved`](crate::mix::Interleaved) for multi-bank attacks.
+#[derive(Debug, Clone)]
+pub struct Synthetic {
+    kind: Kind,
+    rows_per_bank: u32,
+    /// The fixed aggressor rows of the repeating part.
+    aggressors: Vec<RowId>,
+    position: usize,
+    rng: StdRng,
+}
+
+impl Synthetic {
+    /// S1: repeat `n` arbitrarily selected rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `n > rows_per_bank`.
+    pub fn s1(n: u32, rows_per_bank: u32, seed: u64) -> Self {
+        Self::with_kind(Kind::S1 { n }, n, rows_per_bank, seed)
+    }
+
+    /// S2: the S1 cycle with occasional random rows in between
+    /// (one random access per full cycle on average).
+    pub fn s2(n: u32, rows_per_bank: u32, seed: u64) -> Self {
+        Self::with_kind(Kind::S2 { n }, n, rows_per_bank, seed)
+    }
+
+    /// S3: a single repeatedly accessed row — the straightforward attack.
+    pub fn s3(rows_per_bank: u32, seed: u64) -> Self {
+        Self::with_kind(Kind::S3, 1, rows_per_bank, seed)
+    }
+
+    /// S4: S3 mixed with random row accesses (50/50).
+    pub fn s4(rows_per_bank: u32, seed: u64) -> Self {
+        Self::with_kind(Kind::S4, 1, rows_per_bank, seed)
+    }
+
+    fn with_kind(kind: Kind, n: u32, rows_per_bank: u32, seed: u64) -> Self {
+        assert!(n > 0, "need at least one aggressor row");
+        assert!(
+            rows_per_bank / n >= 3,
+            "bank too small to hold {n} aggressors with disjoint victim sets"
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Arbitrarily selected, well-separated aggressor rows: one per
+        // stride-wide slot with a random jitter inside the slot, so all
+        // pairwise distances stay > 2 (victim sets never overlap) without
+        // rejection sampling that could dead-end on dense configurations.
+        let stride = rows_per_bank / n;
+        let jitter_room = stride - 2;
+        let aggressors = (0..n)
+            .map(|i| RowId(i * stride + rng.gen_range(0..jitter_room)))
+            .collect();
+        Synthetic { kind, rows_per_bank, aggressors, position: 0, rng }
+    }
+
+    /// The fixed aggressor rows this instance hammers.
+    pub fn aggressors(&self) -> &[RowId] {
+        &self.aggressors
+    }
+
+    fn next_aggressor(&mut self) -> RowId {
+        let r = self.aggressors[self.position % self.aggressors.len()];
+        self.position += 1;
+        r
+    }
+
+    fn random_row(&mut self) -> RowId {
+        RowId(self.rng.gen_range(0..self.rows_per_bank))
+    }
+}
+
+impl Workload for Synthetic {
+    fn name(&self) -> String {
+        match self.kind {
+            Kind::S1 { n } => format!("S1-{n}"),
+            Kind::S2 { n } => format!("S2-{n}"),
+            Kind::S3 => "S3".to_owned(),
+            Kind::S4 => "S4".to_owned(),
+        }
+    }
+
+    fn next_access(&mut self) -> Access {
+        let row = match self.kind {
+            Kind::S1 { .. } | Kind::S3 => self.next_aggressor(),
+            Kind::S2 { n } => {
+                // One random access per cycle of n aggressors, on average.
+                if self.rng.gen_range(0..=n) == 0 {
+                    self.random_row()
+                } else {
+                    self.next_aggressor()
+                }
+            }
+            Kind::S4 => {
+                if self.rng.gen_bool(0.5) {
+                    self.next_aggressor()
+                } else {
+                    self.random_row()
+                }
+            }
+        };
+        Access { bank: 0, row, gap: 0, stream: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn s1_cycles_exactly_n_rows() {
+        let mut w = Synthetic::s1(10, 65_536, 7);
+        let rows: HashSet<_> = w.take_accesses(1000).into_iter().map(|a| a.row).collect();
+        assert_eq!(rows.len(), 10);
+    }
+
+    #[test]
+    fn s1_rows_are_separated() {
+        let w = Synthetic::s1(20, 65_536, 9);
+        let a = w.aggressors();
+        for (i, x) in a.iter().enumerate() {
+            for y in &a[i + 1..] {
+                assert!(x.0.abs_diff(y.0) > 2, "aggressors too close: {x} {y}");
+            }
+        }
+    }
+
+    #[test]
+    fn s2_mostly_cycles_with_some_noise() {
+        let mut w = Synthetic::s2(10, 65_536, 7);
+        let accesses = w.take_accesses(10_000);
+        let aggressors: HashSet<_> = Synthetic::s2(10, 65_536, 7).aggressors().to_vec().into_iter().collect();
+        let noise = accesses.iter().filter(|a| !aggressors.contains(&a.row)).count();
+        // Roughly 1 in 11 accesses is random.
+        assert!(noise > 400 && noise < 1800, "noise {noise}");
+    }
+
+    #[test]
+    fn s3_single_row() {
+        let mut w = Synthetic::s3(65_536, 3);
+        let rows: HashSet<_> = w.take_accesses(100).into_iter().map(|a| a.row).collect();
+        assert_eq!(rows.len(), 1);
+    }
+
+    #[test]
+    fn s4_half_hammer_half_random() {
+        let mut w = Synthetic::s4(65_536, 3);
+        let target = Synthetic::s4(65_536, 3).aggressors()[0];
+        let n = 20_000;
+        let hits = w.take_accesses(n).iter().filter(|a| a.row == target).count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.45..0.56).contains(&frac), "hammer fraction {frac}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<_> = Synthetic::s2(10, 4096, 42).take_accesses(100);
+        let b: Vec<_> = Synthetic::s2(10, 4096, 42).take_accesses(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names() {
+        assert_eq!(Synthetic::s1(10, 64, 0).name(), "S1-10");
+        assert_eq!(Synthetic::s2(20, 64, 0).name(), "S2-20");
+        assert_eq!(Synthetic::s3(64, 0).name(), "S3");
+        assert_eq!(Synthetic::s4(64, 0).name(), "S4");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one aggressor")]
+    fn zero_aggressors_panics() {
+        let _ = Synthetic::s1(0, 64, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Rate-limiting adapter: turn a saturating stream into a paced one.
+//!
+//! Row Hammer is a *rate* phenomenon: an attacker must land `T_RH`
+//! activations between two refreshes of the victim. [`RateLimited`] injects
+//! a fixed arrival gap into any workload, which lets experiments ask the
+//! threshold question directly — below what hammering rate does plain
+//! auto-refresh already win? One activation of a victim's neighbourhood per
+//! `tREFW / T_RH` is the break-even rate (≈ 1.28 µs/ACT at `T_RH` = 50K),
+//! and the crate's tests pin that boundary against the fault oracle.
+
+use dram_model::timing::Picoseconds;
+
+use crate::stream::{Access, Workload};
+
+/// Wraps a workload, forcing every access to arrive `gap` after the last.
+///
+/// # Example
+///
+/// ```
+/// use workloads::{throttle::RateLimited, Synthetic, Workload};
+///
+/// let mut slow = RateLimited::new(Synthetic::s3(4096, 1), 1_000_000);
+/// assert_eq!(slow.next_access().gap, 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateLimited<W> {
+    inner: W,
+    gap: Picoseconds,
+}
+
+impl<W: Workload> RateLimited<W> {
+    /// Paces `inner` to one access per `gap` picoseconds.
+    pub fn new(inner: W, gap: Picoseconds) -> Self {
+        RateLimited { inner, gap }
+    }
+
+    /// The enforced inter-arrival gap.
+    pub fn gap(&self) -> Picoseconds {
+        self.gap
+    }
+
+    /// Consumes the adapter, returning the inner workload.
+    pub fn into_inner(self) -> W {
+        self.inner
+    }
+}
+
+impl<W: Workload> Workload for RateLimited<W> {
+    fn name(&self) -> String {
+        format!("{}@{}ns", self.inner.name(), self.gap / 1_000)
+    }
+
+    fn next_access(&mut self) -> Access {
+        Access { gap: self.gap, ..self.inner.next_access() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::Synthetic;
+    use dram_model::fault::{DisturbanceModel, FaultOracle, MuModel};
+    use dram_model::refresh::RefreshEngine;
+    use dram_model::timing::DramTiming;
+
+    #[test]
+    fn gap_is_enforced() {
+        let mut w = RateLimited::new(Synthetic::s1(10, 4_096, 2), 777);
+        for _ in 0..100 {
+            assert_eq!(w.next_access().gap, 777);
+        }
+    }
+
+    #[test]
+    fn name_reflects_pacing() {
+        let w = RateLimited::new(Synthetic::s3(4_096, 1), 50_000);
+        assert_eq!(w.name(), "S3@50ns");
+    }
+
+    /// The break-even rate: a single-row hammer paced slower than
+    /// `tREFW / T_RH` per ACT cannot flip an *unprotected* bank — plain
+    /// auto-refresh restores the victims in time. Faster than that, it can.
+    #[test]
+    fn auto_refresh_alone_wins_below_breakeven_rate() {
+        let t = DramTiming::ddr4_2400();
+        let t_rh = 5_000u64;
+        let breakeven = t.t_refw / t_rh; // 12.8 µs per ACT at T_RH = 5K
+
+        let flips_at = |gap: u64, acts: u64| {
+            let mut w = RateLimited::new(Synthetic::s3(65_536, 7), gap);
+            let mut oracle =
+                FaultOracle::new(DisturbanceModel { t_rh, mu: MuModel::Adjacent }, 65_536);
+            let mut auto = RefreshEngine::new(&t, 65_536);
+            let mut now = 0u64;
+            for _ in 0..acts {
+                let a = w.next_access();
+                now += a.gap;
+                oracle.refresh_rows(auto.catch_up(now));
+                oracle.activate(a.row, now);
+            }
+            oracle.flips().len()
+        };
+
+        // 2× slower than break-even: ~1.6 windows of hammering, zero flips.
+        assert_eq!(flips_at(2 * breakeven, 2 * t_rh), 0);
+        // 4× faster than break-even: flips well within the budget.
+        assert!(flips_at(breakeven / 4, 2 * t_rh) > 0);
+    }
+
+    #[test]
+    fn into_inner_returns_source() {
+        let w = RateLimited::new(Synthetic::s3(4_096, 1), 10);
+        assert_eq!(w.into_inner().name(), "S3");
+    }
+}

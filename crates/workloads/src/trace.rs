@@ -1,0 +1,236 @@
+//! Trace recording and replay.
+//!
+//! Every generator in this crate is deterministic, but experiments sometimes
+//! need the *same* access sequence replayed against many defenses, shipped
+//! to another process, or archived next to results. A [`Trace`] is a
+//! materialized access list with a compact binary encoding
+//! (16 bytes/access: bank `u16`, row `u32`, gap `u64`, stream `u16`,
+//! little-endian).
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use dram_model::geometry::RowId;
+
+use crate::stream::{Access, Workload};
+
+/// Magic prefix of the binary encoding (`"RHT2"`).
+const MAGIC: [u8; 4] = *b"RHT2";
+
+/// A recorded access trace.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    accesses: Vec<Access>,
+    name: String,
+}
+
+impl Trace {
+    /// Records `n` accesses from a workload.
+    pub fn record(workload: &mut dyn Workload, n: usize) -> Self {
+        let accesses = (0..n).map(|_| workload.next_access()).collect();
+        Trace { accesses, name: format!("trace({})", workload.name()) }
+    }
+
+    /// Builds a trace from an explicit access list.
+    pub fn from_accesses(name: impl Into<String>, accesses: Vec<Access>) -> Self {
+        Trace { accesses, name: name.into() }
+    }
+
+    /// The recorded accesses.
+    pub fn accesses(&self) -> &[Access] {
+        &self.accesses
+    }
+
+    /// Number of recorded accesses.
+    pub fn len(&self) -> usize {
+        self.accesses.len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.accesses.is_empty()
+    }
+
+    /// Serializes to the compact binary form.
+    pub fn to_bytes(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 4 + self.accesses.len() * 16);
+        buf.put_slice(&MAGIC);
+        buf.put_u32_le(self.accesses.len() as u32);
+        for a in &self.accesses {
+            buf.put_u16_le(a.bank);
+            buf.put_u32_le(a.row.0);
+            buf.put_u64_le(a.gap);
+            buf.put_u16_le(a.stream);
+        }
+        buf.freeze()
+    }
+
+    /// Parses the binary form produced by [`to_bytes`](Self::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformation (bad magic, truncated body,
+    /// trailing bytes).
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+        if data.remaining() < 8 {
+            return Err("trace shorter than header".to_owned());
+        }
+        let mut magic = [0u8; 4];
+        data.copy_to_slice(&mut magic);
+        if magic != MAGIC {
+            return Err(format!("bad magic {magic:?}"));
+        }
+        let n = data.get_u32_le() as usize;
+        if data.remaining() != n * 16 {
+            return Err(format!(
+                "body length {} does not match {n} accesses",
+                data.remaining()
+            ));
+        }
+        let mut accesses = Vec::with_capacity(n);
+        for _ in 0..n {
+            let bank = data.get_u16_le();
+            let row = RowId(data.get_u32_le());
+            let gap = data.get_u64_le();
+            let stream = data.get_u16_le();
+            accesses.push(Access { bank, row, gap, stream });
+        }
+        Ok(Trace { accesses, name: "trace(decoded)".to_owned() })
+    }
+
+    /// An infinitely looping replayer over this trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn replay(&self) -> TraceReplay {
+        assert!(!self.accesses.is_empty(), "cannot replay an empty trace");
+        TraceReplay { trace: self.clone(), position: 0 }
+    }
+
+    /// Writes the binary form to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the filesystem.
+    pub fn write_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Reads a trace previously written with
+    /// [`write_to_file`](Self::write_to_file).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`] for filesystem problems or a malformed
+    /// file (mapped to [`std::io::ErrorKind::InvalidData`]).
+    pub fn read_from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes(Bytes::from(data))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+/// Replays a [`Trace`], looping at the end.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    position: usize,
+}
+
+impl Workload for TraceReplay {
+    fn name(&self) -> String {
+        self.trace.name.clone()
+    }
+
+    fn next_access(&mut self) -> Access {
+        let a = self.trace.accesses[self.position % self.trace.accesses.len()];
+        self.position += 1;
+        a
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::Synthetic;
+
+    #[test]
+    fn record_and_replay_match_source() {
+        let mut source = Synthetic::s1(10, 65_536, 42);
+        let trace = Trace::record(&mut source, 500);
+        let mut fresh = Synthetic::s1(10, 65_536, 42);
+        let mut replay = trace.replay();
+        for _ in 0..500 {
+            assert_eq!(replay.next_access(), fresh.next_access());
+        }
+    }
+
+    #[test]
+    fn replay_loops() {
+        let trace = Trace::from_accesses(
+            "t",
+            vec![Access { bank: 0, row: RowId(1), gap: 5, stream: 0 }, Access { bank: 1, row: RowId(2), gap: 6, stream: 0 }],
+        );
+        let mut r = trace.replay();
+        let first: Vec<_> = (0..4).map(|_| r.next_access().row.0).collect();
+        assert_eq!(first, vec![1, 2, 1, 2]);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let mut source = Synthetic::s4(4_096, 7);
+        let trace = Trace::record(&mut source, 1_000);
+        let decoded = Trace::from_bytes(trace.to_bytes()).unwrap();
+        assert_eq!(decoded.accesses(), trace.accesses());
+    }
+
+    #[test]
+    fn encoded_size_is_deterministic() {
+        let trace = Trace::from_accesses("t", vec![Access { bank: 3, row: RowId(9), gap: 11, stream: 0 }; 10]);
+        assert_eq!(trace.to_bytes().len(), 8 + 10 * 16);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let err = Trace::from_bytes(Bytes::from_static(b"XXXX\x00\x00\x00\x00")).unwrap_err();
+        assert!(err.contains("bad magic"));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let trace = Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(1), gap: 2, stream: 0 }]);
+        let mut bytes = trace.to_bytes().to_vec();
+        bytes.pop();
+        assert!(Trace::from_bytes(Bytes::from(bytes)).is_err());
+    }
+
+    #[test]
+    fn rejects_short_header() {
+        assert!(Trace::from_bytes(Bytes::from_static(b"RHT")).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn empty_replay_panics() {
+        let _ = Trace::default().replay();
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let mut source = Synthetic::s1(10, 4_096, 3);
+        let trace = Trace::record(&mut source, 200);
+        let path = std::env::temp_dir().join("graphene_repro_trace_roundtrip.rht");
+        trace.write_to_file(&path).unwrap();
+        let loaded = Trace::read_from_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.accesses(), trace.accesses());
+    }
+
+    #[test]
+    fn read_malformed_file_is_invalid_data() {
+        let path = std::env::temp_dir().join("graphene_repro_trace_malformed.rht");
+        std::fs::write(&path, b"not a trace").unwrap();
+        let err = Trace::read_from_file(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

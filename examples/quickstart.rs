@@ -1,0 +1,61 @@
+//! Quickstart: protect one DRAM bank with Graphene.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds Graphene for a DDR4 bank at the TRRespass-reported Row Hammer
+//! threshold (50K), derives the paper's parameters, hammers one row at full
+//! speed, and shows that (1) the ground-truth fault oracle sees no bit flip
+//! and (2) the victim refreshes that made that true.
+
+use graphene_repro::dram_model::fault::DisturbanceModel;
+use graphene_repro::dram_model::{DramTiming, FaultOracle, RefreshEngine, RowId};
+use graphene_repro::graphene_core::{Graphene, GrapheneConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Configure: the paper's deployment point (DDR4-2400, T_RH = 50K,
+    //    reset window tREFW/2).
+    let config = GrapheneConfig::builder()
+        .row_hammer_threshold(50_000)
+        .timing(DramTiming::ddr4_2400())
+        .reset_window_divisor(2)
+        .build()?;
+    let params = config.derive()?;
+    println!("Derived Graphene parameters (paper Table II / Section IV):");
+    println!("  tracking threshold T  = {}", params.tracking_threshold);
+    println!("  table entries N_entry = {}", params.n_entry);
+    println!("  table bits per bank   = {}", params.table_bits_per_bank());
+    println!("  reset window          = {} ms", params.reset_window / 1_000_000_000);
+
+    // 2. Attach Graphene to a bank and hammer one row as fast as DDR4 allows.
+    let mut graphene = Graphene::from_config(&config)?;
+    let timing = DramTiming::ddr4_2400();
+    let mut oracle = FaultOracle::new(DisturbanceModel::ddr4_50k(), 65_536);
+    let mut auto_refresh = RefreshEngine::new(&timing, 65_536);
+
+    let aggressor = RowId(0x1010);
+    let acts = 2_000_000u64; // ≈ 1.5 refresh windows of continuous hammering
+    for i in 0..acts {
+        let now = i * timing.t_rc;
+        oracle.refresh_rows(auto_refresh.catch_up(now));
+        let flips = oracle.activate(aggressor, now);
+        assert!(flips.is_empty(), "Graphene failed: bit flip at ACT {i}");
+        if let Some(nrr) = graphene.on_activation(aggressor, now) {
+            oracle.refresh_rows(nrr.aggressor.victims(nrr.radius, 65_536));
+        }
+    }
+
+    // 3. Report.
+    let stats = graphene.stats();
+    println!();
+    println!("Hammered {} with {acts} ACTs:", aggressor);
+    println!("  NRR commands issued    = {}", stats.nrrs_issued);
+    println!("  victim rows refreshed  = {}", stats.victim_rows_requested);
+    println!("  table resets (windows) = {}", stats.table_resets);
+    println!("  ground-truth bit flips = {}", oracle.flips().len());
+    assert!(oracle.is_clean());
+    println!();
+    println!("No bit flips: every victim was refreshed before T_RH accumulated.");
+    Ok(())
+}

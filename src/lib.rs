@@ -1,0 +1,25 @@
+//! # graphene-repro
+//!
+//! Umbrella crate for the reproduction of *Graphene: Strong yet Lightweight
+//! Row Hammer Protection* (MICRO 2020). It re-exports the workspace crates so
+//! examples and integration tests can use a single dependency:
+//!
+//! * [`graphene_core`] — the Graphene mechanism itself.
+//! * [`freq_elems`] — generic frequent-elements algorithms.
+//! * [`dram_model`] — DDR4 timing/geometry and the Row Hammer fault oracle.
+//! * [`memctrl`] — the memory-controller timing simulator.
+//! * [`mitigations`] — PARA, PRoHIT, MRLoc, CBT, TWiCe and the defense trait.
+//! * [`workloads`] — adversarial and SPEC-like workload generators.
+//! * [`rh_analysis`] — area/energy/security analysis models.
+//! * [`rh_sim`] — the end-to-end simulator used by the experiment harness.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use dram_model;
+pub use freq_elems;
+pub use graphene_core;
+pub use memctrl;
+pub use mitigations;
+pub use rh_analysis;
+pub use rh_sim;
+pub use workloads;

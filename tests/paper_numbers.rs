@@ -1,0 +1,126 @@
+//! Regression tests pinning the headline numbers of the paper to this
+//! reproduction — if any of these breaks, the repo no longer reproduces
+//! Graphene (MICRO 2020).
+
+use graphene_repro::dram_model::fault::MuModel;
+use graphene_repro::dram_model::DramTiming;
+use graphene_repro::graphene_core::GrapheneConfig;
+use graphene_repro::rh_analysis::security::{
+    minimal_para_probability, para_window_failure, yearly_failure,
+};
+use graphene_repro::rh_analysis::worstcase::figure6_sweep;
+use graphene_repro::rh_analysis::{AreaComparison, EnergyModel};
+
+#[test]
+fn table_i_w_is_1360k() {
+    assert_eq!(DramTiming::ddr4_2400().max_acts_per_refresh_window(), 1_358_404);
+}
+
+#[test]
+fn table_ii_k1_parameters() {
+    let p = GrapheneConfig::builder()
+        .reset_window_divisor(1)
+        .build()
+        .unwrap()
+        .derive()
+        .unwrap();
+    assert_eq!(p.tracking_threshold, 12_500);
+    assert_eq!(p.n_entry, 108);
+}
+
+#[test]
+fn section_iv_k2_table_is_2511_bits() {
+    let p = GrapheneConfig::micro2020().derive().unwrap();
+    assert_eq!(p.tracking_threshold, 8_333);
+    assert_eq!(p.n_entry, 81);
+    assert_eq!(p.entry_bits(), 31);
+    assert_eq!(p.table_bits_per_bank(), 2_511);
+}
+
+#[test]
+fn table_iv_ordering_and_magnitudes() {
+    let c = AreaComparison::at_threshold(50_000);
+    assert_eq!(c.graphene.total(), 2_511);
+    assert!((c.cbt.total() as i64 - 3_824).unsigned_abs() < 50);
+    assert!(c.twice_over_graphene() > 8.0);
+}
+
+#[test]
+fn table_v_energy_fractions() {
+    let m = EnergyModel::micro2020();
+    assert!((m.graphene_dynamic_fraction() - 0.00032).abs() < 2e-5);
+    assert!((m.graphene_static_fraction() - 0.00373).abs() < 2e-4);
+}
+
+#[test]
+fn abstract_claim_worst_case_0_34_percent() {
+    // "Even for the most adversarial memory access patterns, Graphene
+    // increases refresh energy only by 0.34%."
+    let k2 = &figure6_sweep(50_000, 2, 65_536)[1];
+    assert!((k2.energy_overhead - 0.0034).abs() < 2e-4, "{}", k2.energy_overhead);
+}
+
+#[test]
+fn section_v_a_para_p() {
+    let w = DramTiming::ddr4_2400().max_acts_per_refresh_window();
+    let p = minimal_para_probability(50_000, w, 64, 0.01);
+    assert!((p - 0.00145).abs() < 1e-4, "computed p = {p}");
+    let yearly = yearly_failure(para_window_failure(0.00145, 50_000, w), 64);
+    assert!(yearly < 0.02);
+}
+
+#[test]
+fn section_iii_d_pi_squared_over_6_bound() {
+    let factor = MuModel::InverseSquare { radius: 1_000 }.factor();
+    assert!(factor < std::f64::consts::PI.powi(2) / 6.0);
+    assert!(factor > 1.64);
+    // Table growth bounded by 1.64x.
+    let base = GrapheneConfig::micro2020().derive().unwrap();
+    let non_adj = GrapheneConfig::builder()
+        .mu(MuModel::InverseSquare { radius: 1_000 })
+        .build()
+        .unwrap()
+        .derive()
+        .unwrap();
+    let growth = non_adj.n_entry as f64 / base.n_entry as f64;
+    assert!(growth <= 1.70, "growth {growth}");
+}
+
+#[test]
+fn figure6_worst_case_bound_is_tight() {
+    // The Figure 6 bound (k·⌊W/T⌋ NRRs per tREFW) is not loose: an attacker
+    // rotating exactly ⌊W/T⌋ rows at full rate achieves ≥ 90 % of it.
+    use graphene_repro::dram_model::RowId;
+    use graphene_repro::graphene_core::Graphene;
+    use graphene_repro::workloads::{Synthetic, Workload};
+
+    let params = GrapheneConfig::micro2020().derive().unwrap();
+    let n_rows = (params.acts_per_window / params.tracking_threshold) as u32;
+    let mut graphene = Graphene::new(params);
+    let mut attack = Synthetic::s1(n_rows, 65_536, 5);
+    let t_rc = DramTiming::ddr4_2400().t_rc;
+
+    let mut nrrs = 0u64;
+    for i in 0..params.acts_per_window {
+        let a = attack.next_access();
+        if graphene.on_activation(RowId(a.row.0), i * t_rc).is_some() {
+            nrrs += 1;
+        }
+    }
+    let bound = params.acts_per_window / params.tracking_threshold;
+    assert!(nrrs <= bound, "bound violated: {nrrs} > {bound}");
+    assert!(
+        nrrs as f64 >= 0.9 * bound as f64,
+        "bound loose: achieved {nrrs} of {bound}"
+    );
+}
+
+#[test]
+fn abstract_claim_15x_fewer_table_bits_than_twice() {
+    // "about 15× fewer table bits than a state-of-the-art counter-based
+    // scheme" — paper ratio 36,416 / 2,511 = 14.5. Our TWiCe provisioning
+    // differs slightly; assert the order of magnitude band.
+    let c = AreaComparison::at_threshold(50_000);
+    let ratio = c.twice_over_graphene();
+    assert!((8.0..30.0).contains(&ratio), "ratio {ratio}");
+}
