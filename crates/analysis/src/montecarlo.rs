@@ -39,13 +39,7 @@ pub fn simulate_para_window(q: f64, t_rh: u64, w: u64, rng: &mut StdRng) -> bool
 /// # Panics
 ///
 /// Panics if `trials == 0` or `q` is not a probability.
-pub fn estimate_para_failure(
-    q: f64,
-    t_rh: u64,
-    w: u64,
-    trials: u32,
-    seed: u64,
-) -> (f64, f64) {
+pub fn estimate_para_failure(q: f64, t_rh: u64, w: u64, trials: u32, seed: u64) -> (f64, f64) {
     assert!(trials > 0, "need at least one trial");
     assert!((0.0..=1.0).contains(&q), "q must be a probability");
     let mut rng = StdRng::seed_from_u64(seed);

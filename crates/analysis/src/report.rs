@@ -53,12 +53,12 @@ impl TablePrinter {
         }
         let fmt_row = |cells: &[String]| -> String {
             let mut line = String::new();
-            for i in 0..cols {
+            for (i, w) in widths.iter().enumerate().take(cols) {
                 let cell = cells.get(i).map(String::as_str).unwrap_or("");
                 if i > 0 {
                     line.push_str("  ");
                 }
-                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+                line.push_str(&format!("{cell:<w$}"));
             }
             line.trim_end().to_owned()
         };
@@ -90,7 +90,7 @@ pub fn thousands(n: u64) -> String {
     let s = n.to_string();
     let mut out = String::new();
     for (i, c) in s.chars().enumerate() {
-        if i > 0 && (s.len() - i) % 3 == 0 {
+        if i > 0 && (s.len() - i).is_multiple_of(3) {
             out.push(',');
         }
         out.push(c);

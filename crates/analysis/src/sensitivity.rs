@@ -58,19 +58,13 @@ pub fn graphene_vs_refresh_window(t_rh: u64, windows_ms: &[u64]) -> Vec<RefreshW
 /// Minimal PARA probability as a function of system size (bank count).
 pub fn para_p_vs_banks(t_rh: u64, banks: &[u32], target: f64) -> Vec<(u32, f64)> {
     let w = DramTiming::ddr4_2400().max_acts_per_refresh_window();
-    banks
-        .iter()
-        .map(|&b| (b, minimal_para_probability(t_rh, w, b, target)))
-        .collect()
+    banks.iter().map(|&b| (b, minimal_para_probability(t_rh, w, b, target))).collect()
 }
 
 /// Minimal PARA probability as a function of the yearly failure target.
 pub fn para_p_vs_target(t_rh: u64, banks: u32, targets: &[f64]) -> Vec<(f64, f64)> {
     let w = DramTiming::ddr4_2400().max_acts_per_refresh_window();
-    targets
-        .iter()
-        .map(|&t| (t, minimal_para_probability(t_rh, w, banks, t)))
-        .collect()
+    targets.iter().map(|&t| (t, minimal_para_probability(t_rh, w, banks, t))).collect()
 }
 
 /// Years of protection a fixed PARA `p` provides before the cumulative

@@ -13,13 +13,7 @@ fn bench_table_sizes(c: &mut Criterion) {
     let mut group = c.benchmark_group("graphene_table_scaling");
     let mut rng = StdRng::seed_from_u64(9);
     let stream: Vec<RowId> = (0..65_536u64)
-        .map(|i| {
-            if i % 3 == 0 {
-                RowId((i % 10) as u32)
-            } else {
-                RowId(rng.gen_range(0..65_536))
-            }
-        })
+        .map(|i| if i % 3 == 0 { RowId((i % 10) as u32) } else { RowId(rng.gen_range(0..65_536)) })
         .collect();
 
     // N_entry for T_RH = 50K (81) down to 1.56K (2,595-ish) per Figure 9.

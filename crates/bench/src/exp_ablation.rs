@@ -53,8 +53,7 @@ fn tracker_choice(fast: bool) {
     for &x in &stream {
         *actual.entry(x).or_insert(0) += 1;
     }
-    let heavy: Vec<u32> =
-        actual.iter().filter(|&(_, &c)| c >= t).map(|(&k, _)| k).collect();
+    let heavy: Vec<u32> = actual.iter().filter(|&(_, &c)| c >= t).map(|(&k, _)| k).collect();
 
     let mut table = TablePrinter::new(vec![
         "tracker",
@@ -71,11 +70,9 @@ fn tracker_choice(fast: bool) {
         let tracked = heavy.iter().filter(|&&h| est.estimate(&h) >= t).count();
         let missed = heavy.len() - tracked;
         let spurious = hh.iter().filter(|(k, _)| actual.get(k).copied().unwrap_or(0) < t).count();
-        let bias: i64 = heavy
-            .iter()
-            .map(|h| est.estimate(h) as i64 - actual[h] as i64)
-            .sum::<i64>()
-            / heavy.len().max(1) as i64;
+        let bias: i64 =
+            heavy.iter().map(|h| est.estimate(h) as i64 - actual[h] as i64).sum::<i64>()
+                / heavy.len().max(1) as i64;
         table.row(vec![
             name.into(),
             format!("{tracked}/{}", heavy.len()),
@@ -207,7 +204,5 @@ fn overflow_bit() {
         thousands(with.table_bits_per_bank()),
     ]);
     table.print();
-    println!(
-        "Paper: 21 -> 14(+1) bits, saving 6 bits/entry; the saving grows as T shrinks."
-    );
+    println!("Paper: 21 -> 14(+1) bits, saving 6 bits/entry; the saving grows as T shrinks.");
 }

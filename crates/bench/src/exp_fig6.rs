@@ -30,7 +30,8 @@ pub fn run(_fast: bool) {
     }
     table.print();
 
-    let mut csv = Csv::new(vec!["k", "n_entry", "table_bits", "worst_victim_rows", "energy_overhead"]);
+    let mut csv =
+        Csv::new(vec!["k", "n_entry", "table_bits", "worst_victim_rows", "energy_overhead"]);
     for p in &sweep {
         csv.row(vec![
             p.k.to_string(),

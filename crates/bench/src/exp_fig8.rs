@@ -29,14 +29,8 @@ pub fn run(fast: bool) {
     let reports = run_matrix(&cfg, &defenses, &normals);
 
     println!("\n(a) refresh-energy increase, normal workloads:");
-    let mut table = TablePrinter::new(vec![
-        "workload",
-        "PARA",
-        "CBT",
-        "TWiCe",
-        "Graphene",
-        "flips(any)",
-    ]);
+    let mut table =
+        TablePrinter::new(vec!["workload", "PARA", "CBT", "TWiCe", "Graphene", "flips(any)"]);
     for chunk in reports.chunks(defenses.len()) {
         let flips: u64 = chunk.iter().map(|r| r.stats.bit_flips).sum();
         table.row(vec![
@@ -49,10 +43,16 @@ pub fn run(fast: bool) {
         ]);
     }
     table.print();
-    let graphene_refreshes: u64 =
-        reports.iter().filter(|r| r.defense == "Graphene").map(|r| r.stats.defense_refresh_commands).sum();
-    let twice_refreshes: u64 =
-        reports.iter().filter(|r| r.defense == "TWiCe").map(|r| r.stats.defense_refresh_commands).sum();
+    let graphene_refreshes: u64 = reports
+        .iter()
+        .filter(|r| r.defense == "Graphene")
+        .map(|r| r.stats.defense_refresh_commands)
+        .sum();
+    let twice_refreshes: u64 = reports
+        .iter()
+        .filter(|r| r.defense == "TWiCe")
+        .map(|r| r.stats.defense_refresh_commands)
+        .sum();
     println!(
         "Graphene victim refreshes on ALL normal workloads: {graphene_refreshes} (paper: 0); \
          TWiCe: {twice_refreshes} (paper: 0)."
@@ -62,11 +62,7 @@ pub fn run(fast: bool) {
     println!("    (weighted-speedup loss | mean-latency increase):");
     let mut table = TablePrinter::new(vec!["workload", "PARA", "CBT", "TWiCe", "Graphene"]);
     let cell = |r: &rh_sim::SimReport| {
-        format!(
-            "{} | {}",
-            pct(r.weighted_speedup_loss.max(0.0)),
-            pct(r.latency_increase.max(0.0))
-        )
+        format!("{} | {}", pct(r.weighted_speedup_loss.max(0.0)), pct(r.latency_increase.max(0.0)))
     };
     for chunk in reports.chunks(defenses.len()) {
         table.row(vec![

@@ -16,9 +16,7 @@
 
 use dram_model::fault::{DisturbanceModel, MuModel};
 use dram_model::{DramTiming, FaultOracle};
-use mitigations::{
-    Mrloc, MrlocConfig, Prohit, ProhitConfig, RefreshAction, RowHammerDefense,
-};
+use mitigations::{Mrloc, MrlocConfig, Prohit, ProhitConfig, RefreshAction, RowHammerDefense};
 use rh_analysis::security::{
     minimal_para_probability, paper_para_ladder, para_window_failure, victim_failure_probability,
     yearly_failure,
@@ -120,8 +118,7 @@ fn prohit_analysis(fast: bool) {
     ]);
     // Victim rows of the pattern with their disturbing-ACT shares per cycle
     // of 9: x±1 see 5+2=7? — shares derived from adjacency with the cycle.
-    let victims: [(i64, f64); 6] =
-        [(-5, 1.0), (-3, 3.0), (-1, 5.0), (1, 5.0), (3, 3.0), (5, 1.0)];
+    let victims: [(i64, f64); 6] = [(-5, 1.0), (-3, 3.0), (-1, 5.0), (1, 5.0), (3, 3.0), (5, 1.0)];
     for (offset, share) in victims {
         let row = (center as i64 + offset) as u32;
         let refreshed = rates.get(&row).copied().unwrap_or(0);
@@ -161,10 +158,8 @@ fn mrloc_analysis(fast: bool) {
         "P(flip/tREFW, worst victim)",
     ]);
     for n_aggr in [7u64, 8] {
-        let mut mrloc = Mrloc::new(
-            MrlocConfig { base_probability: p, ..MrlocConfig::micro2020() },
-            5,
-        );
+        let mut mrloc =
+            Mrloc::new(MrlocConfig { base_probability: p, ..MrlocConfig::micro2020() }, 5);
         let mut attack = MrlocAttack::new(1000, 100);
         let mut seven = workloads::Synthetic::s1(7, 65_536, 123);
         let (rates, victim_rows): (_, Vec<u32>) = if n_aggr == 8 {
@@ -211,8 +206,7 @@ fn ground_truth(fast: bool) {
 
     let run_defense = |mk: &mut dyn FnMut() -> Box<dyn RowHammerDefense>| -> (u64, u64) {
         let mut defense = mk();
-        let mut oracle =
-            FaultOracle::new(DisturbanceModel { t_rh, mu: MuModel::Adjacent }, 65_536);
+        let mut oracle = FaultOracle::new(DisturbanceModel { t_rh, mu: MuModel::Adjacent }, 65_536);
         let mut auto = dram_model::RefreshEngine::new(&t, 65_536);
         let mut attack = ProhitAttack::new(1000);
         let mut refreshes = 0u64;

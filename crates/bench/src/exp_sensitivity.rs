@@ -12,21 +12,15 @@
 //!    cumulative failure probability crosses the target.
 
 use rh_analysis::sensitivity::{
-    graphene_vs_refresh_window, para_p_vs_banks, para_p_vs_target,
-    para_protection_horizon_years,
+    graphene_vs_refresh_window, para_p_vs_banks, para_p_vs_target, para_protection_horizon_years,
 };
 use rh_analysis::TablePrinter;
 
 /// Runs the sensitivity sweeps.
 pub fn run(fast: bool) {
     crate::banner("Sensitivity — Graphene vs the refresh window (temperature derating)");
-    let mut table = TablePrinter::new(vec![
-        "tREFW (ms)",
-        "W per window",
-        "T",
-        "N_entry",
-        "table bits/bank",
-    ]);
+    let mut table =
+        TablePrinter::new(vec!["tREFW (ms)", "W per window", "T", "N_entry", "table bits/bank"]);
     for p in graphene_vs_refresh_window(50_000, &[64, 48, 32, 16]) {
         table.row(vec![
             (p.t_refw / 1_000_000_000).to_string(),

@@ -19,7 +19,11 @@ pub fn run(_fast: bool) {
     let mut table = TablePrinter::new(vec!["term", "paper", "derived (k=1)"]);
     table.row(vec!["T_RH".into(), "50K".into(), thousands(k1.row_hammer_threshold)]);
     table.row(vec!["W (max ACTs/window)".into(), "1,360K".into(), thousands(k1.acts_per_window)]);
-    table.row(vec!["T (tracking threshold)".into(), "12.5K".into(), thousands(k1.tracking_threshold)]);
+    table.row(vec![
+        "T (tracking threshold)".into(),
+        "12.5K".into(),
+        thousands(k1.tracking_threshold),
+    ]);
     table.row(vec!["N_entry".into(), "108".into(), k1.n_entry.to_string()]);
     table.print();
 
@@ -35,10 +39,6 @@ pub fn run(_fast: bool) {
         "15".into(),
         k2.count_bits.to_string(),
     ]);
-    table.row(vec![
-        "table bits/bank".into(),
-        "2,511".into(),
-        thousands(k2.table_bits_per_bank()),
-    ]);
+    table.row(vec!["table bits/bank".into(), "2,511".into(), thousands(k2.table_bits_per_bank())]);
     table.print();
 }

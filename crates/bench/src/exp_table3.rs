@@ -24,11 +24,7 @@ pub fn run(_fast: bool) {
         "64K".into(),
         format!("{}K", c.geometry.rows_per_bank / 1024),
     ]);
-    table.row(vec![
-        "page policy".into(),
-        "Minimalist-open".into(),
-        format!("{:?}", c.page_policy),
-    ]);
+    table.row(vec!["page policy".into(), "Minimalist-open".into(), format!("{:?}", c.page_policy)]);
     table.row(vec![
         "tRFC, tRC".into(),
         "350 ns, 45 ns".into(),

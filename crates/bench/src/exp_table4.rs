@@ -22,12 +22,7 @@ pub fn run(_fast: bool) {
         "20,484 + 15,932".into(),
         format!("{} + {}", thousands(c.twice.cam_bits), thousands(c.twice.sram_bits)),
     ]);
-    table.row(vec![
-        "Graphene".into(),
-        "CAM".into(),
-        "2,511".into(),
-        thousands(c.graphene.total()),
-    ]);
+    table.row(vec!["Graphene".into(), "CAM".into(), "2,511".into(), thousands(c.graphene.total())]);
     table.print();
 
     println!();

@@ -7,7 +7,7 @@
 //! paper found on real DIMMs and showing Graphene has no such cliff.
 
 use dram_model::fault::{DisturbanceModel, MuModel};
-use dram_model::{DramTiming, FaultOracle, RefreshEngine, RowId};
+use dram_model::{DramTiming, FaultOracle, RefreshEngine};
 use graphene_core::GrapheneConfig;
 use mitigations::{GrapheneDefense, RowHammerDefense, TrrConfig, TrrSampler};
 use rh_analysis::TablePrinter;

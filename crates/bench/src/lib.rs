@@ -18,11 +18,11 @@ pub mod exp_nonadjacent;
 pub mod exp_security;
 pub mod exp_sensitivity;
 pub mod exp_table1;
-pub mod exp_trr;
 pub mod exp_table2;
 pub mod exp_table3;
 pub mod exp_table4;
 pub mod exp_table5;
+pub mod exp_trr;
 
 /// Parses the shared `--fast` / `RH_FAST` switch for the experiment bins.
 pub fn fast_mode() -> bool {

@@ -56,10 +56,7 @@ impl GrapheneConfig {
 
     /// The paper's evaluated configuration: `T_RH` = 50K, `k` = 2.
     pub fn micro2020() -> Self {
-        Self::builder()
-            .row_hammer_threshold(50_000)
-            .build()
-            .expect("paper defaults are valid")
+        Self::builder().row_hammer_threshold(50_000).build().expect("paper defaults are valid")
     }
 
     /// Derives the mechanism parameters.
@@ -79,12 +76,8 @@ impl GrapheneConfig {
         if self.rows_per_bank == 0 {
             return Err(ConfigError::ZeroRows);
         }
-        self.timing
-            .validate()
-            .map_err(|e| ConfigError::InvalidTiming { reason: e.to_string() })?;
-        self.mu
-            .validate()
-            .map_err(|e| ConfigError::InvalidMu { reason: e.to_string() })?;
+        self.timing.validate().map_err(|e| ConfigError::InvalidTiming { reason: e.to_string() })?;
+        self.mu.validate().map_err(|e| ConfigError::InvalidMu { reason: e.to_string() })?;
 
         let k = u64::from(self.reset_window_divisor);
         let factor = self.mu.factor();
@@ -265,8 +258,7 @@ impl GrapheneParams {
     /// `⌊W/T⌋` threshold crossings (each crossing consumes `T` estimated
     /// counts), across `k` windows per tREFW.
     pub fn worst_case_nrrs_per_refw(&self) -> u64 {
-        (self.acts_per_window / self.tracking_threshold)
-            * u64::from(self.reset_window_divisor)
+        (self.acts_per_window / self.tracking_threshold) * u64::from(self.reset_window_divisor)
     }
 
     /// Worst-case victim-row refreshes per tREFW (each NRR refreshes up to
@@ -290,9 +282,9 @@ impl GrapheneParams {
     /// is too small for the window.
     pub fn validate_protection(&self) -> Result<(), ConfigError> {
         let k = u64::from(self.reset_window_divisor);
-        let t_bound =
-            self.row_hammer_threshold as f64 / (2.0 * (k + 1) as f64 * self.nonadjacent_factor)
-                + 1.0;
+        let t_bound = self.row_hammer_threshold as f64
+            / (2.0 * (k + 1) as f64 * self.nonadjacent_factor)
+            + 1.0;
         if (self.tracking_threshold as f64) >= t_bound {
             return Err(ConfigError::ThresholdTooLow {
                 t_rh: self.row_hammer_threshold,
@@ -400,10 +392,7 @@ mod tests {
 
     #[test]
     fn without_overflow_optimization_count_needs_21_bits() {
-        let cfg = GrapheneConfig {
-            overflow_bit_optimization: false,
-            ..config_with_k(1)
-        };
+        let cfg = GrapheneConfig { overflow_bit_optimization: false, ..config_with_k(1) };
         let p = cfg.derive().unwrap();
         // §IV-B: counting to W = 1,360K needs 21 bits by default.
         assert_eq!(p.count_bits, 21);

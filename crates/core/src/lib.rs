@@ -69,11 +69,13 @@ pub mod checked;
 pub mod config;
 pub mod mechanism;
 pub mod multi;
+pub mod reference;
 pub mod table;
 
 pub use cam::CamStats;
 pub use checked::CheckedGraphene;
 pub use config::{ConfigError, GrapheneConfig, GrapheneConfigBuilder, GrapheneParams};
 pub use mechanism::{Graphene, GrapheneStats, NrrRequest};
-pub use multi::BankSet;
+pub use multi::{BankIndexError, BankSet};
+pub use reference::LinearCounterTable;
 pub use table::{CounterTable, TableUpdate};

@@ -13,6 +13,32 @@ use crate::cam::CamStats;
 use crate::config::{ConfigError, GrapheneConfig, GrapheneParams};
 use crate::mechanism::{Graphene, GrapheneStats, NrrRequest};
 
+/// An activation was routed to a bank index this [`BankSet`] does not have.
+///
+/// Carries enough context to diagnose a bad address mapping at the call
+/// site instead of a bare index-out-of-bounds panic deep in the engine
+/// array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankIndexError {
+    /// The offending flattened bank index.
+    pub bank: usize,
+    /// How many banks this set actually protects.
+    pub banks: usize,
+}
+
+impl std::fmt::Display for BankIndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "bank index {} out of range: this BankSet protects {} bank(s); \
+             check the channel/rank/bank address mapping",
+            self.bank, self.banks
+        )
+    }
+}
+
+impl std::error::Error for BankIndexError {}
+
 /// Graphene for every bank of a rank or system.
 ///
 /// # Example
@@ -64,9 +90,34 @@ impl BankSet {
     ///
     /// # Panics
     ///
-    /// Panics if `bank` is out of range.
-    pub fn on_activation(&mut self, bank: usize, row: RowId, now: Picoseconds) -> Option<NrrRequest> {
-        self.engines[bank].on_activation(row, now)
+    /// Panics if `bank` is out of range; use [`BankSet::try_on_activation`]
+    /// to surface a bad mapping as a diagnosable error instead.
+    pub fn on_activation(
+        &mut self,
+        bank: usize,
+        row: RowId,
+        now: Picoseconds,
+    ) -> Option<NrrRequest> {
+        self.try_on_activation(bank, row, now).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Routes an activation to its bank's engine, rejecting out-of-range
+    /// bank indexes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BankIndexError`] if `bank >= self.banks()` — typically the
+    /// symptom of a wrong channel/rank/bank address mapping upstream.
+    pub fn try_on_activation(
+        &mut self,
+        bank: usize,
+        row: RowId,
+        now: Picoseconds,
+    ) -> Result<Option<NrrRequest>, BankIndexError> {
+        match self.engines.get_mut(bank) {
+            Some(engine) => Ok(engine.on_activation(row, now)),
+            None => Err(BankIndexError { bank, banks: self.engines.len() }),
+        }
     }
 
     /// One bank's engine (for inspection).
@@ -148,5 +199,22 @@ mod tests {
     #[should_panic(expected = "at least one bank")]
     fn zero_banks_panics() {
         let _ = BankSet::new(&GrapheneConfig::micro2020(), 0);
+    }
+
+    #[test]
+    fn try_on_activation_rejects_out_of_range_bank() {
+        let mut s = set();
+        let err = s.try_on_activation(4, RowId(1), 0).unwrap_err();
+        assert_eq!(err, BankIndexError { bank: 4, banks: 4 });
+        assert!(err.to_string().contains("bank index 4 out of range"));
+        // In-range routing still works and matches the panicking API.
+        assert!(s.try_on_activation(3, RowId(1), 0).unwrap().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "bank index 7 out of range")]
+    fn on_activation_panics_with_diagnosable_message() {
+        let mut s = set();
+        let _ = s.on_activation(7, RowId(1), 0);
     }
 }

@@ -15,6 +15,27 @@
 //!
 //! The table also counts its CAM searches/writes ([`CamStats`]) so the
 //! energy model can be driven by real access mixes.
+//!
+//! # Shadow indexes
+//!
+//! In hardware both lookups are single-cycle CAM searches; the software
+//! model used to pay an O(`N_entry`) scan for each, which dominated every
+//! sweep at paper-scale table sizes (thousands of entries at low Row Hammer
+//! thresholds). The table therefore keeps two *shadow index* structures:
+//!
+//! * `addr_index` — `RowId → slot`, answering the Address-CAM search;
+//! * `count_index` — `count → ordered slot set` over **non-overflowed**
+//!   entries only, answering the Count-CAM spillover match. The ordered set
+//!   preserves the scan's lowest-slot-index tie-break on replacement.
+//!
+//! The indexes are pure acceleration: they change no observable behavior
+//! (see `tests/indexed_differential.rs`, which locksteps this table against
+//! [`reference::LinearCounterTable`](crate::reference::LinearCounterTable)),
+//! and they do **not** perturb [`CamStats`] — those counters model the
+//! *logical* CAM accesses the hardware would perform, not the software work
+//! done to simulate them.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use dram_model::geometry::RowId;
 use serde::{Deserialize, Serialize};
@@ -80,6 +101,10 @@ impl TableUpdate {
 
 /// The Graphene per-bank counter table.
 ///
+/// Both hot-path lookups (address hit, spillover-count match) are answered
+/// by shadow indexes in O(1)/O(log N) instead of O(`N_entry`) scans; see the
+/// module docs for why this cannot change observable behavior.
+///
 /// # Example
 ///
 /// ```
@@ -99,6 +124,12 @@ pub struct CounterTable {
     tracking_threshold: u64,
     acts_since_reset: u64,
     stats: CamStats,
+    /// Shadow Address-CAM: occupied slots by row address.
+    addr_index: HashMap<RowId, usize>,
+    /// Shadow Count-CAM: slots of **non-overflowed** entries (occupied or
+    /// empty) keyed by their `low` field. `BTreeSet` keeps slots ordered so
+    /// replacement picks the lowest index, exactly like the linear scan.
+    count_index: BTreeMap<u64, BTreeSet<usize>>,
 }
 
 impl CounterTable {
@@ -110,12 +141,16 @@ impl CounterTable {
     pub fn new(n_entry: usize, t: u64) -> Self {
         assert!(n_entry > 0, "table must have at least one entry");
         assert!(t > 0, "tracking threshold must be positive");
+        let mut count_index = BTreeMap::new();
+        count_index.insert(0, (0..n_entry).collect::<BTreeSet<_>>());
         CounterTable {
             entries: vec![Entry::EMPTY; n_entry],
             spillover: 0,
             tracking_threshold: t,
             acts_since_reset: 0,
             stats: CamStats::default(),
+            addr_index: HashMap::with_capacity(n_entry),
+            count_index,
         }
     }
 
@@ -146,23 +181,18 @@ impl CounterTable {
 
     /// Estimated count of `row`, or `None` if untracked.
     pub fn estimate(&self, row: RowId) -> Option<u64> {
-        self.entries
-            .iter()
-            .find(|e| e.addr == Some(row))
-            .map(|e| e.estimate(self.tracking_threshold))
+        self.addr_index.get(&row).map(|&i| self.entries[i].estimate(self.tracking_threshold))
     }
 
     /// True if `row` currently occupies a table entry.
     pub fn is_tracked(&self, row: RowId) -> bool {
-        self.entries.iter().any(|e| e.addr == Some(row))
+        self.addr_index.contains_key(&row)
     }
 
     /// Iterator over occupied entries as `(row, estimated count, overflow)`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, u64, bool)> + '_ {
         let t = self.tracking_threshold;
-        self.entries
-            .iter()
-            .filter_map(move |e| e.addr.map(|a| (a, e.estimate(t), e.overflow)))
+        self.entries.iter().filter_map(move |e| e.addr.map(|a| (a, e.estimate(t), e.overflow)))
     }
 
     /// Processes one activation, following Figure 5's pseudo-code exactly,
@@ -172,7 +202,7 @@ impl CounterTable {
         // Line 3: one Address-CAM search per ACT.
         self.stats.addr_searches += 1;
 
-        if let Some(i) = self.entries.iter().position(|e| e.addr == Some(row)) {
+        if let Some(&i) = self.addr_index.get(&row) {
             // Row address HIT (lines 4-6): increment count, one Count-CAM write.
             self.stats.count_writes += 1;
             return TableUpdate::Hit { triggered: self.bump(i) };
@@ -183,16 +213,22 @@ impl CounterTable {
         // Only non-overflowed entries can match: an overflowed entry's true
         // estimate is at least T, which Lemma 2 keeps strictly above the
         // spillover count, so the hardware masks them out of the search.
-        if let Some(i) = self
-            .entries
-            .iter()
-            .position(|e| !e.overflow && e.low == self.spillover)
-        {
+        // The count index holds exactly the non-overflowed slots.
+        let matched =
+            self.count_index.get(&self.spillover).and_then(|slots| slots.first().copied());
+        if let Some(i) = matched {
             // Entry replace (lines 10-13): simultaneous addr + count writes.
             self.stats.addr_writes += 1;
             self.stats.count_writes += 1;
             let evicted = self.entries[i].addr;
+            if let Some(old) = evicted {
+                self.addr_index.remove(&old);
+            }
+            self.addr_index.insert(row, i);
             self.entries[i].addr = Some(row);
+            // The slot matched because its low already equals the spillover
+            // count, so the count field (and the count index) are unchanged
+            // by the inheritance itself; only the bump below moves them.
             self.entries[i].low = self.spillover;
             let triggered = self.bump(i);
             TableUpdate::Replaced { evicted, triggered }
@@ -209,21 +245,63 @@ impl CounterTable {
         self.entries.fill(Entry::EMPTY);
         self.spillover = 0;
         self.acts_since_reset = 0;
+        self.addr_index.clear();
+        self.count_index.clear();
+        self.count_index.insert(0, (0..self.entries.len()).collect());
     }
 
     /// Increments entry `i`'s count, wrapping at `T`; returns whether the
-    /// wrap (NRR trigger) occurred.
+    /// wrap (NRR trigger) occurred. Keeps the count index in sync.
     fn bump(&mut self, i: usize) -> bool {
+        let was_overflowed = self.entries[i].overflow;
+        let old_low = self.entries[i].low;
         let e = &mut self.entries[i];
         e.low += 1;
-        if e.low == self.tracking_threshold {
+        let wrapped = e.low == self.tracking_threshold;
+        if wrapped {
             e.low = 0;
             e.overflow = true;
             e.crossings += 1;
-            true
-        } else {
-            false
         }
+        if !was_overflowed {
+            self.unindex_count(old_low, i);
+            if !wrapped {
+                // Still searchable, one count higher.
+                self.count_index.entry(old_low + 1).or_default().insert(i);
+            }
+            // On a wrap the entry leaves the count index for the rest of the
+            // window: overflowed entries never match the spillover search.
+        }
+        wrapped
+    }
+
+    /// Removes slot `i` from the count bucket of `low`, dropping the bucket
+    /// when it empties.
+    fn unindex_count(&mut self, low: u64, i: usize) {
+        if let Some(slots) = self.count_index.get_mut(&low) {
+            slots.remove(&i);
+            if slots.is_empty() {
+                self.count_index.remove(&low);
+            }
+        }
+    }
+
+    /// Exhaustively checks both shadow indexes against the entry array.
+    /// Test support — O(N log N), never called on the hot path.
+    #[doc(hidden)]
+    pub fn assert_index_consistency(&self) {
+        let mut expected_addr = HashMap::new();
+        let mut expected_count: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
+        for (i, e) in self.entries.iter().enumerate() {
+            if let Some(a) = e.addr {
+                assert!(expected_addr.insert(a, i).is_none(), "row {a} occupies two slots");
+            }
+            if !e.overflow {
+                expected_count.entry(e.low).or_default().insert(i);
+            }
+        }
+        assert_eq!(self.addr_index, expected_addr, "address index out of sync");
+        assert_eq!(self.count_index, expected_count, "count index out of sync");
     }
 }
 
@@ -266,6 +344,7 @@ mod tests {
         assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(0x3030)), triggered: false });
         assert_eq!(t.estimate(RowId(0x5050)), Some(4));
         assert!(!t.is_tracked(RowId(0x3030)));
+        t.assert_index_consistency();
     }
 
     #[test]
@@ -295,6 +374,7 @@ mod tests {
         }
         assert!(t.is_tracked(RowId(9)));
         assert_eq!(t.estimate(RowId(9)), Some(5));
+        t.assert_index_consistency();
     }
 
     #[test]
@@ -340,9 +420,20 @@ mod tests {
             let r = (i * i % 37) as u32;
             t.process_activation(RowId(r));
             *actual.entry(r).or_insert(0) += 1;
-            for (row, est, _) in t.iter() {
-                assert!(est >= actual[&row.0], "row {row} est {est}");
+            // Only the just-activated row's actual count changed, so checking
+            // it every step plus a periodic full sweep covers the lemma
+            // without O(N_entry) work per activation.
+            if let Some(est) = t.estimate(RowId(r)) {
+                assert!(est >= actual[&r], "row {r} est {est}");
             }
+            if i % 1000 == 999 {
+                for (row, est, _) in t.iter() {
+                    assert!(est >= actual[&row.0], "row {row} est {est}");
+                }
+            }
+        }
+        for (row, est, _) in t.iter() {
+            assert!(est >= actual[&row.0], "row {row} est {est}");
         }
     }
 
@@ -357,6 +448,7 @@ mod tests {
         assert_eq!(t.acts_since_reset(), 0);
         assert_eq!(t.estimate(RowId(1)), None);
         assert_eq!(t.iter().count(), 0);
+        t.assert_index_consistency();
         // Overflow bits cleared: entry becomes evictable again.
         t.process_activation(RowId(2));
         assert!(t.is_tracked(RowId(2)));
@@ -369,7 +461,10 @@ mod tests {
         // addr write + count write.
         t.process_activation(RowId(1));
         let s = *t.cam_stats();
-        assert_eq!((s.addr_searches, s.count_searches, s.addr_writes, s.count_writes), (1, 1, 1, 1));
+        assert_eq!(
+            (s.addr_searches, s.count_searches, s.addr_writes, s.count_writes),
+            (1, 1, 1, 1)
+        );
         // Hit: +1 addr search, +1 count write.
         t.process_activation(RowId(1));
         let s = *t.cam_stats();
@@ -397,6 +492,27 @@ mod tests {
         t.process_activation(RowId(3)); // low2≠spill1 → spillover 2
         let u = t.process_activation(RowId(4)); // replaces slot(low2==2), low 3 == T → trigger
         assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(2)), triggered: true });
+        t.assert_index_consistency();
+    }
+
+    #[test]
+    fn lowest_slot_wins_replacement_ties() {
+        // Three empty slots all match spillover 0: the scan (and therefore
+        // the index) must pick slot 0, then 1, then 2.
+        let mut t = CounterTable::new(3, 100);
+        t.process_activation(RowId(10));
+        t.process_activation(RowId(11));
+        t.process_activation(RowId(12));
+        assert_eq!(t.estimate(RowId(10)), Some(1));
+        // Raise spillover to 1: all three slots (low 1) now tie again.
+        t.process_activation(RowId(13)); // no slot has low 0 → spillover 1
+        assert_eq!(t.spillover(), 1);
+        // Next miss must replace slot 0 (row 10), the lowest matching index.
+        let u = t.process_activation(RowId(14));
+        assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(10)), triggered: false });
+        assert!(!t.is_tracked(RowId(10)));
+        assert!(t.is_tracked(RowId(11)));
+        t.assert_index_consistency();
     }
 
     #[test]

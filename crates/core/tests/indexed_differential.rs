@@ -1,0 +1,167 @@
+//! Differential property tests: the shadow-indexed [`CounterTable`] against
+//! the retained linear-scan [`LinearCounterTable`] reference.
+//!
+//! Both implementations are driven with identical activation streams —
+//! deliberately skewed to exercise count wraps (overflow bits), replacement
+//! ties among equal-count entries, spillover growth, and mid-stream resets —
+//! and must produce identical [`TableUpdate`] sequences, estimates,
+//! spillover counts, and [`CamStats`]. This is the executable proof that the
+//! O(1) index structures are pure acceleration with no observable effect.
+
+use dram_model::RowId;
+use graphene_core::reference::LinearCounterTable;
+use graphene_core::CounterTable;
+use proptest::prelude::*;
+
+/// Locksteps both tables over `stream`, asserting identical observables at
+/// every step, and returns the pair for end-state checks.
+fn lockstep(
+    capacity: usize,
+    t: u64,
+    stream: &[u32],
+) -> Result<(CounterTable, LinearCounterTable), TestCaseError> {
+    let mut indexed = CounterTable::new(capacity, t);
+    let mut linear = LinearCounterTable::new(capacity, t);
+    for (step, &x) in stream.iter().enumerate() {
+        let row = RowId(x);
+        let a = indexed.process_activation(row);
+        let b = linear.process_activation(row);
+        prop_assert_eq!(a, b, "update diverged at step {} (row {})", step, x);
+        prop_assert_eq!(
+            indexed.estimate(row),
+            linear.estimate(row),
+            "estimate diverged at step {}",
+            step
+        );
+        prop_assert_eq!(indexed.spillover(), linear.spillover(), "spillover at step {}", step);
+    }
+    prop_assert_eq!(indexed.cam_stats(), linear.cam_stats());
+    prop_assert_eq!(indexed.acts_since_reset(), linear.acts_since_reset());
+    // Full-table comparison: every tracked row, estimate, and overflow bit.
+    let mut a: Vec<_> = indexed.iter().collect();
+    let mut b: Vec<_> = linear.iter().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    prop_assert_eq!(a, b, "tracked sets differ");
+    indexed.assert_index_consistency();
+    Ok((indexed, linear))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary streams over a small row universe: heavy on hits,
+    /// replacements, and spillover matches.
+    #[test]
+    fn identical_on_dense_streams(
+        stream in prop::collection::vec(0u32..40, 1..3000),
+        capacity in 1usize..24,
+        t in 2u64..50,
+    ) {
+        lockstep(capacity, t, &stream)?;
+    }
+
+    /// Wide row universe: mostly misses, so the spillover-match search (and
+    /// its lowest-slot-index tie-break) decides almost every step.
+    #[test]
+    fn identical_on_sparse_streams(
+        stream in prop::collection::vec(0u32..100_000, 1..2000),
+        capacity in 1usize..12,
+        t in 2u64..20,
+    ) {
+        lockstep(capacity, t, &stream)?;
+    }
+
+    /// Tiny thresholds force frequent wraps: overflow bits set early and the
+    /// non-evictable mask dominates the count search.
+    #[test]
+    fn identical_under_heavy_wrapping(
+        hot in prop::collection::vec(0u32..4, 1..1500),
+        cold in prop::collection::vec(4u32..2000, 0..500),
+        capacity in 1usize..8,
+        t in 2u64..6,
+    ) {
+        // Interleave hot hammering with cold misses.
+        let mut stream = Vec::with_capacity(hot.len() + cold.len());
+        let mut c = cold.iter();
+        for (i, &h) in hot.iter().enumerate() {
+            stream.push(h);
+            if i % 3 == 0 {
+                if let Some(&x) = c.next() {
+                    stream.push(x);
+                }
+            }
+        }
+        stream.extend(c);
+        lockstep(capacity, t, &stream)?;
+    }
+
+    /// Resets anywhere in the stream leave both implementations in identical
+    /// states, including the rebuilt count index.
+    #[test]
+    fn identical_across_resets(
+        prefix in prop::collection::vec(0u32..30, 0..1000),
+        suffix in prop::collection::vec(0u32..30, 0..1000),
+        capacity in 1usize..16,
+        t in 2u64..40,
+    ) {
+        let mut indexed = CounterTable::new(capacity, t);
+        let mut linear = LinearCounterTable::new(capacity, t);
+        for &x in &prefix {
+            let a = indexed.process_activation(RowId(x));
+            let b = linear.process_activation(RowId(x));
+            prop_assert_eq!(a, b);
+        }
+        indexed.reset();
+        linear.reset();
+        indexed.assert_index_consistency();
+        for (step, &x) in suffix.iter().enumerate() {
+            let a = indexed.process_activation(RowId(x));
+            let b = linear.process_activation(RowId(x));
+            prop_assert_eq!(a, b, "post-reset divergence at step {}", step);
+        }
+        prop_assert_eq!(indexed.spillover(), linear.spillover());
+        prop_assert_eq!(indexed.cam_stats(), linear.cam_stats());
+        indexed.assert_index_consistency();
+    }
+}
+
+/// Deterministic stress: a long adversarial mix (hammer bursts, distinct-row
+/// floods, revisits) at Graphene-like sizing, checked step by step.
+#[test]
+fn long_adversarial_stream_stays_identical() {
+    let capacity = 81;
+    let t = 200;
+    let mut indexed = CounterTable::new(capacity, t);
+    let mut linear = LinearCounterTable::new(capacity, t);
+    let mut x: u64 = 0x0DDB_1A5E_5BAD_5EED;
+    for step in 0..200_000u64 {
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let row = match r % 10 {
+            // Hammer a small hot set hard enough to wrap repeatedly.
+            0..=4 => RowId((r >> 32) as u32 % 8),
+            // Medium working set: replacement churn at equal counts.
+            5..=7 => RowId(100 + (r >> 32) as u32 % 200),
+            // Distinct-row flood: spillover pressure.
+            _ => RowId(10_000 + (step as u32)),
+        };
+        let a = indexed.process_activation(row);
+        let b = linear.process_activation(row);
+        assert_eq!(a, b, "diverged at step {step}");
+        if step % 20_000 == 0 {
+            assert_eq!(indexed.cam_stats(), linear.cam_stats());
+            indexed.assert_index_consistency();
+        }
+    }
+    assert_eq!(indexed.spillover(), linear.spillover());
+    assert_eq!(indexed.cam_stats(), linear.cam_stats());
+    let mut a: Vec<_> = indexed.iter().collect();
+    let mut b: Vec<_> = linear.iter().collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b);
+    indexed.assert_index_consistency();
+}

@@ -32,11 +32,7 @@ fn assert_protected(
         }
         let row = pick(i);
         let flips = oracle.activate(row, now);
-        assert!(
-            flips.is_empty(),
-            "bit flip at act {i} on {:?} (defense failed)",
-            flips[0].row
-        );
+        assert!(flips.is_empty(), "bit flip at act {i} on {:?} (defense failed)", flips[0].row);
         if let Some(nrr) = graphene.on_activation(row, now) {
             oracle.refresh_rows(nrr.aggressor.victims(nrr.radius, config.rows_per_bank));
         }
@@ -47,11 +43,8 @@ fn assert_protected(
 /// Use a reduced threshold so tests run fast while keeping the derived
 /// parameters non-trivial.
 fn small_config(t_rh: u64) -> (GrapheneConfig, DisturbanceModel) {
-    let cfg = GrapheneConfig::builder()
-        .row_hammer_threshold(t_rh)
-        .rows_per_bank(4096)
-        .build()
-        .unwrap();
+    let cfg =
+        GrapheneConfig::builder().row_hammer_threshold(t_rh).rows_per_bank(4096).build().unwrap();
     (cfg, DisturbanceModel { t_rh, mu: MuModel::Adjacent })
 }
 
@@ -64,9 +57,7 @@ fn single_sided_hammer_never_flips() {
 #[test]
 fn double_sided_hammer_never_flips() {
     let (cfg, model) = small_config(2000);
-    assert_protected(&cfg, model, 150_000, |i| {
-        if i % 2 == 0 { RowId(500) } else { RowId(502) }
-    });
+    assert_protected(&cfg, model, 150_000, |i| if i % 2 == 0 { RowId(500) } else { RowId(502) });
 }
 
 #[test]
@@ -83,7 +74,11 @@ fn hammer_with_noise_never_flips() {
     let (cfg, model) = small_config(2000);
     let mut rng = StdRng::seed_from_u64(99);
     assert_protected(&cfg, model, 200_000, move |i| {
-        if i % 3 == 0 { RowId(700) } else { RowId(rng.gen_range(0..4096)) }
+        if i % 3 == 0 {
+            RowId(700)
+        } else {
+            RowId(rng.gen_range(0..4096))
+        }
     });
 }
 
@@ -148,29 +143,21 @@ fn k5_reset_window_never_flips() {
         .build()
         .unwrap();
     let model = DisturbanceModel { t_rh, mu: MuModel::Adjacent };
-    assert_protected(&cfg, model, 150_000, |i| {
-        if i % 2 == 0 { RowId(321) } else { RowId(323) }
-    });
+    assert_protected(&cfg, model, 150_000, |i| if i % 2 == 0 { RowId(321) } else { RowId(323) });
 }
 
 #[test]
 fn hardware_table_matches_generic_spillover_summary() {
     // The CAM table with the overflow-bit optimization must be observationally
     // equivalent to the plain spillover summary for every estimate.
-    let cfg = GrapheneConfig::builder()
-        .row_hammer_threshold(50_000)
-        .build()
-        .unwrap();
+    let cfg = GrapheneConfig::builder().row_hammer_threshold(50_000).build().unwrap();
     let params = cfg.derive().unwrap();
     let mut hw = graphene_core::CounterTable::new(params.n_entry, params.tracking_threshold);
     let mut sw = SpilloverSummary::new(params.n_entry);
     let mut rng = StdRng::seed_from_u64(42);
     for _ in 0..200_000 {
-        let row: u32 = if rng.gen_bool(0.6) {
-            rng.gen_range(0..16) * 7
-        } else {
-            rng.gen_range(0..65_536)
-        };
+        let row: u32 =
+            if rng.gen_bool(0.6) { rng.gen_range(0..16) * 7 } else { rng.gen_range(0..65_536) };
         hw.process_activation(RowId(row));
         sw.observe(row);
     }

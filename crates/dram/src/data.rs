@@ -40,7 +40,7 @@ impl DataPattern {
             DataPattern::Zeros => 0,
             DataPattern::Ones => u64::MAX,
             DataPattern::Checkerboard => {
-                if row.0 % 2 == 0 {
+                if row.0.is_multiple_of(2) {
                     0xAAAA_AAAA_AAAA_AAAA
                 } else {
                     0x5555_5555_5555_5555

@@ -244,11 +244,8 @@ mod tests {
             let flips = b.execute(DramCommand::Activate(RowId(500)), now).unwrap();
             assert!(flips.is_empty(), "flip at act {i}");
             if (i + 1) % 500 == 0 {
-                b.execute(
-                    DramCommand::NearbyRowRefresh { aggressor: RowId(500), radius: 1 },
-                    now,
-                )
-                .unwrap();
+                b.execute(DramCommand::NearbyRowRefresh { aggressor: RowId(500), radius: 1 }, now)
+                    .unwrap();
             }
         }
         assert!(b.is_clean());

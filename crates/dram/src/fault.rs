@@ -29,10 +29,11 @@ const SCALE: u64 = 1 << 16;
 /// Distance-coefficient model for non-adjacent Row Hammer.
 ///
 /// `μ_1` is always 1: an adjacent ACT contributes one full disturbance unit.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum MuModel {
     /// Only ±1 neighbours are disturbed (the classic Row Hammer model).
+    #[default]
     Adjacent,
     /// All rows within `radius` receive the full unit of disturbance
     /// (the conservative assumption in Section III-D).
@@ -115,15 +116,7 @@ impl MuModel {
     }
 
     fn fixed_coefficients(&self) -> Vec<u64> {
-        (1..=self.radius())
-            .map(|d| (self.coefficient(d) * SCALE as f64).round() as u64)
-            .collect()
-    }
-}
-
-impl Default for MuModel {
-    fn default() -> Self {
-        MuModel::Adjacent
+        (1..=self.radius()).map(|d| (self.coefficient(d) * SCALE as f64).round() as u64).collect()
     }
 }
 

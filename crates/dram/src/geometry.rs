@@ -111,12 +111,7 @@ impl DramGeometry {
 
     /// A single-bank geometry, handy for unit tests and per-bank analyses.
     pub fn single_bank(rows: u32) -> Self {
-        DramGeometry {
-            channels: 1,
-            ranks_per_channel: 1,
-            banks_per_rank: 1,
-            rows_per_bank: rows,
-        }
+        DramGeometry { channels: 1, ranks_per_channel: 1, banks_per_rank: 1, rows_per_bank: rows }
     }
 
     /// Checks the configuration is usable.
@@ -139,7 +134,9 @@ impl DramGeometry {
 
     /// Total number of banks in the system.
     pub fn total_banks(&self) -> u32 {
-        u32::from(self.channels) * u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+        u32::from(self.channels)
+            * u32::from(self.ranks_per_channel)
+            * u32::from(self.banks_per_rank)
     }
 
     /// Total ranks in the system.

@@ -66,13 +66,13 @@ impl DramTiming {
     /// (Tables I and III; tREFW = 64 ms).
     pub fn ddr4_2400() -> Self {
         DramTiming {
-            t_refi: 7_800_000,      // 7.8 µs
-            t_rfc: 350_000,         // 350 ns
-            t_rc: 45_000,           // 45 ns
-            t_rcd: 13_300,          // 13.3 ns
-            t_rp: 13_300,           // 13.3 ns
-            t_cl: 13_300,           // 13.3 ns
-            t_refw: 64 * MS,        // 64 ms
+            t_refi: 7_800_000, // 7.8 µs
+            t_rfc: 350_000,    // 350 ns
+            t_rc: 45_000,      // 45 ns
+            t_rcd: 13_300,     // 13.3 ns
+            t_rp: 13_300,      // 13.3 ns
+            t_cl: 13_300,      // 13.3 ns
+            t_refw: 64 * MS,   // 64 ms
         }
     }
 

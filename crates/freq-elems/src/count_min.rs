@@ -10,8 +10,8 @@
 //! served from a bounded candidate set maintained alongside the sketch (the
 //! classic "CMS + heap" construction).
 
-use std::collections::HashMap;
 use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 
 use crate::traits::FrequencyEstimator;
@@ -132,7 +132,7 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for CountMinSketch<K> {
             .map(|k| (k.clone(), self.sketch_estimate(k)))
             .filter(|&(_, c)| c >= threshold)
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

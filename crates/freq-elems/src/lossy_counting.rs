@@ -81,11 +81,8 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for LossyCounting<K> {
     fn observe(&mut self, key: K) {
         self.stream_len += 1;
         let delta = self.current_bucket - 1;
-        self.entries
-            .entry(key)
-            .and_modify(|e| e.count += 1)
-            .or_insert(LcEntry { count: 1, delta });
-        if self.stream_len % self.bucket_width == 0 {
+        self.entries.entry(key).and_modify(|e| e.count += 1).or_insert(LcEntry { count: 1, delta });
+        if self.stream_len.is_multiple_of(self.bucket_width) {
             self.prune();
             self.current_bucket += 1;
         }
@@ -111,7 +108,7 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for LossyCounting<K> {
             .filter(|(_, e)| e.count >= floor)
             .map(|(k, e)| (k.clone(), e.count))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

@@ -4,8 +4,21 @@
 //! table, *every* counter is decremented and zeroed counters are evicted.
 //! Estimates under-count: `actual − estimate ≤ W / (capacity + 1)` for a
 //! stream of length `W`, and `estimate ≤ actual` always.
+//!
+//! # Constant-time decrement-all
+//!
+//! The textbook decrement step touches every counter — an O(capacity) scan
+//! per miss that dominated the hot path at Graphene-scale capacities. This
+//! implementation stores counts with a *base offset*: each tracked key holds
+//! `stored = logical + base`, so "decrement all" is `base += 1` followed by
+//! evicting exactly the keys whose logical count just reached zero. Those
+//! keys live together in one count bucket (`buckets[new base]`), so each
+//! eviction is O(1) amortized — a key is evicted at most once per insertion.
+//! Observable behavior (estimates, eviction set, bounds) is identical to
+//! the scan; the summary's own unit tests and `tests/table_equivalence.rs`
+//! pin that down.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::hash::Hash;
 
 use crate::traits::FrequencyEstimator;
@@ -27,7 +40,14 @@ use crate::traits::FrequencyEstimator;
 /// ```
 #[derive(Debug, Clone)]
 pub struct MisraGries<K> {
+    /// Tracked keys to their **stored** count (`logical + base`). Always
+    /// strictly greater than `base` while tracked.
     counters: HashMap<K, u64>,
+    /// Keys grouped by stored count; `buckets[base + 1]` holds the keys one
+    /// decrement away from eviction.
+    buckets: BTreeMap<u64, HashSet<K>>,
+    /// Global offset implementing decrement-all in O(1).
+    base: u64,
     capacity: usize,
     stream_len: u64,
 }
@@ -40,7 +60,13 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        MisraGries { counters: HashMap::with_capacity(capacity), capacity, stream_len: 0 }
+        MisraGries {
+            counters: HashMap::with_capacity(capacity),
+            buckets: BTreeMap::new(),
+            base: 0,
+            capacity,
+            stream_len: 0,
+        }
     }
 
     /// Maximum number of counters.
@@ -60,7 +86,8 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
 
     /// Iterator over tracked items and their (under-)estimates.
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
-        self.counters.iter().map(|(k, &v)| (k, v))
+        let base = self.base;
+        self.counters.iter().map(move |(k, &v)| (k, v - base))
     }
 
     /// Merges another summary into this one (Agarwal et al., PODS 2012):
@@ -71,24 +98,45 @@ impl<K: Eq + Hash + Clone> MisraGries<K> {
     /// summaries can be combined into a system-level view without replaying
     /// either stream.
     ///
+    /// This is a cold path: it materializes logical counts and rebuilds the
+    /// count buckets from scratch.
+    ///
     /// # Panics
     ///
     /// Panics if the capacities differ (the bound would be ill-defined).
     pub fn merge(&mut self, other: &MisraGries<K>) {
         assert_eq!(self.capacity, other.capacity, "capacities must match to merge");
-        for (k, &c) in other.counters.iter() {
-            *self.counters.entry(k.clone()).or_insert(0) += c;
+        let mut merged: HashMap<K, u64> = self.iter().map(|(k, c)| (k.clone(), c)).collect();
+        for (k, c) in other.iter() {
+            *merged.entry(k.clone()).or_insert(0) += c;
         }
         self.stream_len += other.stream_len;
-        if self.counters.len() > self.capacity {
-            let mut counts: Vec<u64> = self.counters.values().copied().collect();
+        if merged.len() > self.capacity {
+            let mut counts: Vec<u64> = merged.values().copied().collect();
             counts.sort_unstable_by(|a, b| b.cmp(a));
             let cut = counts[self.capacity]; // (capacity+1)-th largest
-            self.counters.retain(|_, c| {
+            merged.retain(|_, c| {
                 *c = c.saturating_sub(cut);
                 *c > 0
             });
         }
+        self.base = 0;
+        self.counters = merged;
+        self.buckets.clear();
+        for (k, &c) in &self.counters {
+            self.buckets.entry(c).or_default().insert(k.clone());
+        }
+    }
+
+    /// Moves `key` from the bucket of `old` stored count to `new`.
+    fn rebucket(&mut self, key: &K, old: u64, new: u64) {
+        if let Some(keys) = self.buckets.get_mut(&old) {
+            keys.remove(key);
+            if keys.is_empty() {
+                self.buckets.remove(&old);
+            }
+        }
+        self.buckets.entry(new).or_default().insert(key.clone());
     }
 }
 
@@ -96,20 +144,27 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for MisraGries<K> {
     fn observe(&mut self, key: K) {
         self.stream_len += 1;
         if let Some(c) = self.counters.get_mut(&key) {
+            let old = *c;
             *c += 1;
+            self.rebucket(&key, old, old + 1);
         } else if self.counters.len() < self.capacity {
-            self.counters.insert(key, 1);
+            let stored = self.base + 1;
+            self.counters.insert(key.clone(), stored);
+            self.buckets.entry(stored).or_default().insert(key);
         } else {
-            // Decrement all; evict the ones reaching zero.
-            self.counters.retain(|_, c| {
-                *c -= 1;
-                *c > 0
-            });
+            // Decrement all: raise the base; every key whose stored count
+            // now equals the base has logical count zero and is evicted.
+            self.base += 1;
+            if let Some(zeroed) = self.buckets.remove(&self.base) {
+                for k in zeroed {
+                    self.counters.remove(&k);
+                }
+            }
         }
     }
 
     fn estimate(&self, key: &K) -> u64 {
-        self.counters.get(key).copied().unwrap_or(0)
+        self.counters.get(key).map_or(0, |&c| c - self.base)
     }
 
     fn stream_len(&self) -> u64 {
@@ -117,18 +172,16 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for MisraGries<K> {
     }
 
     fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
-        let mut v: Vec<_> = self
-            .counters
-            .iter()
-            .filter(|&(_, &c)| c >= threshold)
-            .map(|(k, &c)| (k.clone(), c))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<_> =
+            self.iter().filter(|&(_, c)| c >= threshold).map(|(k, c)| (k.clone(), c)).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
     fn reset(&mut self) {
         self.counters.clear();
+        self.buckets.clear();
+        self.base = 0;
         self.stream_len = 0;
     }
 }
@@ -144,6 +197,21 @@ mod tests {
             *m.entry(k.clone()).or_insert(0) += 1;
         }
         m
+    }
+
+    /// Scan-based twin of `observe` used to pin the base-offset rewrite to
+    /// the textbook behavior.
+    fn observe_by_scan(counters: &mut HashMap<u32, u64>, capacity: usize, key: u32) {
+        if let Some(c) = counters.get_mut(&key) {
+            *c += 1;
+        } else if counters.len() < capacity {
+            counters.insert(key, 1);
+        } else {
+            counters.retain(|_, c| {
+                *c -= 1;
+                *c > 0
+            });
+        }
     }
 
     #[test]
@@ -192,6 +260,38 @@ mod tests {
             mg.observe(i % 97);
             assert!(mg.len() <= 5);
         }
+    }
+
+    #[test]
+    fn base_offset_matches_decrement_scan_exactly() {
+        // Lockstep against the textbook retain-based implementation on an
+        // adversarial mix of hits, inserts, and decrement storms.
+        let cap = 6;
+        let mut mg = MisraGries::new(cap);
+        let mut scan: HashMap<u32, u64> = HashMap::new();
+        let mut x: u64 = 0x2545_F491_4F6C_DD1D;
+        for i in 0..30_000u64 {
+            // xorshift64* keeps the stream deterministic and skewed.
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let key = if r % 3 == 0 { (r >> 32) as u32 % 5 } else { (r >> 32) as u32 % 4096 };
+            mg.observe(key);
+            observe_by_scan(&mut scan, cap, key);
+            if i % 1024 == 0 {
+                let mut a: Vec<_> = mg.iter().map(|(k, c)| (*k, c)).collect();
+                a.sort_unstable();
+                let mut b: Vec<_> = scan.iter().map(|(&k, &c)| (k, c)).collect();
+                b.sort_unstable();
+                assert_eq!(a, b, "diverged at step {i}");
+            }
+        }
+        let mut a: Vec<_> = mg.iter().map(|(k, c)| (*k, c)).collect();
+        a.sort_unstable();
+        let mut b: Vec<_> = scan.iter().map(|(&k, &c)| (k, c)).collect();
+        b.sort_unstable();
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -269,6 +369,25 @@ mod tests {
         let mut after: Vec<_> = a.iter().map(|(k, c)| (*k, c)).collect();
         after.sort_unstable();
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn observe_works_after_merge() {
+        // merge() rebuilds the buckets with base 0; the hot path must keep
+        // functioning (including decrement storms) on the rebuilt state.
+        let mut a = MisraGries::new(2);
+        let mut b = MisraGries::new(2);
+        for x in [1u32, 1, 2] {
+            a.observe(x);
+        }
+        for x in [3u32, 3, 1] {
+            b.observe(x);
+        }
+        a.merge(&b);
+        for x in [9u32, 8, 7, 6, 1, 1] {
+            a.observe(x);
+        }
+        assert!(a.len() <= 2);
     }
 
     #[test]

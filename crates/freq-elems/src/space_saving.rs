@@ -4,7 +4,18 @@
 //! counter's key is replaced and its count incremented (carried over).
 //! Estimates over-count by at most the minimum counter value, which is itself
 //! bounded by `W / capacity`.
+//!
+//! # Indexed hot path
+//!
+//! The textbook implementation pays an O(capacity) scan per observation
+//! (key lookup, then `min_by_key` on a miss). This one shadows the entry
+//! array with a key → slot map and a count → slot-set index, making hits
+//! O(1) and replacements O(log C) where C is the number of distinct counts
+//! (≤ capacity). The slot set is ordered, so a replacement picks the
+//! *lowest-index* minimum entry — the same tie-break `min_by_key` used —
+//! and observable behavior is unchanged.
 
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::hash::Hash;
 
 use crate::traits::FrequencyEstimator;
@@ -24,7 +35,13 @@ use crate::traits::FrequencyEstimator;
 /// ```
 #[derive(Debug, Clone)]
 pub struct SpaceSaving<K> {
+    /// Slot array, in insertion order (stable across replacements so
+    /// `iter()` order matches the original implementation).
     entries: Vec<(K, u64)>,
+    /// Shadow index: key → slot.
+    slots: HashMap<K, usize>,
+    /// Shadow index: count → slots holding that count, lowest index first.
+    buckets: BTreeMap<u64, BTreeSet<usize>>,
     capacity: usize,
     stream_len: u64,
 }
@@ -37,7 +54,13 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        SpaceSaving { entries: Vec::with_capacity(capacity), capacity, stream_len: 0 }
+        SpaceSaving {
+            entries: Vec::with_capacity(capacity),
+            slots: HashMap::with_capacity(capacity),
+            buckets: BTreeMap::new(),
+            capacity,
+            stream_len: 0,
+        }
     }
 
     /// Maximum number of counters.
@@ -51,7 +74,7 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
         if self.entries.len() < self.capacity {
             0
         } else {
-            self.entries.iter().map(|&(_, c)| c).min().unwrap_or(0)
+            self.buckets.keys().next().copied().unwrap_or(0)
         }
     }
 
@@ -59,30 +82,50 @@ impl<K: Eq + Hash + Clone> SpaceSaving<K> {
     pub fn iter(&self) -> impl Iterator<Item = (&K, u64)> {
         self.entries.iter().map(|(k, c)| (k, *c))
     }
+
+    /// Increments slot `i`'s count, keeping the count index in sync.
+    fn bump(&mut self, i: usize) {
+        let old = self.entries[i].1;
+        self.entries[i].1 = old + 1;
+        if let Some(set) = self.buckets.get_mut(&old) {
+            set.remove(&i);
+            if set.is_empty() {
+                self.buckets.remove(&old);
+            }
+        }
+        self.buckets.entry(old + 1).or_default().insert(i);
+    }
 }
 
 impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
     fn observe(&mut self, key: K) {
         self.stream_len += 1;
-        if let Some(e) = self.entries.iter_mut().find(|(k, _)| *k == key) {
-            e.1 += 1;
+        if let Some(&i) = self.slots.get(&key) {
+            self.bump(i);
         } else if self.entries.len() < self.capacity {
-            self.entries.push((key, 1));
+            let i = self.entries.len();
+            self.entries.push((key.clone(), 1));
+            self.slots.insert(key, i);
+            self.buckets.entry(1).or_default().insert(i);
         } else {
-            let min_idx = self
-                .entries
-                .iter()
-                .enumerate()
-                .min_by_key(|&(_, &(_, c))| c)
-                .map(|(i, _)| i)
+            // Replace the minimum-count entry; among ties, the lowest slot
+            // index (the first `BTreeSet` element) — exactly what the old
+            // `min_by_key` scan returned.
+            let i = self
+                .buckets
+                .values()
+                .next()
+                .and_then(|set| set.first().copied())
                 .expect("table is full, hence non-empty");
-            self.entries[min_idx].0 = key;
-            self.entries[min_idx].1 += 1;
+            let old_key = std::mem::replace(&mut self.entries[i].0, key.clone());
+            self.slots.remove(&old_key);
+            self.slots.insert(key, i);
+            self.bump(i);
         }
     }
 
     fn estimate(&self, key: &K) -> u64 {
-        self.entries.iter().find(|(k, _)| k == key).map(|&(_, c)| c).unwrap_or(0)
+        self.slots.get(key).map_or(0, |&i| self.entries[i].1)
     }
 
     fn stream_len(&self) -> u64 {
@@ -96,12 +139,14 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
             .filter(|&&(_, c)| c >= threshold)
             .map(|(k, c)| (k.clone(), *c))
             .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 
     fn reset(&mut self) {
         self.entries.clear();
+        self.slots.clear();
+        self.buckets.clear();
         self.stream_len = 0;
     }
 }
@@ -161,6 +206,47 @@ mod tests {
         assert_eq!(ss.estimate(&"c"), 2);
         assert_eq!(ss.estimate(&"b"), 0);
         assert_eq!(ss.estimate(&"a"), 2);
+    }
+
+    #[test]
+    fn indexed_matches_scan_implementation() {
+        // Lockstep against the textbook find + min_by_key scans, including
+        // the lowest-index tie-break among equal-minimum entries.
+        fn observe_by_scan(entries: &mut Vec<(u32, u64)>, capacity: usize, key: u32) {
+            if let Some(e) = entries.iter_mut().find(|(k, _)| *k == key) {
+                e.1 += 1;
+            } else if entries.len() < capacity {
+                entries.push((key, 1));
+            } else {
+                let min_idx = entries
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|&(_, &(_, c))| c)
+                    .map(|(i, _)| i)
+                    .unwrap();
+                entries[min_idx].0 = key;
+                entries[min_idx].1 += 1;
+            }
+        }
+        let cap = 7;
+        let mut ss = SpaceSaving::new(cap);
+        let mut scan: Vec<(u32, u64)> = Vec::new();
+        let mut x: u64 = 0x9E37_79B9_7F4A_7C15;
+        for i in 0..30_000u64 {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            let key = if r % 4 == 0 { (r >> 32) as u32 % 6 } else { (r >> 32) as u32 % 2048 };
+            ss.observe(key);
+            observe_by_scan(&mut scan, cap, key);
+            if i % 1024 == 0 {
+                let got: Vec<_> = ss.iter().map(|(k, c)| (*k, c)).collect();
+                assert_eq!(got, scan, "diverged at step {i}");
+            }
+        }
+        let got: Vec<_> = ss.iter().map(|(k, c)| (*k, c)).collect();
+        assert_eq!(got, scan);
     }
 
     #[test]

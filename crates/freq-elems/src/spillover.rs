@@ -120,12 +120,9 @@ impl<K: Eq + Hash + Clone> FrequencyEstimator<K> for SpilloverSummary<K> {
     }
 
     fn heavy_hitters(&self, threshold: u64) -> Vec<(K, u64)> {
-        let mut v: Vec<_> = self
-            .iter()
-            .filter(|&(_, c)| c >= threshold)
-            .map(|(k, c)| (k.clone(), c))
-            .collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        let mut v: Vec<_> =
+            self.iter().filter(|&(_, c)| c >= threshold).map(|(k, c)| (k.clone(), c)).collect();
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

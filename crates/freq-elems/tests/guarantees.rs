@@ -213,13 +213,8 @@ fn all_estimators_reset_to_empty() {
     ss.reset();
     lc.reset();
     cms.reset();
-    for e in [
-        mg.stream_len(),
-        sp.stream_len(),
-        ss.stream_len(),
-        lc.stream_len(),
-        cms.stream_len(),
-    ] {
+    for e in [mg.stream_len(), sp.stream_len(), ss.stream_len(), lc.stream_len(), cms.stream_len()]
+    {
         assert_eq!(e, 0);
     }
 }

@@ -203,10 +203,7 @@ mod tests {
         // Steady state is one ACT per tRC; the first ACT's missing
         // predecessor shaves a fraction off the average.
         let per_access = finish as f64 / n as f64;
-        assert!(
-            (44_000.0..60_000.0).contains(&per_access),
-            "per-access {per_access} ps"
-        );
+        assert!((44_000.0..60_000.0).contains(&per_access), "per-access {per_access} ps");
     }
 
     #[test]

@@ -124,10 +124,9 @@ pub enum ProtocolViolation {
 impl std::fmt::Display for ProtocolViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ProtocolViolation::ActSpacing { bank, first, second } => write!(
-                f,
-                "bank {bank}: ACTs at {first} and {second} ps violate tRC"
-            ),
+            ProtocolViolation::ActSpacing { bank, first, second } => {
+                write!(f, "bank {bank}: ACTs at {first} and {second} ps violate tRC")
+            }
             ProtocolViolation::CommandDuringRefresh { bank, ref_at, cmd_at } => write!(
                 f,
                 "bank {bank}: command at {cmd_at} ps inside refresh blackout starting {ref_at}"

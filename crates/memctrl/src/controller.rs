@@ -13,6 +13,36 @@ use crate::config::McConfig;
 use crate::scheduler::{BankQueue, SchedulerConfig};
 use crate::stats::RunStats;
 
+/// A run aborted because an access could not be routed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum McError {
+    /// A workload emitted a bank index outside the configured geometry —
+    /// almost always a channel/rank/bank address-mapping mismatch between
+    /// the trace generator and the controller configuration.
+    BankOutOfRange {
+        /// The offending flattened bank index from the access.
+        bank: u16,
+        /// How many banks the controller's geometry actually has.
+        banks: usize,
+        /// Zero-based index of the access within the run's batch.
+        access_index: u64,
+    },
+}
+
+impl std::fmt::Display for McError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McError::BankOutOfRange { bank, banks, access_index } => write!(
+                f,
+                "access #{access_index} targets bank {bank} but the geometry has {banks} bank(s); \
+                 check the workload's bank count / address mapping"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for McError {}
+
 /// Bank-level memory-controller simulator with a per-bank Row Hammer
 /// defense and (optionally) the ground-truth fault oracle.
 ///
@@ -70,8 +100,7 @@ impl MemoryController {
         config.geometry.validate().expect("invalid geometry");
         config.timing.validate().expect("invalid timing");
         let n_banks = config.geometry.total_banks() as usize;
-        let banks =
-            vec![BankState::new(config.timing, config.page_policy); n_banks];
+        let banks = vec![BankState::new(config.timing, config.page_policy); n_banks];
         let defenses: Vec<_> = (0..n_banks).map(defense_factory).collect();
         let oracles = config.fault_model.clone().map(|m| {
             (0..n_banks)
@@ -134,15 +163,44 @@ impl MemoryController {
         self.clock
     }
 
+    /// Looks up the bank for an access, rejecting out-of-range indexes
+    /// (historically these were silently wrapped with `%`, which masked
+    /// address-mapping bugs as wrong-bank traffic).
+    fn route(&self, bank: u16, access_index: u64) -> Result<usize, McError> {
+        let bank_idx = usize::from(bank);
+        if bank_idx < self.banks.len() {
+            Ok(bank_idx)
+        } else {
+            Err(McError::BankOutOfRange { bank, banks: self.banks.len(), access_index })
+        }
+    }
+
     /// Runs `n` accesses from `workload` and returns a snapshot of the
     /// statistics. Can be called repeatedly to extend the same run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload emits an out-of-range bank index; use
+    /// [`try_run`](Self::try_run) to handle that as an error.
     pub fn run(&mut self, workload: &mut dyn Workload, n: u64) -> RunStats {
-        for _ in 0..n {
+        self.try_run(workload, n).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`run`](Self::run), but surfaces routing problems as [`McError`]
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::BankOutOfRange`] on the first access whose bank
+    /// index does not exist in the configured geometry. Accesses before the
+    /// offending one remain applied to the statistics.
+    pub fn try_run(&mut self, workload: &mut dyn Workload, n: u64) -> Result<RunStats, McError> {
+        for i in 0..n {
             let access = workload.next_access();
             self.clock += access.gap;
             self.catch_up_refresh();
 
-            let bank_idx = usize::from(access.bank) % self.banks.len();
+            let bank_idx = self.route(access.bank, i)?;
             let outcome = self.banks[bank_idx].serve(access.row, self.clock);
 
             self.stats.accesses += 1;
@@ -169,7 +227,7 @@ impl MemoryController {
                 self.charge_overhead(bank_idx);
             }
         }
-        self.stats.clone()
+        Ok(self.stats.clone())
     }
 
     /// Runs `n` accesses through per-bank request queues with batched
@@ -178,20 +236,50 @@ impl MemoryController {
     /// served first, so streams with row-buffer locality complete faster;
     /// everything else (defense hook, refresh machinery, fault oracle,
     /// statistics) behaves identically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload emits an out-of-range bank index; use
+    /// [`try_run_queued`](Self::try_run_queued) to handle that as an error.
     pub fn run_queued(
         &mut self,
         workload: &mut dyn Workload,
         n: u64,
         scheduler: SchedulerConfig,
     ) -> RunStats {
+        self.try_run_queued(workload, n, scheduler).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`run_queued`](Self::run_queued), but surfaces routing problems
+    /// as [`McError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::BankOutOfRange`] on the first access whose bank
+    /// index does not exist in the configured geometry. Work already queued
+    /// is drained before returning the error, so the statistics stay
+    /// consistent.
+    pub fn try_run_queued(
+        &mut self,
+        workload: &mut dyn Workload,
+        n: u64,
+        scheduler: SchedulerConfig,
+    ) -> Result<RunStats, McError> {
         let mut queues: Vec<BankQueue> =
             (0..self.banks.len()).map(|_| BankQueue::new(scheduler)).collect();
 
-        for _ in 0..n {
+        let mut route_error = None;
+        for i in 0..n {
             let access = workload.next_access();
             self.clock += access.gap;
             self.catch_up_refresh();
-            let bank_idx = usize::from(access.bank) % self.banks.len();
+            let bank_idx = match self.route(access.bank, i) {
+                Ok(idx) => idx,
+                Err(e) => {
+                    route_error = Some(e);
+                    break;
+                }
+            };
 
             // Back-pressure: a full queue forces the oldest batch through.
             while queues[bank_idx].is_full() {
@@ -214,7 +302,10 @@ impl MemoryController {
                 self.serve_one_queued(&mut queues, b);
             }
         }
-        self.stats.clone()
+        match route_error {
+            Some(e) => Err(e),
+            None => Ok(self.stats.clone()),
+        }
     }
 
     /// Serves the scheduler's pick for `bank_idx` (which must be non-empty).
@@ -335,13 +426,10 @@ mod tests {
     #[test]
     fn graphene_prevents_flips_on_same_attack() {
         let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(
-            McConfig::single_bank(65_536, Some(model)),
-            |_| {
-                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
-                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
-            },
-        );
+        let mut mc = MemoryController::new(McConfig::single_bank(65_536, Some(model)), |_| {
+            let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+            Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+        });
         let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100_000);
         assert_eq!(stats.bit_flips, 0);
         assert!(stats.victim_rows_refreshed > 0, "NRRs must have fired");
@@ -409,12 +497,8 @@ mod tests {
     #[test]
     fn multi_bank_traffic_spreads() {
         let mut mc = no_defense_mc(McConfig::micro2020_no_oracle());
-        let mut w = workloads::ProxyWorkload::from_preset(
-            workloads::SpecPreset::Libquantum,
-            64,
-            65_536,
-            5,
-        );
+        let mut w =
+            workloads::ProxyWorkload::from_preset(workloads::SpecPreset::Libquantum, 64, 65_536, 5);
         let stats = mc.run(&mut w, 20_000);
         assert_eq!(stats.accesses, 20_000);
         assert!(stats.row_hit_rate() < 1.0);
@@ -473,13 +557,10 @@ mod tests {
     #[test]
     fn queued_mode_graphene_still_protects() {
         let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(
-            McConfig::single_bank(65_536, Some(model)),
-            |_| {
-                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
-                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
-            },
-        );
+        let mut mc = MemoryController::new(McConfig::single_bank(65_536, Some(model)), |_| {
+            let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+            Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+        });
         let stats = mc.run_queued(
             &mut Synthetic::s3(65_536, 1),
             80_000,
@@ -495,5 +576,43 @@ mod tests {
         mc.run(&mut Synthetic::s3(65_536, 1), 100);
         let s = mc.run(&mut Synthetic::s3(65_536, 1), 100);
         assert_eq!(s.accesses, 200);
+    }
+
+    /// A workload with a bank index beyond any sane geometry.
+    struct WrongBank;
+    impl Workload for WrongBank {
+        fn name(&self) -> String {
+            "wrong-bank".into()
+        }
+        fn next_access(&mut self) -> workloads::Access {
+            workloads::Access { bank: 999, row: RowId(1), gap: 1_000, stream: 0 }
+        }
+    }
+
+    #[test]
+    fn try_run_reports_bad_bank_mapping() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let err = mc.try_run(&mut WrongBank, 5).unwrap_err();
+        assert_eq!(err, McError::BankOutOfRange { bank: 999, banks: 1, access_index: 0 });
+        assert!(err.to_string().contains("bank 999"));
+        // Well-mapped traffic still succeeds afterwards.
+        let stats = mc.try_run(&mut Synthetic::s3(65_536, 1), 10).unwrap();
+        assert_eq!(stats.accesses, 10);
+    }
+
+    #[test]
+    fn try_run_queued_reports_bad_bank_mapping() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let err = mc
+            .try_run_queued(&mut WrongBank, 5, crate::scheduler::SchedulerConfig::par_bs_like())
+            .unwrap_err();
+        assert!(matches!(err, McError::BankOutOfRange { bank: 999, banks: 1, .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "targets bank 999")]
+    fn run_panics_on_bad_bank_mapping() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let _ = mc.run(&mut WrongBank, 1);
     }
 }

@@ -50,7 +50,7 @@ pub mod stats;
 pub use bank::BankState;
 pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
 pub use config::McConfig;
-pub use controller::MemoryController;
+pub use controller::{McError, MemoryController};
 pub use mapping::{AddressMapper, DecodedAddress, MappingScheme};
 pub use pagepolicy::PagePolicy;
 pub use scheduler::{BankQueue, SchedulerConfig};

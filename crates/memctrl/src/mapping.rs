@@ -94,7 +94,11 @@ impl AddressMapper {
 
     /// Total addressable capacity in mapper units (one unit = one column).
     pub fn capacity(&self) -> u64 {
-        1u64 << (self.column_bits + self.channel_bits + self.rank_bits + self.bank_bits + self.row_bits)
+        1u64 << (self.column_bits
+            + self.channel_bits
+            + self.rank_bits
+            + self.bank_bits
+            + self.row_bits)
     }
 
     /// Decodes a flat physical address (in column-sized units, wrapped at
@@ -122,7 +126,9 @@ impl AddressMapper {
     pub fn encode(&self, d: DecodedAddress) -> u64 {
         let bank = match self.scheme {
             MappingScheme::ChannelInterleaved => d.coord.bank,
-            MappingScheme::BankXor => d.coord.bank ^ ((d.row.0 as u8) & (self.geometry.banks_per_rank - 1)),
+            MappingScheme::BankXor => {
+                d.coord.bank ^ ((d.row.0 as u8) & (self.geometry.banks_per_rank - 1))
+            }
         };
         let mut a = 0u64;
         let mut put = |v: u64, bits: u32, at: &mut u32| {

@@ -147,9 +147,8 @@ impl BankQueue {
         }
         let window = self.batch_left.min(self.queue.len());
         // First-ready: oldest row-hit within the batch window.
-        let pick = open_row
-            .and_then(|open| (0..window).find(|&i| self.queue[i].row == open))
-            .unwrap_or(0);
+        let pick =
+            open_row.and_then(|open| (0..window).find(|&i| self.queue[i].row == open)).unwrap_or(0);
         if pick > 0 {
             self.reorders += 1;
         }
@@ -199,7 +198,8 @@ mod tests {
         for i in 1..6u64 {
             q.push(RowId(9), i, 0).unwrap();
         }
-        let first_batch = [q.pop_next(Some(RowId(9))).unwrap(), q.pop_next(Some(RowId(9))).unwrap()];
+        let first_batch =
+            [q.pop_next(Some(RowId(9))).unwrap(), q.pop_next(Some(RowId(9))).unwrap()];
         // Batch = {row1, row9}: the hit goes first, but row 1 drains before
         // any request of the next batch.
         assert_eq!(first_batch[0].row, RowId(9));

@@ -60,10 +60,9 @@ impl RunStats {
         let mut sum = 0.0;
         let mut n = 0u32;
         for s in 0..streams {
-            if let (Some(mine), Some(base)) = (
-                self.stream_mean_latency(s as u16),
-                baseline.stream_mean_latency(s as u16),
-            ) {
+            if let (Some(mine), Some(base)) =
+                (self.stream_mean_latency(s as u16), baseline.stream_mean_latency(s as u16))
+            {
                 if mine > 0.0 {
                     sum += base / mine;
                     n += 1;
@@ -112,12 +111,7 @@ mod tests {
 
     #[test]
     fn mean_latency_and_hit_rate() {
-        let s = RunStats {
-            accesses: 4,
-            row_hits: 3,
-            total_latency: 400,
-            ..RunStats::default()
-        };
+        let s = RunStats { accesses: 4, row_hits: 3, total_latency: 400, ..RunStats::default() };
         assert_eq!(s.mean_latency(), 100.0);
         assert_eq!(s.row_hit_rate(), 0.75);
     }

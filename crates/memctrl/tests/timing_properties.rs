@@ -127,9 +127,8 @@ fn command_log_is_protocol_clean_under_random_traffic() {
 fn queued_mode_is_protocol_clean_too() {
     use memctrl::{CommandLog, ProtocolChecker, SchedulerConfig};
     let timing = DramTiming::ddr4_2400();
-    let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |_| {
-        Box::new(NoDefense::new())
-    });
+    let mut mc =
+        MemoryController::new(McConfig::single_bank(65_536, None), |_| Box::new(NoDefense::new()));
     mc.enable_command_log(CommandLog::unbounded());
     let mut w = workloads::Synthetic::s1(10, 65_536, 9);
     mc.run_queued(&mut w, 30_000, SchedulerConfig::par_bs_like());

@@ -201,7 +201,8 @@ impl Cbt {
         // Both children inherit the parent's count: conservative, so no row
         // in either half can ever be under-counted.
         self.nodes[i] = Node { start: n.start, level: n.level + 1, count: n.count };
-        self.nodes.insert(i + 1, Node { start: n.start + half, level: n.level + 1, count: n.count });
+        self.nodes
+            .insert(i + 1, Node { start: n.start + half, level: n.level + 1, count: n.count });
     }
 }
 

@@ -42,10 +42,9 @@ impl RefreshAction {
                     Vec::new()
                 }
             }
-            RefreshAction::Range { start, count } => (start.0
-                ..start.0.saturating_add(count).min(rows_per_bank))
-                .map(RowId)
-                .collect(),
+            RefreshAction::Range { start, count } => {
+                (start.0..start.0.saturating_add(count).min(rows_per_bank)).map(RowId).collect()
+            }
         }
     }
 

@@ -90,10 +90,7 @@ impl RowHammerDefense for IdealCounters {
 
     fn table_bits(&self) -> TableBits {
         let count_bits = dram_model::geometry::bits_for(self.threshold + 1);
-        TableBits {
-            cam_bits: 0,
-            sram_bits: u64::from(self.rows_per_bank) * u64::from(count_bits),
-        }
+        TableBits { cam_bits: 0, sram_bits: u64::from(self.rows_per_bank) * u64::from(count_bits) }
     }
 
     fn reset(&mut self) {

@@ -53,12 +53,7 @@ pub struct MrlocConfig {
 impl MrlocConfig {
     /// The paper's configuration: 15-entry queue with PARA-0.00145's budget.
     pub fn micro2020() -> Self {
-        MrlocConfig {
-            queue_entries: 15,
-            base_probability: 0.00145,
-            miss_floor: 1.0,
-            addr_bits: 16,
-        }
+        MrlocConfig { queue_entries: 15, base_probability: 0.00145, miss_floor: 1.0, addr_bits: 16 }
     }
 }
 

@@ -45,12 +45,7 @@ impl ProhitConfig {
     /// (4 hot + 3 cold), with the insertion probability calibrated so the
     /// extra-refresh budget matches PARA-0.00145 (one refresh slot per tick).
     pub fn micro2020() -> Self {
-        ProhitConfig {
-            hot_entries: 4,
-            cold_entries: 3,
-            insert_probability: 0.01,
-            addr_bits: 16,
-        }
+        ProhitConfig { hot_entries: 4, cold_entries: 3, insert_probability: 0.01, addr_bits: 16 }
     }
 }
 
@@ -180,10 +175,7 @@ mod tests {
     use super::*;
 
     fn prohit_always_insert() -> Prohit {
-        Prohit::new(
-            ProhitConfig { insert_probability: 1.0, ..ProhitConfig::micro2020() },
-            1,
-        )
+        Prohit::new(ProhitConfig { insert_probability: 1.0, ..ProhitConfig::micro2020() }, 1)
     }
 
     #[test]

@@ -128,11 +128,7 @@ impl RowHammerDefense for TrrSampler {
     fn on_refresh_tick(&mut self, _now: Picoseconds) -> Vec<RefreshAction> {
         // Refresh the hottest sampled aggressor's neighbours; clear the
         // sampler for the next interval.
-        let hottest = self
-            .slots
-            .iter()
-            .max_by_key(|&&(_, c)| c)
-            .map(|&(r, _)| r);
+        let hottest = self.slots.iter().max_by_key(|&&(_, c)| c).map(|&(r, _)| r);
         self.slots.clear();
         match hottest {
             Some(aggressor) => {

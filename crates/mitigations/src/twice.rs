@@ -41,11 +41,7 @@ pub struct TwiceConfig {
 impl TwiceConfig {
     /// Paper configuration at `T_RH` = 50K, DDR4-2400.
     pub fn micro2020() -> Self {
-        TwiceConfig {
-            row_hammer_threshold: 50_000,
-            timing: DramTiming::ddr4_2400(),
-            addr_bits: 16,
-        }
+        TwiceConfig { row_hammer_threshold: 50_000, timing: DramTiming::ddr4_2400(), addr_bits: 16 }
     }
 
     /// Same defaults with another threshold (Figure 9 scaling).

@@ -19,11 +19,8 @@ const T_RH: u64 = 2_000;
 
 fn all_defenses(seed: u64) -> Vec<Box<dyn RowHammerDefense>> {
     let timing = DramTiming::ddr4_2400();
-    let graphene_cfg = GrapheneConfig::builder()
-        .row_hammer_threshold(T_RH)
-        .rows_per_bank(ROWS)
-        .build()
-        .unwrap();
+    let graphene_cfg =
+        GrapheneConfig::builder().row_hammer_threshold(T_RH).rows_per_bank(ROWS).build().unwrap();
     vec![
         Box::new(NoDefense::new()),
         Box::new(GrapheneDefense::from_config(&graphene_cfg).unwrap()),
@@ -84,12 +81,7 @@ fn reset_silences_pending_state() {
         defense.reset();
         let actions = defense.on_activation(RowId(100), T_RH * 45_000);
         let rows: u64 = actions.iter().map(|a| a.row_count(ROWS)).sum();
-        assert!(
-            rows <= 2,
-            "{} fired {} rows immediately after reset",
-            defense.name(),
-            rows
-        );
+        assert!(rows <= 2, "{} fired {} rows immediately after reset", defense.name(), rows);
     }
 }
 
@@ -136,11 +128,8 @@ fn hammer_with(defense: &mut dyn RowHammerDefense, acts: u64) -> u64 {
 #[test]
 fn counter_schemes_survive_double_sided_hammer() {
     let timing = DramTiming::ddr4_2400();
-    let graphene_cfg = GrapheneConfig::builder()
-        .row_hammer_threshold(T_RH)
-        .rows_per_bank(ROWS)
-        .build()
-        .unwrap();
+    let graphene_cfg =
+        GrapheneConfig::builder().row_hammer_threshold(T_RH).rows_per_bank(ROWS).build().unwrap();
     let mut schemes: Vec<Box<dyn RowHammerDefense>> = vec![
         Box::new(GrapheneDefense::from_config(&graphene_cfg).unwrap()),
         Box::new(Cbt::new(CbtConfig {

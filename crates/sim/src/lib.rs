@@ -11,6 +11,8 @@
 //!   Figure 7 patterns, SPEC-like mixes).
 //! * [`runner`] — baseline-relative execution of one (defense, workload)
 //!   pair and parallel matrices of pairs.
+//! * [`pool`] — the std-only work-stealing thread pool the matrix sweep
+//!   fans its (workload × defense) grid out on.
 //!
 //! # Example
 //!
@@ -26,6 +28,7 @@
 //! assert_eq!(report.stats.bit_flips, 0);
 //! ```
 
+pub mod pool;
 pub mod runner;
 pub mod scenarios;
 

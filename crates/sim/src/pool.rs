@@ -1,0 +1,218 @@
+//! A minimal scoped work-stealing thread pool (std-only).
+//!
+//! [`run_scoped`] executes a set of jobs on a fixed number of worker
+//! threads. Each worker owns a deque; it pops from its own deque first and
+//! steals from siblings when empty. Jobs receive a [`Spawner`] and may
+//! enqueue further jobs mid-flight — the mechanism [`runner::run_matrix`]
+//! (crate::runner::run_matrix) uses to fan a workload's per-defense runs
+//! out as soon as that workload's baseline finishes, without waiting for
+//! the other baselines.
+//!
+//! Why not one thread per job: a sweep grid is (workloads × defenses)
+//! jobs of wildly different costs; stealing keeps every core busy until the
+//! global queue drains, and the thread count stays bounded by the host's
+//! parallelism rather than the grid size.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A unit of work. Takes a [`Spawner`] so it can enqueue follow-up jobs.
+pub type Job<'env> = Box<dyn for<'p> FnOnce(&Spawner<'env, 'p>) + Send + 'env>;
+
+/// Boxes a closure as a [`Job`], pinning its environment lifetime.
+///
+/// Coercing a closure to [`Job`] directly tends to make inference quantify
+/// over `'env` as well as the pool lifetime, which then demands `'static`
+/// captures; routing through this helper fixes `'env` to the borrows the
+/// closure actually holds.
+pub fn job<'env, F>(f: F) -> Job<'env>
+where
+    F: for<'p> FnOnce(&Spawner<'env, 'p>) + Send + 'env,
+{
+    Box::new(f)
+}
+
+struct Shared<'env> {
+    /// One deque per worker; workers push/pop their own and steal others'.
+    deques: Vec<Mutex<VecDeque<Job<'env>>>>,
+    /// Jobs enqueued or currently executing. Workers exit when it reaches 0.
+    pending: AtomicUsize,
+    /// Parking spot for workers that found every deque empty.
+    idle: Mutex<()>,
+    wakeup: Condvar,
+}
+
+/// Handle through which a running job submits more jobs to the pool.
+pub struct Spawner<'env, 'pool> {
+    shared: &'pool Shared<'env>,
+    /// The worker executing the current job; spawned jobs land on its own
+    /// deque (depth-first, cache-warm) and get stolen if it stays busy.
+    worker: usize,
+}
+
+impl<'env> Spawner<'env, '_> {
+    /// Enqueues `job` for execution before the pool shuts down.
+    pub fn spawn<F>(&self, job: F)
+    where
+        F: for<'p> FnOnce(&Spawner<'env, 'p>) + Send + 'env,
+    {
+        self.shared.pending.fetch_add(1, Ordering::SeqCst);
+        self.shared.deques[self.worker]
+            .lock()
+            .expect("pool deque poisoned")
+            .push_back(Box::new(job));
+        self.shared.wakeup.notify_one();
+    }
+}
+
+/// Runs `initial` jobs (plus everything they spawn) to completion on
+/// `threads` workers, blocking until the queue drains.
+///
+/// Jobs may borrow from the caller's environment (`'env`); results are
+/// returned through whatever shared slots the jobs capture.
+///
+/// # Panics
+///
+/// Panics if `threads == 0` or if any job panics (the panic is propagated
+/// once all workers have stopped).
+pub fn run_scoped<'env>(threads: usize, initial: Vec<Job<'env>>) {
+    assert!(threads > 0, "pool needs at least one worker");
+    let mut shared = Shared {
+        deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+        pending: AtomicUsize::new(initial.len()),
+        idle: Mutex::new(()),
+        wakeup: Condvar::new(),
+    };
+    // Round-robin the seed jobs so workers start without stealing.
+    for (i, job) in initial.into_iter().enumerate() {
+        shared.deques[i % threads].get_mut().expect("fresh mutex").push_back(job);
+    }
+    std::thread::scope(|scope| {
+        let shared = &shared;
+        for worker in 0..threads {
+            scope.spawn(move || worker_loop(shared, worker));
+        }
+    });
+}
+
+fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
+    let n = shared.deques.len();
+    loop {
+        // Own deque first (LIFO locality not needed — FIFO keeps baseline
+        // jobs flowing before their spawned defense jobs pile up), then
+        // sweep siblings for something to steal.
+        let job = (0..n)
+            .map(|off| (worker + off) % n)
+            .find_map(|i| shared.deques[i].lock().expect("pool deque poisoned").pop_front());
+        match job {
+            Some(job) => {
+                let spawner = Spawner { shared, worker };
+                job(&spawner);
+                if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // Last job out: wake everyone so they observe pending == 0.
+                    shared.wakeup.notify_all();
+                }
+            }
+            None => {
+                if shared.pending.load(Ordering::SeqCst) == 0 {
+                    return;
+                }
+                // A job is still in flight and may spawn more. Park briefly;
+                // the timeout guards against a wakeup racing the re-check.
+                let guard = shared.idle.lock().expect("pool idle lock poisoned");
+                let _ = shared
+                    .wakeup
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("pool idle lock poisoned");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn runs_every_initial_job() {
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let jobs: Vec<Job<'_>> = (0..100)
+            .map(|_| {
+                job(move |_| {
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        run_scoped(4, jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn jobs_can_spawn_jobs() {
+        // Each seed job fans out 10 children; children run before shutdown.
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let jobs: Vec<Job<'_>> = (0..8)
+            .map(|_| {
+                job(move |sp| {
+                    for _ in 0..10 {
+                        sp.spawn(move |_| {
+                            hits_ref.fetch_add(1, Ordering::SeqCst);
+                        });
+                    }
+                })
+            })
+            .collect();
+        run_scoped(3, jobs);
+        assert_eq!(hits.load(Ordering::SeqCst), 80);
+    }
+
+    #[test]
+    fn work_spawned_on_one_worker_is_stolen() {
+        // A single seed job spawns everything from one worker's deque; with
+        // several workers the children still all complete (and, on any
+        // multicore box, finish while the spawner's own deque drains).
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let seed: Vec<Job<'_>> = vec![job(move |sp| {
+            for _ in 0..64 {
+                sp.spawn(move |_| {
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })];
+        run_scoped(4, seed);
+        assert_eq!(hits.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn single_thread_pool_completes_nested_spawns() {
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let seed: Vec<Job<'_>> = vec![job(move |sp| {
+            sp.spawn(move |sp2| {
+                hits_ref.fetch_add(1, Ordering::SeqCst);
+                sp2.spawn(move |_| {
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })];
+        run_scoped(1, seed);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn empty_job_list_returns_immediately() {
+        run_scoped(2, Vec::new());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_threads_panics() {
+        run_scoped(0, Vec::new());
+    }
+}

@@ -100,26 +100,34 @@ impl SimReport {
     }
 }
 
-fn execute(cfg: &McConfig, defense: &DefenseSpec, workload: &WorkloadSpec, accesses: u64, seed: u64) -> RunStats {
+fn execute(
+    cfg: &McConfig,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+    accesses: u64,
+    seed: u64,
+) -> RunStats {
     let rows = cfg.geometry.rows_per_bank;
     let mut mc = MemoryController::new(cfg.clone(), |bank| defense.build(bank, rows));
     let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
     mc.run(w.as_mut(), accesses)
 }
 
-/// Runs one (defense, workload) pair plus its defense-free baseline and
-/// returns the relative report.
-pub fn run_pair(cfg: &SimConfig, defense: &DefenseSpec, workload: &WorkloadSpec) -> SimReport {
-    let mc_cfg = cfg.mc_config_for(workload);
-    let baseline = execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
-    let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
-    let energy = EnergyModel::micro2020();
-    let banks = mc_cfg.geometry.total_banks();
+/// Builds the baseline-relative report for one finished run — the single
+/// place the report recipe lives, shared by [`run_pair`] and [`run_matrix`].
+fn report_for(
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+    stats: RunStats,
+    baseline: &RunStats,
+    energy: EnergyModel,
+    banks: u32,
+) -> SimReport {
     let energy_overhead =
         energy.refresh_energy_overhead(stats.victim_rows_refreshed, stats.completion, banks);
-    let slowdown = stats.slowdown_vs(&baseline);
-    let latency_increase = latency_increase(&stats, &baseline);
-    let weighted_speedup_loss = stats.weighted_speedup_loss_vs(&baseline);
+    let slowdown = stats.slowdown_vs(baseline);
+    let latency_increase = latency_increase(&stats, baseline);
+    let weighted_speedup_loss = stats.weighted_speedup_loss_vs(baseline);
     SimReport {
         defense: defense.name(),
         workload: workload.name(),
@@ -129,6 +137,22 @@ pub fn run_pair(cfg: &SimConfig, defense: &DefenseSpec, workload: &WorkloadSpec)
         latency_increase,
         weighted_speedup_loss,
     }
+}
+
+/// Runs one (defense, workload) pair plus its defense-free baseline and
+/// returns the relative report.
+pub fn run_pair(cfg: &SimConfig, defense: &DefenseSpec, workload: &WorkloadSpec) -> SimReport {
+    let mc_cfg = cfg.mc_config_for(workload);
+    let baseline = execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
+    let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
+    report_for(
+        defense,
+        workload,
+        stats,
+        &baseline,
+        EnergyModel::micro2020(),
+        mc_cfg.geometry.total_banks(),
+    )
 }
 
 fn latency_increase(stats: &memctrl::RunStats, baseline: &memctrl::RunStats) -> f64 {
@@ -142,6 +166,14 @@ fn latency_increase(stats: &memctrl::RunStats, baseline: &memctrl::RunStats) -> 
 /// Runs the full (defenses × workloads) matrix in parallel and returns the
 /// reports in (workload-major, defense-minor) order.
 ///
+/// Every cell of the grid is an independent job on a work-stealing pool
+/// ([`crate::pool`]): one baseline job per workload, which on completion
+/// fans out one job per defense sharing that baseline. Compared to the old
+/// one-thread-per-workload scheme (defenses serial within each thread), a
+/// slow workload no longer serializes its D defense runs on a single core,
+/// and the thread count is bounded by the host's parallelism rather than
+/// the number of workloads.
+///
 /// The defense-free baseline of each workload is executed once and shared by
 /// every defense of that workload (unlike repeated [`run_pair`] calls, which
 /// would re-run it per pair).
@@ -150,51 +182,51 @@ pub fn run_matrix(
     defenses: &[DefenseSpec],
     workloads: &[WorkloadSpec],
 ) -> Vec<SimReport> {
-    let mut results: Vec<Vec<SimReport>> = Vec::new();
-    crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = workloads
-            .iter()
-            .map(|workload| {
-                scope.spawn(move |_| {
-                    let mc_cfg = cfg.mc_config_for(workload);
-                    let baseline =
-                        execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
-                    let energy = EnergyModel::micro2020();
-                    let banks = mc_cfg.geometry.total_banks();
-                    defenses
-                        .iter()
-                        .map(|defense| {
-                            let stats =
-                                execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
-                            let energy_overhead = energy.refresh_energy_overhead(
-                                stats.victim_rows_refreshed,
-                                stats.completion,
-                                banks,
-                            );
-                            let slowdown = stats.slowdown_vs(&baseline);
-                            let latency_increase = latency_increase(&stats, &baseline);
-                            let weighted_speedup_loss =
-                                stats.weighted_speedup_loss_vs(&baseline);
-                            SimReport {
-                                defense: defense.name(),
-                                workload: workload.name(),
-                                stats,
-                                energy_overhead,
-                                slowdown,
-                                latency_increase,
-                                weighted_speedup_loss,
-                            }
-                        })
-                        .collect::<Vec<_>>()
-                })
+    use std::sync::{Arc, Mutex};
+
+    let energy = EnergyModel::micro2020();
+    let n_def = defenses.len();
+    let slots: Vec<Mutex<Option<SimReport>>> =
+        (0..workloads.len() * n_def).map(|_| Mutex::new(None)).collect();
+
+    // One job per grid cell plus one baseline per workload can be in flight;
+    // more threads than that (or than the host has cores) would only idle.
+    let jobs_upper_bound = workloads.len() * (n_def + 1);
+    let threads =
+        std::thread::available_parallelism().map_or(4, usize::from).min(jobs_upper_bound).max(1);
+
+    let slots_ref = &slots;
+    let initial: Vec<crate::pool::Job<'_>> = workloads
+        .iter()
+        .enumerate()
+        .map(|(wi, workload)| {
+            crate::pool::job(move |spawner| {
+                let mc_cfg = cfg.mc_config_for(workload);
+                let banks = mc_cfg.geometry.total_banks();
+                let baseline =
+                    Arc::new(execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed));
+                for (di, defense) in defenses.iter().enumerate() {
+                    let baseline = Arc::clone(&baseline);
+                    spawner.spawn(move |_| {
+                        let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
+                        let report = report_for(defense, workload, stats, &baseline, energy, banks);
+                        *slots_ref[wi * n_def + di].lock().expect("result slot poisoned") =
+                            Some(report);
+                    });
+                }
             })
-            .collect();
-        for h in handles {
-            results.push(h.join().expect("sweep worker panicked"));
-        }
-    })
-    .expect("crossbeam scope");
-    results.into_iter().flatten().collect()
+        })
+        .collect();
+    crate::pool::run_scoped(threads, initial);
+
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every grid cell filled by the pool")
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -104,10 +104,7 @@ impl DefenseSpec {
                 bank as u64 + 1,
             )),
             DefenseSpec::Cbt { t_rh } => {
-                let cfg = CbtConfig {
-                    rows_per_bank,
-                    ..CbtConfig::scaled_for_threshold(t_rh)
-                };
+                let cfg = CbtConfig { rows_per_bank, ..CbtConfig::scaled_for_threshold(t_rh) };
                 Box::new(Cbt::new(cfg))
             }
             DefenseSpec::Cra { t_rh } => Box::new(Cra::new(CraConfig {

@@ -47,8 +47,7 @@ fn energy_overhead_is_nonnegative_and_flipless_for_counter_schemes() {
 
 #[test]
 fn defense_names_are_distinct_in_lineup() {
-    let names: Vec<String> =
-        DefenseSpec::paper_lineup(50_000).iter().map(|d| d.name()).collect();
+    let names: Vec<String> = DefenseSpec::paper_lineup(50_000).iter().map(|d| d.name()).collect();
     let set: std::collections::HashSet<_> = names.iter().collect();
     assert_eq!(set.len(), names.len(), "duplicate names {names:?}");
 }

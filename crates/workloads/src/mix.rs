@@ -37,10 +37,8 @@ impl Interleaved {
     /// Panics if no streams are provided.
     pub fn new(mut streams: Vec<Box<dyn Workload + Send>>) -> Self {
         assert!(!streams.is_empty(), "need at least one stream");
-        let name = format!(
-            "mix[{}]",
-            streams.iter().map(|s| s.name()).collect::<Vec<_>>().join("+")
-        );
+        let name =
+            format!("mix[{}]", streams.iter().map(|s| s.name()).collect::<Vec<_>>().join("+"));
         let pending = streams
             .iter_mut()
             .map(|s| {

@@ -72,9 +72,8 @@ impl Synthetic {
         // rejection sampling that could dead-end on dense configurations.
         let stride = rows_per_bank / n;
         let jitter_room = stride - 2;
-        let aggressors = (0..n)
-            .map(|i| RowId(i * stride + rng.gen_range(0..jitter_room)))
-            .collect();
+        let aggressors =
+            (0..n).map(|i| RowId(i * stride + rng.gen_range(0..jitter_room))).collect();
         Synthetic { kind, rows_per_bank, aggressors, position: 0, rng }
     }
 
@@ -154,7 +153,8 @@ mod tests {
     fn s2_mostly_cycles_with_some_noise() {
         let mut w = Synthetic::s2(10, 65_536, 7);
         let accesses = w.take_accesses(10_000);
-        let aggressors: HashSet<_> = Synthetic::s2(10, 65_536, 7).aggressors().to_vec().into_iter().collect();
+        let aggressors: HashSet<_> =
+            Synthetic::s2(10, 65_536, 7).aggressors().to_vec().into_iter().collect();
         let noise = accesses.iter().filter(|a| !aggressors.contains(&a.row)).count();
         // Roughly 1 in 11 accesses is random.
         assert!(noise > 400 && noise < 1800, "noise {noise}");

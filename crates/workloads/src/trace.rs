@@ -80,10 +80,7 @@ impl Trace {
         }
         let n = data.get_u32_le() as usize;
         if data.remaining() != n * 16 {
-            return Err(format!(
-                "body length {} does not match {n} accesses",
-                data.remaining()
-            ));
+            return Err(format!("body length {} does not match {n} accesses", data.remaining()));
         }
         let mut accesses = Vec::with_capacity(n);
         for _ in 0..n {
@@ -168,7 +165,10 @@ mod tests {
     fn replay_loops() {
         let trace = Trace::from_accesses(
             "t",
-            vec![Access { bank: 0, row: RowId(1), gap: 5, stream: 0 }, Access { bank: 1, row: RowId(2), gap: 6, stream: 0 }],
+            vec![
+                Access { bank: 0, row: RowId(1), gap: 5, stream: 0 },
+                Access { bank: 1, row: RowId(2), gap: 6, stream: 0 },
+            ],
         );
         let mut r = trace.replay();
         let first: Vec<_> = (0..4).map(|_| r.next_access().row.0).collect();
@@ -185,7 +185,10 @@ mod tests {
 
     #[test]
     fn encoded_size_is_deterministic() {
-        let trace = Trace::from_accesses("t", vec![Access { bank: 3, row: RowId(9), gap: 11, stream: 0 }; 10]);
+        let trace = Trace::from_accesses(
+            "t",
+            vec![Access { bank: 3, row: RowId(9), gap: 11, stream: 0 }; 10],
+        );
         assert_eq!(trace.to_bytes().len(), 8 + 10 * 16);
     }
 
@@ -197,7 +200,8 @@ mod tests {
 
     #[test]
     fn rejects_truncation() {
-        let trace = Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(1), gap: 2, stream: 0 }]);
+        let trace =
+            Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(1), gap: 2, stream: 0 }]);
         let mut bytes = trace.to_bytes().to_vec();
         bytes.pop();
         assert!(Trace::from_bytes(Bytes::from(bytes)).is_err());

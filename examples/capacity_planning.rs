@@ -54,8 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!();
     println!("3. Non-adjacent coverage at T_RH = 50K, k = 2");
-    let mut table =
-        TablePrinter::new(vec!["mu model", "radius", "factor", "N_entry", "bits/bank"]);
+    let mut table = TablePrinter::new(vec!["mu model", "radius", "factor", "N_entry", "bits/bank"]);
     for mu in [
         MuModel::Adjacent,
         MuModel::InverseSquare { radius: 2 },

@@ -59,10 +59,12 @@ fn main() {
     };
     let mut table =
         TablePrinter::new(vec!["scheduler", "row-hit rate", "completion (us)", "reorders allowed"]);
-    for (name, cfg) in [("FCFS", SchedulerConfig::fcfs()), ("PAR-BS-like", SchedulerConfig::par_bs_like())]
+    for (name, cfg) in
+        [("FCFS", SchedulerConfig::fcfs()), ("PAR-BS-like", SchedulerConfig::par_bs_like())]
     {
-        let mut mc =
-            MemoryController::new(McConfig::single_bank(65_536, None), |_| Box::new(NoDefense::new()));
+        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |_| {
+            Box::new(NoDefense::new())
+        });
         let stats = mc.run_queued(&mut make_trace(), 50_000, cfg);
         table.row(vec![
             name.into(),

@@ -10,9 +10,7 @@
 //! hot keys, popular pages) the algorithm family was designed for — and
 //! verifies the guarantees the Row Hammer proof rests on.
 
-use graphene_repro::freq_elems::{
-    FrequencyEstimator, MisraGries, SpaceSaving, SpilloverSummary,
-};
+use graphene_repro::freq_elems::{FrequencyEstimator, MisraGries, SpaceSaving, SpilloverSummary};
 use graphene_repro::rh_analysis::TablePrinter;
 use graphene_repro::workloads::Zipf;
 use rand::rngs::StdRng;
@@ -40,7 +38,7 @@ fn main() {
     }
 
     let mut truth: Vec<(usize, u64)> = actual.iter().map(|(&k, &v)| (k, v)).collect();
-    truth.sort_by(|a, b| b.1.cmp(&a.1));
+    truth.sort_by_key(|e| std::cmp::Reverse(e.1));
 
     println!("Top-8 keys of a Zipf(1.05) stream, tracked with {capacity} counters:");
     println!();

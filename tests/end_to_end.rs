@@ -41,11 +41,7 @@ fn every_counter_scheme_stops_every_adversarial_pattern() {
     for defense in counter_based(T_RH) {
         for attack in WorkloadSpec::adversarial_set() {
             let r = run_pair(&cfg, &defense, &attack);
-            assert_eq!(
-                r.stats.bit_flips, 0,
-                "{} flipped under {}",
-                r.defense, r.workload
-            );
+            assert_eq!(r.stats.bit_flips, 0, "{} flipped under {}", r.defense, r.workload);
         }
     }
 }
@@ -62,10 +58,7 @@ fn no_defense_fails_on_hammering_patterns() {
 
 #[test]
 fn graphene_is_refresh_free_on_normal_mix() {
-    let cfg = SimConfig {
-        accesses: 150_000,
-        ..SimConfig::with_threshold(50_000, 150_000)
-    };
+    let cfg = SimConfig { accesses: 150_000, ..SimConfig::with_threshold(50_000, 150_000) };
     let r = run_pair(&cfg, &DefenseSpec::Graphene { t_rh: 50_000, k: 2 }, &WorkloadSpec::MixHigh);
     assert_eq!(r.stats.defense_refresh_commands, 0, "false positives on normal traffic");
     assert_eq!(r.stats.bit_flips, 0);
@@ -74,20 +67,14 @@ fn graphene_is_refresh_free_on_normal_mix() {
 
 #[test]
 fn twice_is_refresh_free_on_normal_mix() {
-    let cfg = SimConfig {
-        accesses: 150_000,
-        ..SimConfig::with_threshold(50_000, 150_000)
-    };
+    let cfg = SimConfig { accesses: 150_000, ..SimConfig::with_threshold(50_000, 150_000) };
     let r = run_pair(&cfg, &DefenseSpec::Twice { t_rh: 50_000 }, &WorkloadSpec::MixHigh);
     assert_eq!(r.stats.defense_refresh_commands, 0);
 }
 
 #[test]
 fn para_pays_constant_tax_on_normal_mix() {
-    let cfg = SimConfig {
-        accesses: 150_000,
-        ..SimConfig::with_threshold(50_000, 150_000)
-    };
+    let cfg = SimConfig { accesses: 150_000, ..SimConfig::with_threshold(50_000, 150_000) };
     let r = run_pair(&cfg, &DefenseSpec::Para { p: 0.00145 }, &WorkloadSpec::MixHigh);
     assert!(r.stats.defense_refresh_commands > 0, "PARA must refresh probabilistically");
     let rate = r.stats.defense_refresh_commands as f64 / r.stats.activations as f64;
@@ -113,9 +100,8 @@ fn full_system_runs_all_defenses_together() {
     // 64-bank system, one defense kind per run, verifying the controller's
     // bookkeeping stays coherent across banks.
     for defense in counter_based(50_000) {
-        let mut mc = MemoryController::new(McConfig::micro2020(), |bank| {
-            defense.build(bank, 65_536)
-        });
+        let mut mc =
+            MemoryController::new(McConfig::micro2020(), |bank| defense.build(bank, 65_536));
         let mut w = WorkloadSpec::MixBlend.build(64, 65_536, 9);
         let stats = mc.run(w.as_mut(), 60_000);
         assert_eq!(stats.accesses, 60_000);
@@ -130,7 +116,8 @@ fn fig7a_defeats_prohit_but_not_graphene() {
     // inside the attack, even though PRoHIT spends a refresh slot per tREFI.
     let cfg = SimConfig::attack_bank(1_000, 400_000);
     let prohit = run_pair(&cfg, &DefenseSpec::Prohit, &WorkloadSpec::Fig7a);
-    let graphene = run_pair(&cfg, &DefenseSpec::Graphene { t_rh: 1_000, k: 2 }, &WorkloadSpec::Fig7a);
+    let graphene =
+        run_pair(&cfg, &DefenseSpec::Graphene { t_rh: 1_000, k: 2 }, &WorkloadSpec::Fig7a);
     assert!(prohit.stats.bit_flips > 0, "the Figure 7(a) pattern must defeat PRoHIT");
     assert!(prohit.stats.defense_refresh_commands > 0, "PRoHIT was actively refreshing");
     assert_eq!(graphene.stats.bit_flips, 0);

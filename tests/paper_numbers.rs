@@ -18,12 +18,7 @@ fn table_i_w_is_1360k() {
 
 #[test]
 fn table_ii_k1_parameters() {
-    let p = GrapheneConfig::builder()
-        .reset_window_divisor(1)
-        .build()
-        .unwrap()
-        .derive()
-        .unwrap();
+    let p = GrapheneConfig::builder().reset_window_divisor(1).build().unwrap().derive().unwrap();
     assert_eq!(p.tracking_threshold, 12_500);
     assert_eq!(p.n_entry, 108);
 }
@@ -109,10 +104,7 @@ fn figure6_worst_case_bound_is_tight() {
     }
     let bound = params.acts_per_window / params.tracking_threshold;
     assert!(nrrs <= bound, "bound violated: {nrrs} > {bound}");
-    assert!(
-        nrrs as f64 >= 0.9 * bound as f64,
-        "bound loose: achieved {nrrs} of {bound}"
-    );
+    assert!(nrrs as f64 >= 0.9 * bound as f64, "bound loose: achieved {nrrs} of {bound}");
 }
 
 #[test]

@@ -45,8 +45,8 @@ impl Workload for RandomAdversary {
             self.remaining = self.rng.gen_range(100..5_000);
             let base = self.rng.gen_range(2..self.rows - 2);
             self.targets = match self.phase {
-                0 => vec![base],                 // single-sided
-                1 => vec![base, base + 2],       // double-sided
+                0 => vec![base],                                           // single-sided
+                1 => vec![base, base + 2],                                 // double-sided
                 _ => (0..8).map(|i| (base + i * 7) % self.rows).collect(), // rotation
             };
         }

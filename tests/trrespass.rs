@@ -6,11 +6,9 @@
 //! every width.
 
 use graphene_repro::dram_model::fault::{DisturbanceModel, FaultOracle, MuModel};
-use graphene_repro::dram_model::{DramTiming, RefreshEngine, RowId};
+use graphene_repro::dram_model::{DramTiming, RefreshEngine};
 use graphene_repro::graphene_core::GrapheneConfig;
-use graphene_repro::mitigations::{
-    GrapheneDefense, RowHammerDefense, TrrConfig, TrrSampler,
-};
+use graphene_repro::mitigations::{GrapheneDefense, RowHammerDefense, TrrConfig, TrrSampler};
 use graphene_repro::workloads::{NSidedAttack, Workload};
 
 const T_RH: u64 = 2_000;

@@ -1,0 +1,205 @@
+//! Offline stand-in for `criterion` 0.5.
+//!
+//! Implements the group/`bench_function` subset used by this workspace's
+//! benches. Measurement is a simple calibrated wall-clock loop (no outlier
+//! rejection, no HTML reports); results print as `ns/iter` plus derived
+//! element throughput when configured. Good enough to compare orders of
+//! magnitude; the `perf_snapshot` bin is the canonical perf artifact.
+
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// How [`Bencher::iter_batched`] sizes its setup batches (ignored here).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Mirrors `BenchmarkId::from_parameter`.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Mirrors `BenchmarkId::new`.
+    pub fn new<S: Into<String>, P: std::fmt::Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Measures one benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, auto-scaling the iteration count to ~0.2 s.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: grow the batch until it takes at least ~20 ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed.as_millis() >= 20 || n >= 1 << 30 {
+                // One measured pass at 10× the calibration batch (capped).
+                let runs = (n * 10).min(1 << 32);
+                let start = Instant::now();
+                for _ in 0..runs {
+                    black_box(routine());
+                }
+                self.ns_per_iter = start.elapsed().as_nanos() as f64 / runs as f64;
+                return;
+            }
+            n = n.saturating_mul(u64::from(elapsed.as_millis() < 2) * 9 + 2);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup` (setup excluded from
+    /// the measurement only at batch granularity, like the real crate's
+    /// `PerIteration` mode approximation).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns = 0u128;
+        let mut runs = 0u64;
+        while total_ns < 200_000_000 && runs < 1_000_000 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+            runs += 1;
+        }
+        self.ns_per_iter = total_ns as f64 / runs.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput denominator.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Sets the sample count (accepted for API compatibility; unused).
+    pub fn sample_size(&mut self, _n: usize) {}
+
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<Id: std::fmt::Display, F>(&mut self, id: Id, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::default();
+        f(&mut bencher);
+        let ns = bencher.ns_per_iter;
+        match self.throughput {
+            Some(Throughput::Elements(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{}/{:<24} {:>12.1} ns/iter {:>14.0} elem/s", self.name, id, ns, rate);
+            }
+            Some(Throughput::Bytes(n)) if ns > 0.0 => {
+                let rate = n as f64 * 1e9 / ns;
+                println!("{}/{:<24} {:>12.1} ns/iter {:>14.0} B/s", self.name, id, ns, rate);
+            }
+            _ => println!("{}/{:<24} {:>12.1} ns/iter", self.name, id, ns),
+        }
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts CLI arguments for compatibility (all ignored).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+}
+
+/// Mirrors `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        g.bench_function(BenchmarkId::from_parameter("noop"), |b| b.iter(|| black_box(1u64 + 1)));
+        g.finish();
+    }
+}

@@ -1,0 +1,340 @@
+//! Offline stand-in for `proptest` 1.x.
+//!
+//! Provides the subset this workspace's property tests use: the `proptest!`
+//! macro over `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`,
+//! `ProptestConfig::with_cases`, integer/float range strategies, tuples,
+//! `prop::collection::vec`, `prop::bool::ANY`, and `any::<T>()`.
+//!
+//! Unlike the real crate there is **no shrinking** and no persisted failure
+//! corpus: each test runs `cases` deterministic pseudo-random samples
+//! (seeded per case index, so failures reproduce across runs and machines).
+
+use std::ops::Range;
+
+pub use config::ProptestConfig;
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Why one generated case failed, mirroring
+    /// `proptest::test_runner::TestCaseError`. `prop_assert!` returns the
+    /// `Fail` variant; case bodies are `Result<(), TestCaseError>` so `?`
+    /// works inside them.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property does not hold for this input.
+        Fail(String),
+        /// The input should be discarded, not counted as a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given explanation.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// A rejection (input filtered out) with the given explanation.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "input rejected: {r}"),
+            }
+        }
+    }
+
+    /// Per-case deterministic source of randomness.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(StdRng);
+
+    impl TestRng {
+        /// Builds the generator for the `case`-th sample of a test.
+        pub fn for_case(case: u64) -> Self {
+            // Distinct, fixed seed per case: reproducible without storage.
+            TestRng(StdRng::seed_from_u64(
+                0xA076_1D64_78BD_642F ^ (case.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+            ))
+        }
+
+        /// Raw 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            rand::Rng::next_u64(&mut self.0)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            rand::Rng::gen::<f64>(&mut self.0)
+        }
+    }
+}
+
+pub mod config {
+    /// Run configuration: only the case count is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random samples to run per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` samples.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            // The real default (256) is overkill without shrinking; 64 keeps
+            // debug-mode suites fast while still exercising variety.
+            ProptestConfig { cases: 64 }
+        }
+    }
+}
+
+/// A generator of test inputs, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value;
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut test_runner::TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+
+/// Strategy for any value of a [`Arbitrary`]-like type (`any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Mirrors `proptest::arbitrary::any`.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut test_runner::TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+any_int!(u8, u16, u32, u64, usize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn sample(&self, rng: &mut test_runner::TestRng) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+/// Strategy modules re-exported as `prop::…` (the prelude's naming).
+pub mod prop {
+    pub mod collection {
+        use super::super::{test_runner::TestRng, Strategy};
+        use std::ops::Range;
+
+        /// Strategy producing `Vec`s with lengths drawn from `len`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        /// Mirrors `prop::collection::vec(element, size_range)`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let span = (self.len.end - self.len.start).max(1) as u64;
+                let n = self.len.start + (rng.next_u64() % span) as usize;
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    pub mod bool {
+        use super::super::{test_runner::TestRng, Strategy};
+
+        /// Strategy for a uniformly random `bool`.
+        #[derive(Debug, Clone, Copy)]
+        pub struct BoolAny;
+
+        /// Mirrors `prop::bool::ANY`.
+        pub const ANY: BoolAny = BoolAny;
+
+        impl Strategy for BoolAny {
+            type Value = bool;
+            fn sample(&self, rng: &mut TestRng) -> bool {
+                rng.next_u64() >> 63 == 1
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::config::ProptestConfig;
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, proptest, Strategy};
+}
+
+/// Mirrors `prop_assert!`: fails the current case by returning
+/// `Err(TestCaseError)` (the case body is a `Result`-returning closure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Mirrors `prop_assert_eq!`: fails the current case on inequality.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, "{:?} != {:?}", __l, __r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(__l == __r, "{:?} != {:?}: {}", __l, __r, format!($($fmt)*));
+    }};
+}
+
+/// Mirrors `proptest! { … }`: expands each `fn name(arg in strategy, …)`
+/// item into a `#[test]` running `cases` deterministic samples. Each case
+/// body runs inside a `Result<(), TestCaseError>` closure, so `?` and
+/// `prop_assert!` short-circuit the case like the real crate.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    (@with ($cfg:expr)) => {};
+    (@with ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__config.cases) {
+                let mut __rng = $crate::test_runner::TestRng::for_case(__case);
+                $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                let __outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match __outcome {
+                    ::core::result::Result::Ok(()) => {}
+                    ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                    ::core::result::Result::Err(__e) => {
+                        panic!("case {} of {}: {}", __case, stringify!($name), __e)
+                    }
+                }
+            }
+        }
+        $crate::proptest!(@with ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3u32..17, f in 0.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(0u16..48, 1..300)) {
+            prop_assert!(!v.is_empty() && v.len() < 300);
+            prop_assert!(v.iter().all(|&x| x < 48));
+        }
+
+        #[test]
+        fn tuples_and_bools(pair in (0u32..9, prop::bool::ANY), s in any::<u64>()) {
+            prop_assert!(pair.0 < 9);
+            let _: bool = pair.1;
+            let _ = s;
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> =
+            (0..5).map(|c| crate::test_runner::TestRng::for_case(c).next_u64()).collect();
+        let b: Vec<u64> =
+            (0..5).map(|c| crate::test_runner::TestRng::for_case(c).next_u64()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! This container has no network access and no crates-io cache, so the
+//! workspace vendors minimal API-compatible stubs for its external
+//! dependencies (see `vendor/README.md`). The repo uses serde only as
+//! `#[derive(Serialize, Deserialize)]` markers — nothing constructs a
+//! `Serializer`/`Deserializer` — so the traits are inert and the derives
+//! (from the sibling `serde_derive` stub) expand to nothing.
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+// Re-export the derive macros under the trait names, as the real crate does
+// with its `derive` feature.
+pub use serde_derive::{Deserialize, Serialize};

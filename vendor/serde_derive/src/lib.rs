@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace only ever *derives* `Serialize`/`Deserialize` — nothing
+//! actually serializes (there is no `serde_json` and no hand-written
+//! `Serializer`). The real derive would generate visitor boilerplate; here
+//! the traits are inert markers (see the `serde` stub crate), so the derive
+//! can expand to nothing at all. `attributes(serde)` is still declared so
+//! any future `#[serde(...)]` field attribute parses.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
