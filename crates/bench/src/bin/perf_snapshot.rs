@@ -22,7 +22,7 @@ use std::time::Instant;
 use dram_model::RowId;
 use graphene_core::reference::LinearCounterTable;
 use graphene_core::CounterTable;
-use rh_bench::{banner, fast_mode};
+use rh_bench::{audit_mode, banner, fast_mode};
 use rh_sim::{run_matrix, DefenseSpec, SimConfig, WorkloadSpec};
 
 /// Paper-scale table sizes (Table 2 trajectory: 50K → 2K-class thresholds).
@@ -94,7 +94,10 @@ fn measure_table(n_entry: usize, acts: u64) -> ThroughputRow {
 }
 
 fn measure_matrix(accesses: u64) -> (usize, usize, f64) {
-    let cfg = SimConfig::attack_bank(5_000, accesses);
+    // Perf numbers must measure the real hot path: the audit wrapper
+    // (attack_bank's default) validates every action and would tax exactly
+    // the code being timed.
+    let cfg = SimConfig { audit: false, ..SimConfig::attack_bank(5_000, accesses) };
     let defenses = [DefenseSpec::Graphene { t_rh: 5_000, k: 2 }, DefenseSpec::Para { p: 0.001 }];
     let workloads = [WorkloadSpec::S3, WorkloadSpec::S1 { n: 8 }];
     let start = Instant::now();
@@ -106,6 +109,16 @@ fn measure_matrix(accesses: u64) -> (usize, usize, f64) {
 
 fn main() {
     let fast = fast_mode();
+    if audit_mode() {
+        // The RH_AUDIT override reaches inside run_matrix and would fold
+        // audit-layer work into the recorded trajectory. Refuse rather than
+        // record numbers that aren't comparable to the existing snapshots.
+        eprintln!(
+            "error: perf-snapshot measures the unaudited hot path; \
+             unset RH_AUDIT / drop --audit and re-run"
+        );
+        std::process::exit(2);
+    }
     let out_path = {
         let mut args = std::env::args().skip(1);
         let mut out = None;
@@ -149,6 +162,7 @@ fn main() {
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"perf_snapshot\",");
     let _ = writeln!(json, "  \"fast\": {fast},");
+    let _ = writeln!(json, "  \"audited\": false,");
     let _ = writeln!(json, "  \"tracking_threshold\": {T},");
     let _ = writeln!(json, "  \"table_throughput\": [");
     for (i, r) in rows.iter().enumerate() {

@@ -2,6 +2,9 @@
 
 fn main() {
     let fast = rh_bench::fast_mode();
+    // --audit / RH_AUDIT: run the whole suite under the invariant audit
+    // layer (results are identical, every run is cross-checked online).
+    rh_bench::propagate_audit_mode();
     rh_bench::exp_table1::run(fast);
     rh_bench::exp_table2::run(fast);
     rh_bench::exp_table3::run(fast);

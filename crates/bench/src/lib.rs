@@ -29,6 +29,25 @@ pub fn fast_mode() -> bool {
     std::env::args().any(|a| a == "--fast") || std::env::var_os("RH_FAST").is_some()
 }
 
+/// Parses the shared `--audit` / `RH_AUDIT` switch: run every simulation
+/// under the invariant audit layer (audited defenses, end-of-run stats and
+/// ground-truth checks). Slower; numbers are bit-identical to unaudited
+/// runs, so use it to *validate* a configuration, not to record it.
+pub fn audit_mode() -> bool {
+    std::env::args().any(|a| a == "--audit") || std::env::var_os("RH_AUDIT").is_some()
+}
+
+/// Propagates [`audit_mode`] to every simulation in this process: the
+/// runner checks `RH_AUDIT` when a `SimConfig` doesn't opt in itself, so
+/// exporting the variable audits each experiment without threading a flag
+/// through every `exp_*` signature.
+pub fn propagate_audit_mode() {
+    if audit_mode() {
+        // Single-threaded setup phase; simulations only read it later.
+        std::env::set_var("RH_AUDIT", "1");
+    }
+}
+
 /// Prints the standard experiment header.
 pub fn banner(title: &str) {
     println!();

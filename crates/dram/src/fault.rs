@@ -290,6 +290,26 @@ impl FaultOracle {
         &self.flips
     }
 
+    /// Number of bit flips ever observed (audit introspection hook).
+    pub fn flip_count(&self) -> u64 {
+        self.flips.len() as u64
+    }
+
+    /// Highest accumulated disturbance currently held by any row, in
+    /// adjacent-ACT units (audit introspection hook).
+    ///
+    /// With a sound defense this stays strictly below
+    /// [`DisturbanceModel::t_rh`] at all times; the end-of-run audit
+    /// cross-check asserts exactly that whenever a run reports zero flips.
+    pub fn max_disturbance(&self) -> f64 {
+        self.hottest_victim().1
+    }
+
+    /// The flip threshold in adjacent-ACT units, as enforced internally.
+    pub fn threshold_acts(&self) -> f64 {
+        self.threshold_fixed as f64 / SCALE as f64
+    }
+
     /// True if no bit flip has ever been observed — the property a sound
     /// defense must maintain.
     pub fn is_clean(&self) -> bool {
@@ -447,6 +467,24 @@ mod tests {
         let (row, v) = o.hottest_victim();
         assert!(row == RowId(39) || row == RowId(41));
         assert_eq!(v, 7.0);
+    }
+
+    #[test]
+    fn introspection_hooks_report_margin_and_flips() {
+        let mut o = small_oracle(10);
+        assert_eq!(o.flip_count(), 0);
+        assert_eq!(o.max_disturbance(), 0.0);
+        assert_eq!(o.threshold_acts(), 10.0);
+        for t in 0..7 {
+            o.activate(RowId(20), t);
+        }
+        assert_eq!(o.max_disturbance(), 7.0);
+        assert!(o.max_disturbance() < o.threshold_acts());
+        for t in 7..10 {
+            o.activate(RowId(20), t);
+        }
+        assert_eq!(o.flip_count(), 2);
+        assert!(o.max_disturbance() >= o.threshold_acts());
     }
 
     #[test]

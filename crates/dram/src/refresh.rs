@@ -30,8 +30,10 @@ pub struct RefreshEngine {
     rows_per_bank: u32,
     /// Rows restored per REF command.
     rows_per_ref: u32,
-    /// Next row to refresh.
-    pointer: u32,
+    /// REF commands issued within the current refresh window.
+    burst_in_window: u64,
+    /// REF commands per refresh window (`tREFW / tREFI`).
+    cmds_per_window: u64,
     /// REF commands executed so far.
     refs_issued: u64,
     /// REF period.
@@ -56,7 +58,8 @@ impl RefreshEngine {
         RefreshEngine {
             rows_per_bank,
             rows_per_ref,
-            pointer: 0,
+            burst_in_window: 0,
+            cmds_per_window: cmds,
             refs_issued: 0,
             t_refi: timing.t_refi,
             next_ref_at: timing.t_refi,
@@ -78,15 +81,32 @@ impl RefreshEngine {
         self.refs_issued
     }
 
+    /// REF commands per refresh window (`tREFW / tREFI`); the rotation
+    /// restarts at row 0 after exactly this many bursts.
+    pub fn cmds_per_window(&self) -> u64 {
+        self.cmds_per_window
+    }
+
     /// Executes one REF command and returns the rows it restores.
     ///
-    /// The rotation wraps around the bank, so calling this
-    /// `refresh_commands_per_window` times refreshes every row at least once.
+    /// The rotation is aligned to the refresh window: each window of
+    /// `cmds_per_window` REF commands covers every row of the bank exactly
+    /// once, and the next window restarts at row 0. Because `rows_per_ref`
+    /// is rounded up, the bank may be fully covered a few commands early;
+    /// the remaining bursts of the window restore nothing (the hardware
+    /// equivalent of a REF landing on already-refreshed rows). The
+    /// alternative — wrapping the pointer modulo the bank size — makes the
+    /// wrap point drift by `rows_per_ref × cmds_per_window − rows_per_bank`
+    /// rows per window, double-refreshing early rows while each row's
+    /// retention phase slides every window.
     pub fn next_burst(&mut self) -> Vec<RowId> {
-        let mut rows = Vec::with_capacity(self.rows_per_ref as usize);
-        for _ in 0..self.rows_per_ref {
-            rows.push(RowId(self.pointer));
-            self.pointer = (self.pointer + 1) % self.rows_per_bank;
+        let start = self.burst_in_window * u64::from(self.rows_per_ref);
+        let lo = start.min(u64::from(self.rows_per_bank)) as u32;
+        let hi = (start + u64::from(self.rows_per_ref)).min(u64::from(self.rows_per_bank)) as u32;
+        let rows = (lo..hi).map(RowId).collect();
+        self.burst_in_window += 1;
+        if self.burst_in_window == self.cmds_per_window {
+            self.burst_in_window = 0;
         }
         self.refs_issued += 1;
         self.next_ref_at += self.t_refi;
@@ -140,6 +160,56 @@ mod tests {
         assert_eq!(first_cycle, (0..8).map(RowId).collect::<Vec<_>>());
         // Next burst starts over at row 0.
         assert_eq!(eng.next_burst(), vec![RowId(0), RowId(1)]);
+    }
+
+    #[test]
+    fn every_window_covers_each_row_exactly_once() {
+        // Regression: with 8 rows per REF and 8205 REFs per window,
+        // 8 × 8205 = 65,640 > 65,536, so a modulo-wrapping pointer refreshed
+        // rows 0..104 twice per window and shifted the wrap point each
+        // window. Window-aligned rotation covers each row exactly once per
+        // window, every window.
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        for window in 0..3 {
+            let mut count = vec![0u32; 65_536];
+            for _ in 0..t.refresh_commands_per_window() {
+                for r in eng.next_burst() {
+                    count[r.0 as usize] += 1;
+                }
+            }
+            assert!(
+                count.iter().all(|&c| c == 1),
+                "window {window}: some row not refreshed exactly once"
+            );
+        }
+    }
+
+    #[test]
+    fn window_restarts_at_row_zero() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        for _ in 0..t.refresh_commands_per_window() {
+            eng.next_burst();
+        }
+        // First burst of the second window starts over at row 0 (pre-fix it
+        // started at row 104).
+        assert_eq!(eng.next_burst()[0], RowId(0));
+    }
+
+    #[test]
+    fn surplus_bursts_at_window_end_refresh_nothing() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        let full_bursts = 65_536 / 8;
+        for _ in 0..full_bursts {
+            assert_eq!(eng.next_burst().len(), 8);
+        }
+        // 8205 − 8192 = 13 surplus commands: the bank is already covered.
+        for _ in full_bursts..t.refresh_commands_per_window() {
+            assert!(eng.next_burst().is_empty());
+        }
+        assert_eq!(eng.cmds_per_window(), 8205);
     }
 
     #[test]

@@ -23,6 +23,11 @@ pub struct McConfig {
     /// Ground-truth disturbance model; `None` disables the fault oracle
     /// (faster, for pure performance runs).
     pub fault_model: Option<DisturbanceModel>,
+    /// Number of workload streams the system is configured for. Accesses
+    /// carrying a stream id at or beyond this are counted as strays in
+    /// [`crate::RunStats`] (an audit finding) instead of being attributed
+    /// to a phantom stream.
+    pub max_streams: u16,
 }
 
 impl McConfig {
@@ -33,6 +38,7 @@ impl McConfig {
             geometry: DramGeometry::micro2020(),
             page_policy: PagePolicy::minimalist_open(),
             fault_model: Some(DisturbanceModel::ddr4_50k()),
+            max_streams: 1024,
         }
     }
 
@@ -48,6 +54,7 @@ impl McConfig {
             geometry: DramGeometry::single_bank(rows),
             page_policy: PagePolicy::minimalist_open(),
             fault_model,
+            max_streams: 1024,
         }
     }
 }

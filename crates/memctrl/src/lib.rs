@@ -38,6 +38,7 @@
 //! assert_eq!(stats.accesses, 10_000);
 //! ```
 
+pub mod audit;
 pub mod bank;
 pub mod cmdlog;
 pub mod config;
@@ -47,6 +48,7 @@ pub mod pagepolicy;
 pub mod scheduler;
 pub mod stats;
 
+pub use audit::{StatsAudit, StatsFinding};
 pub use bank::BankState;
 pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
 pub use config::McConfig;

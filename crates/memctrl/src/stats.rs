@@ -30,12 +30,37 @@ pub struct RunStats {
     /// stream id carried on each access — the raw material for the paper's
     /// weighted-speedup metric.
     pub per_stream: Vec<(u64, u64)>,
+    /// Accesses whose stream id exceeded the tracked range (corrupt or
+    /// misconfigured traces). Non-zero is an audit finding
+    /// ([`crate::StatsAudit`]): stray ids used to silently allocate
+    /// `per_stream` out to the id (65535 → a 64K-entry vec) and distort
+    /// stream matching in [`RunStats::weighted_speedup_loss_vs`].
+    pub stray_stream_accesses: u64,
+    /// Total latency (ps) of the stray accesses, kept so
+    /// `total_latency == Σ per_stream latencies + stray_stream_latency`
+    /// remains an exact invariant.
+    pub stray_stream_latency: Picoseconds,
 }
 
 impl RunStats {
+    /// Hard upper bound on distinct stream ids tracked per run. The paper's
+    /// systems have 16 cores; anything near this bound is a corrupt trace,
+    /// which [`RunStats::note_stream`] diverts to the stray counters instead
+    /// of allocating for.
+    pub const MAX_TRACKED_STREAMS: usize = 4096;
+
     /// Records one served access of `stream` with the given latency.
+    ///
+    /// Stream ids at or beyond [`RunStats::MAX_TRACKED_STREAMS`] are counted
+    /// in [`RunStats::stray_stream_accesses`] rather than grown into
+    /// `per_stream`; the [`crate::StatsAudit`] flags them at run end.
     pub fn note_stream(&mut self, stream: u16, latency: Picoseconds) {
         let i = usize::from(stream);
+        if i >= Self::MAX_TRACKED_STREAMS {
+            self.stray_stream_accesses += 1;
+            self.stray_stream_latency += latency;
+            return;
+        }
         if self.per_stream.len() <= i {
             self.per_stream.resize(i + 1, (0, 0));
         }
@@ -133,6 +158,20 @@ mod tests {
         assert_eq!(s.stream_mean_latency(0), Some(150.0));
         assert_eq!(s.stream_mean_latency(1), None);
         assert_eq!(s.stream_mean_latency(2), Some(300.0));
+    }
+
+    #[test]
+    fn stray_stream_id_does_not_allocate() {
+        // Regression: note_stream(65535) used to resize per_stream to 64K
+        // entries, distorting stream matching and memory use.
+        let mut s = RunStats::default();
+        s.note_stream(65_535, 100);
+        s.note_stream(u16::MAX - 1, 50);
+        s.note_stream(3, 10);
+        assert_eq!(s.per_stream.len(), 4);
+        assert_eq!(s.stray_stream_accesses, 2);
+        assert_eq!(s.stray_stream_latency, 150);
+        assert_eq!(s.stream_mean_latency(3), Some(10.0));
     }
 
     #[test]

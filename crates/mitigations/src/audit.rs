@@ -1,0 +1,469 @@
+//! Online audit wrapper for any [`RowHammerDefense`].
+//!
+//! [`AuditedDefense`] sits between the memory controller and an inner
+//! defense, validating every [`RefreshAction`] against what a defense is
+//! physically able to know and do:
+//!
+//! * a defense observes only ACT commands, so it cannot act before the
+//!   first ACT of the run;
+//! * every refresh it requests must target the neighbourhood of a row that
+//!   was actually activated — an NRR names a real past aggressor, a row or
+//!   range refresh lands within `max_radius` of one;
+//! * targets beyond the bank (after the `max_radius` slack that saturating
+//!   bank-edge arithmetic legitimately produces) are rejected.
+//!
+//! For Graphene the wrapper additionally keeps an independent shadow
+//! activation count per row and certifies the paper's **no-false-negatives
+//! trigger** (Section IV): within each reset window, a row activated `c`
+//! times must have received at least `⌊c / T⌋` NRRs. The shadow windows
+//! roll on the same `now / reset_window` boundary as the engine, so the
+//! certificate is checked against exactly the window the table saw.
+//!
+//! Violations panic with the inner defense's name and the offending
+//! action; the wrapper is an executable specification, not a logger. The
+//! wrapper is transparent otherwise: it forwards the inner defense's
+//! actions, overhead time, and table footprint unchanged, so audited and
+//! unaudited runs produce identical [`crate::defense::TableBits`] and
+//! `RunStats`.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+
+use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
+
+/// Parameters of the Graphene no-false-negatives certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowCert {
+    /// The tracking threshold `T` whose multiples must trigger NRRs.
+    pub tracking_threshold: u64,
+    /// The reset-window length; shadow counts clear on each
+    /// `now / reset_window` boundary, mirroring the engine.
+    pub reset_window: Picoseconds,
+}
+
+/// Configuration of the audit wrapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditConfig {
+    /// Rows in the protected bank.
+    pub rows_per_bank: u32,
+    /// Largest distance from an activated row at which an action target is
+    /// still plausible (the blast radius; 1 for the paper's adjacent model).
+    pub max_radius: u32,
+    /// When set, the wrapper certifies the multiples-of-`T` trigger with an
+    /// independent shadow count (Graphene only).
+    pub certify: Option<ShadowCert>,
+}
+
+impl AuditConfig {
+    /// Plain validation (no trigger certificate) with blast radius 1.
+    pub fn new(rows_per_bank: u32) -> Self {
+        AuditConfig { rows_per_bank, max_radius: 1, certify: None }
+    }
+}
+
+/// A [`RowHammerDefense`] that validates another defense's every action.
+///
+/// # Example
+///
+/// ```
+/// use dram_model::RowId;
+/// use mitigations::{AuditConfig, AuditedDefense, Para, RowHammerDefense};
+///
+/// let mut d = AuditedDefense::new(Box::new(Para::new(0.01, 7)), AuditConfig::new(65_536));
+/// for i in 0..1_000u64 {
+///     d.on_activation(RowId(100), i * 45_000); // panics on any bogus action
+/// }
+/// assert!(d.name().starts_with("Audited("));
+/// ```
+pub struct AuditedDefense {
+    inner: Box<dyn RowHammerDefense + Send>,
+    cfg: AuditConfig,
+    /// Rows activated at least once this run (never cleared by window
+    /// rolls: "was ever an aggressor" is the property actions are checked
+    /// against).
+    activated: Vec<bool>,
+    any_act: bool,
+    /// Shadow per-row activation counts for the current cert window.
+    shadow_counts: Vec<u32>,
+    /// NRRs received per row in the current cert window.
+    shadow_nrrs: Vec<u32>,
+    current_window: u64,
+}
+
+impl AuditedDefense {
+    /// Wraps `inner` so every action it emits is validated against `cfg`.
+    pub fn new(inner: Box<dyn RowHammerDefense + Send>, cfg: AuditConfig) -> Self {
+        let rows = cfg.rows_per_bank as usize;
+        let cert_rows = if cfg.certify.is_some() { rows } else { 0 };
+        AuditedDefense {
+            inner,
+            cfg,
+            activated: vec![false; rows],
+            any_act: false,
+            shadow_counts: vec![0; cert_rows],
+            shadow_nrrs: vec![0; cert_rows],
+            current_window: 0,
+        }
+    }
+
+    /// The wrapped defense.
+    pub fn inner(&self) -> &dyn RowHammerDefense {
+        self.inner.as_ref()
+    }
+
+    /// True if any row within `max_radius` of `target` has been activated
+    /// (distance 0 counts: saturating bank-edge arithmetic makes a defense
+    /// legitimately refresh the aggressor itself at row 0).
+    fn near_activated(&self, target: u32) -> bool {
+        let lo = target.saturating_sub(self.cfg.max_radius);
+        let hi = target
+            .saturating_add(self.cfg.max_radius)
+            .min(self.cfg.rows_per_bank.saturating_sub(1));
+        (lo..=hi).any(|r| self.activated.get(r as usize) == Some(&true))
+    }
+
+    /// Panics if `action` is something no real defense could have emitted.
+    fn validate_action(&self, action: &RefreshAction, now: Picoseconds) {
+        let name = self.inner.name();
+        assert!(
+            self.any_act,
+            "audit[{name}]: emitted {action:?} at t={now} before any ACT was observed"
+        );
+        match *action {
+            RefreshAction::Neighbors { aggressor, radius } => {
+                assert!(
+                    radius >= 1,
+                    "audit[{name}]: NRR with radius 0 refreshes nothing ({action:?})"
+                );
+                assert!(
+                    aggressor.0 < self.cfg.rows_per_bank,
+                    "audit[{name}]: NRR aggressor {aggressor} outside bank of {} rows",
+                    self.cfg.rows_per_bank
+                );
+                assert!(
+                    self.activated[aggressor.0 as usize],
+                    "audit[{name}]: NRR names aggressor {aggressor}, which was never activated"
+                );
+            }
+            RefreshAction::Row(target) => {
+                assert!(
+                    target.0 < self.cfg.rows_per_bank + self.cfg.max_radius,
+                    "audit[{name}]: row refresh {target} beyond bank edge slack \
+                     (bank has {} rows, radius {})",
+                    self.cfg.rows_per_bank,
+                    self.cfg.max_radius
+                );
+                assert!(
+                    self.near_activated(target.0),
+                    "audit[{name}]: row refresh {target} is not within {} of any \
+                     activated row",
+                    self.cfg.max_radius
+                );
+            }
+            RefreshAction::Range { start, count } => {
+                assert!(count >= 1, "audit[{name}]: empty range refresh ({action:?})");
+                assert!(
+                    start.0 < self.cfg.rows_per_bank,
+                    "audit[{name}]: range start {start} outside bank of {} rows",
+                    self.cfg.rows_per_bank
+                );
+                let lo = start.0.saturating_sub(self.cfg.max_radius);
+                let hi = start
+                    .0
+                    .saturating_add(count - 1)
+                    .saturating_add(self.cfg.max_radius)
+                    .min(self.cfg.rows_per_bank.saturating_sub(1));
+                assert!(
+                    (lo..=hi).any(|r| self.activated[r as usize]),
+                    "audit[{name}]: range refresh {action:?} contains no activated row \
+                     (±{} slack)",
+                    self.cfg.max_radius
+                );
+            }
+        }
+    }
+
+    /// Rolls the certificate window if `now` crossed a reset boundary,
+    /// mirroring the engine's `now / reset_window` alignment.
+    fn roll_cert_window(&mut self, now: Picoseconds) {
+        let Some(cert) = self.cfg.certify else { return };
+        let window = now / cert.reset_window;
+        if window != self.current_window {
+            self.shadow_counts.fill(0);
+            self.shadow_nrrs.fill(0);
+            self.current_window = window;
+        }
+    }
+}
+
+impl RowHammerDefense for AuditedDefense {
+    fn name(&self) -> String {
+        format!("Audited({})", self.inner.name())
+    }
+
+    fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Vec<RefreshAction> {
+        assert!(
+            row.0 < self.cfg.rows_per_bank,
+            "audit: controller fed activation of {row} outside bank of {} rows",
+            self.cfg.rows_per_bank
+        );
+        self.roll_cert_window(now);
+        self.any_act = true;
+        self.activated[row.0 as usize] = true;
+        if self.cfg.certify.is_some() {
+            self.shadow_counts[row.0 as usize] += 1;
+        }
+        let actions = self.inner.on_activation(row, now);
+        for action in &actions {
+            self.validate_action(action, now);
+            if let Some(cert) = self.cfg.certify {
+                match *action {
+                    RefreshAction::Neighbors { aggressor, .. } => {
+                        assert_eq!(
+                            aggressor,
+                            row,
+                            "audit[{}]: certified defense fired an NRR for {aggressor} \
+                             while activating {row}; Graphene only triggers on the \
+                             current aggressor",
+                            self.inner.name()
+                        );
+                        self.shadow_nrrs[row.0 as usize] += 1;
+                    }
+                    ref other => panic!(
+                        "audit[{}]: certified defense emitted {other:?}; Graphene \
+                         only issues NRRs",
+                        self.inner.name()
+                    ),
+                }
+                let count = u64::from(self.shadow_counts[row.0 as usize]);
+                let nrrs = u64::from(self.shadow_nrrs[row.0 as usize]);
+                assert!(
+                    nrrs >= count / cert.tracking_threshold,
+                    "audit[{}]: no-false-negative certificate failed for {row}: {count} \
+                     ACTs this window but only {nrrs} NRR(s) at T={}",
+                    self.inner.name(),
+                    cert.tracking_threshold
+                );
+            }
+        }
+        if let Some(cert) = self.cfg.certify {
+            // The certificate also binds when the inner defense stays
+            // silent: crossing a multiple of T without an NRR this window
+            // is exactly the false negative the paper rules out.
+            let count = u64::from(self.shadow_counts[row.0 as usize]);
+            let nrrs = u64::from(self.shadow_nrrs[row.0 as usize]);
+            assert!(
+                nrrs >= count / cert.tracking_threshold,
+                "audit[{}]: no-false-negative certificate failed for {row}: {count} ACTs \
+                 this window but only {nrrs} NRR(s) at T={}",
+                self.inner.name(),
+                cert.tracking_threshold
+            );
+        }
+        actions
+    }
+
+    fn on_refresh_tick(&mut self, now: Picoseconds) -> Vec<RefreshAction> {
+        let actions = self.inner.on_refresh_tick(now);
+        for action in &actions {
+            self.validate_action(action, now);
+        }
+        actions
+    }
+
+    fn drain_overhead_time(&mut self) -> Picoseconds {
+        self.inner.drain_overhead_time()
+    }
+
+    fn table_bits(&self) -> TableBits {
+        self.inner.table_bits()
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.activated.fill(false);
+        self.any_act = false;
+        self.shadow_counts.fill(0);
+        self.shadow_nrrs.fill(0);
+        self.current_window = 0;
+    }
+}
+
+impl std::fmt::Debug for AuditedDefense {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AuditedDefense")
+            .field("inner", &self.inner.name())
+            .field("cfg", &self.cfg)
+            .field("any_act", &self.any_act)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::none::NoDefense;
+    use crate::para::Para;
+
+    fn audited(inner: Box<dyn RowHammerDefense + Send>) -> AuditedDefense {
+        AuditedDefense::new(inner, AuditConfig::new(1_024))
+    }
+
+    #[test]
+    fn forwards_inner_metadata() {
+        let mut d = audited(Box::new(NoDefense::new()));
+        assert_eq!(d.name(), "Audited(None)");
+        assert_eq!(d.table_bits(), NoDefense::new().table_bits());
+        assert_eq!(d.drain_overhead_time(), 0);
+        assert!(d.on_activation(RowId(3), 0).is_empty());
+        d.reset();
+    }
+
+    #[test]
+    fn honest_para_run_passes() {
+        let mut d = audited(Box::new(Para::new(0.05, 11)));
+        let mut emitted = 0;
+        for i in 0..2_000u64 {
+            // Hammer the bank edges too, where saturating arithmetic emits
+            // distance-0 and beyond-bank targets.
+            let row = match i % 3 {
+                0 => RowId(0),
+                1 => RowId(1_023),
+                _ => RowId(500),
+            };
+            emitted += d.on_activation(row, i * 45_000).len();
+        }
+        assert!(emitted > 0, "PARA should have fired at p=0.05");
+    }
+
+    /// A defense that emits an action unrelated to any activation.
+    struct RandomRefresher;
+    impl RowHammerDefense for RandomRefresher {
+        fn name(&self) -> String {
+            "RandomRefresher".into()
+        }
+        fn on_activation(&mut self, _row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+            vec![RefreshAction::Row(RowId(900))]
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "not within 1 of any activated row")]
+    fn far_row_refresh_is_caught() {
+        let mut d = audited(Box::new(RandomRefresher));
+        d.on_activation(RowId(5), 0);
+    }
+
+    /// A defense that acts on the refresh tick before seeing any ACT.
+    struct EagerTicker;
+    impl RowHammerDefense for EagerTicker {
+        fn name(&self) -> String {
+            "EagerTicker".into()
+        }
+        fn on_activation(&mut self, _row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+            Vec::new()
+        }
+        fn on_refresh_tick(&mut self, _now: Picoseconds) -> Vec<RefreshAction> {
+            vec![RefreshAction::Row(RowId(1))]
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "before any ACT")]
+    fn action_before_first_act_is_caught() {
+        let mut d = audited(Box::new(EagerTicker));
+        d.on_refresh_tick(7_800_000);
+    }
+
+    /// A defense that blames an NRR on a row that never activated.
+    struct WrongAggressor;
+    impl RowHammerDefense for WrongAggressor {
+        fn name(&self) -> String {
+            "WrongAggressor".into()
+        }
+        fn on_activation(&mut self, row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+            vec![RefreshAction::Neighbors { aggressor: RowId(row.0 + 100), radius: 1 }]
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "never activated")]
+    fn phantom_aggressor_is_caught() {
+        let mut d = audited(Box::new(WrongAggressor));
+        d.on_activation(RowId(10), 0);
+    }
+
+    #[test]
+    fn reset_clears_activation_history() {
+        let mut d = audited(Box::new(NoDefense::new()));
+        d.on_activation(RowId(10), 0);
+        d.reset();
+        // History gone: a tick action would again count as before-any-ACT.
+        let mut e = audited(Box::new(EagerTicker));
+        e.on_activation(RowId(1), 0);
+        e.reset();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            e.on_refresh_tick(1);
+        }));
+        assert!(r.is_err(), "post-reset tick action must fail the audit");
+    }
+
+    /// A Graphene impostor that counts but never fires.
+    struct SilentCounter;
+    impl RowHammerDefense for SilentCounter {
+        fn name(&self) -> String {
+            "SilentCounter".into()
+        }
+        fn on_activation(&mut self, _row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+            Vec::new()
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    #[should_panic(expected = "no-false-negative certificate failed")]
+    fn silent_defense_fails_the_certificate() {
+        let cfg = AuditConfig {
+            rows_per_bank: 1_024,
+            max_radius: 1,
+            certify: Some(ShadowCert { tracking_threshold: 50, reset_window: u64::MAX }),
+        };
+        let mut d = AuditedDefense::new(Box::new(SilentCounter), cfg);
+        for i in 0..50u64 {
+            d.on_activation(RowId(3), i * 45_000);
+        }
+    }
+
+    #[test]
+    fn certificate_window_roll_forgives_new_window() {
+        // 49 ACTs in window 0, then more in window 1: counts restart, so a
+        // silent defense stays legal until a single window accumulates T.
+        let cfg = AuditConfig {
+            rows_per_bank: 1_024,
+            max_radius: 1,
+            certify: Some(ShadowCert { tracking_threshold: 50, reset_window: 1_000_000 }),
+        };
+        let mut d = AuditedDefense::new(Box::new(SilentCounter), cfg);
+        for i in 0..49u64 {
+            d.on_activation(RowId(3), i);
+        }
+        for i in 0..49u64 {
+            d.on_activation(RowId(3), 1_000_000 + i);
+        }
+    }
+}

@@ -36,6 +36,7 @@
 //! assert!((5..25).contains(&extra));
 //! ```
 
+pub mod audit;
 pub mod cbt;
 pub mod cra;
 pub mod defense;
@@ -49,6 +50,7 @@ pub mod refresh_rate;
 pub mod trr;
 pub mod twice;
 
+pub use audit::{AuditConfig, AuditedDefense, ShadowCert};
 pub use cbt::{Cbt, CbtConfig};
 pub use cra::{Cra, CraConfig, CraStats};
 pub use defense::{RefreshAction, RowHammerDefense, TableBits};

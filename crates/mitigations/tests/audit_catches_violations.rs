@@ -1,0 +1,237 @@
+//! The audit layer as an executable specification: deliberately broken
+//! defenses must be caught, and every shipped defense must pass the audit
+//! on arbitrary traces.
+
+use dram_model::timing::DramTiming;
+use dram_model::RowId;
+use graphene_core::GrapheneConfig;
+use mitigations::{
+    AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters,
+    Mrloc, MrlocConfig, Para, Prohit, ProhitConfig, RefreshAction, RowHammerDefense, ShadowCert,
+    TableBits, TrrConfig, TrrSampler, Twice, TwiceConfig,
+};
+use proptest::prelude::*;
+
+const ROWS: u32 = 256;
+const T_RH: u64 = 1_000;
+
+/// Minimal defense whose actions are supplied by the test.
+struct Scripted(Vec<RefreshAction>);
+
+impl RowHammerDefense for Scripted {
+    fn name(&self) -> String {
+        "Scripted".into()
+    }
+    fn on_activation(&mut self, _row: RowId, _now: u64) -> Vec<RefreshAction> {
+        self.0.clone()
+    }
+    fn table_bits(&self) -> TableBits {
+        TableBits::default()
+    }
+    fn reset(&mut self) {}
+}
+
+#[test]
+#[should_panic(expected = "never activated")]
+fn nrr_for_unactivated_aggressor_is_caught() {
+    let mut d = AuditedDefense::new(
+        Box::new(Scripted(vec![RefreshAction::Neighbors { aggressor: RowId(200), radius: 1 }])),
+        AuditConfig::new(ROWS),
+    );
+    d.on_activation(RowId(10), 0);
+}
+
+#[test]
+#[should_panic(expected = "outside bank")]
+fn nrr_beyond_bank_is_caught() {
+    let mut d = AuditedDefense::new(
+        Box::new(Scripted(vec![RefreshAction::Neighbors { aggressor: RowId(ROWS), radius: 1 }])),
+        AuditConfig::new(ROWS),
+    );
+    d.on_activation(RowId(10), 0);
+}
+
+#[test]
+#[should_panic(expected = "beyond bank edge slack")]
+fn row_refresh_far_beyond_bank_is_caught() {
+    let mut d = AuditedDefense::new(
+        Box::new(Scripted(vec![RefreshAction::Row(RowId(ROWS + 50))])),
+        AuditConfig::new(ROWS),
+    );
+    d.on_activation(RowId(10), 0);
+}
+
+#[test]
+#[should_panic(expected = "contains no activated row")]
+fn range_refresh_of_cold_region_is_caught() {
+    let mut d = AuditedDefense::new(
+        Box::new(Scripted(vec![RefreshAction::Range { start: RowId(128), count: 16 }])),
+        AuditConfig::new(ROWS),
+    );
+    d.on_activation(RowId(10), 0);
+}
+
+#[test]
+#[should_panic(expected = "radius 0")]
+fn zero_radius_nrr_is_caught() {
+    let mut d = AuditedDefense::new(
+        Box::new(Scripted(vec![RefreshAction::Neighbors { aggressor: RowId(10), radius: 0 }])),
+        AuditConfig::new(ROWS),
+    );
+    d.on_activation(RowId(10), 0);
+}
+
+#[test]
+#[should_panic(expected = "no-false-negative certificate failed")]
+fn fake_graphene_that_never_fires_fails_certification() {
+    struct FakeGraphene;
+    impl RowHammerDefense for FakeGraphene {
+        fn name(&self) -> String {
+            "FakeGraphene".into()
+        }
+        fn on_activation(&mut self, _row: RowId, _now: u64) -> Vec<RefreshAction> {
+            Vec::new() // counts nothing, fires never
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+    let cfg = AuditConfig {
+        rows_per_bank: ROWS,
+        max_radius: 1,
+        certify: Some(ShadowCert { tracking_threshold: 100, reset_window: u64::MAX }),
+    };
+    let mut d = AuditedDefense::new(Box::new(FakeGraphene), cfg);
+    for i in 0..100u64 {
+        d.on_activation(RowId(42), i * 45_000);
+    }
+}
+
+#[test]
+fn real_graphene_passes_certification_under_hammering() {
+    let gcfg =
+        GrapheneConfig::builder().row_hammer_threshold(T_RH).rows_per_bank(ROWS).build().unwrap();
+    let params = gcfg.derive().unwrap();
+    let cfg = AuditConfig {
+        rows_per_bank: ROWS,
+        max_radius: params.blast_radius,
+        certify: Some(ShadowCert {
+            tracking_threshold: params.tracking_threshold,
+            reset_window: params.reset_window,
+        }),
+    };
+    let inner = GrapheneDefense::from_config(&gcfg).unwrap();
+    let mut d = AuditedDefense::new(Box::new(inner), cfg);
+    // Hammer two rows past several multiples of T, with distinct-row noise
+    // in between; the certificate asserts after every ACT.
+    let mut nrrs = 0;
+    for i in 0..(6 * params.tracking_threshold) {
+        let row = match i % 4 {
+            0 | 1 => RowId(17),
+            2 => RowId(200),
+            _ => RowId((i % 97) as u32),
+        };
+        nrrs += d.on_activation(row, i * 45_000).len();
+    }
+    assert!(nrrs > 0, "hammering past T must produce NRRs");
+}
+
+/// Every shipped defense, built the way the harness builds them.
+fn shipped_defenses() -> Vec<(Box<dyn RowHammerDefense + Send>, Option<ShadowCert>)> {
+    let timing = DramTiming::ddr4_2400();
+    let gcfg =
+        GrapheneConfig::builder().row_hammer_threshold(T_RH).rows_per_bank(ROWS).build().unwrap();
+    let params = gcfg.derive().unwrap();
+    vec![
+        (
+            Box::new(GrapheneDefense::from_config(&gcfg).unwrap())
+                as Box<dyn RowHammerDefense + Send>,
+            Some(ShadowCert {
+                tracking_threshold: params.tracking_threshold,
+                reset_window: params.reset_window,
+            }),
+        ),
+        (Box::new(Para::new(0.02, 3)), None),
+        (Box::new(Prohit::new(ProhitConfig::micro2020(), 3)), None),
+        (
+            Box::new(Mrloc::new(
+                MrlocConfig { base_probability: 0.02, ..MrlocConfig::micro2020() },
+                3,
+            )),
+            None,
+        ),
+        (
+            // levels capped: the small test bank only supports 8 halvings.
+            Box::new(Cbt::new(CbtConfig {
+                rows_per_bank: ROWS,
+                levels: 8,
+                ..CbtConfig::scaled_for_threshold(T_RH)
+            })),
+            None,
+        ),
+        (
+            Box::new(Cra::new(CraConfig {
+                row_hammer_threshold: T_RH,
+                rows_per_bank: ROWS,
+                ..CraConfig::micro2020()
+            })),
+            None,
+        ),
+        (Box::new(Twice::new(TwiceConfig::with_threshold(T_RH))), None),
+        (Box::new(IdealCounters::new(T_RH, ROWS, timing.t_refw)), None),
+        (Box::new(TrrSampler::new(TrrConfig::ddr4_typical(), 3)), None),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// No shipped defense ever emits an action the audit rejects, on
+    /// arbitrary traces with interleaved refresh ticks — including
+    /// bank-edge rows, where saturating neighbour arithmetic is easiest
+    /// to get wrong.
+    #[test]
+    fn shipped_defenses_pass_audit_on_random_traces(
+        trace in prop::collection::vec(0u32..ROWS, 1..600),
+        tick_every in 8usize..64,
+    ) {
+        for (inner, certify) in shipped_defenses() {
+            let name = inner.name();
+            let cfg = AuditConfig { rows_per_bank: ROWS, max_radius: 1, certify };
+            let mut d = AuditedDefense::new(inner, cfg);
+            for (i, &row) in trace.iter().enumerate() {
+                let now = i as u64 * 45_000;
+                d.on_activation(RowId(row), now);
+                if i % tick_every == tick_every - 1 {
+                    d.on_refresh_tick(now + 1_000);
+                }
+            }
+            // Reaching here without a panic is the property; exercise the
+            // passthroughs for completeness.
+            prop_assert!(d.name().contains(&name));
+            d.reset();
+        }
+    }
+
+    /// Hot-row (hammering) traces drive the trigger paths of the counter
+    /// schemes; the audit must stay silent there too.
+    #[test]
+    fn shipped_defenses_pass_audit_under_hammering(
+        aggressors in prop::collection::vec(0u32..ROWS, 1..4),
+        reps in 200usize..1500,
+    ) {
+        for (inner, certify) in shipped_defenses() {
+            let cfg = AuditConfig { rows_per_bank: ROWS, max_radius: 1, certify };
+            let mut d = AuditedDefense::new(inner, cfg);
+            for i in 0..reps {
+                let row = aggressors[i % aggressors.len()];
+                let now = i as u64 * 45_000;
+                d.on_activation(RowId(row), now);
+                if i % 32 == 31 {
+                    d.on_refresh_tick(now + 1_000);
+                }
+            }
+        }
+    }
+}

@@ -32,5 +32,7 @@ pub mod pool;
 pub mod runner;
 pub mod scenarios;
 
-pub use runner::{run_matrix, run_pair, SimConfig, SimReport};
+pub use runner::{
+    run_matrix, run_pair, try_run_matrix, CellFailure, MatrixError, SimConfig, SimReport,
+};
 pub use scenarios::{DefenseSpec, WorkloadSpec};

@@ -13,7 +13,9 @@
 //! global queue drains, and the thread count stays bounded by the host's
 //! parallelism rather than the grid size.
 
+use std::any::Any;
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
 use std::time::Duration;
@@ -42,6 +44,9 @@ struct Shared<'env> {
     /// Parking spot for workers that found every deque empty.
     idle: Mutex<()>,
     wakeup: Condvar,
+    /// First panic payload caught from a job; re-thrown by [`run_scoped`]
+    /// after the remaining jobs drain.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 /// Handle through which a running job submits more jobs to the pool.
@@ -75,8 +80,12 @@ impl<'env> Spawner<'env, '_> {
 ///
 /// # Panics
 ///
-/// Panics if `threads == 0` or if any job panics (the panic is propagated
-/// once all workers have stopped).
+/// Panics if `threads == 0`, or re-raises the **first** panic any job hit —
+/// but only after the remaining jobs have run to completion. A panicking
+/// job used to leave `pending` stuck above zero, parking every worker
+/// forever (and poisoning the caller's result slots); now the worker
+/// catches the unwind, finishes the queue, and the payload is re-thrown
+/// from the calling thread.
 pub fn run_scoped<'env>(threads: usize, initial: Vec<Job<'env>>) {
     assert!(threads > 0, "pool needs at least one worker");
     let mut shared = Shared {
@@ -84,6 +93,7 @@ pub fn run_scoped<'env>(threads: usize, initial: Vec<Job<'env>>) {
         pending: AtomicUsize::new(initial.len()),
         idle: Mutex::new(()),
         wakeup: Condvar::new(),
+        panic: Mutex::new(None),
     };
     // Round-robin the seed jobs so workers start without stealing.
     for (i, job) in initial.into_iter().enumerate() {
@@ -95,6 +105,9 @@ pub fn run_scoped<'env>(threads: usize, initial: Vec<Job<'env>>) {
             scope.spawn(move || worker_loop(shared, worker));
         }
     });
+    if let Some(payload) = shared.panic.get_mut().expect("fresh mutex").take() {
+        resume_unwind(payload);
+    }
 }
 
 fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
@@ -109,7 +122,15 @@ fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
         match job {
             Some(job) => {
                 let spawner = Spawner { shared, worker };
-                job(&spawner);
+                // Catch the unwind so `pending` is decremented no matter
+                // what: otherwise one panicking job parks every other
+                // worker forever waiting for a count that never drains.
+                if let Err(payload) = catch_unwind(AssertUnwindSafe(|| job(&spawner))) {
+                    let mut slot = shared.panic.lock().expect("pool panic slot poisoned");
+                    // Keep the first payload; later ones are usually noise
+                    // from the same root cause.
+                    slot.get_or_insert(payload);
+                }
                 if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                     // Last job out: wake everyone so they observe pending == 0.
                     shared.wakeup.notify_all();
@@ -214,5 +235,51 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_threads_panics() {
         run_scoped(0, Vec::new());
+    }
+
+    #[test]
+    fn panicking_job_does_not_hang_or_starve_others() {
+        // Regression: a panicking job never decremented `pending`, so every
+        // other worker parked forever and run_scoped never returned. Now the
+        // surviving jobs all complete and the panic is re-raised afterwards.
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let mut jobs: Vec<Job<'_>> = (0..20)
+            .map(|_| {
+                job(move |_| {
+                    hits_ref.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
+        jobs.insert(10, job(|_| panic!("boom in job 10")));
+        let result = catch_unwind(AssertUnwindSafe(|| run_scoped(4, jobs)));
+        let payload = result.expect_err("the job panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"boom in job 10"));
+        assert_eq!(hits.load(Ordering::SeqCst), 20, "surviving jobs must all run");
+    }
+
+    #[test]
+    fn first_of_many_panics_wins() {
+        let jobs: Vec<Job<'_>> = vec![job(|_| panic!("first")), job(|_| panic!("second"))];
+        // Single worker makes the execution order deterministic.
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| run_scoped(1, jobs))).expect_err("must panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"first"));
+    }
+
+    #[test]
+    fn panic_in_spawned_child_propagates() {
+        let hits = AtomicU64::new(0);
+        let hits_ref = &hits;
+        let seed: Vec<Job<'_>> = vec![job(move |sp| {
+            sp.spawn(|_| panic!("child panic"));
+            sp.spawn(move |_| {
+                hits_ref.fetch_add(1, Ordering::SeqCst);
+            });
+        })];
+        let payload =
+            catch_unwind(AssertUnwindSafe(|| run_scoped(2, seed))).expect_err("must panic");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"child panic"));
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 }

@@ -1,7 +1,10 @@
 //! Baseline-relative execution and parallel sweeps.
 
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
 use dram_model::fault::DisturbanceModel;
-use memctrl::{McConfig, MemoryController, RunStats};
+use memctrl::{McConfig, MemoryController, RunStats, StatsAudit};
 use rh_analysis::EnergyModel;
 use serde::{Deserialize, Serialize};
 
@@ -19,6 +22,13 @@ pub struct SimConfig {
     pub accesses: u64,
     /// Workload seed (identical traces across defenses).
     pub seed: u64,
+    /// Run the invariant audit: wrap every defense in
+    /// [`mitigations::AuditedDefense`], check [`StatsAudit`] at run end,
+    /// and cross-check the fault oracle's ground truth. On by default in
+    /// the test configurations ([`SimConfig::attack_bank`]); the `RH_AUDIT`
+    /// environment variable forces it on everywhere (the `--audit` flag of
+    /// rh-bench sets it).
+    pub audit: bool,
 }
 
 impl SimConfig {
@@ -29,6 +39,7 @@ impl SimConfig {
             attack: McConfig::single_bank(65_536, Some(DisturbanceModel::ddr4_50k())),
             accesses,
             seed: 42,
+            audit: false,
         }
     }
 
@@ -43,7 +54,7 @@ impl SimConfig {
     }
 
     /// A fast single-bank configuration for tests: threshold `t_rh`, fault
-    /// oracle armed, `accesses` accesses.
+    /// oracle armed, `accesses` accesses, invariant audit on.
     pub fn attack_bank(t_rh: u64, accesses: u64) -> Self {
         let model = DisturbanceModel { t_rh, ..DisturbanceModel::ddr4_50k() };
         SimConfig {
@@ -51,6 +62,7 @@ impl SimConfig {
             attack: McConfig::single_bank(65_536, Some(model)),
             accesses,
             seed: 42,
+            audit: true,
         }
     }
 
@@ -60,6 +72,12 @@ impl SimConfig {
         } else {
             &self.system
         }
+    }
+
+    /// Whether this campaign runs audited: the config flag, or the
+    /// `RH_AUDIT` environment override.
+    pub fn audit_enabled(&self) -> bool {
+        self.audit || std::env::var_os("RH_AUDIT").is_some()
     }
 }
 
@@ -106,11 +124,88 @@ fn execute(
     workload: &WorkloadSpec,
     accesses: u64,
     seed: u64,
+    audit: bool,
 ) -> RunStats {
     let rows = cfg.geometry.rows_per_bank;
-    let mut mc = MemoryController::new(cfg.clone(), |bank| defense.build(bank, rows));
+    let mut mc = MemoryController::new(cfg.clone(), |bank| {
+        if audit {
+            defense.build_audited(bank, rows)
+        } else {
+            defense.build(bank, rows)
+        }
+    });
     let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
-    mc.run(w.as_mut(), accesses)
+    let stats = mc.run(w.as_mut(), accesses);
+    if audit {
+        audit_run(&mc, &stats, defense, workload);
+    }
+    stats
+}
+
+/// End-of-run invariant audit: the cross-counter checks of [`StatsAudit`]
+/// plus, when the fault oracle is armed, the ground-truth cross-check —
+/// the per-bank flip counts must sum to the reported total, and a
+/// zero-flip verdict must be backed by every bank's worst disturbance
+/// staying below `T_RH`.
+fn audit_run(
+    mc: &MemoryController,
+    stats: &RunStats,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+) {
+    if let Err(findings) = StatsAudit::check_at(stats, mc.clock()) {
+        let list: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        panic!(
+            "stats audit failed for {} on {}: {}",
+            defense.name(),
+            workload.name(),
+            list.join("; ")
+        );
+    }
+    if mc.config().fault_model.is_none() {
+        return;
+    }
+    let banks = mc.config().geometry.total_banks() as usize;
+    let mut oracle_flips = 0u64;
+    for bank in 0..banks {
+        let oracle = mc.oracle(bank).expect("fault model armed");
+        oracle_flips += oracle.flip_count();
+        if stats.bit_flips == 0 {
+            let margin = oracle.max_disturbance();
+            let t_rh = oracle.threshold_acts();
+            assert!(
+                margin < t_rh,
+                "ground-truth audit failed for {} on {}: zero flips reported but bank \
+                 {bank}'s hottest victim accumulated {margin:.1} of {t_rh:.1} ACT-equivalents",
+                defense.name(),
+                workload.name()
+            );
+        }
+    }
+    assert_eq!(
+        oracle_flips,
+        stats.bit_flips,
+        "ground-truth audit failed for {} on {}: oracles saw {oracle_flips} flip(s) but the \
+         run reported {}",
+        defense.name(),
+        workload.name(),
+        stats.bit_flips
+    );
+}
+
+/// Audit-mode cross-run check: the defended run and its baseline saw the
+/// same trace, so they must have activated the same stream set — anything
+/// else silently skews the weighted-speedup metric.
+fn audit_cross(stats: &RunStats, baseline: &RunStats, defense: &DefenseSpec, w: &WorkloadSpec) {
+    if let Err(findings) = StatsAudit::check_cross(stats, baseline) {
+        let list: Vec<String> = findings.iter().map(ToString::to_string).collect();
+        panic!(
+            "cross-run audit failed for {} on {}: {}",
+            defense.name(),
+            w.name(),
+            list.join("; ")
+        );
+    }
 }
 
 /// Builds the baseline-relative report for one finished run — the single
@@ -142,9 +237,13 @@ fn report_for(
 /// Runs one (defense, workload) pair plus its defense-free baseline and
 /// returns the relative report.
 pub fn run_pair(cfg: &SimConfig, defense: &DefenseSpec, workload: &WorkloadSpec) -> SimReport {
+    let audit = cfg.audit_enabled();
     let mc_cfg = cfg.mc_config_for(workload);
-    let baseline = execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed);
-    let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
+    let baseline = execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed, audit);
+    let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed, audit);
+    if audit {
+        audit_cross(&stats, &baseline, defense, workload);
+    }
     report_for(
         defense,
         workload,
@@ -163,6 +262,48 @@ fn latency_increase(stats: &memctrl::RunStats, baseline: &memctrl::RunStats) -> 
     }
 }
 
+/// One failed grid cell of [`try_run_matrix`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellFailure {
+    /// The workload of the failing cell.
+    pub workload: String,
+    /// The defense of the failing cell.
+    pub defense: String,
+    /// The panic message of the failing run.
+    pub message: String,
+}
+
+/// One or more grid cells of a matrix sweep failed; every *other* cell
+/// still ran to completion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatrixError {
+    /// Every failing (workload, defense) pair with its panic message.
+    pub failures: Vec<CellFailure>,
+}
+
+impl std::fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{} matrix cell(s) failed:", self.failures.len())?;
+        for c in &self.failures {
+            writeln!(f, "  ({}, {}): {}", c.workload, c.defense, c.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MatrixError {}
+
+/// Renders a caught panic payload for [`CellFailure::message`].
+fn payload_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
 /// Runs the full (defenses × workloads) matrix in parallel and returns the
 /// reports in (workload-major, defense-minor) order.
 ///
@@ -177,16 +318,27 @@ fn latency_increase(stats: &memctrl::RunStats, baseline: &memctrl::RunStats) -> 
 /// The defense-free baseline of each workload is executed once and shared by
 /// every defense of that workload (unlike repeated [`run_pair`] calls, which
 /// would re-run it per pair).
-pub fn run_matrix(
+///
+/// A panicking cell no longer aborts the whole sweep with a poisoned-slot
+/// panic: each cell runs under `catch_unwind`, the rest of the grid
+/// completes, and the error names every failing (workload, defense) pair.
+/// A panicking *baseline* fails all of that workload's cells, since they
+/// have nothing to compare against.
+///
+/// # Errors
+///
+/// Returns [`MatrixError`] listing each failed cell.
+pub fn try_run_matrix(
     cfg: &SimConfig,
     defenses: &[DefenseSpec],
     workloads: &[WorkloadSpec],
-) -> Vec<SimReport> {
+) -> Result<Vec<SimReport>, MatrixError> {
     use std::sync::{Arc, Mutex};
 
+    let audit = cfg.audit_enabled();
     let energy = EnergyModel::micro2020();
     let n_def = defenses.len();
-    let slots: Vec<Mutex<Option<SimReport>>> =
+    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
         (0..workloads.len() * n_def).map(|_| Mutex::new(None)).collect();
 
     // One job per grid cell plus one baseline per workload can be in flight;
@@ -203,15 +355,33 @@ pub fn run_matrix(
             crate::pool::job(move |spawner| {
                 let mc_cfg = cfg.mc_config_for(workload);
                 let banks = mc_cfg.geometry.total_banks();
-                let baseline =
-                    Arc::new(execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed));
+                let baseline = match catch_unwind(AssertUnwindSafe(|| {
+                    execute(mc_cfg, &DefenseSpec::None, workload, cfg.accesses, cfg.seed, audit)
+                })) {
+                    Ok(b) => Arc::new(b),
+                    Err(payload) => {
+                        let msg = format!("baseline panicked: {}", payload_message(&*payload));
+                        for di in 0..n_def {
+                            *slots_ref[wi * n_def + di].lock().expect("result slot poisoned") =
+                                Some(Err(msg.clone()));
+                        }
+                        return;
+                    }
+                };
                 for (di, defense) in defenses.iter().enumerate() {
                     let baseline = Arc::clone(&baseline);
                     spawner.spawn(move |_| {
-                        let stats = execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed);
-                        let report = report_for(defense, workload, stats, &baseline, energy, banks);
+                        let result = catch_unwind(AssertUnwindSafe(|| {
+                            let stats =
+                                execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed, audit);
+                            if audit {
+                                audit_cross(&stats, &baseline, defense, workload);
+                            }
+                            report_for(defense, workload, stats, &baseline, energy, banks)
+                        }))
+                        .map_err(|payload| payload_message(&*payload));
                         *slots_ref[wi * n_def + di].lock().expect("result slot poisoned") =
-                            Some(report);
+                            Some(result);
                     });
                 }
             })
@@ -219,14 +389,41 @@ pub fn run_matrix(
         .collect();
     crate::pool::run_scoped(threads, initial);
 
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every grid cell filled by the pool")
-        })
-        .collect()
+    let mut reports = Vec::with_capacity(slots.len());
+    let mut failures = Vec::new();
+    for (i, slot) in slots.into_iter().enumerate() {
+        let cell = slot
+            .into_inner()
+            .expect("result slot poisoned")
+            .expect("every grid cell filled by the pool");
+        match cell {
+            Ok(report) => reports.push(report),
+            Err(message) => failures.push(CellFailure {
+                workload: workloads[i / n_def].name(),
+                defense: defenses[i % n_def].name(),
+                message,
+            }),
+        }
+    }
+    if failures.is_empty() {
+        Ok(reports)
+    } else {
+        Err(MatrixError { failures })
+    }
+}
+
+/// [`try_run_matrix`], panicking with the full failure list if any cell
+/// failed.
+///
+/// # Panics
+///
+/// Panics with the [`MatrixError`] rendering when one or more cells panic.
+pub fn run_matrix(
+    cfg: &SimConfig,
+    defenses: &[DefenseSpec],
+    workloads: &[WorkloadSpec],
+) -> Vec<SimReport> {
+    try_run_matrix(cfg, defenses, workloads).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -276,6 +473,45 @@ mod tests {
         assert_eq!(reports[0].defense, "Graphene");
         assert_eq!(reports[3].workload, "S1-10");
         assert_eq!(reports[3].defense, "PARA-0.001");
+    }
+
+    #[test]
+    fn poisoned_cell_is_isolated_and_named() {
+        // Regression: one panicking cell used to poison its slot and abort
+        // the whole sweep with "result slot poisoned", discarding every
+        // other cell's result. Graphene{t_rh: 1} panics in the defense
+        // factory (threshold too low to derive T).
+        let cfg = SimConfig::attack_bank(5_000, 2_000);
+        let defenses = [
+            DefenseSpec::Para { p: 0.001 },
+            DefenseSpec::Graphene { t_rh: 1, k: 2 },
+            DefenseSpec::Twice { t_rh: 5_000 },
+        ];
+        let workloads = [WorkloadSpec::S3, WorkloadSpec::S1 { n: 10 }];
+        let err = try_run_matrix(&cfg, &defenses, &workloads).unwrap_err();
+        assert_eq!(err.failures.len(), 2, "one bad defense × two workloads");
+        for f in &err.failures {
+            assert_eq!(f.defense, "Graphene");
+            assert!(!f.message.is_empty());
+        }
+        let shown = err.to_string();
+        assert!(shown.contains("(S3, Graphene)"), "{shown}");
+        assert!(shown.contains("(S1-10, Graphene)"), "{shown}");
+    }
+
+    #[test]
+    fn healthy_matrix_returns_ok() {
+        let cfg = SimConfig::attack_bank(5_000, 2_000);
+        let reports =
+            try_run_matrix(&cfg, &[DefenseSpec::Para { p: 0.001 }], &[WorkloadSpec::S3]).unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix cell(s) failed")]
+    fn run_matrix_panics_with_failing_pairs() {
+        let cfg = SimConfig::attack_bank(5_000, 1_000);
+        let _ = run_matrix(&cfg, &[DefenseSpec::Graphene { t_rh: 1, k: 2 }], &[WorkloadSpec::S3]);
     }
 
     #[test]

@@ -3,8 +3,9 @@
 use dram_model::timing::DramTiming;
 use graphene_core::GrapheneConfig;
 use mitigations::{
-    Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters, Mrloc, MrlocConfig, NoDefense,
-    Para, Prohit, ProhitConfig, RowHammerDefense, Twice, TwiceConfig,
+    AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters,
+    Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig, RowHammerDefense, ShadowCert, Twice,
+    TwiceConfig,
 };
 use serde::{Deserialize, Serialize};
 use workloads::{
@@ -117,6 +118,39 @@ impl DefenseSpec {
                 Box::new(IdealCounters::new(t_rh, rows_per_bank, timing.t_refw))
             }
         }
+    }
+
+    /// Like [`DefenseSpec::build`], wrapped in an [`AuditedDefense`] that
+    /// validates every refresh action online. For Graphene the wrapper also
+    /// carries the derived `T` and reset window, certifying the paper's
+    /// multiples-of-`T` trigger against an independent shadow count.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`DefenseSpec::build`] on underivable parameters.
+    pub fn build_audited(
+        &self,
+        bank: usize,
+        rows_per_bank: u32,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        let inner = self.build(bank, rows_per_bank);
+        let mut cfg = AuditConfig::new(rows_per_bank);
+        if let DefenseSpec::Graphene { t_rh, k } = *self {
+            let params = GrapheneConfig::builder()
+                .row_hammer_threshold(t_rh)
+                .reset_window_divisor(k)
+                .rows_per_bank(rows_per_bank)
+                .build()
+                .expect("valid Graphene config")
+                .derive()
+                .expect("derivable");
+            cfg.max_radius = params.blast_radius;
+            cfg.certify = Some(ShadowCert {
+                tracking_threshold: params.tracking_threshold,
+                reset_window: params.reset_window,
+            });
+        }
+        Box::new(AuditedDefense::new(inner, cfg))
     }
 
     /// The four schemes Figure 8/9 compare, at threshold `t_rh` with the
@@ -294,6 +328,9 @@ mod tests {
             let d = spec.build(0, 65_536);
             assert!(!d.name().is_empty());
             assert!(!spec.name().is_empty());
+            let a = spec.build_audited(0, 65_536);
+            assert_eq!(a.name(), format!("Audited({})", d.name()));
+            assert_eq!(a.table_bits(), d.table_bits(), "audit must not change footprint");
         }
     }
 

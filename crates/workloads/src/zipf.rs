@@ -59,9 +59,11 @@ impl Zipf {
         self.cdf.len()
     }
 
-    /// True if the distribution is over a single item.
+    /// True if the distribution covers no items. Always `false` in practice
+    /// — [`Zipf::new`] rejects `n == 0` — but derived honestly from the
+    /// stored CDF so the answer cannot drift from [`Zipf::len`].
     pub fn is_empty(&self) -> bool {
-        false // n ≥ 1 by construction
+        self.cdf.is_empty()
     }
 
     /// Draws one rank in `0..len()`.
@@ -71,8 +73,13 @@ impl Zipf {
     }
 
     /// Probability mass of rank `k`.
+    ///
+    /// Ranks outside the support (`k ≥ len()`) have zero mass and return
+    /// `0.0` rather than panicking, so callers may probe arbitrary ranks.
     pub fn pmf(&self, k: usize) -> f64 {
-        if k == 0 {
+        if k >= self.cdf.len() {
+            0.0
+        } else if k == 0 {
             self.cdf[0]
         } else {
             self.cdf[k] - self.cdf[k - 1]
@@ -137,5 +144,21 @@ mod tests {
     #[should_panic(expected = "at least one item")]
     fn zero_items_panics() {
         let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    fn never_empty_and_len_consistent() {
+        let z = Zipf::new(7, 1.0);
+        assert!(!z.is_empty());
+        assert_eq!(z.len(), 7);
+    }
+
+    #[test]
+    fn pmf_out_of_support_is_zero() {
+        // Regression: `pmf(len())` used to panic on a raw index.
+        let z = Zipf::new(5, 1.2);
+        assert_eq!(z.pmf(5), 0.0);
+        assert_eq!(z.pmf(usize::MAX), 0.0);
+        assert!(z.pmf(4) > 0.0);
     }
 }
