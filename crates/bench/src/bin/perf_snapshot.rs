@@ -11,6 +11,10 @@
 //!    `T_RH` 50K, 25K(±), and 2K-class thresholds.
 //! 2. **Sweep wall time** — a small `run_matrix` grid on the work-stealing
 //!    pool, as an end-to-end smoke number.
+//! 3. **Telemetry noop overhead** — the Graphene defense hot loop bare
+//!    versus wrapped in [`fn@mitigations::instrumented`] with a
+//!    [`telemetry::NoopSink`]. The wrapper must be observation-only: the
+//!    acceptance bound is ≤ 2% throughput loss (within noise).
 //!
 //! Usage: `cargo run --release -p rh-bench --bin perf-snapshot [--fast]
 //! [--out PATH]`. `--fast`/`RH_FAST` shrinks the ACT counts for CI smoke
@@ -21,9 +25,11 @@ use std::time::Instant;
 
 use dram_model::RowId;
 use graphene_core::reference::LinearCounterTable;
-use graphene_core::CounterTable;
+use graphene_core::{CounterTable, GrapheneConfig};
+use mitigations::{GrapheneDefense, RowHammerDefense};
 use rh_bench::{audit_mode, banner, fast_mode};
 use rh_sim::{run_matrix, DefenseSpec, SimConfig, WorkloadSpec};
+use telemetry::{Cadence, NoopSink};
 
 /// Paper-scale table sizes (Table 2 trajectory: 50K → 2K-class thresholds).
 const TABLE_SIZES: [usize; 3] = [81, 672, 2720];
@@ -93,6 +99,53 @@ fn measure_table(n_entry: usize, acts: u64) -> ThroughputRow {
     }
 }
 
+/// Drives `defense` with the standard miss-heavy stream and returns
+/// ACTs/sec; `triggers` cross-checks that both variants saw identical
+/// action sequences.
+fn drive_defense(defense: &mut dyn RowHammerDefense, acts: u64, triggers: &mut u64) -> f64 {
+    let mut state = 0x0DDB_1A5E_5BAD_5EED_u64;
+    let start = Instant::now();
+    for step in 0..acts {
+        let row = stream_row(&mut state, step, 2_720);
+        *triggers += defense.on_activation(row, step * 45_000).len() as u64;
+    }
+    acts as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Bare Graphene versus Graphene behind `instrumented(..., NoopSink)`:
+/// returns (bare ACTs/s, wrapped ACTs/s, overhead fraction). Since the
+/// factory returns the inner box unchanged for a disabled sink, both sides
+/// run identical code — the delta is a noise floor, recorded to prove it.
+/// Best-of-5 interleaved reps keep scheduler noise out of the number.
+fn measure_noop_overhead(acts: u64) -> (f64, f64, f64) {
+    let graphene = || {
+        let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+        Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+    };
+    let mut bare_best = 0.0f64;
+    let mut wrapped_best = 0.0f64;
+    let mut bare_triggers = 0u64;
+    let mut wrapped_triggers = 0u64;
+    // Untimed warmup so the first timed rep doesn't eat the CPU's
+    // frequency ramp (it skews either side by several percent).
+    drive_defense(graphene().as_mut(), acts, &mut 0);
+    for _ in 0..5 {
+        let mut bare = graphene();
+        bare_best = bare_best.max(drive_defense(bare.as_mut(), acts, &mut bare_triggers));
+        let mut wrapped = mitigations::instrumented(
+            graphene(),
+            Box::new(NoopSink),
+            0,
+            65_536,
+            Cadence::EveryActs(1_000),
+        );
+        wrapped_best =
+            wrapped_best.max(drive_defense(wrapped.as_mut(), acts, &mut wrapped_triggers));
+    }
+    assert_eq!(bare_triggers, wrapped_triggers, "noop wrapper changed defense behavior");
+    (bare_best, wrapped_best, bare_best / wrapped_best - 1.0)
+}
+
 fn measure_matrix(accesses: u64) -> (usize, usize, f64) {
     // Perf numbers must measure the real hot path: the audit wrapper
     // (attack_bank's default) validates every action and would tax exactly
@@ -158,6 +211,14 @@ fn main() {
         n_workloads, n_defenses, matrix_accesses, matrix_wall_ms
     );
 
+    let (bare_aps, noop_aps, noop_overhead) = measure_noop_overhead(acts);
+    println!(
+        "telemetry noop wrapper: bare {:.0} ACTs/s | wrapped {:.0} ACTs/s | overhead {:+.2}%",
+        bare_aps,
+        noop_aps,
+        noop_overhead * 100.0
+    );
+
     // Hand-rolled JSON: the workspace's serde is a no-op offline stub.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"perf_snapshot\",");
@@ -175,6 +236,12 @@ fn main() {
         );
     }
     let _ = writeln!(json, "  ],");
+    let _ = writeln!(
+        json,
+        "  \"telemetry_noop\": {{\"acts\": {acts}, \"bare_acts_per_sec\": {bare_aps:.0}, \
+         \"noop_acts_per_sec\": {noop_aps:.0}, \"overhead_pct\": {:.2}}},",
+        noop_overhead * 100.0
+    );
     let _ = writeln!(
         json,
         "  \"run_matrix\": {{\"workloads\": {n_workloads}, \"defenses\": {n_defenses}, \

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `telemetry-report` sweep.
+
+fn main() {
+    rh_bench::propagate_audit_mode();
+    rh_bench::telemetry_report::run(rh_bench::fast_mode());
+}

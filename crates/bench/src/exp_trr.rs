@@ -1,6 +1,6 @@
 //! The TRRespass sweep: attack width versus in-DRAM TRR and Graphene.
 //!
-//! The paper's motivation (reference [16]) is that shipping in-DRAM TRR
+//! The paper's motivation (reference \[16\]) is that shipping in-DRAM TRR
 //! falls to many-sided hammering. This runner sweeps the number of attack
 //! sides against a 4-slot TRR sampler and Graphene at a reduced threshold,
 //! with the fault oracle as judge — reproducing the cliff the TRRespass

@@ -5,9 +5,11 @@ use dram_model::geometry::RowId;
 use dram_model::timing::Picoseconds;
 use serde::{Deserialize, Serialize};
 
+use telemetry::MetricsSink;
+
 use crate::cam::CamStats;
 use crate::config::{ConfigError, GrapheneConfig, GrapheneParams};
-use crate::table::CounterTable;
+use crate::table::{CounterTable, TableUpdate};
 
 /// A request to refresh the neighbours of an aggressor row.
 ///
@@ -40,6 +42,9 @@ pub struct GrapheneStats {
     pub victim_rows_requested: u64,
     /// Reset windows completed (table resets).
     pub table_resets: u64,
+    /// Occupied entries evicted by Misra-Gries replacement (spillover-count
+    /// matches that displaced a tracked row).
+    pub evictions: u64,
 }
 
 /// Graphene for a single DRAM bank.
@@ -75,6 +80,8 @@ pub struct Graphene {
     table: CounterTable,
     current_window: u64,
     stats: GrapheneStats,
+    /// NRRs issued since the last window roll (Figure 6's per-window count).
+    nrrs_this_window: u64,
 }
 
 impl Graphene {
@@ -85,6 +92,7 @@ impl Graphene {
             params,
             current_window: 0,
             stats: GrapheneStats::default(),
+            nrrs_this_window: 0,
         }
     }
 
@@ -128,12 +136,18 @@ impl Graphene {
         if window != self.current_window {
             self.table.reset();
             self.stats.table_resets += 1;
+            self.nrrs_this_window = 0;
             self.current_window = window;
         }
         self.stats.activations += 1;
-        if self.table.process_activation(row).triggered() {
+        let update = self.table.process_activation(row);
+        if let TableUpdate::Replaced { evicted: Some(_), .. } = update {
+            self.stats.evictions += 1;
+        }
+        if update.triggered() {
             let req = NrrRequest { aggressor: row, radius: self.params.blast_radius };
             self.stats.nrrs_issued += 1;
+            self.nrrs_this_window += 1;
             self.stats.victim_rows_requested += req.victim_rows();
             Some(req)
         } else {
@@ -141,10 +155,32 @@ impl Graphene {
         }
     }
 
+    /// NRRs issued within the current reset window (cleared on each window
+    /// roll) — the quantity Figure 6 bounds by `⌊W/T⌋`.
+    pub fn nrrs_this_window(&self) -> u64 {
+        self.nrrs_this_window
+    }
+
+    /// Emits the engine's trajectory metrics for `bank` at time `now`:
+    /// spillover level, table occupancy, cumulative evictions, per-window
+    /// and cumulative NRR counts. Called by instrumentation wrappers at
+    /// their flush cadence; a disabled sink returns immediately.
+    pub fn emit_telemetry(&self, bank: u16, now: Picoseconds, sink: &mut dyn MetricsSink) {
+        if !sink.enabled() {
+            return;
+        }
+        sink.sample("graphene.spillover", bank, now, self.table.spillover() as f64);
+        sink.sample("graphene.occupancy", bank, now, self.table.occupancy() as f64);
+        sink.sample("graphene.evictions", bank, now, self.stats.evictions as f64);
+        sink.sample("graphene.window_nrrs", bank, now, self.nrrs_this_window as f64);
+        sink.sample("graphene.nrrs", bank, now, self.stats.nrrs_issued as f64);
+    }
+
     /// Forces a table reset (e.g. for tests or an externally driven window).
     pub fn force_reset(&mut self) {
         self.table.reset();
         self.stats.table_resets += 1;
+        self.nrrs_this_window = 0;
     }
 }
 
@@ -246,6 +282,64 @@ mod tests {
         }
         assert_eq!(g.stats().nrrs_issued, 1);
         assert_eq!(g.stats().victim_rows_requested, 2);
+    }
+
+    #[test]
+    fn window_nrr_count_resets_with_window() {
+        let mut g = engine();
+        let t = g.params().tracking_threshold;
+        let w = g.params().reset_window;
+        for i in 0..t {
+            g.on_activation(RowId(3), i);
+        }
+        assert_eq!(g.nrrs_this_window(), 1);
+        g.on_activation(RowId(3), w);
+        assert_eq!(g.nrrs_this_window(), 0, "window roll clears the per-window count");
+        assert_eq!(g.stats().nrrs_issued, 1, "cumulative count survives the roll");
+    }
+
+    #[test]
+    fn evictions_counted_on_replacement() {
+        // Capacity-2 table, T = 4: two residents, then a spillover-count
+        // match from a third row displaces one.
+        let mut g = Graphene::new(GrapheneParams {
+            n_entry: 2,
+            tracking_threshold: 4,
+            ..*engine().params()
+        });
+        g.on_activation(RowId(1), 0);
+        g.on_activation(RowId(2), 1);
+        assert_eq!(g.stats().evictions, 0);
+        // Row 3 arrives: spillover (0) matches the minimum count... the
+        // replacement path displaces a tracked row once counts line up.
+        for i in 0..20u64 {
+            g.on_activation(RowId(3 + (i % 5) as u32 * 10), 2 + i);
+        }
+        assert!(g.stats().evictions > 0, "rotating strangers must displace residents");
+        assert_eq!(g.table().occupancy(), 2);
+    }
+
+    #[test]
+    fn telemetry_emits_trajectory_series() {
+        use telemetry::{MetricsSink as _, Recorder};
+        let mut g = engine();
+        let t = g.params().tracking_threshold;
+        for i in 0..t {
+            g.on_activation(RowId(3), i);
+        }
+        let mut rec = Recorder::new();
+        g.emit_telemetry(7, t, &mut rec);
+        let snap = rec.snapshot("test");
+        let nrrs = snap.series_for("graphene.nrrs", 7).expect("nrr series");
+        assert_eq!(nrrs.samples[0].value, 1.0);
+        let occ = snap.series_for("graphene.occupancy", 7).expect("occupancy series");
+        assert_eq!(occ.samples[0].value, 1.0);
+        assert!(snap.series_for("graphene.spillover", 7).is_some());
+        assert!(snap.series_for("graphene.window_nrrs", 7).is_some());
+
+        // A disabled sink records nothing and costs nothing.
+        let mut noop = telemetry::NoopSink;
+        g.emit_telemetry(7, t, &mut noop);
     }
 
     #[test]

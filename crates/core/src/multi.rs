@@ -134,6 +134,7 @@ impl BankSet {
             total.nrrs_issued += s.nrrs_issued;
             total.victim_rows_requested += s.victim_rows_requested;
             total.table_resets += s.table_resets;
+            total.evictions += s.evictions;
         }
         total
     }

@@ -189,6 +189,13 @@ impl CounterTable {
         self.addr_index.contains_key(&row)
     }
 
+    /// Number of entries currently holding a row (≤ [`capacity`]).
+    ///
+    /// [`capacity`]: Self::capacity
+    pub fn occupancy(&self) -> usize {
+        self.addr_index.len()
+    }
+
     /// Iterator over occupied entries as `(row, estimated count, overflow)`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, u64, bool)> + '_ {
         let t = self.tracking_threshold;

@@ -12,6 +12,7 @@ use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
 use crate::config::McConfig;
 use crate::scheduler::{BankQueue, SchedulerConfig};
 use crate::stats::RunStats;
+use crate::tap::TelemetryTap;
 
 /// A run aborted because an access could not be routed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -72,6 +73,7 @@ pub struct MemoryController {
     /// periodic refresh keeps firing in the service-time domain.
     wall: Picoseconds,
     command_log: Option<CommandLog>,
+    telemetry: Option<TelemetryTap>,
     stats: RunStats,
 }
 
@@ -121,6 +123,7 @@ impl MemoryController {
             clock: 0,
             wall: 0,
             command_log: None,
+            telemetry: None,
             stats: RunStats::default(),
         }
     }
@@ -135,6 +138,18 @@ impl MemoryController {
     /// The command log, if one was attached.
     pub fn command_log(&self) -> Option<&CommandLog> {
         self.command_log.as_ref()
+    }
+
+    /// Attaches a telemetry tap; ACT/REF/victim-refresh rates and end-of-run
+    /// service gauges are reported through it (see [`crate::tap`]). With a
+    /// disabled sink the tap is inert and the run is bit-identical.
+    pub fn attach_telemetry(&mut self, tap: TelemetryTap) {
+        self.telemetry = Some(tap);
+    }
+
+    /// The telemetry tap, if one was attached.
+    pub fn telemetry(&self) -> Option<&TelemetryTap> {
+        self.telemetry.as_ref()
     }
 
     fn log_command(&mut self, bank: usize, at: Picoseconds, cmd: LoggedCommand) {
@@ -236,6 +251,9 @@ impl MemoryController {
                 if let Some(at) = outcome.act_at {
                     self.log_command(bank_idx, at, LoggedCommand::Activate { row: access.row.0 });
                 }
+                if let Some(tap) = &mut self.telemetry {
+                    tap.on_act(bank_idx, outcome.start);
+                }
                 if let Some(oracles) = &mut self.oracles {
                     let flips = oracles[bank_idx].activate(access.row, outcome.start);
                     self.stats.bit_flips += flips.len() as u64;
@@ -247,6 +265,7 @@ impl MemoryController {
                 self.charge_overhead(bank_idx);
             }
         }
+        self.finish_telemetry();
         Ok(self.stats.clone())
     }
 
@@ -322,9 +341,17 @@ impl MemoryController {
                 self.serve_one_queued(&mut queues, b);
             }
         }
+        self.finish_telemetry();
         match route_error {
             Some(e) => Err(e),
             None => Ok(self.stats.clone()),
+        }
+    }
+
+    /// Flushes the telemetry tap's tail and end-of-run gauges.
+    fn finish_telemetry(&mut self) {
+        if let Some(tap) = &mut self.telemetry {
+            tap.finish(self.clock.max(self.wall), &self.stats);
         }
     }
 
@@ -345,6 +372,9 @@ impl MemoryController {
             self.stats.activations += 1;
             if let Some(at) = outcome.act_at {
                 self.log_command(bank_idx, at, LoggedCommand::Activate { row: req.row.0 });
+            }
+            if let Some(tap) = &mut self.telemetry {
+                tap.on_act(bank_idx, outcome.start);
             }
             if let Some(oracles) = &mut self.oracles {
                 let flips = oracles[bank_idx].activate(req.row, outcome.start);
@@ -376,6 +406,9 @@ impl MemoryController {
             for bank_idx in 0..self.banks.len() {
                 let end = self.banks[bank_idx].block_for_refresh(at);
                 self.log_command(bank_idx, end - self.config.timing.t_rfc, LoggedCommand::Refresh);
+                if let Some(tap) = &mut self.telemetry {
+                    tap.on_refresh(bank_idx, at);
+                }
                 self.stats.completion = self.stats.completion.max(end);
                 self.stats.refreshes += 1;
                 let burst = self.refresh_engines[bank_idx].next_burst();
@@ -405,6 +438,9 @@ impl MemoryController {
             before,
             LoggedCommand::VictimRefresh { rows: rows.len() as u64 },
         );
+        if let Some(tap) = &mut self.telemetry {
+            tap.on_victim_refresh(bank_idx, rows.len() as u64, before);
+        }
         self.stats.defense_busy += end - before;
         self.stats.completion = self.stats.completion.max(end);
         self.wall = self.wall.max(end);

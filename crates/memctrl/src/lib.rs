@@ -47,6 +47,7 @@ pub mod mapping;
 pub mod pagepolicy;
 pub mod scheduler;
 pub mod stats;
+pub mod tap;
 
 pub use audit::{StatsAudit, StatsFinding};
 pub use bank::BankState;
@@ -57,3 +58,4 @@ pub use mapping::{AddressMapper, DecodedAddress, MappingScheme};
 pub use pagepolicy::PagePolicy;
 pub use scheduler::{BankQueue, SchedulerConfig};
 pub use stats::RunStats;
+pub use tap::TelemetryTap;

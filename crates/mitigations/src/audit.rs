@@ -279,6 +279,10 @@ impl RowHammerDefense for AuditedDefense {
         self.inner.table_bits()
     }
 
+    fn emit_telemetry(&self, bank: u16, now: Picoseconds, sink: &mut dyn telemetry::MetricsSink) {
+        self.inner.emit_telemetry(bank, now, sink);
+    }
+
     fn reset(&mut self) {
         self.inner.reset();
         self.activated.fill(false);

@@ -3,6 +3,7 @@
 use dram_model::geometry::RowId;
 use dram_model::timing::Picoseconds;
 use serde::{Deserialize, Serialize};
+use telemetry::MetricsSink;
 
 /// A proactive refresh a defense asks the memory controller to perform.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -114,6 +115,14 @@ pub trait RowHammerDefense {
 
     /// Hardware table footprint per bank.
     fn table_bits(&self) -> TableBits;
+
+    /// Emits scheme-specific trajectory metrics (e.g. Graphene's spillover
+    /// level and table occupancy) for `bank` at time `now`. Called by the
+    /// [`instrumented`](fn@crate::instrumented) wrapper at its flush cadence —
+    /// never on the per-ACT hot path. Default: nothing (schemes without
+    /// inspectable internal state stay silent; their action rates are
+    /// reported by the wrapper itself).
+    fn emit_telemetry(&self, _bank: u16, _now: Picoseconds, _sink: &mut dyn MetricsSink) {}
 
     /// Clears all defense state (not normally needed: schemes manage their
     /// own windows; exposed for tests and reuse across runs).

@@ -67,6 +67,10 @@ impl RowHammerDefense for GrapheneDefense {
         TableBits { cam_bits: self.inner.params().table_bits_per_bank(), sram_bits: 0 }
     }
 
+    fn emit_telemetry(&self, bank: u16, now: Picoseconds, sink: &mut dyn telemetry::MetricsSink) {
+        self.inner.emit_telemetry(bank, now, sink);
+    }
+
     fn reset(&mut self) {
         self.inner.force_reset();
     }

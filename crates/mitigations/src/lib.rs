@@ -42,6 +42,7 @@ pub mod cra;
 pub mod defense;
 pub mod graphene;
 pub mod ideal;
+pub mod instrumented;
 pub mod mrloc;
 pub mod none;
 pub mod para;
@@ -56,6 +57,7 @@ pub use cra::{Cra, CraConfig, CraStats};
 pub use defense::{RefreshAction, RowHammerDefense, TableBits};
 pub use graphene::GrapheneDefense;
 pub use ideal::IdealCounters;
+pub use instrumented::{instrumented, InstrumentedDefense};
 pub use mrloc::{Mrloc, MrlocConfig};
 pub use none::NoDefense;
 pub use para::Para;

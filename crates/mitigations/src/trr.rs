@@ -1,7 +1,7 @@
 //! In-DRAM Target Row Refresh (TRR) — the vendor mitigation TRRespass broke.
 //!
 //! The paper's motivation leans on TRRespass (Frigo et al., S&P 2020,
-//! reference [16]): even the latest DDR4 DIMMs with in-DRAM TRR "are still
+//! reference \[16\]): even the latest DDR4 DIMMs with in-DRAM TRR "are still
 //! susceptible to Row Hammer under specific memory access patterns", because
 //! the mitigation tracks only a handful of aggressor candidates. This module
 //! models that class of defense so the repository can demonstrate *why* the
@@ -15,7 +15,7 @@
 //!   refreshed and the sampler clears (TRR piggybacks on REF).
 //!
 //! With 1–4 slots, hammering `slots + 1` or more aggressors in rotation (the
-//! many-sided pattern of [`workloads::NSidedAttack`]) keeps each slot's
+//! many-sided pattern of `workloads::NSidedAttack`) keeps each slot's
 //! counts balanced and the true victim starved — the TRRespass effect, which
 //! the integration tests reproduce against the fault oracle while Graphene
 //! survives the same stream.

@@ -33,6 +33,7 @@ pub mod runner;
 pub mod scenarios;
 
 pub use runner::{
-    run_matrix, run_pair, try_run_matrix, CellFailure, MatrixError, SimConfig, SimReport,
+    run_matrix, run_matrix_telemetry, run_pair, try_run_matrix, try_run_matrix_telemetry,
+    CellFailure, CellTelemetry, MatrixError, MatrixTelemetry, SimConfig, SimReport, TelemetrySpec,
 };
 pub use scenarios::{DefenseSpec, WorkloadSpec};

@@ -3,10 +3,9 @@
 //! [`run_scoped`] executes a set of jobs on a fixed number of worker
 //! threads. Each worker owns a deque; it pops from its own deque first and
 //! steals from siblings when empty. Jobs receive a [`Spawner`] and may
-//! enqueue further jobs mid-flight — the mechanism [`runner::run_matrix`]
-//! (crate::runner::run_matrix) uses to fan a workload's per-defense runs
-//! out as soon as that workload's baseline finishes, without waiting for
-//! the other baselines.
+//! enqueue further jobs mid-flight — the mechanism [`crate::run_matrix`]
+//! uses to fan a workload's per-defense runs out as soon as that
+//! workload's baseline finishes, without waiting for the other baselines.
 //!
 //! Why not one thread per job: a sweep grid is (workloads × defenses)
 //! jobs of wildly different costs; stealing keeps every core busy until the
@@ -41,6 +40,11 @@ struct Shared<'env> {
     deques: Vec<Mutex<VecDeque<Job<'env>>>>,
     /// Jobs enqueued or currently executing. Workers exit when it reaches 0.
     pending: AtomicUsize,
+    /// Jobs finished so far (including panicked ones), for the observer.
+    completed: AtomicUsize,
+    /// Called with the completed-job count after each job finishes — live
+    /// sweep progress for telemetry. Must be cheap and panic-free.
+    observer: Option<&'env (dyn Fn(usize) + Sync)>,
     /// Parking spot for workers that found every deque empty.
     idle: Mutex<()>,
     wakeup: Condvar,
@@ -87,10 +91,29 @@ impl<'env> Spawner<'env, '_> {
 /// catches the unwind, finishes the queue, and the payload is re-thrown
 /// from the calling thread.
 pub fn run_scoped<'env>(threads: usize, initial: Vec<Job<'env>>) {
+    run_scoped_observed(threads, initial, None);
+}
+
+/// [`run_scoped`] with a progress observer: after every job completes
+/// (spawned jobs included, panicked jobs included), `observer` is called
+/// with the total number of jobs finished so far. Callers use it to stream
+/// live sweep progress into a telemetry sink. The observer runs on worker
+/// threads and must be `Sync`, cheap, and panic-free.
+///
+/// # Panics
+///
+/// Same contract as [`run_scoped`].
+pub fn run_scoped_observed<'env>(
+    threads: usize,
+    initial: Vec<Job<'env>>,
+    observer: Option<&'env (dyn Fn(usize) + Sync)>,
+) {
     assert!(threads > 0, "pool needs at least one worker");
     let mut shared = Shared {
         deques: (0..threads).map(|_| Mutex::new(VecDeque::new())).collect(),
         pending: AtomicUsize::new(initial.len()),
+        completed: AtomicUsize::new(0),
+        observer,
         idle: Mutex::new(()),
         wakeup: Condvar::new(),
         panic: Mutex::new(None),
@@ -130,6 +153,10 @@ fn worker_loop<'env>(shared: &Shared<'env>, worker: usize) {
                     // Keep the first payload; later ones are usually noise
                     // from the same root cause.
                     slot.get_or_insert(payload);
+                }
+                let done = shared.completed.fetch_add(1, Ordering::SeqCst) + 1;
+                if let Some(observer) = shared.observer {
+                    observer(done);
                 }
                 if shared.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
                     // Last job out: wake everyone so they observe pending == 0.
@@ -229,6 +256,24 @@ mod tests {
     #[test]
     fn empty_job_list_returns_immediately() {
         run_scoped(2, Vec::new());
+    }
+
+    #[test]
+    fn observer_sees_every_completion_including_spawned() {
+        let max_seen = AtomicU64::new(0);
+        let observer = |done: usize| {
+            max_seen.fetch_max(done as u64, Ordering::SeqCst);
+        };
+        let jobs: Vec<Job<'_>> = (0..5)
+            .map(|_| {
+                job(move |sp| {
+                    sp.spawn(|_| {});
+                })
+            })
+            .collect();
+        run_scoped_observed(3, jobs, Some(&observer));
+        // 5 seeds + 5 children all reported.
+        assert_eq!(max_seen.load(Ordering::SeqCst), 10);
     }
 
     #[test]

@@ -4,11 +4,46 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dram_model::fault::DisturbanceModel;
-use memctrl::{McConfig, MemoryController, RunStats, StatsAudit};
+use memctrl::{McConfig, MemoryController, RunStats, StatsAudit, TelemetryTap};
 use rh_analysis::EnergyModel;
 use serde::{Deserialize, Serialize};
+use telemetry::{Cadence, MetricsSink, NoopSink, Recorder, SharedSink, Snapshot};
 
 use crate::scenarios::{DefenseSpec, WorkloadSpec};
+
+/// Telemetry wiring for a campaign: how often instrumented defenses and the
+/// controller tap sample, how much history each per-bank ring keeps, and
+/// whether to use a recording sink at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TelemetrySpec {
+    /// Sample every this many ACTs (must be ≥ 1).
+    pub every_acts: u64,
+    /// Ring capacity per (metric, bank) series.
+    pub ring_capacity: usize,
+    /// Wire the instrumentation but with a [`NoopSink`]: nothing is
+    /// recorded and the run must be bit-identical to an uninstrumented one.
+    /// This is the configuration `perf_snapshot` measures.
+    pub noop: bool,
+}
+
+impl TelemetrySpec {
+    /// Recording telemetry sampling every `every_acts` ACTs.
+    pub fn every_acts(every_acts: u64) -> Self {
+        assert!(every_acts > 0, "telemetry cadence of 0 never fires");
+        TelemetrySpec { every_acts, ring_capacity: telemetry::DEFAULT_RING_CAPACITY, noop: false }
+    }
+
+    /// Instrumentation wired but discarding everything (overhead probes).
+    pub fn noop() -> Self {
+        TelemetrySpec { noop: true, ..TelemetrySpec::every_acts(1_000) }
+    }
+}
+
+impl Default for TelemetrySpec {
+    fn default() -> Self {
+        TelemetrySpec::every_acts(1_000)
+    }
+}
 
 /// Configuration of one simulation campaign.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -29,6 +64,9 @@ pub struct SimConfig {
     /// environment variable forces it on everywhere (the `--audit` flag of
     /// rh-bench sets it).
     pub audit: bool,
+    /// Telemetry wiring; `None` runs completely uninstrumented (the
+    /// historical behavior and the default everywhere).
+    pub telemetry: Option<TelemetrySpec>,
 }
 
 impl SimConfig {
@@ -40,6 +78,7 @@ impl SimConfig {
             accesses,
             seed: 42,
             audit: false,
+            telemetry: None,
         }
     }
 
@@ -63,6 +102,7 @@ impl SimConfig {
             accesses,
             seed: 42,
             audit: true,
+            telemetry: None,
         }
     }
 
@@ -140,6 +180,57 @@ fn execute(
         audit_run(&mc, &stats, defense, workload);
     }
     stats
+}
+
+/// [`execute`] with the telemetry wiring of `spec`: every defense goes
+/// through [`mitigations::instrumented`] and the controller gets a
+/// [`TelemetryTap`], all feeding one shared recorder per cell. With
+/// `spec.noop` (or `spec == None`, which skips the wiring entirely) no
+/// snapshot is produced.
+fn execute_cell(
+    cfg: &McConfig,
+    spec: Option<&TelemetrySpec>,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+    accesses: u64,
+    seed: u64,
+    audit: bool,
+) -> (RunStats, Option<Snapshot>) {
+    let Some(spec) = spec else {
+        return (execute(cfg, defense, workload, accesses, seed, audit), None);
+    };
+    let rows = cfg.geometry.rows_per_bank;
+    let shared = (!spec.noop)
+        .then(|| SharedSink::with_recorder(Recorder::with_ring_capacity(spec.ring_capacity)));
+    let cadence = Cadence::EveryActs(spec.every_acts);
+    let sink_for = |shared: &Option<SharedSink>| -> Box<dyn MetricsSink + Send> {
+        match shared {
+            Some(s) => Box::new(s.clone()),
+            None => Box::new(NoopSink),
+        }
+    };
+    let mut mc = MemoryController::new(cfg.clone(), |bank| {
+        let inner =
+            if audit { defense.build_audited(bank, rows) } else { defense.build(bank, rows) };
+        mitigations::instrumented(inner, sink_for(&shared), bank as u16, rows, cadence)
+    });
+    mc.attach_telemetry(TelemetryTap::new(sink_for(&shared), cadence));
+    let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
+    let stats = mc.run(w.as_mut(), accesses);
+    if audit {
+        audit_run(&mc, &stats, defense, workload);
+    }
+    let snapshot = shared.map(|s| {
+        // One final scheme-state sample at completion time — the trajectory
+        // would otherwise stop at the last cadence boundary.
+        s.with(|rec| {
+            for bank in 0..cfg.geometry.total_banks() as usize {
+                mc.defense(bank).emit_telemetry(bank as u16, stats.completion, rec);
+            }
+        });
+        s.snapshot(&format!("{}/{}", workload.name(), defense.name()))
+    });
+    (stats, snapshot)
 }
 
 /// End-of-run invariant audit: the cross-counter checks of [`StatsAudit`]
@@ -304,6 +395,45 @@ fn payload_message(payload: &(dyn Any + Send)) -> String {
     }
 }
 
+/// The telemetry snapshot of one matrix cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTelemetry {
+    /// Workload name.
+    pub workload: String,
+    /// Defense name.
+    pub defense: String,
+    /// The cell's recorded snapshot.
+    pub snapshot: Snapshot,
+}
+
+/// Reports plus telemetry from a matrix sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixTelemetry {
+    /// Per-cell reports, (workload-major, defense-minor) as in
+    /// [`try_run_matrix`].
+    pub reports: Vec<SimReport>,
+    /// Per-cell snapshots (empty when the campaign ran without a recording
+    /// sink, i.e. `telemetry: None` or a noop spec).
+    pub cells: Vec<CellTelemetry>,
+    /// Live sweep progress: series `sweep.jobs_done` over wall-clock time
+    /// (ps since sweep start), one sample per finished pool job.
+    pub sweep: Snapshot,
+}
+
+impl MatrixTelemetry {
+    /// Everything in one [`Snapshot`]: each cell's metrics prefixed with
+    /// `"{workload}/{defense}/"`, the sweep-progress series unprefixed.
+    /// This is what `telemetry-report` writes to disk.
+    pub fn merged_snapshot(&self, source: &str) -> Snapshot {
+        let mut out = Snapshot::empty(source);
+        for cell in &self.cells {
+            out.merge_prefixed(&format!("{}/{}/", cell.workload, cell.defense), &cell.snapshot);
+        }
+        out.merge_prefixed("", &self.sweep);
+        out
+    }
+}
+
 /// Runs the full (defenses × workloads) matrix in parallel and returns the
 /// reports in (workload-major, defense-minor) order.
 ///
@@ -333,12 +463,33 @@ pub fn try_run_matrix(
     defenses: &[DefenseSpec],
     workloads: &[WorkloadSpec],
 ) -> Result<Vec<SimReport>, MatrixError> {
+    try_run_matrix_telemetry(cfg, defenses, workloads).map(|m| m.reports)
+}
+
+/// [`try_run_matrix`] keeping the telemetry: per-cell snapshots (when
+/// `cfg.telemetry` is a recording spec) and the live sweep-progress series
+/// sampled from the work-stealing pool's completion stream.
+///
+/// The defense-free baselines run uninstrumented — they define the
+/// reference timing and should not appear in defense-labelled series.
+///
+/// # Errors
+///
+/// Returns [`MatrixError`] listing each failed cell, like
+/// [`try_run_matrix`].
+pub fn try_run_matrix_telemetry(
+    cfg: &SimConfig,
+    defenses: &[DefenseSpec],
+    workloads: &[WorkloadSpec],
+) -> Result<MatrixTelemetry, MatrixError> {
     use std::sync::{Arc, Mutex};
 
     let audit = cfg.audit_enabled();
     let energy = EnergyModel::micro2020();
+    let spec = cfg.telemetry.as_ref();
     let n_def = defenses.len();
-    let slots: Vec<Mutex<Option<Result<SimReport, String>>>> =
+    type CellResult = Result<(SimReport, Option<Snapshot>), String>;
+    let slots: Vec<Mutex<Option<CellResult>>> =
         (0..workloads.len() * n_def).map(|_| Mutex::new(None)).collect();
 
     // One job per grid cell plus one baseline per workload can be in flight;
@@ -346,6 +497,17 @@ pub fn try_run_matrix(
     let jobs_upper_bound = workloads.len() * (n_def + 1);
     let threads =
         std::thread::available_parallelism().map_or(4, usize::from).min(jobs_upper_bound).max(1);
+
+    // Live sweep progress: one sample per finished pool job, timestamped in
+    // wall-clock picoseconds since sweep start.
+    let sweep_sink = spec.filter(|s| !s.noop).map(|_| SharedSink::new());
+    let sweep_start = std::time::Instant::now();
+    let observe = sweep_sink.clone().map(|sink| {
+        move |done: usize| {
+            let t_ps = sweep_start.elapsed().as_nanos() as u64 * 1_000;
+            sink.with(|rec| rec.sample("sweep.jobs_done", 0, t_ps, done as f64));
+        }
+    });
 
     let slots_ref = &slots;
     let initial: Vec<crate::pool::Job<'_>> = workloads
@@ -372,12 +534,22 @@ pub fn try_run_matrix(
                     let baseline = Arc::clone(&baseline);
                     spawner.spawn(move |_| {
                         let result = catch_unwind(AssertUnwindSafe(|| {
-                            let stats =
-                                execute(mc_cfg, defense, workload, cfg.accesses, cfg.seed, audit);
+                            let (stats, snapshot) = execute_cell(
+                                mc_cfg,
+                                spec,
+                                defense,
+                                workload,
+                                cfg.accesses,
+                                cfg.seed,
+                                audit,
+                            );
                             if audit {
                                 audit_cross(&stats, &baseline, defense, workload);
                             }
-                            report_for(defense, workload, stats, &baseline, energy, banks)
+                            (
+                                report_for(defense, workload, stats, &baseline, energy, banks),
+                                snapshot,
+                            )
                         }))
                         .map_err(|payload| payload_message(&*payload));
                         *slots_ref[wi * n_def + di].lock().expect("result slot poisoned") =
@@ -387,9 +559,12 @@ pub fn try_run_matrix(
             })
         })
         .collect();
-    crate::pool::run_scoped(threads, initial);
+    let observer: Option<&(dyn Fn(usize) + Sync)> =
+        observe.as_ref().map(|f| f as &(dyn Fn(usize) + Sync));
+    crate::pool::run_scoped_observed(threads, initial, observer);
 
     let mut reports = Vec::with_capacity(slots.len());
+    let mut cells = Vec::new();
     let mut failures = Vec::new();
     for (i, slot) in slots.into_iter().enumerate() {
         let cell = slot
@@ -397,7 +572,16 @@ pub fn try_run_matrix(
             .expect("result slot poisoned")
             .expect("every grid cell filled by the pool");
         match cell {
-            Ok(report) => reports.push(report),
+            Ok((report, snapshot)) => {
+                if let Some(snapshot) = snapshot {
+                    cells.push(CellTelemetry {
+                        workload: report.workload.clone(),
+                        defense: report.defense.clone(),
+                        snapshot,
+                    });
+                }
+                reports.push(report);
+            }
             Err(message) => failures.push(CellFailure {
                 workload: workloads[i / n_def].name(),
                 defense: defenses[i % n_def].name(),
@@ -405,11 +589,11 @@ pub fn try_run_matrix(
             }),
         }
     }
-    if failures.is_empty() {
-        Ok(reports)
-    } else {
-        Err(MatrixError { failures })
+    if !failures.is_empty() {
+        return Err(MatrixError { failures });
     }
+    let sweep = sweep_sink.map(|s| s.snapshot("sweep")).unwrap_or_else(|| Snapshot::empty("sweep"));
+    Ok(MatrixTelemetry { reports, cells, sweep })
 }
 
 /// [`try_run_matrix`], panicking with the full failure list if any cell
@@ -424,6 +608,20 @@ pub fn run_matrix(
     workloads: &[WorkloadSpec],
 ) -> Vec<SimReport> {
     try_run_matrix(cfg, defenses, workloads).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`try_run_matrix_telemetry`], panicking with the full failure list if any
+/// cell failed.
+///
+/// # Panics
+///
+/// Panics with the [`MatrixError`] rendering when one or more cells panic.
+pub fn run_matrix_telemetry(
+    cfg: &SimConfig,
+    defenses: &[DefenseSpec],
+    workloads: &[WorkloadSpec],
+) -> MatrixTelemetry {
+    try_run_matrix_telemetry(cfg, defenses, workloads).unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]

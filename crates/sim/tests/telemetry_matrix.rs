@@ -1,0 +1,77 @@
+//! Telemetry must be observation-only: instrumented sweeps produce the same
+//! reports as uninstrumented ones, and recording sweeps actually contain the
+//! trajectory series the report tooling consumes.
+
+use rh_sim::{
+    run_matrix_telemetry, try_run_matrix, DefenseSpec, SimConfig, TelemetrySpec, WorkloadSpec,
+};
+
+fn defenses() -> Vec<DefenseSpec> {
+    vec![
+        DefenseSpec::Graphene { t_rh: 5_000, k: 2 },
+        DefenseSpec::Para { p: 0.001 },
+        DefenseSpec::Twice { t_rh: 5_000 },
+    ]
+}
+
+fn workloads() -> Vec<WorkloadSpec> {
+    vec![WorkloadSpec::S3, WorkloadSpec::S1 { n: 10 }]
+}
+
+#[test]
+fn noop_instrumented_matrix_is_bit_identical() {
+    let plain = SimConfig::attack_bank(5_000, 8_000);
+    let noop = SimConfig { telemetry: Some(TelemetrySpec::noop()), ..plain.clone() };
+    let baseline = try_run_matrix(&plain, &defenses(), &workloads()).unwrap();
+    let instrumented = run_matrix_telemetry(&noop, &defenses(), &workloads());
+    assert_eq!(instrumented.reports, baseline, "NoopSink wiring must not perturb any run");
+    assert!(instrumented.cells.is_empty(), "noop spec records nothing");
+    assert!(instrumented.sweep.series.is_empty(), "noop spec skips sweep progress too");
+}
+
+#[test]
+fn recording_matrix_leaves_stats_unchanged() {
+    let plain = SimConfig::attack_bank(5_000, 8_000);
+    let recording = SimConfig { telemetry: Some(TelemetrySpec::every_acts(500)), ..plain.clone() };
+    let baseline = try_run_matrix(&plain, &defenses(), &workloads()).unwrap();
+    let recorded = run_matrix_telemetry(&recording, &defenses(), &workloads());
+    assert_eq!(recorded.reports, baseline, "recording must not perturb timing or counters");
+}
+
+#[test]
+fn recording_matrix_captures_per_defense_series() {
+    let cfg = SimConfig {
+        telemetry: Some(TelemetrySpec::every_acts(500)),
+        ..SimConfig::attack_bank(5_000, 8_000)
+    };
+    let defenses = defenses();
+    let m = run_matrix_telemetry(&cfg, &defenses, &workloads());
+    assert_eq!(m.cells.len(), m.reports.len(), "every cell snapshotted");
+
+    // Graphene's scheme-specific trajectory is present per bank.
+    let graphene = m.cells.iter().find(|c| c.defense == "Graphene" && c.workload == "S3").unwrap();
+    for metric in ["graphene.spillover", "graphene.occupancy", "graphene.window_nrrs"] {
+        let s = graphene.snapshot.series_for(metric, 0).unwrap_or_else(|| {
+            panic!("missing {metric}: have {:?}", graphene.snapshot.series_metrics())
+        });
+        assert!(!s.samples.is_empty());
+    }
+
+    // All three defenses report the uniform wrapper metrics.
+    for cell in m.cells.iter().filter(|c| c.workload == "S3") {
+        let acts = cell.snapshot.series_for("defense.acts", 0).expect("uniform acts series");
+        assert!(acts.samples.last().unwrap().value > 0.0, "{}", cell.defense);
+        assert!(cell.snapshot.series_for("mc.acts", 0).is_some(), "controller tap series");
+    }
+
+    // Sweep progress reached the full job count: 2 baselines + 6 cells.
+    let progress = m.sweep.series_for("sweep.jobs_done", 0).expect("sweep progress series");
+    assert_eq!(progress.samples.last().unwrap().value, 8.0);
+
+    // The merged snapshot survives a JSONL round trip with prefixed names.
+    let merged = m.merged_snapshot("test-sweep");
+    let text = merged.to_jsonl();
+    let parsed = telemetry::Snapshot::parse_jsonl(&text).unwrap();
+    assert_eq!(parsed, merged);
+    assert!(parsed.series_for("S3/Graphene/graphene.spillover", 0).is_some());
+}

@@ -1,0 +1,166 @@
+//! The metric sink trait, the zero-cost no-op sink, and sampling cadence.
+
+/// Where instrumented components send their metrics.
+///
+/// The trait is object-safe so defenses and the memory controller can hold
+/// a `Box<dyn MetricsSink + Send>` without generics leaking through their
+/// public types. All methods take `&mut self`: sinks are owned by exactly
+/// one producer, and shared recording goes through
+/// [`SharedSink`](crate::SharedSink), which locks internally.
+///
+/// Metric names are `&'static str` on purpose: the hot path never allocates
+/// or hashes a string, and the fixed name set doubles as the schema's
+/// vocabulary.
+pub trait MetricsSink {
+    /// False if this sink discards everything ([`NoopSink`]). Producers
+    /// check it once and skip metric *computation* entirely, keeping the
+    /// uninstrumented hot path bit-identical.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Adds `delta` to the monotone counter `name`.
+    fn counter(&mut self, name: &'static str, delta: u64);
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    fn gauge(&mut self, name: &'static str, value: f64);
+
+    /// Records one observation of `name` into its histogram summary.
+    fn observe(&mut self, name: &'static str, value: f64);
+
+    /// Appends a timestamped point to the per-bank time series `series`.
+    fn sample(&mut self, series: &'static str, bank: u16, t_ps: u64, value: f64);
+}
+
+/// A sink that discards everything.
+///
+/// [`enabled`](MetricsSink::enabled) returns `false`, so well-behaved
+/// producers skip their metric bookkeeping altogether; even if they do
+/// call through, every method is an inlined empty body.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopSink;
+
+impl MetricsSink for NoopSink {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn counter(&mut self, _name: &'static str, _delta: u64) {}
+
+    #[inline]
+    fn gauge(&mut self, _name: &'static str, _value: f64) {}
+
+    #[inline]
+    fn observe(&mut self, _name: &'static str, _value: f64) {}
+
+    #[inline]
+    fn sample(&mut self, _series: &'static str, _bank: u16, _t_ps: u64, _value: f64) {}
+}
+
+/// How often an instrumented component flushes its accumulated state into
+/// time-series samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cadence {
+    /// Flush every `k`-th activation (count-domain sampling).
+    EveryActs(u64),
+    /// Flush whenever the clock crosses a multiple of `window_ps`
+    /// (time-domain sampling; pass the Graphene reset window to sample once
+    /// per window).
+    EveryWindow(u64),
+}
+
+/// Decides, tick by tick, when a [`Cadence`] is due.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::{Cadence, CadenceClock};
+///
+/// let mut clock = CadenceClock::new(Cadence::EveryActs(3));
+/// let due: Vec<bool> = (0..7).map(|t| clock.tick(t)).collect();
+/// assert_eq!(due, [false, false, true, false, false, true, false]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CadenceClock {
+    cadence: Cadence,
+    ticks: u64,
+    last_window: u64,
+}
+
+impl CadenceClock {
+    /// A clock for `cadence`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero interval — it would flush on every tick in the
+    /// count domain and divide by zero in the time domain.
+    pub fn new(cadence: Cadence) -> Self {
+        match cadence {
+            Cadence::EveryActs(k) => assert!(k > 0, "cadence of 0 ACTs"),
+            Cadence::EveryWindow(w) => assert!(w > 0, "cadence window of 0 ps"),
+        }
+        CadenceClock { cadence, ticks: 0, last_window: 0 }
+    }
+
+    /// Advances one tick at absolute time `now_ps`; true when a flush is
+    /// due.
+    #[inline]
+    pub fn tick(&mut self, now_ps: u64) -> bool {
+        match self.cadence {
+            Cadence::EveryActs(k) => {
+                self.ticks += 1;
+                self.ticks.is_multiple_of(k)
+            }
+            Cadence::EveryWindow(w) => {
+                let window = now_ps / w;
+                if window != self.last_window {
+                    self.last_window = window;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_is_disabled() {
+        assert!(!NoopSink.enabled());
+        let mut s = NoopSink;
+        s.counter("a", 1);
+        s.gauge("b", 2.0);
+        s.observe("c", 3.0);
+        s.sample("d", 0, 4, 5.0);
+    }
+
+    #[test]
+    fn every_window_fires_on_boundary_crossings() {
+        let mut clock = CadenceClock::new(Cadence::EveryWindow(100));
+        assert!(!clock.tick(10));
+        assert!(!clock.tick(99));
+        assert!(clock.tick(100));
+        assert!(!clock.tick(150));
+        // Jumping several windows at once still flushes exactly once.
+        assert!(clock.tick(1_000));
+        assert!(!clock.tick(1_050));
+    }
+
+    #[test]
+    #[should_panic(expected = "cadence of 0")]
+    fn zero_act_cadence_rejected() {
+        let _ = CadenceClock::new(Cadence::EveryActs(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window of 0")]
+    fn zero_window_cadence_rejected() {
+        let _ = CadenceClock::new(Cadence::EveryWindow(0));
+    }
+}

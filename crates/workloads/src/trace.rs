@@ -50,17 +50,42 @@ impl Trace {
     }
 
     /// Serializes to the compact binary form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace holds more than `u32::MAX` accesses — the header
+    /// length field is a `u32`, and a trace that long used to be silently
+    /// truncated modulo 2³², corrupting the encoding. Use
+    /// [`try_to_bytes`](Self::try_to_bytes) to handle the case as an error.
     pub fn to_bytes(&self) -> Bytes {
+        self.try_to_bytes().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`to_bytes`](Self::to_bytes), but surfaces an over-long trace
+    /// as an error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the access count does not fit the header's
+    /// `u32` length field.
+    pub fn try_to_bytes(&self) -> Result<Bytes, String> {
+        let n = u32::try_from(self.accesses.len()).map_err(|_| {
+            format!(
+                "trace has {} accesses but the header length field is a u32 (max {})",
+                self.accesses.len(),
+                u32::MAX
+            )
+        })?;
         let mut buf = BytesMut::with_capacity(4 + 4 + self.accesses.len() * 16);
         buf.put_slice(&MAGIC);
-        buf.put_u32_le(self.accesses.len() as u32);
+        buf.put_u32_le(n);
         for a in &self.accesses {
             buf.put_u16_le(a.bank);
             buf.put_u32_le(a.row.0);
             buf.put_u64_le(a.gap);
             buf.put_u16_le(a.stream);
         }
-        buf.freeze()
+        Ok(buf.freeze())
     }
 
     /// Parses the binary form produced by [`to_bytes`](Self::to_bytes).
@@ -190,6 +215,23 @@ mod tests {
             vec![Access { bank: 3, row: RowId(9), gap: 11, stream: 0 }; 10],
         );
         assert_eq!(trace.to_bytes().len(), 8 + 10 * 16);
+    }
+
+    #[test]
+    fn header_length_field_round_trips() {
+        // The length field is the 4 bytes after the magic, little-endian.
+        // It used to be written with a silently-truncating `as u32`; pin
+        // that it encodes the exact access count and decodes back to it.
+        for n in [0usize, 1, 7, 1_000] {
+            let trace = Trace::from_accesses(
+                "t",
+                vec![Access { bank: 0, row: RowId(5), gap: 1, stream: 0 }; n],
+            );
+            let bytes = trace.try_to_bytes().unwrap();
+            let field = u32::from_le_bytes(bytes.as_ref()[4..8].try_into().unwrap());
+            assert_eq!(field as usize, trace.len());
+            assert_eq!(Trace::from_bytes(bytes).unwrap().len(), n);
+        }
     }
 
     #[test]

@@ -149,7 +149,7 @@ tuple_strategy!(A, B);
 tuple_strategy!(A, B, C);
 tuple_strategy!(A, B, C, D);
 
-/// Strategy for any value of a [`Arbitrary`]-like type (`any::<T>()`).
+/// Strategy for any value of a `Arbitrary`-like type (`any::<T>()`).
 #[derive(Debug, Clone, Copy)]
 pub struct Any<T>(std::marker::PhantomData<T>);
 
