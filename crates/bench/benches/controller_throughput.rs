@@ -2,7 +2,7 @@
 //! controller with each defense attached (single bank, S1-10 attack).
 
 use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion, Throughput};
-use memctrl::{McConfig, MemoryController};
+use memctrl::{McBuilder, McConfig};
 use rh_sim::DefenseSpec;
 use workloads::Synthetic;
 
@@ -22,9 +22,8 @@ fn bench_controller(c: &mut Criterion) {
         group.bench_function(BenchmarkId::from_parameter(spec.name()), |b| {
             b.iter_batched(
                 || {
-                    let mc = MemoryController::new(McConfig::single_bank(65_536, None), |bank| {
-                        spec.build(bank, 65_536)
-                    });
+                    let mc =
+                        McBuilder::new(McConfig::single_bank(65_536, None)).defenses(&spec).build();
                     (mc, Synthetic::s1(10, 65_536, 7))
                 },
                 |(mut mc, mut w)| mc.run(&mut w, ACCESSES),

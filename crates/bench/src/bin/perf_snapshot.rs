@@ -15,6 +15,12 @@
 //!    versus wrapped in [`fn@mitigations::instrumented`] with a
 //!    [`telemetry::NoopSink`]. The wrapper must be observation-only: the
 //!    acceptance bound is ≤ 2% throughput loss (within noise).
+//! 4. **Full-system sharded throughput** — the paper's 4-channel × 16-bank
+//!    system driven by a striped many-sided attack, sequentially (one
+//!    access at a time through the routing front end) versus channel-sharded
+//!    batched execution on the work-stealing pool. The stats are asserted
+//!    bit-identical; the recorded `threads` count contextualizes the speedup
+//!    (on a single-core runner the sharded path can only tie).
 //!
 //! Usage: `cargo run --release -p rh-bench --bin perf-snapshot [--fast]
 //! [--out PATH]`. `--fast`/`RH_FAST` shrinks the ACT counts for CI smoke
@@ -26,9 +32,10 @@ use std::time::Instant;
 use dram_model::RowId;
 use graphene_core::reference::LinearCounterTable;
 use graphene_core::{CounterTable, GrapheneConfig};
+use memctrl::MappingPolicy;
 use mitigations::{GrapheneDefense, RowHammerDefense};
 use rh_bench::{audit_mode, banner, fast_mode};
-use rh_sim::{run_matrix, DefenseSpec, SimConfig, WorkloadSpec};
+use rh_sim::{run_matrix, run_system, run_system_sharded, DefenseSpec, SimConfig, WorkloadSpec};
 use telemetry::{Cadence, NoopSink};
 
 /// Paper-scale table sizes (Table 2 trajectory: 50K → 2K-class thresholds).
@@ -160,6 +167,60 @@ fn measure_matrix(accesses: u64) -> (usize, usize, f64) {
     (workloads.len(), defenses.len(), wall * 1_000.0)
 }
 
+struct SystemRow {
+    channels: u8,
+    banks: u32,
+    accesses: u64,
+    threads: usize,
+    batch: usize,
+    sequential_ms: f64,
+    sharded_ms: f64,
+    speedup: f64,
+}
+
+/// Full-system run, sequential versus channel-sharded, on the paper's
+/// 4-channel geometry. The sharded stats must be bit-identical to the
+/// sequential ones — the measurement doubles as an equivalence assertion.
+fn measure_system(accesses: u64) -> SystemRow {
+    let sim = SimConfig { audit: false, ..SimConfig::micro2020(accesses) };
+    let geometry = sim.system.geometry;
+    let defense = DefenseSpec::Graphene { t_rh: 50_000, k: 2 };
+    let workload =
+        WorkloadSpec::StripedManySided { sides: 8, banks: geometry.total_banks() as u16 };
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(geometry.channels as usize);
+    let batch = 256;
+
+    let start = Instant::now();
+    let seq = run_system(&sim, MappingPolicy::BankInterleaved, &defense, &workload);
+    let sequential_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    let start = Instant::now();
+    let par = run_system_sharded(
+        &sim,
+        MappingPolicy::BankInterleaved,
+        &defense,
+        &workload,
+        threads,
+        batch,
+    );
+    let sharded_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+    assert_eq!(seq.stats, par.stats, "sharded execution diverged from sequential");
+    SystemRow {
+        channels: geometry.channels,
+        banks: geometry.total_banks(),
+        accesses,
+        threads,
+        batch,
+        sequential_ms,
+        sharded_ms,
+        speedup: sequential_ms / sharded_ms,
+    }
+}
+
 fn main() {
     let fast = fast_mode();
     if audit_mode() {
@@ -219,6 +280,21 @@ fn main() {
         noop_overhead * 100.0
     );
 
+    let system_accesses: u64 = if fast { 40_000 } else { 400_000 };
+    let sys = measure_system(system_accesses);
+    println!(
+        "system ({}ch/{}banks, {} accesses): sequential {:.1} ms | sharded {:.1} ms \
+         ({} thread(s), batch {}) | {:.2}x",
+        sys.channels,
+        sys.banks,
+        sys.accesses,
+        sys.sequential_ms,
+        sys.sharded_ms,
+        sys.threads,
+        sys.batch,
+        sys.speedup
+    );
+
     // Hand-rolled JSON: the workspace's serde is a no-op offline stub.
     let mut json = String::from("{\n");
     let _ = writeln!(json, "  \"generated_by\": \"perf_snapshot\",");
@@ -245,7 +321,21 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"run_matrix\": {{\"workloads\": {n_workloads}, \"defenses\": {n_defenses}, \
-         \"accesses_per_cell\": {matrix_accesses}, \"wall_ms\": {matrix_wall_ms:.1}}}"
+         \"accesses_per_cell\": {matrix_accesses}, \"wall_ms\": {matrix_wall_ms:.1}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"system_sharded\": {{\"channels\": {}, \"banks\": {}, \"accesses\": {}, \
+         \"threads\": {}, \"batch\": {}, \"policy\": \"bank-interleaved\", \
+         \"sequential_ms\": {:.1}, \"sharded_ms\": {:.1}, \"speedup\": {:.2}}}",
+        sys.channels,
+        sys.banks,
+        sys.accesses,
+        sys.threads,
+        sys.batch,
+        sys.sequential_ms,
+        sys.sharded_ms,
+        sys.speedup
     );
     json.push_str("}\n");
 

@@ -144,6 +144,18 @@ impl DramGeometry {
         u32::from(self.channels) * u32::from(self.ranks_per_channel)
     }
 
+    /// Banks owned by one channel (`ranks_per_channel × banks_per_rank`).
+    pub fn banks_per_channel(&self) -> u32 {
+        u32::from(self.ranks_per_channel) * u32::from(self.banks_per_rank)
+    }
+
+    /// The geometry of a single channel of this system: identical ranks,
+    /// banks, and rows, but `channels == 1`. This is what each shard of a
+    /// channel-sharded controller owns.
+    pub fn channel_geometry(&self) -> DramGeometry {
+        DramGeometry { channels: 1, ..*self }
+    }
+
     /// Bits needed to address a row within a bank
     /// (`⌈log2(rows_per_bank)⌉`; 16 for a 64K-row bank).
     pub fn row_addr_bits(&self) -> u32 {
@@ -250,6 +262,16 @@ mod tests {
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn channel_geometry_keeps_per_channel_shape() {
+        let g = DramGeometry::micro2020();
+        assert_eq!(g.banks_per_channel(), 16);
+        let ch = g.channel_geometry();
+        assert_eq!(ch.channels, 1);
+        assert_eq!(ch.total_banks(), g.banks_per_channel());
+        assert_eq!(ch.rows_per_bank, g.rows_per_bank);
     }
 
     #[test]

@@ -1,0 +1,381 @@
+//! Typed construction for single-shard and system controllers.
+//!
+//! [`McBuilder`] replaces the old positional `MemoryController::new(...)`
+//! constructor plus post-hoc `enable_command_log`/`attach_telemetry`
+//! setters, which could not express the sharded configuration space
+//! (mapping policy, per-shard telemetry, audit wrapping, reorder depth).
+//! One builder serves both targets:
+//!
+//! * [`McBuilder::build`] — a single [`MemoryController`] owning the whole
+//!   geometry, the legacy semantics;
+//! * [`McBuilder::build_system`] — a [`SystemController`] with one shard
+//!   per channel, each owning its ranks' banks, defenses, refresh engines,
+//!   and oracle state.
+//!
+//! Defense construction funnels through [`DefenseFactory`], so simulation
+//! drivers, benchmarks, and audited runs all build defenses from one spec
+//! instead of re-plumbing per-bank seeds at every call site. Shard
+//! defenses are built with the **global** flat bank index
+//! (`channel × banks_per_channel + local`), so a sharded system seeds
+//! bit-identically to a whole-system controller over the same banks.
+
+use mitigations::{NoDefense, RowHammerDefense};
+
+use crate::cmdlog::CommandLog;
+use crate::config::McConfig;
+use crate::controller::MemoryController;
+use crate::mapping::MappingPolicy;
+use crate::system::SystemController;
+use crate::tap::TelemetryTap;
+
+/// Builds one per-bank defense instance.
+///
+/// The single construction interface shared by the simulator, benchmarks,
+/// and the sharded path. `bank` is the global flat bank index (use it to
+/// seed RNG-based defenses distinctly); `audited` asks the factory to wrap
+/// the defense in its ground-truth audit shell, whatever that means for the
+/// implementing spec.
+///
+/// Any `Fn(usize) -> Box<dyn RowHammerDefense + Send>` closure is a
+/// `DefenseFactory` that ignores `rows_per_bank` and `audited`.
+pub trait DefenseFactory {
+    /// Builds the defense for global bank index `bank`.
+    fn build_defense(
+        &self,
+        bank: usize,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Box<dyn RowHammerDefense + Send>;
+}
+
+impl<F> DefenseFactory for F
+where
+    F: Fn(usize) -> Box<dyn RowHammerDefense + Send>,
+{
+    fn build_defense(
+        &self,
+        bank: usize,
+        _rows_per_bank: u32,
+        _audited: bool,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        self(bank)
+    }
+}
+
+/// Per-shard telemetry factory: called with `(channel, global bank offset)`
+/// for each shard of a system build.
+type ShardTapFactory<'a> = Box<dyn FnMut(u8, u16) -> Option<TelemetryTap> + 'a>;
+
+/// Where the builder gets its per-bank defenses from.
+enum DefenseSource<'a> {
+    /// No defense configured: every bank gets [`NoDefense`].
+    None,
+    /// A shared spec-style factory (borrowed, so one spec can build many
+    /// controllers in a sweep).
+    Factory(&'a dyn DefenseFactory),
+    /// A stateful closure, for call sites that capture mutable state.
+    Closure(Box<dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send> + 'a>),
+}
+
+/// Typed builder for [`MemoryController`] and [`SystemController`].
+///
+/// # Example
+///
+/// ```
+/// use memctrl::{mapping::MappingPolicy, McBuilder, McConfig};
+/// use mitigations::Para;
+///
+/// let mut system = McBuilder::new(McConfig::micro2020_no_oracle())
+///     .mapping(MappingPolicy::BankInterleaved)
+///     .defenses_with(|bank| Box::new(Para::new(0.001, bank as u64)))
+///     .build_system();
+/// assert_eq!(system.shards().len(), 4);
+/// ```
+pub struct McBuilder<'a> {
+    config: McConfig,
+    policy: MappingPolicy,
+    source: DefenseSource<'a>,
+    audit: bool,
+    command_log: Option<CommandLog>,
+    telemetry: Option<TelemetryTap>,
+    per_shard_telemetry: Option<ShardTapFactory<'a>>,
+    reorder_depth: usize,
+}
+
+impl std::fmt::Debug for McBuilder<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("McBuilder")
+            .field("geometry", &self.config.geometry)
+            .field("policy", &self.policy)
+            .field("audit", &self.audit)
+            .field("reorder_depth", &self.reorder_depth)
+            .finish()
+    }
+}
+
+impl<'a> McBuilder<'a> {
+    /// Default bound on each channel's reorder buffer in the batched path.
+    pub const DEFAULT_REORDER_DEPTH: usize = 64;
+
+    /// Starts a builder over `config`'s geometry and timing.
+    pub fn new(config: McConfig) -> Self {
+        McBuilder {
+            config,
+            policy: MappingPolicy::default(),
+            source: DefenseSource::None,
+            audit: false,
+            command_log: None,
+            telemetry: None,
+            per_shard_telemetry: None,
+            reorder_depth: Self::DEFAULT_REORDER_DEPTH,
+        }
+    }
+
+    /// Selects the address-mapping policy of the system front end
+    /// (ignored by [`build`](Self::build), which never routes).
+    pub fn mapping(mut self, policy: MappingPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Uses `factory` for every bank's defense. The factory is borrowed so
+    /// one spec can build a whole sweep's controllers.
+    pub fn defenses(mut self, factory: &'a dyn DefenseFactory) -> Self {
+        self.source = DefenseSource::Factory(factory);
+        self
+    }
+
+    /// Uses a closure for every bank's defense (called with the global flat
+    /// bank index). Unlike [`defenses`](Self::defenses), the closure may be
+    /// stateful; it never sees the audit flag.
+    pub fn defenses_with<F>(mut self, factory: F) -> Self
+    where
+        F: FnMut(usize) -> Box<dyn RowHammerDefense + Send> + 'a,
+    {
+        self.source = DefenseSource::Closure(Box::new(factory));
+        self
+    }
+
+    /// Asks the [`DefenseFactory`] for audit-wrapped defenses (ignored for
+    /// [`defenses_with`](Self::defenses_with) closures, which predate the
+    /// flag).
+    pub fn audit(mut self, on: bool) -> Self {
+        self.audit = on;
+        self
+    }
+
+    /// Attaches a command log. Under [`build_system`](Self::build_system)
+    /// the log is a *prototype*: each shard records into its own clone, so
+    /// pass it empty.
+    pub fn command_log(mut self, log: CommandLog) -> Self {
+        self.command_log = Some(log);
+        self
+    }
+
+    /// Attaches a telemetry tap to the single controller
+    /// [`build`](Self::build) produces. A tap is owned by exactly one
+    /// controller, so [`build_system`](Self::build_system) rejects this —
+    /// use [`telemetry_per_shard`](Self::telemetry_per_shard) there.
+    pub fn telemetry(mut self, tap: TelemetryTap) -> Self {
+        self.telemetry = Some(tap);
+        self
+    }
+
+    /// Supplies each shard's telemetry tap. The closure is called once per
+    /// channel with `(channel, bank_key_offset)`, where the offset is the
+    /// channel's first global bank index — pass it to
+    /// [`TelemetryTap::keyed`] so the shards' per-bank series land on
+    /// disjoint keys of a shared sink. Return `None` to leave a shard
+    /// untapped.
+    pub fn telemetry_per_shard<F>(mut self, taps: F) -> Self
+    where
+        F: FnMut(u8, u16) -> Option<TelemetryTap> + 'a,
+    {
+        self.per_shard_telemetry = Some(Box::new(taps));
+        self
+    }
+
+    /// Bounds each channel's reorder buffer in
+    /// [`SystemController::try_run_batched`] (how many routed accesses a
+    /// channel may hold before they are forced through its shard).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a depth of zero — the buffer could never hold anything.
+    pub fn reorder_depth(mut self, depth: usize) -> Self {
+        assert!(depth > 0, "reorder depth of 0");
+        self.reorder_depth = depth;
+        self
+    }
+
+    /// Builds a single controller owning the whole geometry — the legacy
+    /// semantics every pre-sharding call site had.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's geometry or timing fail validation.
+    pub fn build(self) -> MemoryController {
+        let McBuilder { config, source, audit, command_log, telemetry, .. } = self;
+        let rows = config.geometry.rows_per_bank;
+        let mut make = resolve(source, rows, audit);
+        let mut mc = MemoryController::from_parts(config, &mut make, 0, 0);
+        if let Some(log) = command_log {
+            mc.set_command_log(log);
+        }
+        if let Some(tap) = telemetry {
+            mc.set_telemetry(tap);
+        }
+        mc
+    }
+
+    /// Builds a channel-sharded [`SystemController`]: one shard per
+    /// channel, each owning its ranks' banks, defenses, refresh engines,
+    /// and oracle state, fronted by the configured mapping policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation, or if a single-owner
+    /// [`telemetry`](Self::telemetry) tap was supplied (shards need
+    /// [`telemetry_per_shard`](Self::telemetry_per_shard)).
+    pub fn build_system(self) -> SystemController {
+        let McBuilder {
+            config,
+            policy,
+            source,
+            audit,
+            command_log,
+            telemetry,
+            mut per_shard_telemetry,
+            reorder_depth,
+        } = self;
+        assert!(
+            telemetry.is_none(),
+            "a single telemetry tap cannot span shards; use telemetry_per_shard"
+        );
+        let geometry = config.geometry;
+        let rows = geometry.rows_per_bank;
+        let per_channel = geometry.banks_per_channel() as usize;
+        let mut make = resolve(source, rows, audit);
+        let mut shards = Vec::with_capacity(usize::from(geometry.channels));
+        for c in 0..geometry.channels {
+            let shard_config = McConfig { geometry: geometry.channel_geometry(), ..config.clone() };
+            let offset = usize::from(c) * per_channel;
+            let mut shard = MemoryController::from_parts(shard_config, &mut make, c, offset);
+            if let Some(log) = &command_log {
+                shard.set_command_log(log.clone());
+            }
+            if let Some(taps) = per_shard_telemetry.as_mut() {
+                if let Some(tap) = taps(c, offset as u16) {
+                    shard.set_telemetry(tap);
+                }
+            }
+            shards.push(shard);
+        }
+        SystemController::from_shards(geometry, policy, shards, reorder_depth)
+    }
+}
+
+/// Collapses a defense source into the per-bank closure `from_parts` eats.
+fn resolve<'a>(
+    source: DefenseSource<'a>,
+    rows_per_bank: u32,
+    audit: bool,
+) -> Box<dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send> + 'a> {
+    match source {
+        DefenseSource::None => Box::new(|_| Box::new(NoDefense::new())),
+        DefenseSource::Factory(f) => {
+            Box::new(move |bank| f.build_defense(bank, rows_per_bank, audit))
+        }
+        DefenseSource::Closure(c) => c,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use workloads::{Synthetic, Workload};
+
+    #[test]
+    fn default_build_uses_no_defense() {
+        let mut mc = McBuilder::new(McConfig::single_bank(65_536, None)).build();
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 5_000);
+        assert_eq!(stats.defense_refresh_commands, 0);
+        assert_eq!(stats.accesses, 5_000);
+    }
+
+    #[test]
+    fn factory_sees_global_bank_indices_and_audit_flag() {
+        struct Spy {
+            calls: AtomicUsize,
+            audited: AtomicUsize,
+        }
+        impl DefenseFactory for Spy {
+            fn build_defense(
+                &self,
+                bank: usize,
+                rows_per_bank: u32,
+                audited: bool,
+            ) -> Box<dyn RowHammerDefense + Send> {
+                assert_eq!(rows_per_bank, 65_536);
+                assert_eq!(bank, self.calls.fetch_add(1, Ordering::Relaxed));
+                if audited {
+                    self.audited.fetch_add(1, Ordering::Relaxed);
+                }
+                Box::new(NoDefense::new())
+            }
+        }
+        let spy = Spy { calls: AtomicUsize::new(0), audited: AtomicUsize::new(0) };
+        let system = McBuilder::new(McConfig::micro2020_no_oracle())
+            .defenses(&spy)
+            .audit(true)
+            .build_system();
+        // 64 banks, numbered globally and in channel order across shards.
+        assert_eq!(spy.calls.load(Ordering::Relaxed), 64);
+        assert_eq!(spy.audited.load(Ordering::Relaxed), 64);
+        assert_eq!(system.shards().len(), 4);
+        assert_eq!(system.shards()[2].channel(), 2);
+    }
+
+    #[test]
+    fn closure_source_matches_legacy_seeding() {
+        let mut seen = Vec::new();
+        let mc = McBuilder::new(McConfig::micro2020_no_oracle())
+            .defenses_with(|bank| {
+                seen.push(bank);
+                Box::new(NoDefense::new())
+            })
+            .build();
+        assert_eq!(mc.config().geometry.total_banks(), 64);
+        assert_eq!(seen, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn command_log_prototype_is_cloned_per_shard() {
+        let mut system = McBuilder::new(McConfig::micro2020_no_oracle())
+            .command_log(CommandLog::bounded(128))
+            .build_system();
+        system.run_batched(&Synthetic::s3(65_536, 1).take_accesses(100));
+        let _ = system.finish();
+        for shard in system.shards() {
+            assert!(shard.command_log().is_some());
+        }
+        // Channel 0 owns all the single-bank attack's commands; others idle.
+        assert!(!system.shards()[0].command_log().unwrap().records().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "telemetry_per_shard")]
+    fn single_tap_rejected_for_system_build() {
+        use telemetry::{Cadence, NoopSink};
+        let _ = McBuilder::new(McConfig::micro2020_no_oracle())
+            .telemetry(TelemetryTap::new(Box::new(NoopSink), Cadence::EveryActs(1)))
+            .build_system();
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder depth of 0")]
+    fn zero_reorder_depth_rejected() {
+        let _ = McBuilder::new(McConfig::micro2020_no_oracle()).reorder_depth(0);
+    }
+}

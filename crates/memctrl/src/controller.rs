@@ -1,15 +1,16 @@
 //! The memory controller: dispatch, refresh machinery, defense hook.
 
 use dram_model::fault::FaultOracle;
-use dram_model::geometry::RowId;
+use dram_model::geometry::{DramGeometry, RowId};
 use dram_model::refresh::RefreshEngine;
 use dram_model::timing::Picoseconds;
 use mitigations::{RefreshAction, RowHammerDefense};
 use workloads::Workload;
 
-use crate::bank::BankState;
+use crate::bank::{BankState, ServiceOutcome};
 use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
 use crate::config::McConfig;
+use crate::mapping::SystemAddress;
 use crate::scheduler::{BankQueue, SchedulerConfig};
 use crate::stats::RunStats;
 use crate::tap::TelemetryTap;
@@ -17,14 +18,32 @@ use crate::tap::TelemetryTap;
 /// A run aborted because an access could not be routed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum McError {
-    /// A workload emitted a bank index outside the configured geometry —
-    /// almost always a channel/rank/bank address-mapping mismatch between
-    /// the trace generator and the controller configuration.
+    /// A workload emitted a bank index outside the receiving controller's
+    /// geometry — almost always a channel/rank/bank address-mapping mismatch
+    /// between the trace generator and the controller configuration.
     BankOutOfRange {
-        /// The offending flattened bank index from the access.
+        /// The offending bank index from the access, local to the rejecting
+        /// controller.
         bank: u16,
-        /// How many banks the controller's geometry actually has.
+        /// How many banks the rejecting controller actually has.
         banks: usize,
+        /// Channel the rejecting controller serves (0 for a legacy
+        /// whole-system controller).
+        channel: u8,
+        /// Best-effort rank decode of the offending index
+        /// (`bank / banks_per_rank`, saturated), naming where the access
+        /// *would* have landed had the channel owned enough ranks.
+        rank: u8,
+        /// Zero-based index of the access within the run's batch.
+        access_index: u64,
+    },
+    /// The system front end could not route an access: its fully-decoded
+    /// [`SystemAddress`] does not exist in the configured geometry.
+    AddressOutOfRange {
+        /// Best-effort dense decode of the coordinate the access asked for.
+        addr: SystemAddress,
+        /// The geometry that lacks it.
+        geometry: DramGeometry,
         /// Zero-based index of the access within the run's batch.
         access_index: u64,
     },
@@ -33,10 +52,19 @@ pub enum McError {
 impl std::fmt::Display for McError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            McError::BankOutOfRange { bank, banks, access_index } => write!(
+            McError::BankOutOfRange { bank, banks, channel, rank, access_index } => write!(
                 f,
-                "access #{access_index} targets bank {bank} but the geometry has {banks} bank(s); \
-                 check the workload's bank count / address mapping"
+                "access #{access_index} targets bank {bank} (≈ rk{rank}) on channel {channel}, \
+                 which has {banks} bank(s); check the workload's bank count / address mapping"
+            ),
+            McError::AddressOutOfRange { addr, geometry, access_index } => write!(
+                f,
+                "access #{access_index} decodes to {addr}, outside the {}×{}×{} geometry with \
+                 {} rows per bank; check the workload's bank count / address mapping",
+                geometry.channels,
+                geometry.ranks_per_channel,
+                geometry.banks_per_rank,
+                geometry.rows_per_bank
             ),
         }
     }
@@ -44,24 +72,47 @@ impl std::fmt::Display for McError {
 
 impl std::error::Error for McError {}
 
+/// One access carrying an **absolute** arrival timestamp — the unit of
+/// batched shard ingestion ([`MemoryController::try_run_batch`]).
+///
+/// The system front end assigns the timestamp while routing (summing the
+/// workload's inter-arrival gaps), so a shard replaying a channel's stamped
+/// sub-trace reconstructs exactly the arrival clock the legacy
+/// gap-accumulating path would have computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StampedAccess {
+    /// Bank index local to the receiving controller's geometry.
+    pub bank: u16,
+    /// Row within the bank.
+    pub row: RowId,
+    /// Absolute arrival time (ps).
+    pub at: Picoseconds,
+    /// Workload stream the access belongs to.
+    pub stream: u16,
+}
+
 /// Bank-level memory-controller simulator with a per-bank Row Hammer
 /// defense and (optionally) the ground-truth fault oracle.
 ///
 /// # Example
 ///
 /// ```
-/// use memctrl::{McConfig, MemoryController};
+/// use memctrl::{McBuilder, McConfig};
 /// use mitigations::Para;
 /// use workloads::Synthetic;
 ///
-/// let mut mc = MemoryController::new(McConfig::micro2020_no_oracle(), |bank| {
-///     Box::new(Para::new(0.001, bank as u64))
-/// });
+/// let mut mc = McBuilder::new(McConfig::micro2020_no_oracle())
+///     .defenses_with(|bank| Box::new(Para::new(0.001, bank as u64)))
+///     .build();
 /// let stats = mc.run(&mut Synthetic::s1(10, 65_536, 3), 50_000);
 /// assert!(stats.defense_refresh_commands > 0);
 /// ```
 pub struct MemoryController {
     config: McConfig,
+    /// Which channel this controller serves — 0 for a legacy whole-system
+    /// controller, the shard's channel index under
+    /// [`McBuilder::build_system`](crate::McBuilder::build_system).
+    channel: u8,
     banks: Vec<BankState>,
     defenses: Vec<Box<dyn RowHammerDefense + Send>>,
     oracles: Option<Vec<FaultOracle>>,
@@ -88,22 +139,23 @@ impl std::fmt::Debug for MemoryController {
 }
 
 impl MemoryController {
-    /// Builds the controller; `defense_factory` is called once per bank with
-    /// the flattened bank index (use it to seed RNG-based defenses
-    /// distinctly).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's geometry or timing fail validation.
-    pub fn new(
+    /// The real constructor, shared by [`McBuilder`](crate::McBuilder)'s
+    /// single-shard and per-channel paths. `defense_factory` is called once
+    /// per bank with `defense_index_offset + local_bank` — the **global**
+    /// flat bank index — so a shard's defenses seed identically to the same
+    /// banks in a whole-system controller.
+    pub(crate) fn from_parts(
         config: McConfig,
-        defense_factory: impl FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
+        defense_factory: &mut dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
+        channel: u8,
+        defense_index_offset: usize,
     ) -> Self {
         config.geometry.validate().expect("invalid geometry");
         config.timing.validate().expect("invalid timing");
         let n_banks = config.geometry.total_banks() as usize;
         let banks = vec![BankState::new(config.timing, config.page_policy); n_banks];
-        let defenses: Vec<_> = (0..n_banks).map(defense_factory).collect();
+        let defenses: Vec<_> =
+            (0..n_banks).map(|b| defense_factory(defense_index_offset + b)).collect();
         let oracles = config.fault_model.clone().map(|m| {
             (0..n_banks)
                 .map(|_| FaultOracle::new(m.clone(), config.geometry.rows_per_bank))
@@ -115,6 +167,7 @@ impl MemoryController {
         let next_refresh_at = config.timing.t_refi;
         MemoryController {
             config,
+            channel,
             banks,
             defenses,
             oracles,
@@ -128,11 +181,38 @@ impl MemoryController {
         }
     }
 
+    /// Builds the controller; `defense_factory` is called once per bank with
+    /// the flattened bank index (use it to seed RNG-based defenses
+    /// distinctly).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration's geometry or timing fail validation.
+    #[deprecated(
+        since = "0.2.0",
+        note = "construct through `McBuilder::new(config).defenses_with(factory).build()`"
+    )]
+    pub fn new(
+        config: McConfig,
+        mut defense_factory: impl FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
+    ) -> Self {
+        Self::from_parts(config, &mut defense_factory, 0, 0)
+    }
+
+    pub(crate) fn set_command_log(&mut self, log: CommandLog) {
+        self.command_log = Some(log);
+    }
+
+    pub(crate) fn set_telemetry(&mut self, tap: TelemetryTap) {
+        self.telemetry = Some(tap);
+    }
+
     /// Attaches a command log; every ACT slot, REF blackout start, and
     /// victim-refresh burst is recorded for post-hoc protocol checking
     /// ([`crate::cmdlog::ProtocolChecker`]).
+    #[deprecated(since = "0.2.0", note = "pass the log to `McBuilder::command_log` instead")]
     pub fn enable_command_log(&mut self, log: CommandLog) {
-        self.command_log = Some(log);
+        self.set_command_log(log);
     }
 
     /// The command log, if one was attached.
@@ -143,8 +223,9 @@ impl MemoryController {
     /// Attaches a telemetry tap; ACT/REF/victim-refresh rates and end-of-run
     /// service gauges are reported through it (see [`crate::tap`]). With a
     /// disabled sink the tap is inert and the run is bit-identical.
+    #[deprecated(since = "0.2.0", note = "pass the tap to `McBuilder::telemetry` instead")]
     pub fn attach_telemetry(&mut self, tap: TelemetryTap) {
-        self.telemetry = Some(tap);
+        self.set_telemetry(tap);
     }
 
     /// The telemetry tap, if one was attached.
@@ -178,6 +259,12 @@ impl MemoryController {
         self.clock
     }
 
+    /// The channel this controller serves (0 unless it is a shard of a
+    /// [`SystemController`](crate::SystemController)).
+    pub fn channel(&self) -> u8 {
+        self.channel
+    }
+
     /// The ground-truth fault oracle attached to `bank`, if the fault model
     /// is armed. Lets end-of-run audits cross-check the defense's verdict
     /// ("zero flips") against the oracle's actual disturbance margins.
@@ -206,7 +293,53 @@ impl MemoryController {
         if bank_idx < self.banks.len() {
             Ok(bank_idx)
         } else {
-            Err(McError::BankOutOfRange { bank, banks: self.banks.len(), access_index })
+            let per_rank = u32::from(self.config.geometry.banks_per_rank);
+            Err(McError::BankOutOfRange {
+                bank,
+                banks: self.banks.len(),
+                channel: self.channel,
+                rank: (u32::from(bank) / per_rank).min(u32::from(u8::MAX)) as u8,
+                access_index,
+            })
+        }
+    }
+
+    /// Books one served access into the statistics, command log, telemetry,
+    /// fault oracle, and defense hook — the common tail of every dispatch
+    /// path (in-order, queued, and batched).
+    fn apply_outcome(
+        &mut self,
+        bank_idx: usize,
+        row: RowId,
+        arrival: Picoseconds,
+        stream: u16,
+        outcome: ServiceOutcome,
+    ) {
+        self.stats.accesses += 1;
+        self.stats.total_latency += outcome.finish - arrival;
+        self.note_stream(stream, outcome.finish - arrival);
+        self.stats.completion = self.stats.completion.max(outcome.finish);
+        self.wall = self.wall.max(outcome.finish);
+        if outcome.row_hit {
+            self.stats.row_hits += 1;
+        }
+        if outcome.activated {
+            self.stats.activations += 1;
+            if let Some(at) = outcome.act_at {
+                self.log_command(bank_idx, at, LoggedCommand::Activate { row: row.0 });
+            }
+            if let Some(tap) = &mut self.telemetry {
+                tap.on_act(bank_idx, outcome.start);
+            }
+            if let Some(oracles) = &mut self.oracles {
+                let flips = oracles[bank_idx].activate(row, outcome.start);
+                self.stats.bit_flips += flips.len() as u64;
+            }
+            let actions = self.defenses[bank_idx].on_activation(row, outcome.start);
+            for action in actions {
+                self.apply_action(bank_idx, action);
+            }
+            self.charge_overhead(bank_idx);
         }
     }
 
@@ -237,36 +370,45 @@ impl MemoryController {
 
             let bank_idx = self.route(access.bank, i)?;
             let outcome = self.banks[bank_idx].serve(access.row, self.clock);
-
-            self.stats.accesses += 1;
-            self.stats.total_latency += outcome.finish - self.clock;
-            self.note_stream(access.stream, outcome.finish - self.clock);
-            self.stats.completion = self.stats.completion.max(outcome.finish);
-            self.wall = self.wall.max(outcome.finish);
-            if outcome.row_hit {
-                self.stats.row_hits += 1;
-            }
-            if outcome.activated {
-                self.stats.activations += 1;
-                if let Some(at) = outcome.act_at {
-                    self.log_command(bank_idx, at, LoggedCommand::Activate { row: access.row.0 });
-                }
-                if let Some(tap) = &mut self.telemetry {
-                    tap.on_act(bank_idx, outcome.start);
-                }
-                if let Some(oracles) = &mut self.oracles {
-                    let flips = oracles[bank_idx].activate(access.row, outcome.start);
-                    self.stats.bit_flips += flips.len() as u64;
-                }
-                let actions = self.defenses[bank_idx].on_activation(access.row, outcome.start);
-                for action in actions {
-                    self.apply_action(bank_idx, action);
-                }
-                self.charge_overhead(bank_idx);
-            }
+            self.apply_outcome(bank_idx, access.row, self.clock, access.stream, outcome);
         }
         self.finish_telemetry();
         Ok(self.stats.clone())
+    }
+
+    /// Ingests a batch of pre-routed, absolutely-timestamped accesses — the
+    /// shard-side half of the system controller's batched dispatch.
+    ///
+    /// Per access the arrival clock advances to `max(clock, at)`, so a
+    /// channel's sub-trace replayed through batches of any size produces
+    /// statistics bit-identical to feeding the same accesses through
+    /// [`try_run`](Self::try_run) with delta gaps (the equivalence the
+    /// sharded-execution tests pin). Telemetry is **not** flushed per batch;
+    /// call [`finish_run`](Self::finish_run) once after the final batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::BankOutOfRange`] on the first access whose bank
+    /// index does not exist in this controller's geometry; `access_index`
+    /// is the offset within `batch`. Accesses before the offending one
+    /// remain applied.
+    pub fn try_run_batch(&mut self, batch: &[StampedAccess]) -> Result<(), McError> {
+        for (i, a) in batch.iter().enumerate() {
+            self.clock = self.clock.max(a.at);
+            self.catch_up_refresh();
+            let bank_idx = self.route(a.bank, i as u64)?;
+            let outcome = self.banks[bank_idx].serve(a.row, self.clock);
+            self.apply_outcome(bank_idx, a.row, self.clock, a.stream, outcome);
+        }
+        Ok(())
+    }
+
+    /// Flushes telemetry and returns the statistics accumulated by the
+    /// batched path — the counterpart of the snapshot
+    /// [`try_run`](Self::try_run) returns per call.
+    pub fn finish_run(&mut self) -> RunStats {
+        self.finish_telemetry();
+        self.stats.clone()
     }
 
     /// Runs `n` accesses through per-bank request queues with batched
@@ -360,32 +502,7 @@ impl MemoryController {
         let open = self.banks[bank_idx].open_row();
         let req = queues[bank_idx].pop_next(open).expect("caller checked non-empty");
         let outcome = self.banks[bank_idx].serve(req.row, req.arrival);
-        self.stats.accesses += 1;
-        self.stats.total_latency += outcome.finish - req.arrival;
-        self.note_stream(req.stream, outcome.finish - req.arrival);
-        self.stats.completion = self.stats.completion.max(outcome.finish);
-        self.wall = self.wall.max(outcome.finish);
-        if outcome.row_hit {
-            self.stats.row_hits += 1;
-        }
-        if outcome.activated {
-            self.stats.activations += 1;
-            if let Some(at) = outcome.act_at {
-                self.log_command(bank_idx, at, LoggedCommand::Activate { row: req.row.0 });
-            }
-            if let Some(tap) = &mut self.telemetry {
-                tap.on_act(bank_idx, outcome.start);
-            }
-            if let Some(oracles) = &mut self.oracles {
-                let flips = oracles[bank_idx].activate(req.row, outcome.start);
-                self.stats.bit_flips += flips.len() as u64;
-            }
-            let actions = self.defenses[bank_idx].on_activation(req.row, outcome.start);
-            for action in actions {
-                self.apply_action(bank_idx, action);
-            }
-            self.charge_overhead(bank_idx);
-        }
+        self.apply_outcome(bank_idx, req.row, req.arrival, req.stream, outcome);
     }
 
     /// Drains and charges the defense's bookkeeping traffic to its bank.
@@ -461,13 +578,14 @@ impl MemoryController {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::McBuilder;
     use dram_model::fault::{DisturbanceModel, MuModel};
     use graphene_core::GrapheneConfig;
     use mitigations::{GrapheneDefense, NoDefense, Para};
     use workloads::Synthetic;
 
     fn no_defense_mc(config: McConfig) -> MemoryController {
-        MemoryController::new(config, |_| Box::new(NoDefense::new()))
+        McBuilder::new(config).build()
     }
 
     #[test]
@@ -479,13 +597,19 @@ mod tests {
         assert!(!mc.is_clean());
     }
 
+    fn graphene_mc(config: McConfig) -> MemoryController {
+        McBuilder::new(config)
+            .defenses_with(|_| {
+                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+            })
+            .build()
+    }
+
     #[test]
     fn graphene_prevents_flips_on_same_attack() {
         let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(McConfig::single_bank(65_536, Some(model)), |_| {
-            let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
-            Box::new(GrapheneDefense::from_config(&cfg).unwrap())
-        });
+        let mut mc = graphene_mc(McConfig::single_bank(65_536, Some(model)));
         let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100_000);
         assert_eq!(stats.bit_flips, 0);
         assert!(stats.victim_rows_refreshed > 0, "NRRs must have fired");
@@ -521,9 +645,9 @@ mod tests {
 
     #[test]
     fn para_adds_measurable_busy_time() {
-        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
-            Box::new(Para::new(0.01, b as u64))
-        });
+        let mut mc = McBuilder::new(McConfig::single_bank(65_536, None))
+            .defenses_with(|b| Box::new(Para::new(0.01, b as u64)))
+            .build();
         let stats = mc.run(&mut Synthetic::s1(10, 65_536, 1), 100_000);
         assert!(stats.defense_refresh_commands > 0);
         assert!(stats.defense_busy > 0);
@@ -535,13 +659,15 @@ mod tests {
     #[test]
     fn slowdown_of_defense_free_run_is_zero() {
         let run = |with_para: bool| {
-            let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
-                if with_para {
-                    Box::new(Para::new(0.02, b as u64)) as Box<dyn RowHammerDefense + Send>
-                } else {
-                    Box::new(NoDefense::new())
-                }
-            });
+            let mut mc = McBuilder::new(McConfig::single_bank(65_536, None))
+                .defenses_with(|b| {
+                    if with_para {
+                        Box::new(Para::new(0.02, b as u64)) as Box<dyn RowHammerDefense + Send>
+                    } else {
+                        Box::new(NoDefense::new())
+                    }
+                })
+                .build();
             mc.run(&mut Synthetic::s3(65_536, 9), 50_000)
         };
         let base = run(false);
@@ -613,10 +739,7 @@ mod tests {
     #[test]
     fn queued_mode_graphene_still_protects() {
         let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(McConfig::single_bank(65_536, Some(model)), |_| {
-            let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
-            Box::new(GrapheneDefense::from_config(&cfg).unwrap())
-        });
+        let mut mc = graphene_mc(McConfig::single_bank(65_536, Some(model)));
         let stats = mc.run_queued(
             &mut Synthetic::s3(65_536, 1),
             80_000,
@@ -649,11 +772,33 @@ mod tests {
     fn try_run_reports_bad_bank_mapping() {
         let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
         let err = mc.try_run(&mut WrongBank, 5).unwrap_err();
-        assert_eq!(err, McError::BankOutOfRange { bank: 999, banks: 1, access_index: 0 });
+        assert_eq!(
+            err,
+            McError::BankOutOfRange { bank: 999, banks: 1, channel: 0, rank: 255, access_index: 0 }
+        );
         assert!(err.to_string().contains("bank 999"));
+        assert!(err.to_string().contains("channel 0"));
         // Well-mapped traffic still succeeds afterwards.
         let stats = mc.try_run(&mut Synthetic::s3(65_536, 1), 10).unwrap();
         assert_eq!(stats.accesses, 10);
+    }
+
+    #[test]
+    fn bank_error_carries_shard_channel_and_rank_decode() {
+        // A 2-rank × 4-bank shard on channel 3: bank 6 would be rank 1, but
+        // bank 9 exceeds the shard, decoding to the (absent) rank 2.
+        let mut geo_cfg = McConfig::micro2020_no_oracle();
+        geo_cfg.geometry.channels = 4;
+        geo_cfg.geometry.ranks_per_channel = 2;
+        geo_cfg.geometry.banks_per_rank = 4;
+        let mut system = McBuilder::new(geo_cfg).build_system();
+        let err = system.shards_mut()[3]
+            .try_run_batch(&[StampedAccess { bank: 9, row: RowId(1), at: 0, stream: 0 }])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            McError::BankOutOfRange { bank: 9, banks: 8, channel: 3, rank: 2, access_index: 0 }
+        );
     }
 
     #[test]
@@ -662,7 +807,47 @@ mod tests {
         let err = mc
             .try_run_queued(&mut WrongBank, 5, crate::scheduler::SchedulerConfig::par_bs_like())
             .unwrap_err();
-        assert!(matches!(err, McError::BankOutOfRange { bank: 999, banks: 1, .. }));
+        assert!(matches!(err, McError::BankOutOfRange { bank: 999, banks: 1, channel: 0, .. }));
+    }
+
+    #[test]
+    fn batched_ingestion_matches_gap_driven_run_bit_identically() {
+        // The shard-side equivalence: replaying a trace as absolutely
+        // stamped batches must reproduce the legacy delta-gap path exactly,
+        // including refresh catch-up and defense interference.
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let trace = Synthetic::s3(65_536, 1).take_accesses(30_000);
+
+        let mut legacy = graphene_mc(McConfig::single_bank(65_536, Some(model.clone())));
+        let mut replay = workloads::Trace::from_accesses("t", trace.clone()).replay();
+        let legacy_stats = legacy.try_run(&mut replay, 30_000).unwrap();
+
+        let mut batched = graphene_mc(McConfig::single_bank(65_536, Some(model)));
+        let mut at = 0u64;
+        let stamped: Vec<StampedAccess> = trace
+            .iter()
+            .map(|a| {
+                at += a.gap;
+                StampedAccess { bank: a.bank, row: a.row, at, stream: a.stream }
+            })
+            .collect();
+        for chunk in stamped.chunks(977) {
+            batched.try_run_batch(chunk).unwrap();
+        }
+        assert_eq!(batched.finish_run(), legacy_stats);
+    }
+
+    #[test]
+    fn deprecated_constructor_still_builds_a_working_controller() {
+        #[allow(deprecated)]
+        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |_| {
+            Box::new(NoDefense::new())
+        });
+        #[allow(deprecated)]
+        mc.enable_command_log(CommandLog::bounded(16));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100);
+        assert_eq!(stats.accesses, 100);
+        assert!(!mc.command_log().unwrap().records().is_empty());
     }
 
     #[test]

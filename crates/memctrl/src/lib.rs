@@ -24,22 +24,27 @@
 //! the same trace — isolating precisely the victim-refresh interference the
 //! paper measures with McSimA+.
 //!
+//! Controllers are constructed through the typed [`McBuilder`]:
+//! [`McBuilder::build`] yields a single [`MemoryController`] over the whole
+//! geometry (the legacy semantics), while [`McBuilder::build_system`]
+//! yields a channel-sharded [`SystemController`] whose front end routes
+//! every access through a [`mapping::MappingPolicy`] into per-channel
+//! shards with batched dispatch — see [`builder`] and [`system`].
+//!
 //! # Example
 //!
 //! ```
-//! use memctrl::{McConfig, MemoryController};
-//! use mitigations::NoDefense;
+//! use memctrl::{McBuilder, McConfig};
 //! use workloads::Synthetic;
 //!
-//! let mut mc = MemoryController::new(McConfig::micro2020_no_oracle(), |_| {
-//!     Box::new(NoDefense::new())
-//! });
+//! let mut mc = McBuilder::new(McConfig::micro2020_no_oracle()).build();
 //! let stats = mc.run(&mut Synthetic::s3(65_536, 1), 10_000);
 //! assert_eq!(stats.accesses, 10_000);
 //! ```
 
 pub mod audit;
 pub mod bank;
+pub mod builder;
 pub mod cmdlog;
 pub mod config;
 pub mod controller;
@@ -47,15 +52,18 @@ pub mod mapping;
 pub mod pagepolicy;
 pub mod scheduler;
 pub mod stats;
+pub mod system;
 pub mod tap;
 
 pub use audit::{StatsAudit, StatsFinding};
 pub use bank::BankState;
+pub use builder::{DefenseFactory, McBuilder};
 pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
 pub use config::McConfig;
-pub use controller::{McError, MemoryController};
-pub use mapping::{AddressMapper, DecodedAddress, MappingScheme};
+pub use controller::{McError, MemoryController, StampedAccess};
+pub use mapping::{AddressMapper, DecodedAddress, MappingPolicy, MappingScheme, SystemAddress};
 pub use pagepolicy::PagePolicy;
 pub use scheduler::{BankQueue, SchedulerConfig};
 pub use stats::RunStats;
+pub use system::{SystemController, SystemStats};
 pub use tap::TelemetryTap;

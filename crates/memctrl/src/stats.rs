@@ -68,6 +68,35 @@ impl RunStats {
         self.per_stream[i].1 += latency;
     }
 
+    /// Folds another run's counters into this one — the reduction a
+    /// channel-sharded system uses to build full-system statistics from its
+    /// per-channel shards.
+    ///
+    /// Counters and latencies add; `completion` takes the max (channels
+    /// serve concurrently in wall-clock terms, so the system finishes when
+    /// its slowest channel does); per-stream entries merge element-wise.
+    pub fn merge(&mut self, other: &RunStats) {
+        self.accesses += other.accesses;
+        self.activations += other.activations;
+        self.row_hits += other.row_hits;
+        self.refreshes += other.refreshes;
+        self.defense_refresh_commands += other.defense_refresh_commands;
+        self.victim_rows_refreshed += other.victim_rows_refreshed;
+        self.defense_busy += other.defense_busy;
+        self.completion = self.completion.max(other.completion);
+        self.total_latency += other.total_latency;
+        self.bit_flips += other.bit_flips;
+        if self.per_stream.len() < other.per_stream.len() {
+            self.per_stream.resize(other.per_stream.len(), (0, 0));
+        }
+        for (mine, theirs) in self.per_stream.iter_mut().zip(&other.per_stream) {
+            mine.0 += theirs.0;
+            mine.1 += theirs.1;
+        }
+        self.stray_stream_accesses += other.stray_stream_accesses;
+        self.stray_stream_latency += other.stray_stream_latency;
+    }
+
     /// Mean latency of one stream (ps), or `None` if it served no accesses.
     pub fn stream_mean_latency(&self, stream: u16) -> Option<f64> {
         self.per_stream
@@ -185,6 +214,45 @@ mod tests {
         let loss = run.weighted_speedup_loss_vs(&base);
         assert!((loss - 0.1).abs() < 1e-12, "loss {loss}");
         assert_eq!(base.weighted_speedup_loss_vs(&base), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_maxes_completion() {
+        let mut a = RunStats {
+            accesses: 10,
+            activations: 4,
+            row_hits: 6,
+            refreshes: 2,
+            defense_refresh_commands: 1,
+            victim_rows_refreshed: 2,
+            defense_busy: 100,
+            completion: 5_000,
+            total_latency: 900,
+            bit_flips: 1,
+            stray_stream_accesses: 1,
+            stray_stream_latency: 30,
+            ..RunStats::default()
+        };
+        a.note_stream(0, 100);
+        let mut b = RunStats { accesses: 5, completion: 7_000, ..RunStats::default() };
+        b.note_stream(0, 50);
+        b.note_stream(2, 70);
+        a.merge(&b);
+        assert_eq!(a.accesses, 15);
+        assert_eq!(a.completion, 7_000, "channels overlap in wall-clock time");
+        assert_eq!(a.bit_flips, 1);
+        assert_eq!(a.per_stream.len(), 3);
+        assert_eq!(a.per_stream[0], (2, 150));
+        assert_eq!(a.per_stream[2], (1, 70));
+        assert_eq!(a.stray_stream_accesses, 1);
+    }
+
+    #[test]
+    fn merge_with_default_is_identity() {
+        let mut s = RunStats { accesses: 3, completion: 10, ..RunStats::default() };
+        let snapshot = s.clone();
+        s.merge(&RunStats::default());
+        assert_eq!(s, snapshot);
     }
 
     #[test]

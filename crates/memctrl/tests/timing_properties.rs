@@ -2,8 +2,7 @@
 
 use dram_model::timing::DramTiming;
 use dram_model::RowId;
-use memctrl::{BankState, McConfig, MemoryController, PagePolicy};
-use mitigations::NoDefense;
+use memctrl::{BankState, McBuilder, McConfig, PagePolicy};
 use proptest::prelude::*;
 use workloads::{Access, Workload};
 
@@ -82,10 +81,7 @@ proptest! {
     /// divided across banks.
     #[test]
     fn controller_accounting(seed in any::<u64>(), n in 1_000u64..5_000) {
-        let mut mc = MemoryController::new(
-            McConfig::single_bank(4_096, None),
-            |_| Box::new(NoDefense::new()),
-        );
+        let mut mc = McBuilder::new(McConfig::single_bank(4_096, None)).build();
         let mut rng_rows: Vec<Access> = Vec::new();
         let mut x = seed;
         for _ in 0..200 {
@@ -111,10 +107,10 @@ fn command_log_is_protocol_clean_under_random_traffic() {
     // the log through the protocol checker — zero violations allowed.
     use memctrl::{CommandLog, ProtocolChecker};
     let timing = DramTiming::ddr4_2400();
-    let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
-        Box::new(mitigations::Para::new(0.02, b as u64))
-    });
-    mc.enable_command_log(CommandLog::unbounded());
+    let mut mc = McBuilder::new(McConfig::single_bank(65_536, None))
+        .defenses_with(|b| Box::new(mitigations::Para::new(0.02, b as u64)) as _)
+        .command_log(CommandLog::unbounded())
+        .build();
     let mut w = workloads::Synthetic::s2(10, 65_536, 5);
     mc.run(&mut w, 30_000);
     let log = mc.command_log().expect("log attached");
@@ -127,9 +123,9 @@ fn command_log_is_protocol_clean_under_random_traffic() {
 fn queued_mode_is_protocol_clean_too() {
     use memctrl::{CommandLog, ProtocolChecker, SchedulerConfig};
     let timing = DramTiming::ddr4_2400();
-    let mut mc =
-        MemoryController::new(McConfig::single_bank(65_536, None), |_| Box::new(NoDefense::new()));
-    mc.enable_command_log(CommandLog::unbounded());
+    let mut mc = McBuilder::new(McConfig::single_bank(65_536, None))
+        .command_log(CommandLog::unbounded())
+        .build();
     let mut w = workloads::Synthetic::s1(10, 65_536, 9);
     mc.run_queued(&mut w, 30_000, SchedulerConfig::par_bs_like());
     let violations = ProtocolChecker::new(timing).check(mc.command_log().unwrap());
@@ -151,9 +147,9 @@ fn defense_busy_time_matches_victim_rows() {
     use mitigations::Para;
     use workloads::Synthetic;
     let timing = DramTiming::ddr4_2400();
-    let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |b| {
-        Box::new(Para::new(0.05, b as u64))
-    });
+    let mut mc = McBuilder::new(McConfig::single_bank(65_536, None))
+        .defenses_with(|b| Box::new(Para::new(0.05, b as u64)) as _)
+        .build();
     let stats = mc.run(&mut Synthetic::s1(10, 65_536, 3), 20_000);
     let expected =
         stats.victim_rows_refreshed * timing.t_rc + stats.defense_refresh_commands * timing.t_rp;

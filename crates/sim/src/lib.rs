@@ -13,6 +13,10 @@
 //!   pair and parallel matrices of pairs.
 //! * [`pool`] — the std-only work-stealing thread pool the matrix sweep
 //!   fans its (workload × defense) grid out on.
+//! * [`sharded`] — the full-system path: accesses routed through a
+//!   [`memctrl::MappingPolicy`] into per-channel shards that execute
+//!   batched sub-traces concurrently on the same pool, bit-identical to
+//!   sequential execution.
 //!
 //! # Example
 //!
@@ -31,9 +35,11 @@
 pub mod pool;
 pub mod runner;
 pub mod scenarios;
+pub mod sharded;
 
 pub use runner::{
     run_matrix, run_matrix_telemetry, run_pair, try_run_matrix, try_run_matrix_telemetry,
     CellFailure, CellTelemetry, MatrixError, MatrixTelemetry, SimConfig, SimReport, TelemetrySpec,
 };
 pub use scenarios::{DefenseSpec, WorkloadSpec};
+pub use sharded::{run_system, run_system_matrix, run_system_sharded, SystemReport};

@@ -4,7 +4,9 @@ use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use dram_model::fault::DisturbanceModel;
-use memctrl::{McConfig, MemoryController, RunStats, StatsAudit, TelemetryTap};
+use memctrl::{
+    DefenseFactory, McBuilder, McConfig, MemoryController, RunStats, StatsAudit, TelemetryTap,
+};
 use rh_analysis::EnergyModel;
 use serde::{Deserialize, Serialize};
 use telemetry::{Cadence, MetricsSink, NoopSink, Recorder, SharedSink, Snapshot};
@@ -167,13 +169,7 @@ fn execute(
     audit: bool,
 ) -> RunStats {
     let rows = cfg.geometry.rows_per_bank;
-    let mut mc = MemoryController::new(cfg.clone(), |bank| {
-        if audit {
-            defense.build_audited(bank, rows)
-        } else {
-            defense.build(bank, rows)
-        }
-    });
+    let mut mc = McBuilder::new(cfg.clone()).defenses(defense).audit(audit).build();
     let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
     let stats = mc.run(w.as_mut(), accesses);
     if audit {
@@ -209,12 +205,13 @@ fn execute_cell(
             None => Box::new(NoopSink),
         }
     };
-    let mut mc = MemoryController::new(cfg.clone(), |bank| {
-        let inner =
-            if audit { defense.build_audited(bank, rows) } else { defense.build(bank, rows) };
-        mitigations::instrumented(inner, sink_for(&shared), bank as u16, rows, cadence)
-    });
-    mc.attach_telemetry(TelemetryTap::new(sink_for(&shared), cadence));
+    let mut mc = McBuilder::new(cfg.clone())
+        .defenses_with(|bank| {
+            let inner = defense.build_defense(bank, rows, audit);
+            mitigations::instrumented(inner, sink_for(&shared), bank as u16, rows, cadence)
+        })
+        .telemetry(TelemetryTap::new(sink_for(&shared), cadence))
+        .build();
     let mut w = workload.build(cfg.geometry.total_banks() as u16, rows, seed);
     let stats = mc.run(w.as_mut(), accesses);
     if audit {
@@ -238,7 +235,7 @@ fn execute_cell(
 /// the per-bank flip counts must sum to the reported total, and a
 /// zero-flip verdict must be backed by every bank's worst disturbance
 /// staying below `T_RH`.
-fn audit_run(
+pub(crate) fn audit_run(
     mc: &MemoryController,
     stats: &RunStats,
     defense: &DefenseSpec,

@@ -2,6 +2,7 @@
 
 use dram_model::timing::DramTiming;
 use graphene_core::GrapheneConfig;
+use memctrl::DefenseFactory;
 use mitigations::{
     AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters,
     Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig, RowHammerDefense, ShadowCert, Twice,
@@ -9,7 +10,8 @@ use mitigations::{
 };
 use serde::{Deserialize, Serialize};
 use workloads::{
-    Interleaved, MrlocAttack, ProhitAttack, ProxyWorkload, SpecPreset, Synthetic, Workload,
+    Interleaved, MrlocAttack, ProhitAttack, ProxyWorkload, SameRowAllBanks, SpecPreset,
+    StripedNSided, Synthetic, Workload,
 };
 
 /// A named, buildable defense configuration.
@@ -170,6 +172,28 @@ impl DefenseSpec {
     }
 }
 
+/// [`DefenseSpec`] is *the* defense factory of the repo: the sim runner,
+/// the bench binaries, the audit layer, and the sharded system path all
+/// construct per-bank defense instances through this one impl, so the
+/// seed derivation (`bank + 1`) and the audit wrapping live in a single
+/// place. The `bank` index is the **global flat** index — the sharded
+/// system builder offsets it per channel — so a sharded system and a
+/// whole-system controller seed bit-identically.
+impl DefenseFactory for DefenseSpec {
+    fn build_defense(
+        &self,
+        bank: usize,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        if audited {
+            self.build_audited(bank, rows_per_bank)
+        } else {
+            self.build(bank, rows_per_bank)
+        }
+    }
+}
+
 /// A named, buildable workload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
@@ -202,6 +226,20 @@ pub enum WorkloadSpec {
     MixHigh,
     /// The paper's mix-blend: a blend across all presets.
     MixBlend,
+    /// Many-sided hammering striped across `banks` banks (and, through the
+    /// mapping policy, across channels) — the full-system TRRespass shape.
+    StripedManySided {
+        /// Aggressors per bank.
+        sides: u32,
+        /// Number of banks the stripe covers (clamped to the system).
+        banks: u16,
+    },
+    /// ABACuS-style same-row-all-banks hammering: the identical row index
+    /// double-sided in every bank simultaneously.
+    SameRowAllBanks {
+        /// Number of banks swept (clamped to the system).
+        banks: u16,
+    },
 }
 
 impl WorkloadSpec {
@@ -219,6 +257,10 @@ impl WorkloadSpec {
             }
             WorkloadSpec::MixHigh => "mix-high".into(),
             WorkloadSpec::MixBlend => "mix-blend".into(),
+            WorkloadSpec::StripedManySided { sides, banks } => {
+                format!("striped-{banks}x{sides}-sided")
+            }
+            WorkloadSpec::SameRowAllBanks { banks } => format!("same-row-{banks}banks"),
         }
     }
 
@@ -234,6 +276,15 @@ impl WorkloadSpec {
                 | WorkloadSpec::Fig7a
                 | WorkloadSpec::Fig7b
         )
+    }
+
+    /// True for the system-scale attack shapes, which only make sense on a
+    /// multi-bank (and ideally multi-channel) geometry. Unlike the
+    /// [`is_adversarial`](Self::is_adversarial) set they are *not* forced
+    /// onto a single bank: the whole point is cross-bank, cross-channel
+    /// pressure, so they run on the full system configuration.
+    pub fn is_system_scale(&self) -> bool {
+        matches!(self, WorkloadSpec::StripedManySided { .. } | WorkloadSpec::SameRowAllBanks { .. })
     }
 
     /// Builds the workload for a system of `banks` banks of `rows` rows.
@@ -276,6 +327,16 @@ impl WorkloadSpec {
                     .collect();
                 Box::new(Interleaved::new(cores))
             }
+            WorkloadSpec::StripedManySided { sides, banks: width } => {
+                let width = (*width).clamp(1, banks);
+                let victim = (rows / 2 + (seed % 97) as u32) % rows;
+                Box::new(StripedNSided::new(victim, *sides, width, rows))
+            }
+            WorkloadSpec::SameRowAllBanks { banks: width } => {
+                let width = (*width).clamp(1, banks);
+                let victim = 1 + (rows / 2 + (seed % 97) as u32) % (rows - 2);
+                Box::new(SameRowAllBanks::new(victim, width, rows))
+            }
         }
     }
 
@@ -305,6 +366,16 @@ impl WorkloadSpec {
                 .map(|preset| WorkloadSpec::SpecHomogeneous { preset }),
         );
         v
+    }
+
+    /// The system-scale attack set exercised by the sharded full-system
+    /// path: many-sided stripes of two widths plus the same-row sweep.
+    pub fn system_set(banks: u16) -> Vec<WorkloadSpec> {
+        vec![
+            WorkloadSpec::StripedManySided { sides: 2, banks },
+            WorkloadSpec::StripedManySided { sides: 8, banks },
+            WorkloadSpec::SameRowAllBanks { banks },
+        ]
     }
 }
 
@@ -364,6 +435,39 @@ mod tests {
     fn adversarial_classification() {
         assert!(WorkloadSpec::S3.is_adversarial());
         assert!(!WorkloadSpec::MixHigh.is_adversarial());
+    }
+
+    #[test]
+    fn system_scale_workloads_are_not_single_bank() {
+        for spec in WorkloadSpec::system_set(64) {
+            assert!(spec.is_system_scale(), "{}", spec.name());
+            assert!(
+                !spec.is_adversarial(),
+                "{} must not be forced onto the single-bank attack config",
+                spec.name()
+            );
+        }
+        assert!(!WorkloadSpec::S3.is_system_scale());
+        assert!(!WorkloadSpec::MixBlend.is_system_scale());
+    }
+
+    #[test]
+    fn system_scale_workloads_cover_many_banks() {
+        for spec in WorkloadSpec::system_set(64) {
+            let mut w = spec.build(64, 65_536, 7);
+            let banks: std::collections::HashSet<u16> =
+                (0..256).map(|_| w.next_access().bank).collect();
+            assert_eq!(banks.len(), 64, "{} must stripe all banks", spec.name());
+        }
+    }
+
+    #[test]
+    fn defense_factory_matches_direct_builds() {
+        let spec = DefenseSpec::Graphene { t_rh: 50_000, k: 2 };
+        let plain = spec.build_defense(3, 65_536, false);
+        assert_eq!(plain.name(), spec.build(3, 65_536).name());
+        let audited = spec.build_defense(3, 65_536, true);
+        assert_eq!(audited.name(), format!("Audited({})", plain.name()));
     }
 
     #[test]

@@ -1,0 +1,317 @@
+//! Full-system sharded execution: route once, hammer channels in parallel.
+//!
+//! The legacy runner drives one [`MemoryController`](memctrl::MemoryController)
+//! over the whole geometry. This module drives the channel-sharded
+//! [`SystemController`]: the front end routes every access through the
+//! configured [`MappingPolicy`] into per-channel stamped sub-traces, and the
+//! shards — which share no state — execute those sub-traces concurrently on
+//! the crate's work-stealing [`pool`] in `batch`-sized chunks.
+//!
+//! The two paths are interchangeable by construction: a shard replays its
+//! channel's accesses at the same absolute arrival times the sequential
+//! front end would have presented them, so [`run_system`] (sequential) and
+//! [`run_system_sharded`] (parallel) produce **bit-identical**
+//! [`SystemStats`]. The integration test `sharded_equivalence` pins this
+//! against the legacy single-shard path as well.
+
+use memctrl::{
+    DefenseFactory, MappingPolicy, McBuilder, SystemController, SystemStats, TelemetryTap,
+};
+use telemetry::{Cadence, MetricsSink, NoopSink, Recorder, SharedSink, Snapshot};
+use workloads::Workload;
+
+use crate::pool;
+use crate::runner::{audit_run, SimConfig};
+use crate::scenarios::{DefenseSpec, WorkloadSpec};
+
+/// Result of one full-system run (sequential or sharded).
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Defense name.
+    pub defense: String,
+    /// Workload name.
+    pub workload: String,
+    /// The address-mapping policy the front end routed with.
+    pub policy: MappingPolicy,
+    /// Worker threads the shards ran on (1 for the sequential path).
+    pub threads: usize,
+    /// Batch size of the shard dispatch (accesses per `try_run_batch`).
+    pub batch: usize,
+    /// Per-channel and merged counters.
+    pub stats: SystemStats,
+    /// Recorded telemetry, when the campaign wired a recording sink.
+    pub snapshot: Option<Snapshot>,
+}
+
+fn sink_for(shared: &Option<SharedSink>) -> Box<dyn MetricsSink + Send> {
+    match shared {
+        Some(s) => Box::new(s.clone()),
+        None => Box::new(NoopSink),
+    }
+}
+
+/// Builds the sharded system for a campaign: defenses come from the one
+/// [`DefenseSpec`] factory (seeded by **global** bank index, so the system
+/// is bit-comparable to a whole-geometry controller), and telemetry — when
+/// wired — goes through per-shard keyed taps sharing one sink.
+fn build_system<'a>(
+    sim: &'a SimConfig,
+    policy: MappingPolicy,
+    defense: &'a DefenseSpec,
+    audit: bool,
+    shared: &'a Option<SharedSink>,
+) -> SystemController {
+    let cfg = sim.system.clone();
+    let rows = cfg.geometry.rows_per_bank;
+    let builder = McBuilder::new(cfg).mapping(policy);
+    match sim.telemetry.as_ref() {
+        None => builder.defenses(defense).audit(audit).build_system(),
+        Some(spec) => {
+            let cadence = Cadence::EveryActs(spec.every_acts);
+            builder
+                .defenses_with(move |bank| {
+                    let inner = defense.build_defense(bank, rows, audit);
+                    mitigations::instrumented(inner, sink_for(shared), bank as u16, rows, cadence)
+                })
+                .telemetry_per_shard(move |channel, offset| {
+                    Some(TelemetryTap::keyed(sink_for(shared), cadence, offset, Some(channel)))
+                })
+                .build_system()
+        }
+    }
+}
+
+fn recording_sink(sim: &SimConfig) -> Option<SharedSink> {
+    sim.telemetry.as_ref().and_then(|spec| {
+        (!spec.noop)
+            .then(|| SharedSink::with_recorder(Recorder::with_ring_capacity(spec.ring_capacity)))
+    })
+}
+
+/// Finishes a run: per-shard flush + merge, the invariant audit on every
+/// shard, and the final scheme-state telemetry sample (mirroring the
+/// single-controller runner's end-of-run emit).
+fn seal(
+    mut system: SystemController,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+    audit: bool,
+    shared: Option<SharedSink>,
+) -> (SystemStats, Option<Snapshot>) {
+    let stats = system.finish();
+    if audit {
+        for (shard, st) in system.shards().iter().zip(&stats.per_channel) {
+            audit_run(shard, st, defense, workload);
+        }
+    }
+    let per_channel = system.geometry().banks_per_channel() as usize;
+    let snapshot = shared.map(|s| {
+        s.with(|rec| {
+            for (c, (shard, st)) in system.shards().iter().zip(&stats.per_channel).enumerate() {
+                for b in 0..per_channel {
+                    let global = (c * per_channel + b) as u16;
+                    shard.defense(b).emit_telemetry(global, st.completion, rec);
+                }
+            }
+        });
+        s.snapshot(&format!("{}/{}@{}", workload.name(), defense.name(), system.policy().name()))
+    });
+    (stats, snapshot)
+}
+
+/// Runs one (defense, workload) pair through the sharded system
+/// **sequentially**: the front end routes and serves one access at a time
+/// on the calling thread. This is the reference the parallel path is
+/// measured against in `perf_snapshot`.
+pub fn run_system(
+    sim: &SimConfig,
+    policy: MappingPolicy,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+) -> SystemReport {
+    let audit = sim.audit_enabled();
+    let shared = recording_sink(sim);
+    let mut system = build_system(sim, policy, defense, audit, &shared);
+    let geometry = *system.geometry();
+    let mut w = workload.build(geometry.total_banks() as u16, geometry.rows_per_bank, sim.seed);
+    system
+        .try_run(w.as_mut(), sim.accesses)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", defense.name(), workload.name()));
+    let (stats, snapshot) = seal(system, defense, workload, audit, shared);
+    SystemReport {
+        defense: defense.name(),
+        workload: workload.name(),
+        policy,
+        threads: 1,
+        batch: 1,
+        stats,
+        snapshot,
+    }
+}
+
+/// Runs one (defense, workload) pair through the sharded system in
+/// **parallel**: the whole trace is routed up front into per-channel
+/// stamped sub-traces, then every channel executes its sub-trace on the
+/// work-stealing pool in `batch`-sized chunks. Produces [`SystemStats`]
+/// bit-identical to [`run_system`] on the same campaign.
+///
+/// # Panics
+///
+/// Panics if `threads` or `batch` is zero, or if routing rejects an access
+/// (workload outside the geometry).
+pub fn run_system_sharded(
+    sim: &SimConfig,
+    policy: MappingPolicy,
+    defense: &DefenseSpec,
+    workload: &WorkloadSpec,
+    threads: usize,
+    batch: usize,
+) -> SystemReport {
+    assert!(threads > 0, "need at least one worker thread");
+    assert!(batch > 0, "batch of 0 dispatches nothing");
+    let audit = sim.audit_enabled();
+    let shared = recording_sink(sim);
+    let mut system = build_system(sim, policy, defense, audit, &shared);
+    let geometry = *system.geometry();
+    let mut w = workload.build(geometry.total_banks() as u16, geometry.rows_per_bank, sim.seed);
+    let accesses = w.take_accesses(sim.accesses as usize);
+    let batches = system
+        .route_batch(&accesses)
+        .unwrap_or_else(|e| panic!("{}/{}: {e}", defense.name(), workload.name()));
+    drop(accesses);
+    {
+        let jobs: Vec<pool::Job<'_>> = system
+            .shards_mut()
+            .iter_mut()
+            .zip(&batches)
+            .map(|(shard, stamped)| {
+                pool::job(move |_| {
+                    for chunk in stamped.chunks(batch) {
+                        shard.try_run_batch(chunk).expect("routed access is in shard range");
+                    }
+                })
+            })
+            .collect();
+        pool::run_scoped(threads, jobs);
+    }
+    let (stats, snapshot) = seal(system, defense, workload, audit, shared);
+    SystemReport {
+        defense: defense.name(),
+        workload: workload.name(),
+        policy,
+        threads,
+        batch,
+        stats,
+        snapshot,
+    }
+}
+
+/// The full-system matrix: every (workload, defense) pair through
+/// [`run_system_sharded`]. Pairs run back-to-back — each run already
+/// parallelizes internally across channels, so nesting another fan-out
+/// would only thrash the worker pool.
+pub fn run_system_matrix(
+    sim: &SimConfig,
+    policy: MappingPolicy,
+    defenses: &[DefenseSpec],
+    workloads: &[WorkloadSpec],
+    threads: usize,
+    batch: usize,
+) -> Vec<SystemReport> {
+    let mut reports = Vec::with_capacity(defenses.len() * workloads.len());
+    for workload in workloads {
+        for defense in defenses {
+            reports.push(run_system_sharded(sim, policy, defense, workload, threads, batch));
+        }
+    }
+    reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::TelemetrySpec;
+    use dram_model::fault::DisturbanceModel;
+    use dram_model::geometry::DramGeometry;
+
+    fn small_system(accesses: u64) -> SimConfig {
+        let mut sim = SimConfig::micro2020(accesses);
+        sim.system.geometry = DramGeometry {
+            channels: 4,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 4_096,
+        };
+        sim.system.fault_model =
+            Some(DisturbanceModel { t_rh: 2_000, ..DisturbanceModel::ddr4_50k() });
+        sim.audit = true;
+        sim
+    }
+
+    #[test]
+    fn sequential_and_sharded_agree_bit_identically() {
+        let sim = small_system(30_000);
+        let defense = DefenseSpec::Graphene { t_rh: 2_000, k: 2 };
+        let workload = WorkloadSpec::StripedManySided { sides: 4, banks: 16 };
+        let seq = run_system(&sim, MappingPolicy::BankInterleaved, &defense, &workload);
+        for (threads, batch) in [(1, 64), (4, 64), (4, 7)] {
+            let par = run_system_sharded(
+                &sim,
+                MappingPolicy::BankInterleaved,
+                &defense,
+                &workload,
+                threads,
+                batch,
+            );
+            assert_eq!(seq.stats, par.stats, "threads={threads} batch={batch}");
+        }
+        assert!(seq.stats.merged.accesses == 30_000);
+        assert!(seq.stats.per_channel.iter().all(|s| s.accesses > 0));
+    }
+
+    #[test]
+    fn same_row_attack_spreads_over_all_channels() {
+        let sim = small_system(20_000);
+        let report = run_system_sharded(
+            &sim,
+            MappingPolicy::BankInterleaved,
+            &DefenseSpec::None,
+            &WorkloadSpec::SameRowAllBanks { banks: 16 },
+            2,
+            128,
+        );
+        assert_eq!(report.stats.merged.accesses, 20_000);
+        for (c, st) in report.stats.per_channel.iter().enumerate() {
+            assert_eq!(st.accesses, 5_000, "channel {c} must see a quarter of the sweep");
+        }
+    }
+
+    #[test]
+    fn recorded_telemetry_does_not_perturb_stats_and_yields_snapshot() {
+        let mut plain = small_system(10_000);
+        plain.audit = false;
+        let mut recorded = plain.clone();
+        recorded.telemetry = Some(TelemetrySpec::every_acts(500));
+        let defense = DefenseSpec::Para { p: 0.01 };
+        let workload = WorkloadSpec::StripedManySided { sides: 2, banks: 16 };
+        let a = run_system_sharded(&plain, MappingPolicy::ChannelXor, &defense, &workload, 2, 64);
+        let b =
+            run_system_sharded(&recorded, MappingPolicy::ChannelXor, &defense, &workload, 2, 64);
+        assert_eq!(a.stats, b.stats, "telemetry must be observation-only");
+        assert!(a.snapshot.is_none());
+        let snap = b.snapshot.expect("recording campaign must yield a snapshot");
+        assert!(!snap.series.is_empty());
+    }
+
+    #[test]
+    fn matrix_covers_every_pair() {
+        let mut sim = small_system(2_000);
+        sim.audit = false;
+        let defenses = [DefenseSpec::None, DefenseSpec::Para { p: 0.001 }];
+        let workloads = WorkloadSpec::system_set(16);
+        let reports =
+            run_system_matrix(&sim, MappingPolicy::RowInterleaved, &defenses, &workloads, 2, 64);
+        assert_eq!(reports.len(), 6);
+        assert!(reports.iter().all(|r| r.stats.merged.accesses == 2_000));
+    }
+}

@@ -42,7 +42,7 @@ pub mod throttle;
 pub mod trace;
 pub mod zipf;
 
-pub use attacks::NSidedAttack;
+pub use attacks::{NSidedAttack, SameRowAllBanks, StripedNSided};
 pub use mix::Interleaved;
 pub use patterns::{MrlocAttack, ProhitAttack};
 pub use spec_like::{ProxyParams, ProxyWorkload, SpecPreset};

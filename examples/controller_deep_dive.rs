@@ -15,10 +15,7 @@
 //!    defense outcome is bit-for-bit identical.
 
 use graphene_repro::dram_model::DramGeometry;
-use graphene_repro::memctrl::{
-    AddressMapper, MappingScheme, McConfig, MemoryController, SchedulerConfig,
-};
-use graphene_repro::mitigations::NoDefense;
+use graphene_repro::memctrl::{AddressMapper, MappingScheme, McBuilder, McConfig, SchedulerConfig};
 use graphene_repro::rh_analysis::TablePrinter;
 use graphene_repro::rh_sim::{run_pair, DefenseSpec, SimConfig, WorkloadSpec};
 use graphene_repro::workloads::{Trace, Workload};
@@ -62,9 +59,7 @@ fn main() {
     for (name, cfg) in
         [("FCFS", SchedulerConfig::fcfs()), ("PAR-BS-like", SchedulerConfig::par_bs_like())]
     {
-        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |_| {
-            Box::new(NoDefense::new())
-        });
+        let mut mc = McBuilder::new(McConfig::single_bank(65_536, None)).build();
         let stats = mc.run_queued(&mut make_trace(), 50_000, cfg);
         table.row(vec![
             name.into(),
@@ -85,9 +80,8 @@ fn main() {
     let bytes = trace.to_bytes();
     let decoded = Trace::from_bytes(bytes.clone()).expect("roundtrip");
     println!("  recorded 100K accesses -> {} bytes on the wire", bytes.len());
-    let mut mc = MemoryController::new(cfg.attack.clone(), |bank| {
-        DefenseSpec::Graphene { t_rh: 5_000, k: 2 }.build(bank, 65_536)
-    });
+    let graphene = DefenseSpec::Graphene { t_rh: 5_000, k: 2 };
+    let mut mc = McBuilder::new(cfg.attack.clone()).defenses(&graphene).build();
     let mut replay = decoded.replay();
     let replayed = mc.run(&mut replay, 100_000);
     println!(

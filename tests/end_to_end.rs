@@ -1,7 +1,7 @@
 //! Cross-crate integration: workloads → memory controller → defenses →
 //! DRAM fault oracle, exercised end to end.
 
-use graphene_repro::memctrl::{McConfig, MemoryController};
+use graphene_repro::memctrl::{McBuilder, McConfig};
 use graphene_repro::rh_sim::{run_pair, DefenseSpec, SimConfig, WorkloadSpec};
 
 const T_RH: u64 = 4_000;
@@ -100,8 +100,7 @@ fn full_system_runs_all_defenses_together() {
     // 64-bank system, one defense kind per run, verifying the controller's
     // bookkeeping stays coherent across banks.
     for defense in counter_based(50_000) {
-        let mut mc =
-            MemoryController::new(McConfig::micro2020(), |bank| defense.build(bank, 65_536));
+        let mut mc = McBuilder::new(McConfig::micro2020()).defenses(&defense).build();
         let mut w = WorkloadSpec::MixBlend.build(64, 65_536, 9);
         let stats = mc.run(w.as_mut(), 60_000);
         assert_eq!(stats.accesses, 60_000);

@@ -3,7 +3,7 @@
 
 use graphene_repro::dram_model::fault::{DisturbanceModel, MuModel};
 use graphene_repro::graphene_core::GrapheneConfig;
-use graphene_repro::memctrl::{McConfig, MemoryController};
+use graphene_repro::memctrl::{McBuilder, McConfig};
 use graphene_repro::mitigations::GrapheneDefense;
 use graphene_repro::workloads::{Access, Workload};
 use proptest::prelude::*;
@@ -70,17 +70,16 @@ proptest! {
     fn graphene_protects_against_random_adversaries(seed in any::<u64>()) {
         let t_rh = 3_000u64;
         let model = DisturbanceModel { t_rh, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(
-            McConfig::single_bank(8_192, Some(model)),
-            |_| {
+        let mut mc = McBuilder::new(McConfig::single_bank(8_192, Some(model)))
+            .defenses_with(|_| {
                 let cfg = GrapheneConfig::builder()
                     .row_hammer_threshold(t_rh)
                     .rows_per_bank(8_192)
                     .build()
                     .unwrap();
-                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
-            },
-        );
+                Box::new(GrapheneDefense::from_config(&cfg).unwrap()) as _
+            })
+            .build();
         let mut adversary = RandomAdversary::new(seed, 8_192);
         let stats = mc.run(&mut adversary, 80_000);
         prop_assert_eq!(stats.bit_flips, 0);
@@ -92,10 +91,7 @@ proptest! {
     fn adversaries_are_dangerous_without_protection(seed in 0u64..32) {
         let t_rh = 3_000u64;
         let model = DisturbanceModel { t_rh, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(
-            McConfig::single_bank(8_192, Some(model)),
-            |_| Box::new(graphene_repro::mitigations::NoDefense::new()),
-        );
+        let mut mc = McBuilder::new(McConfig::single_bank(8_192, Some(model))).build();
         let mut adversary = RandomAdversary::new(seed, 8_192);
         let stats = mc.run(&mut adversary, 80_000);
         // Not every random phase mix reaches T_RH on one row, but most do;
@@ -112,9 +108,7 @@ fn unprotected_baseline_flips_for_most_seeds() {
     let mut flipped = 0;
     for seed in 0..8u64 {
         let model = DisturbanceModel { t_rh, mu: MuModel::Adjacent };
-        let mut mc = MemoryController::new(McConfig::single_bank(8_192, Some(model)), |_| {
-            Box::new(graphene_repro::mitigations::NoDefense::new())
-        });
+        let mut mc = McBuilder::new(McConfig::single_bank(8_192, Some(model))).build();
         let mut adversary = RandomAdversary::new(seed, 8_192);
         if mc.run(&mut adversary, 80_000).bit_flips > 0 {
             flipped += 1;
