@@ -1,0 +1,6 @@
+//! Binary wrapper for the `resilience-report` fault-injection matrix.
+
+fn main() {
+    rh_bench::propagate_audit_mode();
+    rh_bench::resilience_report::run(rh_bench::fast_mode());
+}

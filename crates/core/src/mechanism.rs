@@ -115,6 +115,14 @@ impl Graphene {
         &self.table
     }
 
+    /// Mutable access to the counter table — fault-injection and test
+    /// support (e.g. [`CounterTable::corrupt_count_bit`]); production code
+    /// drives the engine exclusively through
+    /// [`on_activation`](Self::on_activation).
+    pub fn table_mut(&mut self) -> &mut CounterTable {
+        &mut self.table
+    }
+
     /// Operation counters.
     pub fn stats(&self) -> &GrapheneStats {
         &self.stats

@@ -130,6 +130,19 @@ pub struct CounterTable {
     /// empty) keyed by their `low` field. `BTreeSet` keeps slots ordered so
     /// replacement picks the lowest index, exactly like the linear scan.
     count_index: BTreeMap<u64, BTreeSet<usize>>,
+    /// Per-entry parity bit over (valid, addr, low, overflow), written on
+    /// every legitimate entry write. A [`corrupt_count_bit`] /
+    /// [`corrupt_addr_bit`] soft error leaves it stale — exactly how SRAM
+    /// parity detects single-bit upsets.
+    ///
+    /// [`corrupt_count_bit`]: Self::corrupt_count_bit
+    /// [`corrupt_addr_bit`]: Self::corrupt_addr_bit
+    parity: Vec<bool>,
+    /// Parity bit of the spillover register, same discipline.
+    spillover_parity: bool,
+    /// One-shot flag making the next Address-CAM search miss
+    /// ([`suppress_next_lookup`](Self::suppress_next_lookup)).
+    suppress_lookup: bool,
 }
 
 impl CounterTable {
@@ -151,7 +164,19 @@ impl CounterTable {
             stats: CamStats::default(),
             addr_index: HashMap::with_capacity(n_entry),
             count_index,
+            parity: vec![Self::parity_of(&Entry::EMPTY); n_entry],
+            spillover_parity: false,
+            suppress_lookup: false,
         }
+    }
+
+    /// Parity (odd number of set bits) of an entry's hardware-visible fields:
+    /// the valid bit, the address field, the count field, and the overflow
+    /// bit. `crossings` is bookkeeping, not stored bits.
+    fn parity_of(e: &Entry) -> bool {
+        let ones =
+            e.addr.map_or(0, |a| a.0.count_ones() + 1) + e.low.count_ones() + u32::from(e.overflow);
+        ones % 2 == 1
     }
 
     /// Tracking threshold `T`.
@@ -196,6 +221,15 @@ impl CounterTable {
         self.addr_index.len()
     }
 
+    /// The address stored in `slot`, or `None` when the slot is empty or
+    /// out of range. Slot-indexed companion to [`iter`](Self::iter): it
+    /// lets a scrubbing wrapper pair the slot indices of
+    /// [`parity_violations`](Self::parity_violations) with the (possibly
+    /// corrupted) addresses those slots hold.
+    pub fn slot_addr(&self, slot: usize) -> Option<RowId> {
+        self.entries.get(slot).and_then(|e| e.addr)
+    }
+
     /// Iterator over occupied entries as `(row, estimated count, overflow)`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, u64, bool)> + '_ {
         let t = self.tracking_threshold;
@@ -209,10 +243,20 @@ impl CounterTable {
         // Line 3: one Address-CAM search per ACT.
         self.stats.addr_searches += 1;
 
-        if let Some(&i) = self.addr_index.get(&row) {
+        let hit = if self.suppress_lookup {
+            // Injected transient CAM mismatch: this one search reports MISS
+            // regardless of the stored addresses.
+            self.suppress_lookup = false;
+            None
+        } else {
+            self.addr_index.get(&row).copied()
+        };
+        if let Some(i) = hit {
             // Row address HIT (lines 4-6): increment count, one Count-CAM write.
             self.stats.count_writes += 1;
-            return TableUpdate::Hit { triggered: self.bump(i) };
+            let triggered = self.bump(i);
+            self.parity[i] = Self::parity_of(&self.entries[i]);
+            return TableUpdate::Hit { triggered };
         }
 
         // Row address MISS: one Count-CAM search for spillover match (line 9).
@@ -238,11 +282,13 @@ impl CounterTable {
             // by the inheritance itself; only the bump below moves them.
             self.entries[i].low = self.spillover;
             let triggered = self.bump(i);
+            self.parity[i] = Self::parity_of(&self.entries[i]);
             TableUpdate::Replaced { evicted, triggered }
         } else {
             // No replacement (lines 15-16).
             self.stats.spillover_increments += 1;
             self.spillover += 1;
+            self.spillover_parity = self.spillover.count_ones() % 2 == 1;
             TableUpdate::SpilloverIncremented
         }
     }
@@ -255,6 +301,9 @@ impl CounterTable {
         self.addr_index.clear();
         self.count_index.clear();
         self.count_index.insert(0, (0..self.entries.len()).collect());
+        self.parity.fill(Self::parity_of(&Entry::EMPTY));
+        self.spillover_parity = false;
+        self.suppress_lookup = false;
     }
 
     /// Increments entry `i`'s count, wrapping at `T`; returns whether the
@@ -291,6 +340,94 @@ impl CounterTable {
                 self.count_index.remove(&low);
             }
         }
+    }
+
+    // ---- Fault-injection support (ISSUE 5) -------------------------------
+    //
+    // The methods below model SRAM soft errors: they mutate stored bits
+    // *without* updating the corresponding parity bit, exactly like a cosmic
+    // ray. Shadow indexes are re-synchronized so subsequent lookups behave
+    // the way the corrupted hardware would, but `crossings` (software-only
+    // bookkeeping) is untouched — corruption changes what the hardware
+    // *believes*, not the verification history.
+
+    /// Flips bit `bit` of the count field of entry `slot` (both reduced
+    /// modulo the respective widths). The corrupted count may legally exceed
+    /// `T − 1`; such an entry never satisfies the `== T` wrap comparator
+    /// again, which is precisely the silent false-negative hazard a parity
+    /// check exists to catch. Returns `true` (stored state always changes).
+    pub fn corrupt_count_bit(&mut self, slot: usize, bit: u32) -> bool {
+        let i = slot % self.entries.len();
+        // Field width ⌈log₂T⌉ (min 1): flips land inside the real register.
+        let width = (64 - (self.tracking_threshold - 1).leading_zeros()).max(1);
+        let mask = 1u64 << (bit % width);
+        let was_overflowed = self.entries[i].overflow;
+        let old_low = self.entries[i].low;
+        self.entries[i].low ^= mask;
+        if !was_overflowed {
+            self.unindex_count(old_low, i);
+            self.count_index.entry(self.entries[i].low).or_default().insert(i);
+        }
+        true
+    }
+
+    /// Flips bit `bit` of the address field of entry `slot`. A no-op
+    /// (returning `false`) on an invalid entry: its address bits carry no
+    /// meaning and the valid bit is not targeted. On an occupied entry the
+    /// address index follows the corruption — the old address no longer
+    /// matches, the corrupted one does (unless another slot already holds
+    /// it, in which case that slot keeps winning the CAM search and the
+    /// corrupted entry becomes unreachable by address).
+    pub fn corrupt_addr_bit(&mut self, slot: usize, bit: u32) -> bool {
+        let i = slot % self.entries.len();
+        let Some(old) = self.entries[i].addr else {
+            return false;
+        };
+        let new = RowId(old.0 ^ (1 << (bit % 32)));
+        self.entries[i].addr = Some(new);
+        self.addr_index.remove(&old);
+        self.addr_index.entry(new).or_insert(i);
+        true
+    }
+
+    /// Flips bit `bit % 32` of the spillover register. An inflated spillover
+    /// suppresses replacements (new aggressors are never admitted); a
+    /// deflated one blocks spillover growth. Both under-track.
+    pub fn corrupt_spillover_bit(&mut self, bit: u32) -> bool {
+        self.spillover ^= 1u64 << (bit % 32);
+        true
+    }
+
+    /// Makes the next Address-CAM search report MISS even if the row is
+    /// present — a transient compare-line glitch. Unlike the storage flips
+    /// this corrupts no bits, so parity cannot see it; it can split one
+    /// row's counts across two slots (the stale entry keeps its address, so
+    /// [`assert_index_consistency`](Self::assert_index_consistency) must not
+    /// be used after an injected miss inserts a duplicate).
+    pub fn suppress_next_lookup(&mut self) {
+        self.suppress_lookup = true;
+    }
+
+    /// True while every stored parity bit (entries and spillover register)
+    /// matches its data — i.e. no *detectable* corruption is present.
+    pub fn parity_clean(&self) -> bool {
+        self.spillover_parity == (self.spillover.count_ones() % 2 == 1)
+            && self.entries.iter().zip(&self.parity).all(|(e, &p)| p == Self::parity_of(e))
+    }
+
+    /// Slots whose parity bit disagrees with their stored data, plus `true`
+    /// in the second position if the spillover register is corrupted.
+    pub fn parity_violations(&self) -> (Vec<usize>, bool) {
+        let slots = self
+            .entries
+            .iter()
+            .zip(&self.parity)
+            .enumerate()
+            .filter(|(_, (e, &p))| p != Self::parity_of(e))
+            .map(|(i, _)| i)
+            .collect();
+        let spill = self.spillover_parity != (self.spillover.count_ones() % 2 == 1);
+        (slots, spill)
     }
 
     /// Exhaustively checks both shadow indexes against the entry array.
@@ -520,6 +657,86 @@ mod tests {
         assert!(!t.is_tracked(RowId(10)));
         assert!(t.is_tracked(RowId(11)));
         t.assert_index_consistency();
+    }
+
+    #[test]
+    fn parity_clean_through_normal_operation() {
+        let mut t = CounterTable::new(4, 7);
+        for i in 0..500u64 {
+            t.process_activation(RowId((i % 9) as u32));
+            assert!(t.parity_clean(), "act {i}");
+        }
+        t.reset();
+        assert!(t.parity_clean());
+    }
+
+    #[test]
+    fn count_bit_flip_trips_parity_and_can_kill_the_trigger() {
+        // T = 5 needs a 3-bit field, so a flip can push the count to 7 > T.
+        let mut t = CounterTable::new(2, 5);
+        for _ in 0..3 {
+            t.process_activation(RowId(3)); // low = 3
+        }
+        assert!(t.parity_clean());
+        // Flip bit 2: low 3 → 7, above T − 1. Parity sees it...
+        assert!(t.corrupt_count_bit(0, 2));
+        assert!(!t.parity_clean());
+        assert_eq!(t.parity_violations().0, vec![0]);
+        // ...and without intervention the `== T` wrap comparator never fires
+        // again: the count sails past T without ever equalling it.
+        for i in 0..200u64 {
+            assert!(!t.process_activation(RowId(3)).triggered(), "act {i}");
+        }
+        t.assert_index_consistency();
+    }
+
+    #[test]
+    fn addr_bit_flip_redirects_the_cam_search() {
+        let mut t = CounterTable::new(2, 100);
+        for _ in 0..5 {
+            t.process_activation(RowId(8));
+        }
+        assert!(t.corrupt_addr_bit(0, 1)); // row 8 → row 10
+        assert!(!t.parity_clean());
+        assert!(!t.is_tracked(RowId(8)));
+        assert_eq!(t.estimate(RowId(10)), Some(5));
+        // Empty slots are a no-op and stay parity-clean.
+        let mut fresh = CounterTable::new(2, 100);
+        assert!(!fresh.corrupt_addr_bit(0, 1));
+        assert!(fresh.parity_clean());
+    }
+
+    #[test]
+    fn spillover_bit_flip_trips_spillover_parity() {
+        let mut t = CounterTable::new(1, 100);
+        t.process_activation(RowId(1));
+        t.process_activation(RowId(2)); // spillover 1
+        assert!(t.corrupt_spillover_bit(4)); // 1 → 17
+        assert_eq!(t.spillover(), 17);
+        let (slots, spill) = t.parity_violations();
+        assert!(slots.is_empty());
+        assert!(spill);
+        // A reset scrubs the corruption.
+        t.reset();
+        assert!(t.parity_clean());
+        assert_eq!(t.spillover(), 0);
+    }
+
+    #[test]
+    fn suppressed_lookup_misses_once_then_recovers() {
+        let mut t = CounterTable::new(4, 100);
+        for _ in 0..3 {
+            t.process_activation(RowId(5)); // slot 0, count 3
+        }
+        t.suppress_next_lookup();
+        // The suppressed search misses and row 5 is re-inserted into an
+        // empty slot; counts are now split across two entries.
+        let u = t.process_activation(RowId(5));
+        assert!(matches!(u, TableUpdate::Replaced { evicted: None, .. }));
+        // Parity cannot see a transient mismatch: no stored bit changed.
+        assert!(t.parity_clean());
+        // The very next search hits again (one-shot).
+        assert_eq!(t.process_activation(RowId(5)), TableUpdate::Hit { triggered: false });
     }
 
     #[test]

@@ -45,5 +45,5 @@ pub use device::{BankDevice, DeviceStats};
 pub use error::DramError;
 pub use fault::{BitFlip, DisturbanceModel, FaultOracle, MuModel};
 pub use geometry::{BankCoord, DramGeometry, RowId};
-pub use refresh::RefreshEngine;
+pub use refresh::{RefreshEngine, MAX_POSTPONED_REFS};
 pub use timing::{DramTiming, Picoseconds};

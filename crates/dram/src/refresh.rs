@@ -10,8 +10,14 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::error::DramError;
 use crate::geometry::RowId;
 use crate::timing::{DramTiming, Picoseconds};
+
+/// Maximum number of REF commands a DDR4 controller may postpone
+/// (JESD79-4 §4.24: up to 8 tREFI of accumulated postponement, to be made up
+/// before the debit exceeds 8 commands).
+pub const MAX_POSTPONED_REFS: u32 = 8;
 
 /// Rotating auto-refresh state for one bank.
 ///
@@ -122,6 +128,38 @@ impl RefreshEngine {
         }
         all
     }
+
+    /// Like [`RefreshEngine::catch_up`], but with `postponed` REF commands
+    /// legally deferred: a REF nominally due at `t` is only executed once
+    /// `t + postponed × tREFI ≤ now`. DDR4 permits this for up to
+    /// [`MAX_POSTPONED_REFS`] commands; the debt is repaid by a later call
+    /// with a smaller (eventually zero) postponement, after which the
+    /// engine's rotation state is identical to the nominal schedule's.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DramError::InvalidTiming`] if `postponed` exceeds
+    /// [`MAX_POSTPONED_REFS`]; the engine state is untouched.
+    pub fn catch_up_postponed(
+        &mut self,
+        now: Picoseconds,
+        postponed: u32,
+    ) -> Result<Vec<RowId>, DramError> {
+        if postponed > MAX_POSTPONED_REFS {
+            return Err(DramError::InvalidTiming {
+                reason: format!(
+                    "cannot postpone {postponed} REF commands: DDR4 allows at most \
+                     {MAX_POSTPONED_REFS} (JESD79-4 \u{00a7}4.24)"
+                ),
+            });
+        }
+        let lag = u64::from(postponed) * self.t_refi;
+        let mut all = Vec::new();
+        while self.next_ref_at + lag <= now {
+            all.extend(self.next_burst());
+        }
+        Ok(all)
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +266,73 @@ mod tests {
         let mut eng = RefreshEngine::new(&t, 65_536);
         assert!(eng.catch_up(t.t_refi - 1).is_empty());
         assert_eq!(eng.refs_issued(), 0);
+    }
+
+    #[test]
+    fn postponing_more_than_eight_refis_is_rejected() {
+        let t = DramTiming::ddr4_2400();
+        let mut eng = RefreshEngine::new(&t, 65_536);
+        let before = eng.clone();
+        let err = eng.catch_up_postponed(100 * t.t_refi, MAX_POSTPONED_REFS + 1).unwrap_err();
+        assert!(matches!(err, DramError::InvalidTiming { .. }), "{err:?}");
+        assert_eq!(eng, before, "rejected call must not perturb engine state");
+        // The boundary itself is legal.
+        assert!(eng.catch_up_postponed(100 * t.t_refi, MAX_POSTPONED_REFS).is_ok());
+    }
+
+    #[test]
+    fn postponement_defers_exactly_lag_refis() {
+        let t = DramTiming::ddr4_2400();
+        let mut nominal = RefreshEngine::new(&t, 65_536);
+        let mut postponed = RefreshEngine::new(&t, 65_536);
+        let now = 10 * t.t_refi;
+        nominal.catch_up(now);
+        postponed.catch_up_postponed(now, 3).unwrap();
+        assert_eq!(nominal.refs_issued(), 10);
+        assert_eq!(postponed.refs_issued(), 7);
+    }
+
+    #[test]
+    fn postponed_then_caught_up_matches_nominal_ground_truth() {
+        use crate::fault::{DisturbanceModel, FaultOracle};
+
+        // Two identical banks under the same hammering stream; one refreshes
+        // nominally, the other postpones 8 tREFI mid-run and then repays the
+        // debt. After the catch-up, the refresh rotation state and the
+        // oracle's per-row charge state must be bit-identical.
+        let mut t = DramTiming::ddr4_2400();
+        t.t_refw = t.t_refi * 16; // small window: 16 REFs cover the bank
+        let rows = 64u32;
+        let model = DisturbanceModel { t_rh: 1_000_000, mu: crate::fault::MuModel::Adjacent };
+        let mut eng_a = RefreshEngine::new(&t, rows);
+        let mut eng_b = RefreshEngine::new(&t, rows);
+        let mut oracle_a = FaultOracle::new(model.clone(), rows);
+        let mut oracle_b = FaultOracle::new(model, rows);
+
+        let mut hammer = |oracle: &mut FaultOracle, at: Picoseconds| {
+            oracle.activate(RowId(30), at);
+            oracle.activate(RowId(7), at + 1);
+        };
+
+        for step in 1..=40u64 {
+            let now = step * t.t_refi;
+            hammer(&mut oracle_a, now);
+            hammer(&mut oracle_b, now);
+            oracle_a.refresh_rows(eng_a.catch_up(now));
+            // The postponed bank defers the full legal 8 tREFI during steps
+            // 10..30, then repays the debt.
+            let lag = if (10..30).contains(&step) { MAX_POSTPONED_REFS } else { 0 };
+            oracle_b.refresh_rows(eng_b.catch_up_postponed(now, lag).unwrap());
+        }
+
+        assert_eq!(eng_a, eng_b, "rotation state must converge after catch-up");
+        assert_eq!(eng_a.refs_issued(), eng_b.refs_issued());
+        for r in 0..rows {
+            assert_eq!(
+                oracle_a.disturbance_of(RowId(r)),
+                oracle_b.disturbance_of(RowId(r)),
+                "row {r} charge state diverged"
+            );
+        }
     }
 }

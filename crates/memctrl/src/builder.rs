@@ -19,11 +19,12 @@
 //! (`channel × banks_per_channel + local`), so a sharded system seeds
 //! bit-identically to a whole-system controller over the same banks.
 
+use faultsim::FaultPlan;
 use mitigations::{NoDefense, RowHammerDefense};
 
 use crate::cmdlog::CommandLog;
 use crate::config::McConfig;
-use crate::controller::MemoryController;
+use crate::controller::{McBuildError, MemoryController};
 use crate::mapping::MappingPolicy;
 use crate::system::SystemController;
 use crate::tap::TelemetryTap;
@@ -100,6 +101,7 @@ pub struct McBuilder<'a> {
     telemetry: Option<TelemetryTap>,
     per_shard_telemetry: Option<ShardTapFactory<'a>>,
     reorder_depth: usize,
+    faults: Option<FaultPlan>,
 }
 
 impl std::fmt::Debug for McBuilder<'_> {
@@ -128,6 +130,7 @@ impl<'a> McBuilder<'a> {
             telemetry: None,
             per_shard_telemetry: None,
             reorder_depth: Self::DEFAULT_REORDER_DEPTH,
+            faults: None,
         }
     }
 
@@ -208,24 +211,48 @@ impl<'a> McBuilder<'a> {
         self
     }
 
+    /// Arms a deterministic fault-injection plan: the controller replays it
+    /// keyed by served-access index (see [`crate::faults`]). Only
+    /// single-controller builds accept a plan — a plan's access clock is
+    /// per-controller, so [`build_system`](Self::build_system) rejects it.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds a single controller owning the whole geometry — the legacy
     /// semantics every pre-sharding call site had.
     ///
     /// # Panics
     ///
-    /// Panics if the configuration's geometry or timing fail validation.
+    /// Panics if the configuration's geometry or timing fail validation;
+    /// use [`try_build`](Self::try_build) to handle that as an error.
     pub fn build(self) -> MemoryController {
-        let McBuilder { config, source, audit, command_log, telemetry, .. } = self;
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`build`](Self::build), but surfaces configuration problems as
+    /// [`McBuildError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McBuildError::InvalidConfig`] when the geometry or timing
+    /// half of the [`McConfig`] fails validation.
+    pub fn try_build(self) -> Result<MemoryController, McBuildError> {
+        let McBuilder { config, source, audit, command_log, telemetry, faults, .. } = self;
         let rows = config.geometry.rows_per_bank;
         let mut make = resolve(source, rows, audit);
-        let mut mc = MemoryController::from_parts(config, &mut make, 0, 0);
+        let mut mc = MemoryController::try_from_parts(config, &mut make, 0, 0)?;
         if let Some(log) = command_log {
             mc.set_command_log(log);
         }
         if let Some(tap) = telemetry {
             mc.set_telemetry(tap);
         }
-        mc
+        if let Some(plan) = faults {
+            mc.set_fault_plan(plan);
+        }
+        Ok(mc)
     }
 
     /// Builds a channel-sharded [`SystemController`]: one shard per
@@ -234,10 +261,29 @@ impl<'a> McBuilder<'a> {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration fails validation, or if a single-owner
+    /// Panics if the configuration fails validation, if a single-owner
     /// [`telemetry`](Self::telemetry) tap was supplied (shards need
-    /// [`telemetry_per_shard`](Self::telemetry_per_shard)).
+    /// [`telemetry_per_shard`](Self::telemetry_per_shard)), or if a
+    /// [`faults`](Self::faults) plan was supplied (plans are
+    /// per-controller).
     pub fn build_system(self) -> SystemController {
+        self.try_build_system().unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`build_system`](Self::build_system), but surfaces
+    /// configuration problems as [`McBuildError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McBuildError::InvalidConfig`] when the geometry or timing
+    /// fails validation.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on the API-misuse cases ([`telemetry`](Self::telemetry)
+    /// or [`faults`](Self::faults) on a sharded build) — those are caller
+    /// bugs, not data-dependent configuration problems.
+    pub fn try_build_system(self) -> Result<SystemController, McBuildError> {
         let McBuilder {
             config,
             policy,
@@ -247,11 +293,21 @@ impl<'a> McBuilder<'a> {
             telemetry,
             mut per_shard_telemetry,
             reorder_depth,
+            faults,
         } = self;
         assert!(
             telemetry.is_none(),
             "a single telemetry tap cannot span shards; use telemetry_per_shard"
         );
+        assert!(
+            faults.is_none(),
+            "a fault plan's access clock is per-controller; attach it to a single build()"
+        );
+        // Validate the system-level config here: a zero-channel geometry
+        // would otherwise skip the per-shard validation entirely (the shard
+        // loop runs zero times) and yield a silently inert controller.
+        config.geometry.validate().map_err(McBuildError::InvalidConfig)?;
+        config.timing.validate().map_err(McBuildError::InvalidConfig)?;
         let geometry = config.geometry;
         let rows = geometry.rows_per_bank;
         let per_channel = geometry.banks_per_channel() as usize;
@@ -260,7 +316,7 @@ impl<'a> McBuilder<'a> {
         for c in 0..geometry.channels {
             let shard_config = McConfig { geometry: geometry.channel_geometry(), ..config.clone() };
             let offset = usize::from(c) * per_channel;
-            let mut shard = MemoryController::from_parts(shard_config, &mut make, c, offset);
+            let mut shard = MemoryController::try_from_parts(shard_config, &mut make, c, offset)?;
             if let Some(log) = &command_log {
                 shard.set_command_log(log.clone());
             }
@@ -271,7 +327,7 @@ impl<'a> McBuilder<'a> {
             }
             shards.push(shard);
         }
-        SystemController::from_shards(geometry, policy, shards, reorder_depth)
+        Ok(SystemController::from_shards(geometry, policy, shards, reorder_depth))
     }
 }
 
@@ -377,5 +433,36 @@ mod tests {
     #[should_panic(expected = "reorder depth of 0")]
     fn zero_reorder_depth_rejected() {
         let _ = McBuilder::new(McConfig::micro2020_no_oracle()).reorder_depth(0);
+    }
+
+    #[test]
+    fn try_build_reports_invalid_timing_and_geometry() {
+        let mut bad_timing = McConfig::micro2020_no_oracle();
+        bad_timing.timing.t_rc = 0;
+        let err = McBuilder::new(bad_timing).try_build().unwrap_err();
+        assert!(err.to_string().contains("t_rc"), "{err}");
+
+        let mut bad_geometry = McConfig::micro2020_no_oracle();
+        bad_geometry.geometry.channels = 0;
+        let err = McBuilder::new(bad_geometry.clone()).try_build_system().unwrap_err();
+        assert!(err.to_string().contains("geometry"), "{err}");
+        assert_eq!(err.clone(), err, "build errors compare and clone");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid controller config")]
+    fn build_still_panics_on_invalid_config() {
+        let mut bad = McConfig::micro2020_no_oracle();
+        bad.timing.t_refi = 0;
+        let _ = McBuilder::new(bad).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "per-controller")]
+    fn fault_plan_rejected_for_system_build() {
+        use faultsim::FaultSpec;
+        let _ = McBuilder::new(McConfig::micro2020_no_oracle())
+            .faults(FaultPlan::generate(&FaultSpec::new(1)))
+            .build_system();
     }
 }

@@ -1,15 +1,18 @@
 //! The memory controller: dispatch, refresh machinery, defense hook.
 
+use dram_model::error::DramError;
 use dram_model::fault::FaultOracle;
 use dram_model::geometry::{DramGeometry, RowId};
 use dram_model::refresh::RefreshEngine;
 use dram_model::timing::Picoseconds;
+use faultsim::{ControllerFault, FaultKind, FaultPlan};
 use mitigations::{RefreshAction, RowHammerDefense};
 use workloads::Workload;
 
 use crate::bank::{BankState, ServiceOutcome};
 use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
 use crate::config::McConfig;
+use crate::faults::{FaultInjector, FaultStats};
 use crate::mapping::SystemAddress;
 use crate::scheduler::{BankQueue, SchedulerConfig};
 use crate::stats::RunStats;
@@ -47,6 +50,14 @@ pub enum McError {
         /// Zero-based index of the access within the run's batch.
         access_index: u64,
     },
+    /// A user-supplied [`SchedulerConfig`] cannot form batches (zero batch
+    /// size, or a queue too shallow to hold one batch).
+    InvalidScheduler {
+        /// The rejected batch size.
+        batch_size: usize,
+        /// The rejected queue depth.
+        queue_depth: usize,
+    },
 }
 
 impl std::fmt::Display for McError {
@@ -66,11 +77,45 @@ impl std::fmt::Display for McError {
                 geometry.banks_per_rank,
                 geometry.rows_per_bank
             ),
+            McError::InvalidScheduler { batch_size, queue_depth } => write!(
+                f,
+                "scheduler config rejected: batch_size {batch_size} must be at least 1 and at \
+                 most queue_depth {queue_depth}"
+            ),
         }
     }
 }
 
 impl std::error::Error for McError {}
+
+/// A controller could not be constructed because the configuration failed
+/// validation — the fallible counterpart of the panics documented on
+/// [`McBuilder::build`](crate::McBuilder::build).
+///
+/// Kept separate from [`McError`] (which is `Copy` and describes run-time
+/// routing failures) so the underlying [`DramError`]'s full reason string
+/// survives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum McBuildError {
+    /// The geometry or timing half of the [`McConfig`] was rejected.
+    InvalidConfig(DramError),
+}
+
+impl std::fmt::Display for McBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            McBuildError::InvalidConfig(e) => write!(f, "invalid controller config: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for McBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            McBuildError::InvalidConfig(e) => Some(e),
+        }
+    }
+}
 
 /// One access carrying an **absolute** arrival timestamp — the unit of
 /// batched shard ingestion ([`MemoryController::try_run_batch`]).
@@ -125,6 +170,11 @@ pub struct MemoryController {
     wall: Picoseconds,
     command_log: Option<CommandLog>,
     telemetry: Option<TelemetryTap>,
+    /// Armed fault schedule, if the run is a fault-injection experiment.
+    faults: Option<FaultInjector>,
+    /// Auto-refresh is held while the wall clock is below this (set by
+    /// [`ControllerFault::PostponeRefresh`]; backlog catches up after).
+    refresh_hold_until: Picoseconds,
     stats: RunStats,
 }
 
@@ -150,8 +200,21 @@ impl MemoryController {
         channel: u8,
         defense_index_offset: usize,
     ) -> Self {
-        config.geometry.validate().expect("invalid geometry");
-        config.timing.validate().expect("invalid timing");
+        Self::try_from_parts(config, defense_factory, channel, defense_index_offset)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`from_parts`](Self::from_parts), but surfaces configuration
+    /// problems as [`McBuildError`] instead of panicking — the engine behind
+    /// [`McBuilder::try_build`](crate::McBuilder::try_build).
+    pub(crate) fn try_from_parts(
+        config: McConfig,
+        defense_factory: &mut dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
+        channel: u8,
+        defense_index_offset: usize,
+    ) -> Result<Self, McBuildError> {
+        config.geometry.validate().map_err(McBuildError::InvalidConfig)?;
+        config.timing.validate().map_err(McBuildError::InvalidConfig)?;
         let n_banks = config.geometry.total_banks() as usize;
         let banks = vec![BankState::new(config.timing, config.page_policy); n_banks];
         let defenses: Vec<_> =
@@ -165,7 +228,7 @@ impl MemoryController {
             .map(|_| RefreshEngine::new(&config.timing, config.geometry.rows_per_bank))
             .collect();
         let next_refresh_at = config.timing.t_refi;
-        MemoryController {
+        Ok(MemoryController {
             config,
             channel,
             banks,
@@ -177,8 +240,10 @@ impl MemoryController {
             wall: 0,
             command_log: None,
             telemetry: None,
+            faults: None,
+            refresh_hold_until: 0,
             stats: RunStats::default(),
-        }
+        })
     }
 
     /// Builds the controller; `defense_factory` is called once per bank with
@@ -205,6 +270,16 @@ impl MemoryController {
 
     pub(crate) fn set_telemetry(&mut self, tap: TelemetryTap) {
         self.telemetry = Some(tap);
+    }
+
+    pub(crate) fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(FaultInjector::new(plan));
+    }
+
+    /// What the armed fault plan has done so far, if one was attached via
+    /// [`McBuilder::faults`](crate::McBuilder::faults).
+    pub fn fault_stats(&self) -> Option<&FaultStats> {
+        self.faults.as_ref().map(FaultInjector::stats)
     }
 
     /// Attaches a command log; every ACT slot, REF blackout start, and
@@ -252,6 +327,12 @@ impl MemoryController {
     /// The defense attached to `bank`.
     pub fn defense(&self, bank: usize) -> &dyn RowHammerDefense {
         self.defenses[bank].as_ref()
+    }
+
+    /// Mutable access to the defense attached to `bank` (fault-injection
+    /// and test support).
+    pub fn defense_mut(&mut self, bank: usize) -> &mut dyn RowHammerDefense {
+        self.defenses[bank].as_mut()
     }
 
     /// Current arrival clock (ps).
@@ -315,11 +396,16 @@ impl MemoryController {
         stream: u16,
         outcome: ServiceOutcome,
     ) {
+        // The fault plan's clock: 0-based index of this served access.
+        let access_index = self.stats.accesses;
         self.stats.accesses += 1;
         self.stats.total_latency += outcome.finish - arrival;
         self.note_stream(stream, outcome.finish - arrival);
         self.stats.completion = self.stats.completion.max(outcome.finish);
         self.wall = self.wall.max(outcome.finish);
+        if self.faults.is_some() {
+            self.deliver_faults(access_index);
+        }
         if outcome.row_hit {
             self.stats.row_hits += 1;
         }
@@ -335,12 +421,66 @@ impl MemoryController {
                 let flips = oracles[bank_idx].activate(row, outcome.start);
                 self.stats.bit_flips += flips.len() as u64;
             }
-            let actions = self.defenses[bank_idx].on_activation(row, outcome.start);
+            let mut actions = self.defenses[bank_idx].on_activation(row, outcome.start);
+            if let Some(inj) = &mut self.faults {
+                actions = inj.filter_actions(bank_idx, access_index, actions);
+            }
             for action in actions {
                 self.apply_action(bank_idx, action);
             }
             self.charge_overhead(bank_idx);
         }
+        if self.faults.as_mut().is_some_and(FaultInjector::take_duplicate) {
+            // Command duplication at the shard boundary: the same request is
+            // served once more (a second ACT if the page policy closed the
+            // row). The replay is a real access: it advances the clock, the
+            // oracle, and the defense exactly like the original.
+            let replay = self.banks[bank_idx].serve(row, self.clock.max(arrival));
+            self.apply_outcome(bank_idx, row, arrival, stream, replay);
+        }
+    }
+
+    /// Takes every fault event due at `access_index`, forwarding tracker
+    /// faults to the target bank's defense, arming controller one-shots,
+    /// and applying deferred NRRs whose release access has arrived.
+    /// Harness-layer events are skipped (the sweep harness consumes them).
+    fn deliver_faults(&mut self, access_index: u64) {
+        // Temporarily take the injector so the loop can borrow defenses and
+        // refresh state mutably; `apply_action` never touches `self.faults`.
+        let Some(mut inj) = self.faults.take() else { return };
+        let n_banks = self.banks.len();
+        for event in inj.take_due(access_index) {
+            match event.kind {
+                FaultKind::Tracker(fault) => {
+                    let bank = usize::from(event.bank) % n_banks;
+                    let applied = self.defenses[bank].inject_fault(&fault);
+                    inj.note_tracker(applied);
+                }
+                FaultKind::Controller(fault) => {
+                    if let ControllerFault::PostponeRefresh { refis } = fault {
+                        let hold =
+                            self.next_refresh_at + u64::from(refis) * self.config.timing.t_refi;
+                        self.refresh_hold_until = self.refresh_hold_until.max(hold);
+                    }
+                    inj.arm(fault);
+                }
+                FaultKind::Harness(_) => {}
+            }
+        }
+        for (bank, action) in inj.release_due(access_index) {
+            self.apply_action(bank, action);
+        }
+        self.faults = Some(inj);
+    }
+
+    /// Applies every still-deferred NRR at end of run: held actions execute
+    /// late rather than silently disappearing.
+    fn flush_deferred_faults(&mut self) {
+        let Some(mut inj) = self.faults.take() else { return };
+        for (bank, action) in inj.flush_deferred() {
+            self.apply_action(bank, action);
+        }
+        self.faults = Some(inj);
     }
 
     /// Runs `n` accesses from `workload` and returns a snapshot of the
@@ -372,6 +512,7 @@ impl MemoryController {
             let outcome = self.banks[bank_idx].serve(access.row, self.clock);
             self.apply_outcome(bank_idx, access.row, self.clock, access.stream, outcome);
         }
+        self.flush_deferred_faults();
         self.finish_telemetry();
         Ok(self.stats.clone())
     }
@@ -407,6 +548,7 @@ impl MemoryController {
     /// batched path — the counterpart of the snapshot
     /// [`try_run`](Self::try_run) returns per call.
     pub fn finish_run(&mut self) -> RunStats {
+        self.flush_deferred_faults();
         self.finish_telemetry();
         self.stats.clone()
     }
@@ -436,16 +578,23 @@ impl MemoryController {
     ///
     /// # Errors
     ///
-    /// Returns [`McError::BankOutOfRange`] on the first access whose bank
-    /// index does not exist in the configured geometry. Work already queued
-    /// is drained before returning the error, so the statistics stay
-    /// consistent.
+    /// Returns [`McError::InvalidScheduler`] if the scheduler configuration
+    /// cannot form batches, and [`McError::BankOutOfRange`] on the first
+    /// access whose bank index does not exist in the configured geometry.
+    /// Work already queued is drained before returning the error, so the
+    /// statistics stay consistent.
     pub fn try_run_queued(
         &mut self,
         workload: &mut dyn Workload,
         n: u64,
         scheduler: SchedulerConfig,
     ) -> Result<RunStats, McError> {
+        if scheduler.batch_size < 1 || scheduler.queue_depth < scheduler.batch_size {
+            return Err(McError::InvalidScheduler {
+                batch_size: scheduler.batch_size,
+                queue_depth: scheduler.queue_depth,
+            });
+        }
         let mut queues: Vec<BankQueue> =
             (0..self.banks.len()).map(|_| BankQueue::new(scheduler)).collect();
 
@@ -468,6 +617,7 @@ impl MemoryController {
             }
             queues[bank_idx]
                 .push(access.row, self.clock, access.stream)
+                // invariant: the while-loop above drained until !is_full().
                 .expect("queue has space after back-pressure drain");
 
             // Opportunistically serve any bank that is ready "now".
@@ -483,6 +633,7 @@ impl MemoryController {
                 self.serve_one_queued(&mut queues, b);
             }
         }
+        self.flush_deferred_faults();
         self.finish_telemetry();
         match route_error {
             Some(e) => Err(e),
@@ -500,6 +651,7 @@ impl MemoryController {
     /// Serves the scheduler's pick for `bank_idx` (which must be non-empty).
     fn serve_one_queued(&mut self, queues: &mut [BankQueue], bank_idx: usize) {
         let open = self.banks[bank_idx].open_row();
+        // invariant: every caller gates on !queues[bank_idx].is_empty().
         let req = queues[bank_idx].pop_next(open).expect("caller checked non-empty");
         let outcome = self.banks[bank_idx].serve(req.row, req.arrival);
         self.apply_outcome(bank_idx, req.row, req.arrival, req.stream, outcome);
@@ -516,8 +668,16 @@ impl MemoryController {
 
     /// Executes every periodic refresh tick due at or before the wall clock
     /// (the later of the arrival clock and the service high-water mark).
+    ///
+    /// While a [`ControllerFault::PostponeRefresh`] hold is in effect no
+    /// tick executes; once the hold lapses the backlog runs back-to-back —
+    /// DDR4's postpone-then-catch-up semantics (at most 8 tREFI, enforced
+    /// at plan-generation time).
     fn catch_up_refresh(&mut self) {
         let now = self.clock.max(self.wall);
+        if now < self.refresh_hold_until {
+            return;
+        }
         while self.next_refresh_at <= now {
             let at = self.next_refresh_at;
             for bank_idx in 0..self.banks.len() {
@@ -900,5 +1060,144 @@ mod tests {
         assert!(oracle.max_disturbance() > 0.0);
         assert!(mc.oracle(1).is_none());
         assert!(no_defense_mc(McConfig::single_bank(64, None)).oracle(0).is_none());
+    }
+
+    #[test]
+    fn invalid_scheduler_config_is_an_error_not_a_panic() {
+        let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
+        let err = mc
+            .try_run_queued(
+                &mut Synthetic::s3(65_536, 1),
+                10,
+                SchedulerConfig { batch_size: 0, queue_depth: 4 },
+            )
+            .unwrap_err();
+        assert_eq!(err, McError::InvalidScheduler { batch_size: 0, queue_depth: 4 });
+        let err = mc
+            .try_run_queued(
+                &mut Synthetic::s3(65_536, 1),
+                10,
+                SchedulerConfig { batch_size: 8, queue_depth: 4 },
+            )
+            .unwrap_err();
+        assert!(err.to_string().contains("batch_size 8"));
+        assert_eq!(mc.stats().accesses, 0, "rejected runs must not serve anything");
+    }
+
+    use faultsim::FaultSpec;
+
+    fn fault_plan(spec: FaultSpec) -> FaultPlan {
+        FaultPlan::generate(&spec)
+    }
+
+    fn graphene_mc_with_faults(config: McConfig, plan: FaultPlan) -> MemoryController {
+        McBuilder::new(config)
+            .defenses_with(|_| {
+                let cfg = GrapheneConfig::builder().row_hammer_threshold(5_000).build().unwrap();
+                Box::new(GrapheneDefense::from_config(&cfg).unwrap())
+            })
+            .faults(plan)
+            .build()
+    }
+
+    #[test]
+    fn dropped_nrrs_turn_into_oracle_flips() {
+        // Arm far more drop events than Graphene will emit NRRs: every
+        // defense action is squeezed out, so the hammering that a clean run
+        // survives (graphene_prevents_flips_on_same_attack) now flips bits.
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let spec = FaultSpec { nrr_drops: 400, accesses: 100_000, banks: 1, ..FaultSpec::new(42) };
+        let mut mc =
+            graphene_mc_with_faults(McConfig::single_bank(65_536, Some(model)), fault_plan(spec));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100_000);
+        let fstats = mc.fault_stats().unwrap();
+        assert!(fstats.nrrs_dropped > 0, "drops must have fired");
+        assert!(stats.bit_flips > 0, "undefended victims must flip");
+        assert!(!mc.is_clean());
+    }
+
+    #[test]
+    fn tracker_faults_reach_the_defense() {
+        let spec = FaultSpec { accesses: 20_000, banks: 1, ..FaultSpec::single_bit_flips(7, 16) };
+        let mut mc = graphene_mc_with_faults(McConfig::single_bank(65_536, None), fault_plan(spec));
+        mc.run(&mut Synthetic::s3(65_536, 1), 20_000);
+        let fstats = mc.fault_stats().unwrap();
+        assert_eq!(fstats.tracker_faults_applied + fstats.tracker_faults_vacuous, 16);
+        assert!(fstats.tracker_faults_applied > 0, "Graphene's table must absorb some flips");
+    }
+
+    #[test]
+    fn duplicated_commands_replay_accesses() {
+        let spec = FaultSpec { duplicates: 3, accesses: 10_000, banks: 1, ..FaultSpec::new(5) };
+        let mut mc = graphene_mc_with_faults(McConfig::single_bank(65_536, None), fault_plan(spec));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 10_000);
+        assert_eq!(mc.fault_stats().unwrap().commands_duplicated, 3);
+        assert_eq!(stats.accesses, 10_003, "each duplication serves one extra access");
+    }
+
+    #[test]
+    fn postponed_refresh_catches_up_within_the_ddr4_bound() {
+        let run = |plan: Option<FaultPlan>| {
+            let mut builder = McBuilder::new(McConfig::single_bank(65_536, None));
+            if let Some(p) = plan {
+                builder = builder.faults(p);
+            }
+            let mut mc = builder.build();
+            // 40k accesses at 10 ns apart ≈ 51 tREFI of wall clock.
+            let mut w = workloads::Trace::from_accesses(
+                "steady",
+                (0..40_000u64)
+                    .map(|i| workloads::Access {
+                        bank: 0,
+                        row: RowId((i % 97) as u32),
+                        gap: 10_000,
+                        stream: 0,
+                    })
+                    .collect(),
+            )
+            .replay();
+            (mc.run(&mut w, 40_000), mc.fault_stats().map(|f| f.refreshes_postponed))
+        };
+        let (nominal, _) = run(None);
+        let spec =
+            FaultSpec { refresh_postpones: 4, accesses: 40_000, banks: 1, ..FaultSpec::new(9) };
+        let (faulted, postponed) = run(Some(fault_plan(spec)));
+        assert!(postponed.unwrap() > 0);
+        assert!(faulted.refreshes <= nominal.refreshes);
+        assert!(
+            nominal.refreshes - faulted.refreshes <= u64::from(faultsim::MAX_REFRESH_POSTPONE_REFI),
+            "catch-up must leave at most the legal 8-tREFI deficit \
+             (nominal {}, faulted {})",
+            nominal.refreshes,
+            faulted.refreshes
+        );
+    }
+
+    #[test]
+    fn deferred_nrrs_are_flushed_not_lost() {
+        let spec = FaultSpec { nrr_defers: 6, accesses: 50_000, banks: 1, ..FaultSpec::new(13) };
+        let mut mc = graphene_mc_with_faults(McConfig::single_bank(65_536, None), fault_plan(spec));
+        mc.run(&mut Synthetic::s3(65_536, 1), 50_000);
+        let fstats = mc.fault_stats().unwrap();
+        assert!(fstats.nrrs_deferred > 0, "defers must have caught an NRR");
+        assert_eq!(
+            fstats.nrrs_released, fstats.nrrs_deferred,
+            "every deferred action must eventually apply"
+        );
+    }
+
+    #[test]
+    fn fault_runs_are_bit_reproducible_from_the_seed() {
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let run = || {
+            let spec = FaultSpec { accesses: 30_000, banks: 1, ..FaultSpec::chaos(77) };
+            let mut mc = graphene_mc_with_faults(
+                McConfig::single_bank(65_536, Some(model.clone())),
+                fault_plan(spec),
+            );
+            let stats = mc.run(&mut Synthetic::s3(65_536, 1), 30_000);
+            (stats, *mc.fault_stats().unwrap())
+        };
+        assert_eq!(run(), run());
     }
 }

@@ -48,6 +48,7 @@ pub mod builder;
 pub mod cmdlog;
 pub mod config;
 pub mod controller;
+pub mod faults;
 pub mod mapping;
 pub mod pagepolicy;
 pub mod scheduler;
@@ -60,7 +61,8 @@ pub use bank::BankState;
 pub use builder::{DefenseFactory, McBuilder};
 pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
 pub use config::McConfig;
-pub use controller::{McError, MemoryController, StampedAccess};
+pub use controller::{McBuildError, McError, MemoryController, StampedAccess};
+pub use faults::{FaultInjector, FaultStats};
 pub use mapping::{AddressMapper, DecodedAddress, MappingPolicy, MappingScheme, SystemAddress};
 pub use pagepolicy::PagePolicy;
 pub use scheduler::{BankQueue, SchedulerConfig};

@@ -90,6 +90,13 @@ pub struct BankQueue {
 
 impl BankQueue {
     /// An empty queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a config that cannot form batches. Runs driven through
+    /// [`MemoryController::try_run_queued`](crate::MemoryController::try_run_queued)
+    /// surface this as [`McError::InvalidScheduler`](crate::McError) instead
+    /// — these asserts only fire on direct construction.
     pub fn new(config: SchedulerConfig) -> Self {
         assert!(config.batch_size >= 1, "batch size must be at least 1");
         assert!(config.queue_depth >= config.batch_size, "queue must hold a batch");

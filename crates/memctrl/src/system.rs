@@ -152,6 +152,8 @@ impl SystemController {
         if self.buffers[c].is_empty() {
             return;
         }
+        // invariant: route_one validated each access against the geometry
+        // before buffering, so the shard cannot reject it.
         self.shards[c].try_run_batch(&self.buffers[c]).expect("routed accesses are in shard range");
         self.buffers[c].clear();
     }
@@ -175,6 +177,7 @@ impl SystemController {
             let (c, stamped) = self.route_one(&access)?;
             self.shards[c]
                 .try_run_batch(std::slice::from_ref(&stamped))
+                // invariant: route_one already validated the decode.
                 .expect("routed access is in shard range");
         }
         Ok(())

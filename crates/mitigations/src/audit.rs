@@ -12,6 +12,11 @@
 //! * targets beyond the bank (after the `max_radius` slack that saturating
 //!   bank-edge arithmetic legitimately produces) are rejected.
 //!
+//! [`AuditConfig::degraded_repairs`] waives only the was-activated check
+//! on NRR aggressors: a parity-scrubbing defense repairing a detected
+//! address corruption legitimately names rows it never saw. Everything
+//! else — the bank bound, the radius check, the certificate — still holds.
+//!
 //! For Graphene the wrapper additionally keeps an independent shadow
 //! activation count per row and certifies the paper's **no-false-negatives
 //! trigger** (Section IV): within each reset window, a row activated `c`
@@ -52,12 +57,19 @@ pub struct AuditConfig {
     /// When set, the wrapper certifies the multiples-of-`T` trigger with an
     /// independent shadow count (Graphene only).
     pub certify: Option<ShadowCert>,
+    /// Accept repair NRRs naming rows that were never activated. A
+    /// parity-scrubbing defense ([`crate::HardenedGraphene`]) that detects
+    /// a corrupted *address* cannot know which row the slot was tracking,
+    /// so its conservative Hamming-ball repair legitimately names
+    /// never-activated rows. The bank bound still applies — only the
+    /// was-activated requirement is waived.
+    pub degraded_repairs: bool,
 }
 
 impl AuditConfig {
     /// Plain validation (no trigger certificate) with blast radius 1.
     pub fn new(rows_per_bank: u32) -> Self {
-        AuditConfig { rows_per_bank, max_radius: 1, certify: None }
+        AuditConfig { rows_per_bank, max_radius: 1, certify: None, degraded_repairs: false }
     }
 }
 
@@ -140,8 +152,12 @@ impl AuditedDefense {
                     "audit[{name}]: NRR aggressor {aggressor} outside bank of {} rows",
                     self.cfg.rows_per_bank
                 );
+                // Degraded-repair mode waives only this assertion: a
+                // scrubbing defense that detected a corrupted address may
+                // name a row it never saw (the in-bank bound above still
+                // holds unconditionally).
                 assert!(
-                    self.activated[aggressor.0 as usize],
+                    self.cfg.degraded_repairs || self.activated[aggressor.0 as usize],
                     "audit[{name}]: NRR names aggressor {aggressor}, which was never activated"
                 );
             }
@@ -219,15 +235,14 @@ impl RowHammerDefense for AuditedDefense {
             if let Some(cert) = self.cfg.certify {
                 match *action {
                     RefreshAction::Neighbors { aggressor, .. } => {
-                        assert_eq!(
-                            aggressor,
-                            row,
-                            "audit[{}]: certified defense fired an NRR for {aggressor} \
-                             while activating {row}; Graphene only triggers on the \
-                             current aggressor",
-                            self.inner.name()
-                        );
-                        self.shadow_nrrs[row.0 as usize] += 1;
+                        // `validate_action` already proved the aggressor was
+                        // activated. It is usually the current row (Graphene
+                        // triggers on the aggressor being activated), but a
+                        // hardened wrapper may emit conservative *repair*
+                        // NRRs for other tracked aggressors after detecting
+                        // corruption — those credit the named row's shadow
+                        // account instead.
+                        self.shadow_nrrs[aggressor.0 as usize] += 1;
                     }
                     ref other => panic!(
                         "audit[{}]: certified defense emitted {other:?}; Graphene \
@@ -264,9 +279,20 @@ impl RowHammerDefense for AuditedDefense {
     }
 
     fn on_refresh_tick(&mut self, now: Picoseconds) -> Vec<RefreshAction> {
+        self.roll_cert_window(now);
         let actions = self.inner.on_refresh_tick(now);
         for action in &actions {
             self.validate_action(action, now);
+            // NRRs issued between ACTs (a hardened wrapper scrubbing on
+            // the refresh tick) credit the named row's shadow account just
+            // like ACT-time NRRs — otherwise a repair emitted here would
+            // be invisible to the certificate and trip a false alarm at
+            // the row's next crossing.
+            if self.cfg.certify.is_some() {
+                if let RefreshAction::Neighbors { aggressor, .. } = *action {
+                    self.shadow_nrrs[aggressor.0 as usize] += 1;
+                }
+            }
         }
         actions
     }
@@ -290,6 +316,13 @@ impl RowHammerDefense for AuditedDefense {
         self.shadow_counts.fill(0);
         self.shadow_nrrs.fill(0);
         self.current_window = 0;
+    }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        // The fault strikes the inner tracker's SRAM; the shadow oracle is
+        // the audit's own (assumed-good) bookkeeping and stays intact —
+        // that asymmetry is what lets the audit *detect* the consequences.
+        self.inner.inject_fault(fault)
     }
 }
 
@@ -443,9 +476,8 @@ mod tests {
     #[should_panic(expected = "no-false-negative certificate failed")]
     fn silent_defense_fails_the_certificate() {
         let cfg = AuditConfig {
-            rows_per_bank: 1_024,
-            max_radius: 1,
             certify: Some(ShadowCert { tracking_threshold: 50, reset_window: u64::MAX }),
+            ..AuditConfig::new(1_024)
         };
         let mut d = AuditedDefense::new(Box::new(SilentCounter), cfg);
         for i in 0..50u64 {
@@ -453,14 +485,52 @@ mod tests {
         }
     }
 
+    /// Emits an NRR for a fixed (possibly never-activated) row on every
+    /// activation — the shape of a degraded Hamming-ball repair.
+    struct RepairEmitter(RowId);
+    impl RowHammerDefense for RepairEmitter {
+        fn name(&self) -> String {
+            "RepairEmitter".into()
+        }
+        fn on_activation(&mut self, _row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+            vec![RefreshAction::Neighbors { aggressor: self.0, radius: 1 }]
+        }
+        fn table_bits(&self) -> TableBits {
+            TableBits::default()
+        }
+        fn reset(&mut self) {}
+    }
+
+    #[test]
+    fn degraded_repairs_waives_only_the_activation_check() {
+        // Default config: an NRR naming a never-activated row is a kill.
+        let strict = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d =
+                AuditedDefense::new(Box::new(RepairEmitter(RowId(77))), AuditConfig::new(1_024));
+            d.on_activation(RowId(3), 0);
+        }));
+        assert!(strict.is_err(), "strict mode must reject unactivated repair targets");
+
+        // Degraded-repair mode tolerates it...
+        let cfg = AuditConfig { degraded_repairs: true, ..AuditConfig::new(1_024) };
+        let mut d = AuditedDefense::new(Box::new(RepairEmitter(RowId(77))), cfg);
+        d.on_activation(RowId(3), 0);
+
+        // ...but the bank bound is not negotiable.
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut d = AuditedDefense::new(Box::new(RepairEmitter(RowId(5_000))), cfg);
+            d.on_activation(RowId(3), 0);
+        }));
+        assert!(out.is_err(), "degraded mode must still reject out-of-bank targets");
+    }
+
     #[test]
     fn certificate_window_roll_forgives_new_window() {
         // 49 ACTs in window 0, then more in window 1: counts restart, so a
         // silent defense stays legal until a single window accumulates T.
         let cfg = AuditConfig {
-            rows_per_bank: 1_024,
-            max_radius: 1,
             certify: Some(ShadowCert { tracking_threshold: 50, reset_window: 1_000_000 }),
+            ..AuditConfig::new(1_024)
         };
         let mut d = AuditedDefense::new(Box::new(SilentCounter), cfg);
         for i in 0..49u64 {

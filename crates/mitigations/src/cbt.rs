@@ -247,6 +247,27 @@ impl RowHammerDefense for Cbt {
         self.nodes.clear();
         self.nodes.push(Node { start: 0, level: 0, count: 0 });
     }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        match *fault {
+            faultsim::TrackerFault::CountBitFlip { slot, bit } => {
+                let i = slot as usize % self.nodes.len();
+                let width = (64 - self.config.last_level_threshold().leading_zeros()).max(1);
+                self.nodes[i].count ^= 1 << (bit % width);
+                true
+            }
+            faultsim::TrackerFault::AddrBitFlip { slot, bit } => {
+                // Corrupting a node's range start: its counts now guard the
+                // wrong rows (the tree invariant is broken exactly the way a
+                // real upset would break it).
+                let i = slot as usize % self.nodes.len();
+                self.nodes[i].start ^= 1 << (bit % 32);
+                true
+            }
+            faultsim::TrackerFault::SpilloverBitFlip { .. }
+            | faultsim::TrackerFault::LookupMiss => false,
+        }
+    }
 }
 
 #[cfg(test)]

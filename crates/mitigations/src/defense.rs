@@ -127,6 +127,20 @@ pub trait RowHammerDefense {
     /// Clears all defense state (not normally needed: schemes manage their
     /// own windows; exposed for tests and reuse across runs).
     fn reset(&mut self);
+
+    /// Injects one tracker-layer fault (an SRAM soft error or a transient
+    /// CAM mismatch) into the defense's internal state. Returns `true` if
+    /// the fault was applied, `false` if the scheme has no corresponding
+    /// state to corrupt (the default: probabilistic schemes like PARA hold
+    /// no counters, so tracker faults pass through them harmlessly).
+    ///
+    /// Wrappers ([`AuditedDefense`](crate::AuditedDefense),
+    /// [`InstrumentedDefense`](crate::InstrumentedDefense)) forward to their
+    /// inner scheme so a fault plan reaches the real tracker through any
+    /// stack of decorators.
+    fn inject_fault(&mut self, _fault: &faultsim::TrackerFault) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -46,6 +46,12 @@ impl GrapheneDefense {
     pub fn inner(&self) -> &Graphene {
         &self.inner
     }
+
+    /// Mutable access to the wrapped engine — fault-injection and test
+    /// support.
+    pub fn inner_mut(&mut self) -> &mut Graphene {
+        &mut self.inner
+    }
 }
 
 impl RowHammerDefense for GrapheneDefense {
@@ -73,6 +79,23 @@ impl RowHammerDefense for GrapheneDefense {
 
     fn reset(&mut self) {
         self.inner.force_reset();
+    }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        let table = self.inner.table_mut();
+        match *fault {
+            faultsim::TrackerFault::CountBitFlip { slot, bit } => {
+                table.corrupt_count_bit(slot as usize, bit)
+            }
+            faultsim::TrackerFault::AddrBitFlip { slot, bit } => {
+                table.corrupt_addr_bit(slot as usize, bit)
+            }
+            faultsim::TrackerFault::SpilloverBitFlip { bit } => table.corrupt_spillover_bit(bit),
+            faultsim::TrackerFault::LookupMiss => {
+                table.suppress_next_lookup();
+                true
+            }
+        }
     }
 }
 

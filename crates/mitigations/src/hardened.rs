@@ -1,0 +1,324 @@
+//! Parity-protected Graphene with conservative graceful degradation.
+//!
+//! Graphene's no-false-negative proof assumes its CAM table is fault-free,
+//! but the table is exactly the small SRAM structure most exposed to soft
+//! errors — and a single flipped count bit can push an entry's stored count
+//! *past* `T` so the `== T` wrap comparator never fires again: a silent
+//! false negative. [`HardenedGraphene`] closes that hole with the classic
+//! hardware recipe, scrub-on-access parity:
+//!
+//! 1. every legitimate table write updates a per-entry parity bit (modeled
+//!    in [`CounterTable`](graphene_core::CounterTable)); a soft error flips
+//!    stored data without updating parity;
+//! 2. before processing each ACT, the wrapper checks parity over the table
+//!    and the spillover register;
+//! 3. on a mismatch it **degrades conservatively**: parity-clean entries
+//!    get one repair NRR for their tracked aggressor; parity-violating
+//!    entries get a repair NRR for the **whole Hamming-1 ball** of their
+//!    stored address (bounded to the bank), because parity detects but
+//!    cannot localize the flipped bit — the flip may have struck the
+//!    address field itself, in which case the *true* aggressor is exactly
+//!    one bit away from the address the slot now holds. Then the table is
+//!    reset (a fresh reset window mid-window).
+//!
+//! # Why this preserves the certificate
+//!
+//! Let a row have `c` ACTs before the reset and `d` after, within one shadow
+//! window (the [`AuditedDefense`](crate::AuditedDefense) oracle counts
+//! `c + d`). Before the fault struck, Graphene's invariant had issued at
+//! least `⌊c/T⌋` NRRs; the corruption can only have *removed future*
+//! triggers, not past ones — and if it struck between a crossing and its
+//! detection, the repair NRR covers the at-most-one crossing the straddle
+//! can hide. After the reset the table restarts clean and issues `⌊d/T⌋`
+//! NRRs. Since `⌊(c+d)/T⌋ ≤ ⌊c/T⌋ + ⌊d/T⌋ + 1`, one repair NRR *naming the
+//! true aggressor* makes the total meet the certificate under any
+//! single-bit fault. The Hamming ball is what makes that unconditional:
+//! when the flipped bit was in the address field the slot no longer knows
+//! which row it was tracking, but under the single-bit model the true
+//! address differs from the stored one in exactly one bit, so the ball is
+//! guaranteed to contain it. (Transient lookup misses are not stored-bit
+//! faults: parity cannot see them and the wrapper makes no claim about
+//! them — see
+//! [`TrackerFault::is_single_bit`](faultsim::TrackerFault::is_single_bit).)
+//!
+//! The cost is honest: parity adds `N_entry + 1` SRAM bits, and every
+//! detection turns into a burst of victim refreshes plus the loss of the
+//! window's tracking state — availability traded for the guarantee.
+
+use dram_model::geometry::RowId;
+use dram_model::timing::Picoseconds;
+use graphene_core::{ConfigError, GrapheneConfig};
+use telemetry::MetricsSink;
+
+use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
+use crate::graphene::GrapheneDefense;
+
+/// Degradation counters of a [`HardenedGraphene`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HardenedStats {
+    /// Parity mismatches detected (each triggers one conservative reset).
+    pub corruptions_detected: u64,
+    /// Repair NRRs emitted while degrading: one per clean tracked row plus
+    /// the Hamming-1 ball of each parity-violating slot's stored address.
+    pub repair_nrrs: u64,
+    /// Conservative table resets performed.
+    pub conservative_resets: u64,
+}
+
+/// Graphene wrapped in scrub-on-access parity with conservative reset on
+/// detection (see the module docs for the certificate argument).
+///
+/// # Example
+///
+/// ```
+/// use graphene_core::GrapheneConfig;
+/// use mitigations::{HardenedGraphene, RowHammerDefense};
+/// use dram_model::RowId;
+///
+/// # fn main() -> Result<(), graphene_core::ConfigError> {
+/// let mut d = HardenedGraphene::from_config(&GrapheneConfig::micro2020())?;
+/// assert!(d.on_activation(RowId(1), 0).is_empty());
+/// assert_eq!(d.name(), "HardenedGraphene");
+/// assert_eq!(d.stats().corruptions_detected, 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct HardenedGraphene {
+    inner: GrapheneDefense,
+    stats: HardenedStats,
+    /// Rows in the protected bank — Hamming-ball repair candidates at or
+    /// beyond this limit are discarded (a corrupted address can point
+    /// outside the bank; the true address never does).
+    row_limit: u32,
+}
+
+impl HardenedGraphene {
+    /// Hardens an existing Graphene adapter protecting a bank of
+    /// `rows_per_bank` rows.
+    pub fn new(inner: GrapheneDefense, rows_per_bank: u32) -> Self {
+        HardenedGraphene { inner, stats: HardenedStats::default(), row_limit: rows_per_bank }
+    }
+
+    /// Builds the hardened engine from a Graphene configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ConfigError`] from the parameter derivation.
+    pub fn from_config(config: &GrapheneConfig) -> Result<Self, ConfigError> {
+        Ok(Self::new(GrapheneDefense::from_config(config)?, config.rows_per_bank))
+    }
+
+    /// The wrapped (unhardened) adapter.
+    pub fn inner(&self) -> &GrapheneDefense {
+        &self.inner
+    }
+
+    /// Degradation counters.
+    pub fn stats(&self) -> &HardenedStats {
+        &self.stats
+    }
+
+    /// The scrub: if any parity bit disagrees with its data, emit one repair
+    /// NRR per parity-clean tracked aggressor, the Hamming-1 ball of each
+    /// parity-violating slot's stored address (parity cannot localize the
+    /// flip, so the address itself is suspect — the true aggressor is the
+    /// stored address or exactly one bit away from it), and reset the
+    /// table. Returns the repair actions (empty when the table is clean).
+    fn scrub(&mut self) -> Vec<RefreshAction> {
+        let engine = self.inner.inner();
+        if engine.table().parity_clean() {
+            return Vec::new();
+        }
+        let radius = engine.params().blast_radius;
+        let (bad_slots, _spill) = engine.table().parity_violations();
+        let mut repairs = Vec::new();
+        for slot in 0..engine.table().capacity() {
+            let Some(stored) = engine.table().slot_addr(slot) else { continue };
+            if bad_slots.contains(&slot) {
+                // The ball inverts every possible single-bit address flip
+                // (the injection model XORs one of the low 32 bits); the
+                // bank bound discards candidates no real row can be.
+                let ball =
+                    std::iter::once(stored).chain((0..32).map(|b| RowId(stored.0 ^ (1 << b))));
+                repairs.extend(
+                    ball.filter(|cand| cand.0 < self.row_limit)
+                        .map(|cand| RefreshAction::Neighbors { aggressor: cand, radius }),
+                );
+            } else {
+                repairs.push(RefreshAction::Neighbors { aggressor: stored, radius });
+            }
+        }
+        self.stats.corruptions_detected += 1;
+        self.stats.repair_nrrs += repairs.len() as u64;
+        self.stats.conservative_resets += 1;
+        self.inner.inner_mut().force_reset();
+        repairs
+    }
+}
+
+impl RowHammerDefense for HardenedGraphene {
+    fn name(&self) -> String {
+        "HardenedGraphene".to_owned()
+    }
+
+    fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Vec<RefreshAction> {
+        // Scrub first: the current ACT must land in a trusted table.
+        let mut actions = self.scrub();
+        actions.extend(self.inner.on_activation(row, now));
+        actions
+    }
+
+    fn on_refresh_tick(&mut self, now: Picoseconds) -> Vec<RefreshAction> {
+        let mut actions = self.scrub();
+        actions.extend(self.inner.on_refresh_tick(now));
+        actions
+    }
+
+    fn drain_overhead_time(&mut self) -> Picoseconds {
+        self.inner.drain_overhead_time()
+    }
+
+    fn table_bits(&self) -> TableBits {
+        // Parity costs one SRAM bit per entry plus one for the spillover
+        // register — the honest price of the hardening.
+        let base = self.inner.table_bits();
+        let entries = self.inner.inner().table().capacity() as u64;
+        TableBits { cam_bits: base.cam_bits, sram_bits: base.sram_bits + entries + 1 }
+    }
+
+    fn emit_telemetry(&self, bank: u16, now: Picoseconds, sink: &mut dyn MetricsSink) {
+        self.inner.emit_telemetry(bank, now, sink);
+        if sink.enabled() {
+            sink.sample(
+                "fault.parity_detections",
+                bank,
+                now,
+                self.stats.corruptions_detected as f64,
+            );
+            sink.sample("fault.repair_nrrs", bank, now, self.stats.repair_nrrs as f64);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+    }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        self.inner.inject_fault(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use faultsim::TrackerFault;
+
+    fn hardened() -> HardenedGraphene {
+        HardenedGraphene::from_config(&GrapheneConfig::micro2020()).unwrap()
+    }
+
+    #[test]
+    fn clean_run_is_transparent() {
+        let mut h = hardened();
+        let mut plain = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        for i in 0..5_000u64 {
+            let row = RowId((i % 7) as u32 * 11);
+            assert_eq!(h.on_activation(row, i * 45_000), plain.on_activation(row, i * 45_000));
+        }
+        assert_eq!(h.stats(), &HardenedStats::default());
+    }
+
+    #[test]
+    fn detects_count_corruption_and_degrades() {
+        let mut h = hardened();
+        for i in 0..100u64 {
+            h.on_activation(RowId(40), i);
+        }
+        assert!(h.inject_fault(&TrackerFault::CountBitFlip { slot: 0, bit: 3 }));
+        let actions = h.on_activation(RowId(40), 100);
+        // The repair NRR for the tracked aggressor comes first.
+        assert!(actions.contains(&RefreshAction::Neighbors { aggressor: RowId(40), radius: 1 }));
+        assert_eq!(h.stats().corruptions_detected, 1);
+        assert_eq!(h.stats().conservative_resets, 1);
+        assert!(h.stats().repair_nrrs >= 1);
+        // Table was reset and re-trusted: no further degradation.
+        h.on_activation(RowId(40), 101);
+        assert_eq!(h.stats().corruptions_detected, 1);
+    }
+
+    #[test]
+    fn addr_corruption_repairs_the_whole_hamming_ball() {
+        // An address-field flip renames the entry: the repair must still
+        // reach the *true* aggressor, which is one bit away from whatever
+        // the slot now stores.
+        let mut h = hardened();
+        for i in 0..50u64 {
+            h.on_activation(RowId(40), i);
+        }
+        assert!(h.inject_fault(&TrackerFault::AddrBitFlip { slot: 0, bit: 5 }));
+        let actions = h.on_activation(RowId(40), 50);
+        let named: Vec<RowId> = actions
+            .iter()
+            .filter_map(|a| match *a {
+                RefreshAction::Neighbors { aggressor, .. } => Some(aggressor),
+                _ => None,
+            })
+            .collect();
+        // The ball contains both the corrupted address (40 ^ 32 = 8) and
+        // the true aggressor, and never leaves the bank.
+        assert!(named.contains(&RowId(40)), "true aggressor missing from {named:?}");
+        assert!(named.contains(&RowId(8)), "stored (corrupted) address missing");
+        assert!(named.iter().all(|r| r.0 < 65_536), "repair left the bank");
+        assert_eq!(h.stats().corruptions_detected, 1);
+    }
+
+    #[test]
+    fn detects_spillover_corruption() {
+        let mut h = hardened();
+        h.on_activation(RowId(1), 0);
+        assert!(h.inject_fault(&TrackerFault::SpilloverBitFlip { bit: 7 }));
+        h.on_activation(RowId(2), 1);
+        assert_eq!(h.stats().corruptions_detected, 1);
+        assert_eq!(h.inner().inner().table().spillover(), 0, "reset scrubbed the register");
+    }
+
+    #[test]
+    fn still_triggers_after_recovery() {
+        // After a detected fault the engine must keep protecting: hammering
+        // T more times post-reset fires an NRR again.
+        let mut h = hardened();
+        let t = h.inner().inner().params().tracking_threshold;
+        for i in 0..10u64 {
+            h.on_activation(RowId(5), i);
+        }
+        h.inject_fault(&TrackerFault::CountBitFlip { slot: 0, bit: 1 });
+        h.on_activation(RowId(5), 10); // detection + conservative reset
+        let mut fired = Vec::new();
+        for i in 0..t {
+            fired.extend(h.on_activation(RowId(5), 11 + i));
+        }
+        assert!(fired.contains(&RefreshAction::Neighbors { aggressor: RowId(5), radius: 1 }));
+    }
+
+    #[test]
+    fn lookup_miss_is_invisible_to_parity() {
+        let mut h = hardened();
+        for i in 0..10u64 {
+            h.on_activation(RowId(9), i);
+        }
+        h.inject_fault(&TrackerFault::LookupMiss);
+        h.on_activation(RowId(9), 10);
+        // No stored bit changed: parity sees nothing, no degradation event.
+        assert_eq!(h.stats().corruptions_detected, 0);
+    }
+
+    #[test]
+    fn parity_bits_accounted_in_footprint() {
+        let h = hardened();
+        let plain = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        let extra = h.inner().inner().table().capacity() as u64 + 1;
+        assert_eq!(h.table_bits().cam_bits, plain.table_bits().cam_bits);
+        assert_eq!(h.table_bits().sram_bits, plain.table_bits().sram_bits + extra);
+    }
+}

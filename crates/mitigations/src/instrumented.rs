@@ -212,6 +212,10 @@ impl RowHammerDefense for InstrumentedDefense {
         self.flushed_actions = 0;
         self.flushed_victim_rows = 0;
     }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        self.inner.inject_fault(fault)
+    }
 }
 
 impl std::fmt::Debug for InstrumentedDefense {

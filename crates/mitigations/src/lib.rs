@@ -6,6 +6,7 @@
 //! | Defense | Kind | Guarantee | Module |
 //! |---------|------|-----------|--------|
 //! | [`GrapheneDefense`] | counter (Misra-Gries) | no false negatives | [`graphene`] |
+//! | [`HardenedGraphene`] | counter + SRAM parity | no false negatives under single-bit faults | [`hardened`] |
 //! | [`Para`] | probabilistic | probabilistic only | [`para`] |
 //! | [`Prohit`] | probabilistic + history tables | none (defeatable) | [`prohit`] |
 //! | [`Mrloc`] | probabilistic + locality queue | none (defeatable) | [`mrloc`] |
@@ -41,6 +42,7 @@ pub mod cbt;
 pub mod cra;
 pub mod defense;
 pub mod graphene;
+pub mod hardened;
 pub mod ideal;
 pub mod instrumented;
 pub mod mrloc;
@@ -56,6 +58,7 @@ pub use cbt::{Cbt, CbtConfig};
 pub use cra::{Cra, CraConfig, CraStats};
 pub use defense::{RefreshAction, RowHammerDefense, TableBits};
 pub use graphene::GrapheneDefense;
+pub use hardened::{HardenedGraphene, HardenedStats};
 pub use ideal::IdealCounters;
 pub use instrumented::{instrumented, InstrumentedDefense};
 pub use mrloc::{Mrloc, MrlocConfig};

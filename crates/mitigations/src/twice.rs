@@ -200,6 +200,41 @@ impl RowHammerDefense for Twice {
         self.refreshes_issued = 0;
         self.max_occupancy = 0;
     }
+
+    fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
+        // Deterministic target selection: the slot index picks among live
+        // entries in row order (HashMap iteration order would leak hasher
+        // state into the experiment).
+        let mut rows: Vec<RowId> = self.entries.keys().copied().collect();
+        rows.sort_unstable();
+        match *fault {
+            faultsim::TrackerFault::CountBitFlip { slot, bit } => {
+                if rows.is_empty() {
+                    return false;
+                }
+                let row = rows[slot as usize % rows.len()];
+                let width = (64 - self.config.th_rh().leading_zeros()).max(1);
+                self.entries.get_mut(&row).expect("picked from live keys").act_cnt ^=
+                    1 << (bit % width);
+                true
+            }
+            faultsim::TrackerFault::AddrBitFlip { slot, bit } => {
+                if rows.is_empty() {
+                    return false;
+                }
+                let row = rows[slot as usize % rows.len()];
+                let entry = self.entries.remove(&row).expect("picked from live keys");
+                // If the corrupted address collides with a live entry, the
+                // CAM keeps the existing one and the corrupted copy is lost.
+                self.entries.entry(RowId(row.0 ^ (1 << (bit % 32)))).or_insert(entry);
+                true
+            }
+            // TWiCe has no spillover register, and its lookup path is not
+            // modeled at CAM granularity.
+            faultsim::TrackerFault::SpilloverBitFlip { .. }
+            | faultsim::TrackerFault::LookupMiss => false,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -98,9 +98,8 @@ fn fake_graphene_that_never_fires_fails_certification() {
         fn reset(&mut self) {}
     }
     let cfg = AuditConfig {
-        rows_per_bank: ROWS,
-        max_radius: 1,
         certify: Some(ShadowCert { tracking_threshold: 100, reset_window: u64::MAX }),
+        ..AuditConfig::new(ROWS)
     };
     let mut d = AuditedDefense::new(Box::new(FakeGraphene), cfg);
     for i in 0..100u64 {
@@ -114,12 +113,12 @@ fn real_graphene_passes_certification_under_hammering() {
         GrapheneConfig::builder().row_hammer_threshold(T_RH).rows_per_bank(ROWS).build().unwrap();
     let params = gcfg.derive().unwrap();
     let cfg = AuditConfig {
-        rows_per_bank: ROWS,
         max_radius: params.blast_radius,
         certify: Some(ShadowCert {
             tracking_threshold: params.tracking_threshold,
             reset_window: params.reset_window,
         }),
+        ..AuditConfig::new(ROWS)
     };
     let inner = GrapheneDefense::from_config(&gcfg).unwrap();
     let mut d = AuditedDefense::new(Box::new(inner), cfg);
@@ -198,7 +197,7 @@ proptest! {
     ) {
         for (inner, certify) in shipped_defenses() {
             let name = inner.name();
-            let cfg = AuditConfig { rows_per_bank: ROWS, max_radius: 1, certify };
+            let cfg = AuditConfig { certify, ..AuditConfig::new(ROWS) };
             let mut d = AuditedDefense::new(inner, cfg);
             for (i, &row) in trace.iter().enumerate() {
                 let now = i as u64 * 45_000;
@@ -222,7 +221,7 @@ proptest! {
         reps in 200usize..1500,
     ) {
         for (inner, certify) in shipped_defenses() {
-            let cfg = AuditConfig { rows_per_bank: ROWS, max_radius: 1, certify };
+            let cfg = AuditConfig { certify, ..AuditConfig::new(ROWS) };
             let mut d = AuditedDefense::new(inner, cfg);
             for i in 0..reps {
                 let row = aggressors[i % aggressors.len()];

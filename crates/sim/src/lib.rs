@@ -17,6 +17,10 @@
 //!   [`memctrl::MappingPolicy`] into per-channel shards that execute
 //!   batched sub-traces concurrently on the same pool, bit-identical to
 //!   sequential execution.
+//! * [`faulted`] — the resilience matrix: seeded fault plans crossed with
+//!   defenses and workloads, measuring false negatives, audit detections,
+//!   and graceful degradation under injected tracker, controller, and
+//!   harness faults.
 //!
 //! # Example
 //!
@@ -32,11 +36,16 @@
 //! assert_eq!(report.stats.bit_flips, 0);
 //! ```
 
+pub mod faulted;
 pub mod pool;
 pub mod runner;
 pub mod scenarios;
 pub mod sharded;
 
+pub use faulted::{
+    plan_label, run_matrix_faulted, CellOutcome, FaultedRun, ResilienceCell, ResilienceReport,
+};
+pub use pool::{PoolReport, WatchdogConfig};
 pub use runner::{
     run_matrix, run_matrix_telemetry, run_pair, try_run_matrix, try_run_matrix_telemetry,
     CellFailure, CellTelemetry, MatrixError, MatrixTelemetry, SimConfig, SimReport, TelemetrySpec,

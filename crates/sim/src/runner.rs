@@ -108,7 +108,7 @@ impl SimConfig {
         }
     }
 
-    fn mc_config_for(&self, workload: &WorkloadSpec) -> &McConfig {
+    pub(crate) fn mc_config_for(&self, workload: &WorkloadSpec) -> &McConfig {
         if workload.is_adversarial() {
             &self.attack
         } else {
@@ -382,7 +382,7 @@ impl std::fmt::Display for MatrixError {
 impl std::error::Error for MatrixError {}
 
 /// Renders a caught panic payload for [`CellFailure::message`].
-fn payload_message(payload: &(dyn Any + Send)) -> String {
+pub(crate) fn payload_message(payload: &(dyn Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -4,9 +4,9 @@ use dram_model::timing::DramTiming;
 use graphene_core::GrapheneConfig;
 use memctrl::DefenseFactory;
 use mitigations::{
-    AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, IdealCounters,
-    Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig, RowHammerDefense, ShadowCert, Twice,
-    TwiceConfig,
+    AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, HardenedGraphene,
+    IdealCounters, Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig, RowHammerDefense,
+    ShadowCert, Twice, TwiceConfig,
 };
 use serde::{Deserialize, Serialize};
 use workloads::{
@@ -22,6 +22,15 @@ pub enum DefenseSpec {
     None,
     /// Graphene at the given threshold and reset-window divisor.
     Graphene {
+        /// Row Hammer threshold.
+        t_rh: u64,
+        /// Reset-window divisor `k`.
+        k: u32,
+    },
+    /// Graphene hardened with scrub-on-access parity and conservative reset
+    /// — the graceful-degradation variant the resilience matrix compares
+    /// against plain Graphene under tracker-SRAM fault injection.
+    HardenedGraphene {
         /// Row Hammer threshold.
         t_rh: u64,
         /// Reset-window divisor `k`.
@@ -67,6 +76,7 @@ impl DefenseSpec {
         match *self {
             DefenseSpec::None => "None".into(),
             DefenseSpec::Graphene { .. } => "Graphene".into(),
+            DefenseSpec::HardenedGraphene { .. } => "HardenedGraphene".into(),
             DefenseSpec::Para { p } => format!("PARA-{p}"),
             DefenseSpec::Prohit => "PRoHIT".into(),
             DefenseSpec::Mrloc { .. } => "MRLoc".into(),
@@ -97,6 +107,15 @@ impl DefenseSpec {
                     .build()
                     .expect("valid Graphene config");
                 Box::new(GrapheneDefense::from_config(&cfg).expect("derivable"))
+            }
+            DefenseSpec::HardenedGraphene { t_rh, k } => {
+                let cfg = GrapheneConfig::builder()
+                    .row_hammer_threshold(t_rh)
+                    .reset_window_divisor(k)
+                    .rows_per_bank(rows_per_bank)
+                    .build()
+                    .expect("valid Graphene config");
+                Box::new(HardenedGraphene::from_config(&cfg).expect("derivable"))
             }
             DefenseSpec::Para { p } => Box::new(Para::new(p, bank as u64 + 1)),
             DefenseSpec::Prohit => {
@@ -137,7 +156,12 @@ impl DefenseSpec {
     ) -> Box<dyn RowHammerDefense + Send> {
         let inner = self.build(bank, rows_per_bank);
         let mut cfg = AuditConfig::new(rows_per_bank);
-        if let DefenseSpec::Graphene { t_rh, k } = *self {
+        // The hardened variant runs under the *same* certificate as plain
+        // Graphene: its repair NRRs are ordinary Neighbors actions, so the
+        // shadow count still proves the no-false-negative property —
+        // including while it degrades under injected corruption.
+        if let DefenseSpec::Graphene { t_rh, k } | DefenseSpec::HardenedGraphene { t_rh, k } = *self
+        {
             let params = GrapheneConfig::builder()
                 .row_hammer_threshold(t_rh)
                 .reset_window_divisor(k)
@@ -151,6 +175,13 @@ impl DefenseSpec {
                 tracking_threshold: params.tracking_threshold,
                 reset_window: params.reset_window,
             });
+        }
+        if matches!(*self, DefenseSpec::HardenedGraphene { .. }) {
+            // A scrubbing defense that detects a corrupted *address* cannot
+            // know which row the slot was tracking; its Hamming-ball repair
+            // may name never-activated rows. The audit keeps the bank bound
+            // and the certificate, waiving only the was-activated check.
+            cfg.degraded_repairs = true;
         }
         Box::new(AuditedDefense::new(inner, cfg))
     }
@@ -388,6 +419,7 @@ mod tests {
         for spec in [
             DefenseSpec::None,
             DefenseSpec::Graphene { t_rh: 50_000, k: 2 },
+            DefenseSpec::HardenedGraphene { t_rh: 50_000, k: 2 },
             DefenseSpec::Para { p: 0.00145 },
             DefenseSpec::Prohit,
             DefenseSpec::Mrloc { p: 0.00145 },

@@ -18,6 +18,9 @@
 //! * [`Recorder`] / [`SharedSink`] — the in-memory store with ring-bounded
 //!   per-bank series and a cloneable, internally locked handle for
 //!   multi-producer runs. Locking is paid at flush cadence, not per ACT;
+//! * [`RetrySink`] / [`FlakySink`] — graceful degradation under injected
+//!   sink failures: bounded retry with exponential (virtual) backoff over a
+//!   deterministically scripted flaky sink — see [`retry`];
 //! * [`Snapshot`] — the versioned export: JSONL (schema
 //!   [`SCHEMA_VERSION`], round-trippable via
 //!   [`Snapshot::parse_jsonl`]) and long-form CSV for plotting.
@@ -44,9 +47,13 @@
 
 pub mod json;
 pub mod recorder;
+pub mod retry;
 pub mod sink;
 pub mod snapshot;
 
 pub use recorder::{HistogramSummary, Recorder, Sample, SharedSink, DEFAULT_RING_CAPACITY};
+pub use retry::{
+    FailureSpan, FallibleMetricsSink, FlakySink, RetryPolicy, RetrySink, RetryStats, SinkWriteError,
+};
 pub use sink::{Cadence, CadenceClock, MetricsSink, NoopSink};
 pub use snapshot::{SeriesData, Snapshot, SCHEMA_NAME, SCHEMA_VERSION};

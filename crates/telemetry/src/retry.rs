@@ -1,0 +1,411 @@
+//! Bounded retry-with-backoff over fallible metric sinks.
+//!
+//! The in-memory [`Recorder`](crate::Recorder) cannot fail, but real
+//! deployments of the harness write telemetry through sinks that can — a
+//! full disk, a dropped socket, a contended lock. The resilience sweep
+//! injects exactly that failure mode ([`HarnessFault::SinkFailure`] events
+//! in a fault plan), and this module provides both halves of the
+//! experiment:
+//!
+//! * [`FlakySink`] — a deterministic failure harness: it forwards writes to
+//!   an inner [`MetricsSink`] but fails scripted spans of write attempts
+//!   (the schedule comes from the fault plan, so runs are reproducible);
+//! * [`RetrySink`] — the graceful-degradation wrapper: it retries each
+//!   failed write up to [`RetryPolicy::max_retries`] times with exponential
+//!   backoff, then **drops that single write and moves on** — a telemetry
+//!   outage degrades observability, never the run.
+//!
+//! Backoff is charged in virtual cost units ([`RetryStats::backoff_units`])
+//! rather than wall-clock sleeps: the simulation stays deterministic and
+//! fast, while the units still quantify how much delay a real deployment
+//! would have absorbed.
+//!
+//! [`HarnessFault::SinkFailure`]: https://docs.rs/faultsim
+
+use crate::sink::MetricsSink;
+
+/// Why a fallible sink write failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SinkWriteError;
+
+impl std::fmt::Display for SinkWriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "telemetry sink write failed")
+    }
+}
+
+impl std::error::Error for SinkWriteError {}
+
+/// A metrics sink whose writes can fail.
+///
+/// Mirrors [`MetricsSink`] method-for-method with `Result` returns. Wrap an
+/// implementation in [`RetrySink`] to recover the infallible interface.
+pub trait FallibleMetricsSink {
+    /// False if the sink discards everything (see
+    /// [`MetricsSink::enabled`]).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Fallible [`MetricsSink::counter`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkWriteError`] when the write did not take effect.
+    fn try_counter(&mut self, name: &'static str, delta: u64) -> Result<(), SinkWriteError>;
+
+    /// Fallible [`MetricsSink::gauge`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkWriteError`] when the write did not take effect.
+    fn try_gauge(&mut self, name: &'static str, value: f64) -> Result<(), SinkWriteError>;
+
+    /// Fallible [`MetricsSink::observe`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkWriteError`] when the write did not take effect.
+    fn try_observe(&mut self, name: &'static str, value: f64) -> Result<(), SinkWriteError>;
+
+    /// Fallible [`MetricsSink::sample`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkWriteError`] when the write did not take effect.
+    fn try_sample(
+        &mut self,
+        series: &'static str,
+        bank: u16,
+        t_ps: u64,
+        value: f64,
+    ) -> Result<(), SinkWriteError>;
+}
+
+/// One scripted failure span: starting at write attempt `at_attempt`
+/// (0-based, counted across all four write kinds), the next `writes`
+/// attempts fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureSpan {
+    /// 0-based write-attempt ordinal at which the outage begins.
+    pub at_attempt: u64,
+    /// Consecutive failing attempts.
+    pub writes: u32,
+}
+
+/// Deterministic failure harness around an infallible sink.
+///
+/// Write attempts are numbered from zero; an attempt falling inside a
+/// scripted [`FailureSpan`] fails without reaching the inner sink. Spans
+/// are armed in order; overlapping spans extend the outage.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::retry::{FailureSpan, FlakySink, FallibleMetricsSink};
+/// use telemetry::Recorder;
+///
+/// let mut sink = FlakySink::new(Recorder::new(), vec![FailureSpan { at_attempt: 1, writes: 2 }]);
+/// assert!(sink.try_counter("a", 1).is_ok());   // attempt 0
+/// assert!(sink.try_counter("a", 1).is_err());  // attempts 1-2 fail
+/// assert!(sink.try_counter("a", 1).is_err());
+/// assert!(sink.try_counter("a", 1).is_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct FlakySink<S> {
+    inner: S,
+    /// Remaining scripted spans, earliest first.
+    spans: Vec<FailureSpan>,
+    attempts: u64,
+    fail_remaining: u32,
+}
+
+impl<S: MetricsSink> FlakySink<S> {
+    /// Wraps `inner` with a failure script (sorted internally by start
+    /// attempt).
+    pub fn new(inner: S, mut spans: Vec<FailureSpan>) -> Self {
+        spans.sort_by_key(|s| s.at_attempt);
+        spans.reverse(); // pop() yields the earliest
+        FlakySink { inner, spans, attempts: 0, fail_remaining: 0 }
+    }
+
+    /// The wrapped sink (to snapshot what actually got recorded).
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Total write attempts observed (including failed ones).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Advances the attempt clock; true when this attempt must fail.
+    fn attempt_fails(&mut self) -> bool {
+        while self.spans.last().is_some_and(|s| s.at_attempt <= self.attempts) {
+            // invariant: pop() follows the is_some_and guard above.
+            let span = self.spans.pop().expect("guarded by last()");
+            self.fail_remaining += span.writes;
+        }
+        self.attempts += 1;
+        if self.fail_remaining > 0 {
+            self.fail_remaining -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl<S: MetricsSink> FallibleMetricsSink for FlakySink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn try_counter(&mut self, name: &'static str, delta: u64) -> Result<(), SinkWriteError> {
+        if self.attempt_fails() {
+            return Err(SinkWriteError);
+        }
+        self.inner.counter(name, delta);
+        Ok(())
+    }
+
+    fn try_gauge(&mut self, name: &'static str, value: f64) -> Result<(), SinkWriteError> {
+        if self.attempt_fails() {
+            return Err(SinkWriteError);
+        }
+        self.inner.gauge(name, value);
+        Ok(())
+    }
+
+    fn try_observe(&mut self, name: &'static str, value: f64) -> Result<(), SinkWriteError> {
+        if self.attempt_fails() {
+            return Err(SinkWriteError);
+        }
+        self.inner.observe(name, value);
+        Ok(())
+    }
+
+    fn try_sample(
+        &mut self,
+        series: &'static str,
+        bank: u16,
+        t_ps: u64,
+        value: f64,
+    ) -> Result<(), SinkWriteError> {
+        if self.attempt_fails() {
+            return Err(SinkWriteError);
+        }
+        self.inner.sample(series, bank, t_ps, value);
+        Ok(())
+    }
+}
+
+/// Retry policy for [`RetrySink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per write after the first failure; once exhausted the write
+    /// is dropped (bounded degradation, never an abort).
+    pub max_retries: u32,
+    /// Backoff charged for the first retry, in virtual cost units; each
+    /// further retry doubles it.
+    pub base_backoff_units: u64,
+}
+
+impl RetryPolicy {
+    /// Four retries starting at one backoff unit — enough to ride out the
+    /// longest sink outage a fault plan generates (4 consecutive failing
+    /// writes) without losing data.
+    pub fn default_bounded() -> Self {
+        RetryPolicy { max_retries: 4, base_backoff_units: 1 }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::default_bounded()
+    }
+}
+
+/// What a [`RetrySink`] endured.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Logical writes requested.
+    pub writes: u64,
+    /// Individual attempts that failed (including ones later retried
+    /// successfully).
+    pub failed_attempts: u64,
+    /// Retries performed.
+    pub retries: u64,
+    /// Writes abandoned after exhausting the retry budget.
+    pub dropped_writes: u64,
+    /// Total virtual backoff charged (see
+    /// [`RetryPolicy::base_backoff_units`]).
+    pub backoff_units: u64,
+}
+
+/// Graceful-degradation wrapper: an infallible [`MetricsSink`] over any
+/// [`FallibleMetricsSink`], with bounded retry and exponential backoff.
+///
+/// # Example
+///
+/// ```
+/// use telemetry::retry::{FailureSpan, FlakySink, RetryPolicy, RetrySink};
+/// use telemetry::{MetricsSink, Recorder};
+///
+/// let flaky =
+///     FlakySink::new(Recorder::new(), vec![FailureSpan { at_attempt: 0, writes: 2 }]);
+/// let mut sink = RetrySink::new(flaky, RetryPolicy::default_bounded());
+/// sink.counter("survived", 1); // retried past the outage
+/// assert_eq!(sink.stats().dropped_writes, 0);
+/// assert!(sink.stats().retries >= 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RetrySink<S> {
+    inner: S,
+    policy: RetryPolicy,
+    stats: RetryStats,
+}
+
+impl<S: FallibleMetricsSink> RetrySink<S> {
+    /// Wraps `inner` under `policy`.
+    pub fn new(inner: S, policy: RetryPolicy) -> Self {
+        RetrySink { inner, policy, stats: RetryStats::default() }
+    }
+
+    /// The wrapped fallible sink.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Consumes the wrapper, returning the inner sink.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+
+    /// Retry accounting so far.
+    pub fn stats(&self) -> &RetryStats {
+        &self.stats
+    }
+
+    /// Drives one logical write through the retry loop.
+    fn with_retries(&mut self, mut write: impl FnMut(&mut S) -> Result<(), SinkWriteError>) {
+        self.stats.writes += 1;
+        if write(&mut self.inner).is_ok() {
+            return;
+        }
+        self.stats.failed_attempts += 1;
+        let mut backoff = self.policy.base_backoff_units;
+        for _ in 0..self.policy.max_retries {
+            self.stats.retries += 1;
+            self.stats.backoff_units += backoff;
+            backoff = backoff.saturating_mul(2);
+            if write(&mut self.inner).is_ok() {
+                return;
+            }
+            self.stats.failed_attempts += 1;
+        }
+        // Budget exhausted: this write is lost, the run continues.
+        self.stats.dropped_writes += 1;
+    }
+}
+
+impl<S: FallibleMetricsSink> MetricsSink for RetrySink<S> {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn counter(&mut self, name: &'static str, delta: u64) {
+        self.with_retries(|s| s.try_counter(name, delta));
+    }
+
+    fn gauge(&mut self, name: &'static str, value: f64) {
+        self.with_retries(|s| s.try_gauge(name, value));
+    }
+
+    fn observe(&mut self, name: &'static str, value: f64) {
+        self.with_retries(|s| s.try_observe(name, value));
+    }
+
+    fn sample(&mut self, series: &'static str, bank: u16, t_ps: u64, value: f64) {
+        self.with_retries(|s| s.try_sample(series, bank, t_ps, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn span(at: u64, writes: u32) -> FailureSpan {
+        FailureSpan { at_attempt: at, writes }
+    }
+
+    #[test]
+    fn flaky_fails_exactly_the_scripted_attempts() {
+        let mut s = FlakySink::new(Recorder::new(), vec![span(2, 2), span(6, 1)]);
+        let results: Vec<bool> = (0..8).map(|i| s.try_counter("w", i).is_ok()).collect();
+        assert_eq!(results, [true, true, false, false, true, true, false, true]);
+        assert_eq!(s.attempts(), 8);
+    }
+
+    #[test]
+    fn retry_rides_out_bounded_outages_without_data_loss() {
+        // Outage length 4 == default retry budget: every write survives.
+        let flaky = FlakySink::new(Recorder::new(), vec![span(3, 4), span(20, 2)]);
+        let mut sink = RetrySink::new(flaky, RetryPolicy::default_bounded());
+        for i in 0..30u64 {
+            sink.sample("fault.series", 0, i * 1_000, i as f64);
+        }
+        assert_eq!(sink.stats().dropped_writes, 0);
+        assert!(sink.stats().retries > 0);
+        let recorder = sink.into_inner().into_inner();
+        let snap = recorder.snapshot("retry-test");
+        let series = snap.series_for("fault.series", 0).expect("series recorded");
+        assert_eq!(series.samples.len(), 30, "no sample lost to the outage");
+    }
+
+    #[test]
+    fn budget_exhaustion_drops_the_write_and_continues() {
+        // A 20-attempt outage overwhelms 2 retries: some writes drop, but
+        // the sink keeps serving and later writes land.
+        let flaky = FlakySink::new(Recorder::new(), vec![span(0, 20)]);
+        let policy = RetryPolicy { max_retries: 2, base_backoff_units: 1 };
+        let mut sink = RetrySink::new(flaky, policy);
+        for _ in 0..10u64 {
+            sink.counter("c", 1);
+        }
+        let stats = *sink.stats();
+        assert!(stats.dropped_writes > 0);
+        assert!(stats.dropped_writes < 10, "the outage must end");
+        let landed = sink.into_inner().into_inner().snapshot("t").counters[0].1;
+        assert_eq!(stats.writes, stats.dropped_writes + landed);
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_within_one_write() {
+        let flaky = FlakySink::new(Recorder::new(), vec![span(0, 3)]);
+        let mut sink = RetrySink::new(flaky, RetryPolicy { max_retries: 3, base_backoff_units: 2 });
+        sink.gauge("g", 1.0);
+        // Retries back off 2, 4, 8; the third succeeds.
+        assert_eq!(sink.stats().backoff_units, 2 + 4 + 8);
+        assert_eq!(sink.stats().dropped_writes, 0);
+    }
+
+    #[test]
+    fn same_script_same_stats() {
+        let run = || {
+            let flaky = FlakySink::new(Recorder::new(), vec![span(1, 4), span(9, 3)]);
+            let mut sink = RetrySink::new(flaky, RetryPolicy::default_bounded());
+            for i in 0..20u64 {
+                sink.observe("o", i as f64);
+            }
+            *sink.stats()
+        };
+        assert_eq!(run(), run());
+    }
+}
