@@ -77,5 +77,5 @@ pub use checked::CheckedGraphene;
 pub use config::{ConfigError, GrapheneConfig, GrapheneConfigBuilder, GrapheneParams};
 pub use mechanism::{Graphene, GrapheneStats, NrrRequest};
 pub use multi::{BankIndexError, BankSet};
-pub use reference::LinearCounterTable;
+pub use reference::{IndexedCounterTable, LinearCounterTable};
 pub use table::{CounterTable, TableUpdate};

@@ -16,55 +16,58 @@
 //! The table also counts its CAM searches/writes ([`CamStats`]) so the
 //! energy model can be driven by real access mixes.
 //!
-//! # Shadow indexes
+//! # Struct-of-arrays layout
 //!
-//! In hardware both lookups are single-cycle CAM searches; the software
-//! model used to pay an O(`N_entry`) scan for each, which dominated every
-//! sweep at paper-scale table sizes (thousands of entries at low Row Hammer
-//! thresholds). The table therefore keeps two *shadow index* structures:
+//! In hardware both lookups are single-cycle CAM searches. The software
+//! model answers them with **linear scans over packed lanes**: the row
+//! addresses live in a contiguous `u32` key lane (one 64-byte cache line
+//! covers 16 keys, and the chunked compare loop autovectorizes), and the
+//! spillover match scans a `u32` *probe lane* holding each entry's count
+//! with overflowed entries masked out by a sentinel. At the paper's largest
+//! table (N_entry = 2720) each lane is ~10.6 KB — L1-resident — where the
+//! previous array-of-structs `Vec<Entry>` plus `HashMap`/`BTreeMap` shadow
+//! indexes scattered every probe across pointer-chasing heap structures and
+//! fell off a throughput cliff as N_entry grew.
 //!
-//! * `addr_index` — `RowId → slot`, answering the Address-CAM search;
-//! * `count_index` — `count → ordered slot set` over **non-overflowed**
-//!   entries only, answering the Count-CAM spillover match. The ordered set
-//!   preserves the scan's lowest-slot-index tie-break on replacement.
+//! Two O(1)-maintenance accelerators keep the dominant miss path from
+//! paying both full scans:
 //!
-//! The indexes are pure acceleration: they change no observable behavior
-//! (see `tests/indexed_differential.rs`, which locksteps this table against
-//! [`reference::LinearCounterTable`](crate::reference::LinearCounterTable)),
+//! * a **counting presence filter** (4× overprovisioned bucket histogram
+//!   of the valid keys) answers most address misses with a single load —
+//!   only a hash collision falls through to the exact key-lane scan;
+//! * a **probe cursor** exploits that, within one spillover round, counts
+//!   only grow: each count search resumes at the previous match instead of
+//!   rescanning the prefix, so a whole round of replacements costs about
+//!   one pass over the probe lane in total. Any event that can break the
+//!   monotonicity (spillover change, reset, count corruption) rewinds the
+//!   cursor to slot 0.
+//!
+//! The scans are pure acceleration-layout: they change no observable
+//! behavior (see `tests/indexed_differential.rs`, which locksteps this
+//! table against both
+//! [`reference::LinearCounterTable`](crate::reference::LinearCounterTable)
+//! and the retained shadow-indexed
+//! [`reference::IndexedCounterTable`](crate::reference::IndexedCounterTable)),
 //! and they do **not** perturb [`CamStats`] — those counters model the
 //! *logical* CAM accesses the hardware would perform, not the software work
 //! done to simulate them.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use dram_model::geometry::RowId;
 use serde::{Deserialize, Serialize};
 
 use crate::cam::CamStats;
 
-/// One counter-table entry.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct Entry {
-    /// Tracked row address; `None` for an invalid (never-written) entry.
-    addr: Option<RowId>,
-    /// Count field, always `< T` (wraps at `T`).
-    low: u64,
-    /// Set once the entry's estimated count has reached `T`.
-    overflow: bool,
-    /// Number of times this entry wrapped (crossings of multiples of `T`).
-    /// Not hardware state — kept for statistics and verification; the
-    /// hardware only needs `overflow`.
-    crossings: u64,
-}
+/// Probe-lane value of an overflowed entry: never matches a legal spillover
+/// count, because `new` rejects thresholds that would let a live count reach
+/// it. (A *corrupted* spillover can reach the sentinel; the count search
+/// falls back to an exact scan for that one value.)
+const OVERFLOW_SENTINEL: u32 = u32::MAX;
 
-impl Entry {
-    const EMPTY: Entry = Entry { addr: None, low: 0, overflow: false, crossings: 0 };
-
-    /// Full estimated count this entry represents.
-    fn estimate(&self, t: u64) -> u64 {
-        self.crossings * t + self.low
-    }
-}
+/// Keys compared per chunk of the scan loops: 16 × `u32` = one 64-byte
+/// cache line, and a width LLVM turns into SIMD compares.
+const SCAN_LANES: usize = 16;
 
 /// Outcome of processing one activation through the table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -101,9 +104,9 @@ impl TableUpdate {
 
 /// The Graphene per-bank counter table.
 ///
-/// Both hot-path lookups (address hit, spillover-count match) are answered
-/// by shadow indexes in O(1)/O(log N) instead of O(`N_entry`) scans; see the
-/// module docs for why this cannot change observable behavior.
+/// Both hot-path lookups (address hit, spillover-count match) scan packed
+/// `u32` lanes that stay L1-resident at paper-scale table sizes; see the
+/// module docs for why the layout cannot change observable behavior.
 ///
 /// # Example
 ///
@@ -119,17 +122,27 @@ impl TableUpdate {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CounterTable {
-    entries: Vec<Entry>,
-    spillover: u64,
-    tracking_threshold: u64,
-    acts_since_reset: u64,
-    stats: CamStats,
-    /// Shadow Address-CAM: occupied slots by row address.
-    addr_index: HashMap<RowId, usize>,
-    /// Shadow Count-CAM: slots of **non-overflowed** entries (occupied or
-    /// empty) keyed by their `low` field. `BTreeSet` keeps slots ordered so
-    /// replacement picks the lowest index, exactly like the linear scan.
-    count_index: BTreeMap<u64, BTreeSet<usize>>,
+    /// Address-CAM key lane. Entry `i`'s stored row address; meaningless
+    /// (stale) bits while the valid bit is clear — the scan confirms
+    /// validity before reporting a hit.
+    keys: Vec<u32>,
+    /// Count lane, always `< T` in fault-free operation (wraps at `T`). A
+    /// [`corrupt_count_bit`](Self::corrupt_count_bit) flip may push it to
+    /// `T` or beyond, exactly like the real register.
+    low: Vec<u32>,
+    /// Count-CAM probe lane: `low[i]` for non-overflowed entries,
+    /// [`OVERFLOW_SENTINEL`] once the overflow bit is set — so the
+    /// spillover match is a single linear `u32` compare over this lane,
+    /// with overflowed entries masked out for free.
+    probe_low: Vec<u32>,
+    /// Valid bits, packed 64 per word.
+    valid: Vec<u64>,
+    /// Overflow bits (entry reached `T`; non-evictable this window).
+    overflow: Vec<bool>,
+    /// Wrap counts (crossings of multiples of `T`). Not hardware state —
+    /// kept for statistics and verification; the hardware only needs
+    /// `overflow`.
+    crossings: Vec<u64>,
     /// Per-entry parity bit over (valid, addr, low, overflow), written on
     /// every legitimate entry write. A [`corrupt_count_bit`] /
     /// [`corrupt_addr_bit`] soft error leaves it stale — exactly how SRAM
@@ -138,11 +151,34 @@ pub struct CounterTable {
     /// [`corrupt_count_bit`]: Self::corrupt_count_bit
     /// [`corrupt_addr_bit`]: Self::corrupt_addr_bit
     parity: Vec<bool>,
+    spillover: u64,
+    tracking_threshold: u64,
+    acts_since_reset: u64,
+    stats: CamStats,
     /// Parity bit of the spillover register, same discipline.
     spillover_parity: bool,
     /// One-shot flag making the next Address-CAM search miss
     /// ([`suppress_next_lookup`](Self::suppress_next_lookup)).
     suppress_lookup: bool,
+    /// Counting presence filter over the *valid* keys: bucket
+    /// `hash(key) & mask` holds how many valid slots hash there. A zero
+    /// bucket proves the key is absent, so the dominant miss path skips the
+    /// key-lane scan entirely; a nonzero bucket (real hit or collision)
+    /// falls through to the exact scan. Maintained O(1) at every key write
+    /// — including [`corrupt_addr_bit`](Self::corrupt_addr_bit), which
+    /// moves the (corrupted) key between buckets so the filter keeps
+    /// describing the lane as stored. Acceleration only: never consulted
+    /// for anything the exact scan wouldn't confirm.
+    filter: Vec<u16>,
+    /// Lowest slot index at which the current spillover value can still
+    /// match the probe lane: within one spillover round, counts only grow
+    /// (bumps destroy matches, never create them), so each count search
+    /// resumes where the previous one matched instead of rescanning the
+    /// prefix — amortizing the whole round's searches to about one pass
+    /// over the lane. Reset to zero whenever that monotonicity can break:
+    /// a spillover change, a table reset, or a fault-injection hook that
+    /// rewrites count state.
+    probe_cursor: usize,
 }
 
 impl CounterTable {
@@ -150,33 +186,150 @@ impl CounterTable {
     ///
     /// # Panics
     ///
-    /// Panics if `n_entry == 0` or `t == 0`.
+    /// Panics if `n_entry == 0`, `t == 0`, or `t` exceeds `u32::MAX` (the
+    /// count lane is 32 bits wide; every real DDR4/5 threshold is orders of
+    /// magnitude below that).
     pub fn new(n_entry: usize, t: u64) -> Self {
         assert!(n_entry > 0, "table must have at least one entry");
         assert!(t > 0, "tracking threshold must be positive");
-        let mut count_index = BTreeMap::new();
-        count_index.insert(0, (0..n_entry).collect::<BTreeSet<_>>());
+        assert!(t <= u64::from(u32::MAX), "tracking threshold must fit the 32-bit count lane");
         CounterTable {
-            entries: vec![Entry::EMPTY; n_entry],
+            keys: vec![0; n_entry],
+            low: vec![0; n_entry],
+            probe_low: vec![0; n_entry],
+            valid: vec![0; n_entry.div_ceil(64)],
+            overflow: vec![false; n_entry],
+            crossings: vec![0; n_entry],
+            parity: vec![false; n_entry],
             spillover: 0,
             tracking_threshold: t,
             acts_since_reset: 0,
             stats: CamStats::default(),
-            addr_index: HashMap::with_capacity(n_entry),
-            count_index,
-            parity: vec![Self::parity_of(&Entry::EMPTY); n_entry],
             spillover_parity: false,
             suppress_lookup: false,
+            // 4x overprovisioned and power-of-two: at the paper's largest
+            // table (2720 entries, 16384 buckets) an absent key hits a
+            // nonzero bucket — and pays the exact scan — ~15% of the time.
+            filter: vec![0; (n_entry * 4).next_power_of_two().max(64)],
+            probe_cursor: 0,
         }
     }
 
-    /// Parity (odd number of set bits) of an entry's hardware-visible fields:
+    /// Filter bucket of `key`: multiplicative hash, top bits, masked to the
+    /// power-of-two bucket count.
+    #[inline]
+    fn filter_bucket(&self, key: u32) -> usize {
+        (key.wrapping_mul(0x9E37_79B9) >> 16) as usize & (self.filter.len() - 1)
+    }
+
+    #[inline]
+    fn filter_add(&mut self, key: u32) {
+        let b = self.filter_bucket(key);
+        self.filter[b] += 1;
+    }
+
+    #[inline]
+    fn filter_remove(&mut self, key: u32) {
+        let b = self.filter_bucket(key);
+        self.filter[b] -= 1;
+    }
+
+    #[inline]
+    fn is_valid(&self, i: usize) -> bool {
+        self.valid[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    #[inline]
+    fn set_valid(&mut self, i: usize) {
+        self.valid[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Parity (odd number of set bits) of a slot's hardware-visible fields:
     /// the valid bit, the address field, the count field, and the overflow
     /// bit. `crossings` is bookkeeping, not stored bits.
-    fn parity_of(e: &Entry) -> bool {
-        let ones =
-            e.addr.map_or(0, |a| a.0.count_ones() + 1) + e.low.count_ones() + u32::from(e.overflow);
+    fn parity_of(&self, i: usize) -> bool {
+        let addr_ones = if self.is_valid(i) { self.keys[i].count_ones() + 1 } else { 0 };
+        let ones = addr_ones + self.low[i].count_ones() + u32::from(self.overflow[i]);
         ones % 2 == 1
+    }
+
+    /// Address-CAM search: lowest valid slot holding `row`, scanning the
+    /// packed key lane one cache line at a time. The chunk loop reduces 16
+    /// compares into one `hit` flag (vectorizable); only a matching chunk —
+    /// rare on the dominant miss path — pays the exact positional scan and
+    /// the valid-bit confirmation.
+    #[inline]
+    fn find_slot(&self, row: u32) -> Option<usize> {
+        if self.filter[self.filter_bucket(row)] == 0 {
+            // No valid slot hashes here, so none can hold `row`: the
+            // dominant miss path ends on this one load.
+            return None;
+        }
+        let mut base = 0;
+        for chunk in self.keys.chunks_exact(SCAN_LANES) {
+            let mut hit = false;
+            for &k in chunk {
+                hit |= k == row;
+            }
+            if hit {
+                for (j, &k) in chunk.iter().enumerate() {
+                    if k == row && self.is_valid(base + j) {
+                        return Some(base + j);
+                    }
+                }
+                // Every match in this chunk was a stale key on an invalid
+                // slot; keep scanning.
+            }
+            base += SCAN_LANES;
+        }
+        (base..self.keys.len()).find(|&j| self.keys[j] == row && self.is_valid(j))
+    }
+
+    /// Count-CAM search: lowest non-overflowed slot (occupied or empty)
+    /// whose count equals the spillover register — the replacement
+    /// candidate of Figure 5 line 9, with the linear scan's lowest-index
+    /// tie-break.
+    ///
+    /// The fast path resumes at [`probe_cursor`](field@Self::probe_cursor):
+    /// nothing below it can match (counts only grow within a spillover
+    /// round), so a round's successive searches walk the lane once in total
+    /// instead of once per miss.
+    #[inline]
+    fn find_count_slot(&mut self) -> Option<usize> {
+        if self.spillover == u64::from(OVERFLOW_SENTINEL) {
+            // A corrupted spillover can collide with the probe sentinel;
+            // disambiguate with an exact scan of the real lanes (from slot
+            // 0 — the cursor invariant is not maintained for this value).
+            return (0..self.low.len())
+                .find(|&i| !self.overflow[i] && u64::from(self.low[i]) == self.spillover);
+        }
+        let Ok(target) = u32::try_from(self.spillover) else {
+            // Spillover above the 32-bit count lane (only reachable through
+            // corruption): no stored count can equal it.
+            return None;
+        };
+        let start = self.probe_cursor.min(self.probe_low.len());
+        let mut base = start;
+        for chunk in self.probe_low[start..].chunks_exact(SCAN_LANES) {
+            let mut hit = false;
+            for &v in chunk {
+                hit |= v == target;
+            }
+            if hit {
+                // invariant: `hit` guarantees a match inside this chunk.
+                let i = base + chunk.iter().position(|&v| v == target).expect("chunk has a match");
+                self.probe_cursor = i;
+                return Some(i);
+            }
+            base += SCAN_LANES;
+        }
+        match self.probe_low[base..].iter().position(|&v| v == target) {
+            Some(j) => {
+                self.probe_cursor = base + j;
+                Some(base + j)
+            }
+            None => None,
+        }
     }
 
     /// Tracking threshold `T`.
@@ -186,7 +339,7 @@ impl CounterTable {
 
     /// Number of entries (fixed at construction).
     pub fn capacity(&self) -> usize {
-        self.entries.len()
+        self.keys.len()
     }
 
     /// Current spillover count.
@@ -206,19 +359,20 @@ impl CounterTable {
 
     /// Estimated count of `row`, or `None` if untracked.
     pub fn estimate(&self, row: RowId) -> Option<u64> {
-        self.addr_index.get(&row).map(|&i| self.entries[i].estimate(self.tracking_threshold))
+        self.find_slot(row.0)
+            .map(|i| self.crossings[i] * self.tracking_threshold + u64::from(self.low[i]))
     }
 
     /// True if `row` currently occupies a table entry.
     pub fn is_tracked(&self, row: RowId) -> bool {
-        self.addr_index.contains_key(&row)
+        self.find_slot(row.0).is_some()
     }
 
     /// Number of entries currently holding a row (≤ [`capacity`]).
     ///
     /// [`capacity`]: Self::capacity
     pub fn occupancy(&self) -> usize {
-        self.addr_index.len()
+        self.valid.iter().map(|w| w.count_ones() as usize).sum()
     }
 
     /// The address stored in `slot`, or `None` when the slot is empty or
@@ -227,13 +381,15 @@ impl CounterTable {
     /// [`parity_violations`](Self::parity_violations) with the (possibly
     /// corrupted) addresses those slots hold.
     pub fn slot_addr(&self, slot: usize) -> Option<RowId> {
-        self.entries.get(slot).and_then(|e| e.addr)
+        (slot < self.capacity() && self.is_valid(slot)).then(|| RowId(self.keys[slot]))
     }
 
     /// Iterator over occupied entries as `(row, estimated count, overflow)`.
     pub fn iter(&self) -> impl Iterator<Item = (RowId, u64, bool)> + '_ {
         let t = self.tracking_threshold;
-        self.entries.iter().filter_map(move |e| e.addr.map(|a| (a, e.estimate(t), e.overflow)))
+        (0..self.capacity()).filter(|&i| self.is_valid(i)).map(move |i| {
+            (RowId(self.keys[i]), self.crossings[i] * t + u64::from(self.low[i]), self.overflow[i])
+        })
     }
 
     /// Processes one activation, following Figure 5's pseudo-code exactly,
@@ -249,13 +405,13 @@ impl CounterTable {
             self.suppress_lookup = false;
             None
         } else {
-            self.addr_index.get(&row).copied()
+            self.find_slot(row.0)
         };
         if let Some(i) = hit {
             // Row address HIT (lines 4-6): increment count, one Count-CAM write.
             self.stats.count_writes += 1;
             let triggered = self.bump(i);
-            self.parity[i] = Self::parity_of(&self.entries[i]);
+            self.parity[i] = self.parity_of(i);
             return TableUpdate::Hit { triggered };
         }
 
@@ -263,90 +419,91 @@ impl CounterTable {
         self.stats.count_searches += 1;
         // Only non-overflowed entries can match: an overflowed entry's true
         // estimate is at least T, which Lemma 2 keeps strictly above the
-        // spillover count, so the hardware masks them out of the search.
-        // The count index holds exactly the non-overflowed slots.
-        let matched =
-            self.count_index.get(&self.spillover).and_then(|slots| slots.first().copied());
-        if let Some(i) = matched {
+        // spillover count, so the hardware masks them out of the search —
+        // the probe lane's sentinel does the same here.
+        if let Some(i) = self.find_count_slot() {
             // Entry replace (lines 10-13): simultaneous addr + count writes.
             self.stats.addr_writes += 1;
             self.stats.count_writes += 1;
-            let evicted = self.entries[i].addr;
+            let evicted = self.is_valid(i).then(|| RowId(self.keys[i]));
             if let Some(old) = evicted {
-                self.addr_index.remove(&old);
+                self.filter_remove(old.0);
             }
-            self.addr_index.insert(row, i);
-            self.entries[i].addr = Some(row);
+            self.keys[i] = row.0;
+            self.set_valid(i);
+            self.filter_add(row.0);
             // The slot matched because its low already equals the spillover
-            // count, so the count field (and the count index) are unchanged
-            // by the inheritance itself; only the bump below moves them.
-            self.entries[i].low = self.spillover;
+            // count, so the count lanes are unchanged by the inheritance
+            // itself; only the bump below moves them. (The match guarantees
+            // the spillover fits the 32-bit lane.)
+            self.low[i] = self.spillover as u32;
             let triggered = self.bump(i);
-            self.parity[i] = Self::parity_of(&self.entries[i]);
+            self.parity[i] = self.parity_of(i);
             TableUpdate::Replaced { evicted, triggered }
         } else {
             // No replacement (lines 15-16).
             self.stats.spillover_increments += 1;
             self.spillover += 1;
             self.spillover_parity = self.spillover.count_ones() % 2 == 1;
+            // New spillover value, new round: entries bumped to it earlier
+            // in the window can sit anywhere, so the count search must
+            // start over from slot 0.
+            self.probe_cursor = 0;
             TableUpdate::SpilloverIncremented
         }
     }
 
     /// Resets the table and the spillover register (end of a reset window).
     pub fn reset(&mut self) {
-        self.entries.fill(Entry::EMPTY);
+        self.keys.fill(0);
+        self.low.fill(0);
+        self.probe_low.fill(0);
+        self.valid.fill(0);
+        self.overflow.fill(false);
+        self.crossings.fill(0);
+        self.parity.fill(false);
         self.spillover = 0;
         self.acts_since_reset = 0;
-        self.addr_index.clear();
-        self.count_index.clear();
-        self.count_index.insert(0, (0..self.entries.len()).collect());
-        self.parity.fill(Self::parity_of(&Entry::EMPTY));
         self.spillover_parity = false;
         self.suppress_lookup = false;
+        self.filter.fill(0);
+        self.probe_cursor = 0;
     }
 
     /// Increments entry `i`'s count, wrapping at `T`; returns whether the
-    /// wrap (NRR trigger) occurred. Keeps the count index in sync.
+    /// wrap (NRR trigger) occurred. Keeps the probe lane in sync.
     fn bump(&mut self, i: usize) -> bool {
-        let was_overflowed = self.entries[i].overflow;
-        let old_low = self.entries[i].low;
-        let e = &mut self.entries[i];
-        e.low += 1;
-        let wrapped = e.low == self.tracking_threshold;
-        if wrapped {
-            e.low = 0;
-            e.overflow = true;
-            e.crossings += 1;
+        let was_overflowed = self.overflow[i];
+        // A corrupted count can sit at the lane's limit; wrapping mirrors
+        // what the fixed-width register would do instead of aborting.
+        let new = self.low[i].wrapping_add(1);
+        if new == 0 {
+            // A corrupted count just wrapped the full 32-bit lane — the one
+            // way a bump can *lower* a stored count, breaking the
+            // monotonicity the probe cursor relies on.
+            self.probe_cursor = 0;
         }
-        if !was_overflowed {
-            self.unindex_count(old_low, i);
-            if !wrapped {
-                // Still searchable, one count higher.
-                self.count_index.entry(old_low + 1).or_default().insert(i);
-            }
-            // On a wrap the entry leaves the count index for the rest of the
-            // window: overflowed entries never match the spillover search.
+        self.low[i] = new;
+        let wrapped = u64::from(new) == self.tracking_threshold;
+        if wrapped {
+            self.low[i] = 0;
+            self.overflow[i] = true;
+            self.crossings[i] += 1;
+            // The entry leaves the count search for the rest of the window:
+            // overflowed entries never match the spillover probe.
+            self.probe_low[i] = OVERFLOW_SENTINEL;
+        } else if !was_overflowed {
+            // Still searchable, one count higher.
+            self.probe_low[i] = new;
         }
         wrapped
-    }
-
-    /// Removes slot `i` from the count bucket of `low`, dropping the bucket
-    /// when it empties.
-    fn unindex_count(&mut self, low: u64, i: usize) {
-        if let Some(slots) = self.count_index.get_mut(&low) {
-            slots.remove(&i);
-            if slots.is_empty() {
-                self.count_index.remove(&low);
-            }
-        }
     }
 
     // ---- Fault-injection support (ISSUE 5) -------------------------------
     //
     // The methods below model SRAM soft errors: they mutate stored bits
     // *without* updating the corresponding parity bit, exactly like a cosmic
-    // ray. Shadow indexes are re-synchronized so subsequent lookups behave
+    // ray. The probe lane is re-synchronized so subsequent lookups behave
     // the way the corrupted hardware would, but `crossings` (software-only
     // bookkeeping) is untouched — corruption changes what the hardware
     // *believes*, not the verification history.
@@ -357,36 +514,38 @@ impl CounterTable {
     /// again, which is precisely the silent false-negative hazard a parity
     /// check exists to catch. Returns `true` (stored state always changes).
     pub fn corrupt_count_bit(&mut self, slot: usize, bit: u32) -> bool {
-        let i = slot % self.entries.len();
+        let i = slot % self.capacity();
         // Field width ⌈log₂T⌉ (min 1): flips land inside the real register.
         let width = (64 - (self.tracking_threshold - 1).leading_zeros()).max(1);
-        let mask = 1u64 << (bit % width);
-        let was_overflowed = self.entries[i].overflow;
-        let old_low = self.entries[i].low;
-        self.entries[i].low ^= mask;
-        if !was_overflowed {
-            self.unindex_count(old_low, i);
-            self.count_index.entry(self.entries[i].low).or_default().insert(i);
+        let mask = 1u32 << (bit % width);
+        self.low[i] ^= mask;
+        if !self.overflow[i] {
+            self.probe_low[i] = self.low[i];
         }
+        // The flip may have lowered a count below the cursor's watermark.
+        self.probe_cursor = 0;
         true
     }
 
     /// Flips bit `bit` of the address field of entry `slot`. A no-op
     /// (returning `false`) on an invalid entry: its address bits carry no
     /// meaning and the valid bit is not targeted. On an occupied entry the
-    /// address index follows the corruption — the old address no longer
-    /// matches, the corrupted one does (unless another slot already holds
-    /// it, in which case that slot keeps winning the CAM search and the
-    /// corrupted entry becomes unreachable by address).
+    /// CAM search follows the corruption — the old address no longer
+    /// matches, the corrupted one does (unless a lower slot already holds
+    /// it, in which case the priority encoder keeps answering with that
+    /// slot and the corrupted entry stays unreachable by address).
     pub fn corrupt_addr_bit(&mut self, slot: usize, bit: u32) -> bool {
-        let i = slot % self.entries.len();
-        let Some(old) = self.entries[i].addr else {
+        let i = slot % self.capacity();
+        if !self.is_valid(i) {
             return false;
-        };
-        let new = RowId(old.0 ^ (1 << (bit % 32)));
-        self.entries[i].addr = Some(new);
-        self.addr_index.remove(&old);
-        self.addr_index.entry(new).or_insert(i);
+        }
+        // Move the key between filter buckets so the filter keeps
+        // describing the lane *as stored* — the corrupted address must stay
+        // findable and the original must stop matching, exactly like the
+        // CAM itself.
+        self.filter_remove(self.keys[i]);
+        self.keys[i] ^= 1 << (bit % 32);
+        self.filter_add(self.keys[i]);
         true
     }
 
@@ -395,6 +554,9 @@ impl CounterTable {
     /// deflated one blocks spillover growth. Both under-track.
     pub fn corrupt_spillover_bit(&mut self, bit: u32) -> bool {
         self.spillover ^= 1u64 << (bit % 32);
+        // Different spillover value: the cursor's no-match-below invariant
+        // no longer applies.
+        self.probe_cursor = 0;
         true
     }
 
@@ -412,40 +574,48 @@ impl CounterTable {
     /// matches its data — i.e. no *detectable* corruption is present.
     pub fn parity_clean(&self) -> bool {
         self.spillover_parity == (self.spillover.count_ones() % 2 == 1)
-            && self.entries.iter().zip(&self.parity).all(|(e, &p)| p == Self::parity_of(e))
+            && (0..self.capacity()).all(|i| self.parity[i] == self.parity_of(i))
     }
 
     /// Slots whose parity bit disagrees with their stored data, plus `true`
     /// in the second position if the spillover register is corrupted.
     pub fn parity_violations(&self) -> (Vec<usize>, bool) {
-        let slots = self
-            .entries
-            .iter()
-            .zip(&self.parity)
-            .enumerate()
-            .filter(|(_, (e, &p))| p != Self::parity_of(e))
-            .map(|(i, _)| i)
-            .collect();
+        let slots = (0..self.capacity()).filter(|&i| self.parity[i] != self.parity_of(i)).collect();
         let spill = self.spillover_parity != (self.spillover.count_ones() % 2 == 1);
         (slots, spill)
     }
 
-    /// Exhaustively checks both shadow indexes against the entry array.
-    /// Test support — O(N log N), never called on the hot path.
+    /// Exhaustively checks the derived lanes against the primary ones: the
+    /// probe lane must mirror (low, overflow), no row may occupy two valid
+    /// slots, the presence filter must be the exact bucket histogram of the
+    /// valid keys, and no probe-lane match for the current spillover may
+    /// hide below the cursor. Test support — O(N), never called on the hot
+    /// path.
     #[doc(hidden)]
     pub fn assert_index_consistency(&self) {
-        let mut expected_addr = HashMap::new();
-        let mut expected_count: BTreeMap<u64, BTreeSet<usize>> = BTreeMap::new();
-        for (i, e) in self.entries.iter().enumerate() {
-            if let Some(a) = e.addr {
-                assert!(expected_addr.insert(a, i).is_none(), "row {a} occupies two slots");
+        let mut seen = HashMap::new();
+        let mut expected_filter = vec![0u16; self.filter.len()];
+        for i in 0..self.capacity() {
+            if self.is_valid(i) {
+                let row = self.keys[i];
+                assert!(seen.insert(row, i).is_none(), "row {row} occupies two slots");
+                expected_filter[self.filter_bucket(row)] += 1;
             }
-            if !e.overflow {
-                expected_count.entry(e.low).or_default().insert(i);
+            let expected = if self.overflow[i] { OVERFLOW_SENTINEL } else { self.low[i] };
+            assert_eq!(self.probe_low[i], expected, "probe lane out of sync at slot {i}");
+        }
+        assert_eq!(self.filter, expected_filter, "presence filter out of sync with key lane");
+        if let Ok(target) = u32::try_from(self.spillover) {
+            if target != OVERFLOW_SENTINEL {
+                for i in 0..self.probe_cursor.min(self.probe_low.len()) {
+                    assert_ne!(
+                        self.probe_low[i], target,
+                        "probe cursor {} skipped a spillover match at slot {i}",
+                        self.probe_cursor
+                    );
+                }
             }
         }
-        assert_eq!(self.addr_index, expected_addr, "address index out of sync");
-        assert_eq!(self.count_index, expected_count, "count index out of sync");
     }
 }
 
@@ -527,8 +697,8 @@ mod tests {
         let mut t = CounterTable::new(2, 7);
         for i in 0..1000u64 {
             t.process_activation(RowId((i % 3) as u32));
-            for e in &t.entries {
-                assert!(e.low < 7);
+            for &low in &t.low {
+                assert!(low < 7);
             }
         }
     }
@@ -641,8 +811,8 @@ mod tests {
 
     #[test]
     fn lowest_slot_wins_replacement_ties() {
-        // Three empty slots all match spillover 0: the scan (and therefore
-        // the index) must pick slot 0, then 1, then 2.
+        // Three empty slots all match spillover 0: the scan must pick slot
+        // 0, then 1, then 2.
         let mut t = CounterTable::new(3, 100);
         t.process_activation(RowId(10));
         t.process_activation(RowId(11));
@@ -656,6 +826,37 @@ mod tests {
         assert_eq!(u, TableUpdate::Replaced { evicted: Some(RowId(10)), triggered: false });
         assert!(!t.is_tracked(RowId(10)));
         assert!(t.is_tracked(RowId(11)));
+        t.assert_index_consistency();
+    }
+
+    #[test]
+    fn stale_key_on_invalidated_slot_never_matches() {
+        // Reset clears the valid bits but the key lane keeps stale bytes;
+        // the scan must confirm validity before reporting a hit.
+        let mut t = CounterTable::new(2, 100);
+        t.process_activation(RowId(7));
+        t.reset();
+        assert!(!t.is_tracked(RowId(7)));
+        assert_eq!(t.estimate(RowId(7)), None);
+        // Row 0 is a legitimate address and fresh slots hold key 0: an
+        // unoccupied slot must not answer for it either.
+        assert!(!t.is_tracked(RowId(0)));
+    }
+
+    #[test]
+    fn scan_covers_the_chunk_remainder() {
+        // Capacity above one scan chunk with a non-multiple remainder: rows
+        // landing in the tail slots must still hit and stay searchable.
+        let n = SCAN_LANES + 5;
+        let mut t = CounterTable::new(n, 1_000);
+        for r in 0..n as u32 {
+            t.process_activation(RowId(r));
+        }
+        assert_eq!(t.occupancy(), n);
+        for r in 0..n as u32 {
+            assert_eq!(t.process_activation(RowId(r)), TableUpdate::Hit { triggered: false });
+            assert_eq!(t.estimate(RowId(r)), Some(2));
+        }
         t.assert_index_consistency();
     }
 
@@ -735,8 +936,11 @@ mod tests {
         assert!(matches!(u, TableUpdate::Replaced { evicted: None, .. }));
         // Parity cannot see a transient mismatch: no stored bit changed.
         assert!(t.parity_clean());
-        // The very next search hits again (one-shot).
+        // The very next search hits again (one-shot), answered by the
+        // lowest matching slot — the stale original, like a real CAM's
+        // priority encoder.
         assert_eq!(t.process_activation(RowId(5)), TableUpdate::Hit { triggered: false });
+        assert_eq!(t.estimate(RowId(5)), Some(4));
     }
 
     #[test]
@@ -749,5 +953,11 @@ mod tests {
     #[should_panic(expected = "threshold must be positive")]
     fn zero_threshold_panics() {
         let _ = CounterTable::new(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "32-bit count lane")]
+    fn oversized_threshold_panics() {
+        let _ = CounterTable::new(1, u64::from(u32::MAX) + 1);
     }
 }

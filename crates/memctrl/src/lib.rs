@@ -67,5 +67,5 @@ pub use mapping::{AddressMapper, DecodedAddress, MappingPolicy, MappingScheme, S
 pub use pagepolicy::PagePolicy;
 pub use scheduler::{BankQueue, SchedulerConfig};
 pub use stats::RunStats;
-pub use system::{SystemController, SystemStats};
+pub use system::{SystemController, SystemRouter, SystemStats};
 pub use tap::TelemetryTap;

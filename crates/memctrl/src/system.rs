@@ -36,6 +36,66 @@ pub struct SystemStats {
     pub merged: RunStats,
 }
 
+/// Shared routing logic of the sequential front end and the borrowed-out
+/// [`SystemRouter`]: advances the global clock by the access's gap and
+/// decodes it into `(channel, stamped access)`.
+fn route_stamped(
+    geometry: &DramGeometry,
+    policy: MappingPolicy,
+    clock: &mut Picoseconds,
+    routed: &mut u64,
+    access: &Access,
+) -> Result<(usize, StampedAccess), McError> {
+    *clock += access.gap;
+    let index = *routed;
+    *routed += 1;
+    match policy.route(geometry, access.bank, access.row) {
+        Ok(addr) => Ok((
+            usize::from(addr.coord.channel),
+            StampedAccess {
+                bank: MappingPolicy::shard_bank_index(geometry, addr) as u16,
+                row: addr.row,
+                at: *clock,
+                stream: access.stream,
+            },
+        )),
+        Err(addr) => {
+            Err(McError::AddressOutOfRange { addr, geometry: *geometry, access_index: index })
+        }
+    }
+}
+
+/// The routing front end of a [`SystemController`], borrowed out by
+/// [`SystemController::split_streaming`] so routing and shard execution can
+/// proceed on different threads at the same time.
+#[derive(Debug)]
+pub struct SystemRouter<'a> {
+    geometry: &'a DramGeometry,
+    policy: MappingPolicy,
+    clock: &'a mut Picoseconds,
+    routed: &'a mut u64,
+}
+
+impl SystemRouter<'_> {
+    /// Routes one access exactly as the owning controller's sequential
+    /// front end would: the global clock advances by the access's gap and
+    /// the stamped result carries the absolute arrival time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`McError::AddressOutOfRange`] when the access does not
+    /// decode into the geometry (the clock still advances, mirroring the
+    /// sequential path).
+    pub fn route_one(&mut self, access: &Access) -> Result<(usize, StampedAccess), McError> {
+        route_stamped(self.geometry, self.policy, self.clock, self.routed, access)
+    }
+
+    /// The full-system geometry the router decodes into.
+    pub fn geometry(&self) -> &DramGeometry {
+        self.geometry
+    }
+}
+
 /// Channel-sharded memory controller for full-system simulation.
 ///
 /// Built by [`McBuilder::build_system`](crate::McBuilder::build_system).
@@ -126,25 +186,25 @@ impl SystemController {
     /// Routes one access: advances the global clock by its gap and decodes
     /// it into `(channel, stamped access)`.
     fn route_one(&mut self, access: &Access) -> Result<(usize, StampedAccess), McError> {
-        self.clock += access.gap;
-        let index = self.routed;
-        self.routed += 1;
-        match self.policy.route(&self.geometry, access.bank, access.row) {
-            Ok(addr) => Ok((
-                usize::from(addr.coord.channel),
-                StampedAccess {
-                    bank: MappingPolicy::shard_bank_index(&self.geometry, addr) as u16,
-                    row: addr.row,
-                    at: self.clock,
-                    stream: access.stream,
-                },
-            )),
-            Err(addr) => Err(McError::AddressOutOfRange {
-                addr,
-                geometry: self.geometry,
-                access_index: index,
-            }),
-        }
+        route_stamped(&self.geometry, self.policy, &mut self.clock, &mut self.routed, access)
+    }
+
+    /// Splits the controller into its routing front end and the shard
+    /// array, so a driver thread can keep routing (and streaming batches
+    /// out) while worker threads hold disjoint `&mut` shards — the borrow
+    /// shape the parallel SPSC pipeline in `rh-sim` needs. The router
+    /// mutates the same clock/rout-count state as [`try_run`](Self::try_run),
+    /// so routing through it is bit-identical to the sequential front end.
+    pub fn split_streaming(&mut self) -> (SystemRouter<'_>, &mut [MemoryController]) {
+        (
+            SystemRouter {
+                geometry: &self.geometry,
+                policy: self.policy,
+                clock: &mut self.clock,
+                routed: &mut self.routed,
+            },
+            &mut self.shards,
+        )
     }
 
     /// Pushes everything buffered for channel `c` through its shard.

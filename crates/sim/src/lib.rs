@@ -13,10 +13,12 @@
 //!   pair and parallel matrices of pairs.
 //! * [`pool`] — the std-only work-stealing thread pool the matrix sweep
 //!   fans its (workload × defense) grid out on.
-//! * [`sharded`] — the full-system path: accesses routed through a
-//!   [`memctrl::MappingPolicy`] into per-channel shards that execute
-//!   batched sub-traces concurrently on the same pool, bit-identical to
-//!   sequential execution.
+//! * [`sharded`] — the full-system path: accesses streamed through a
+//!   [`memctrl::MappingPolicy`] router into per-channel shards that drain
+//!   bounded [`spsc`] queues concurrently on the same pool, bit-identical
+//!   to sequential execution at every worker count.
+//! * [`spsc`] — the std-only bounded single-producer/single-consumer ring
+//!   the streaming pipeline is built on.
 //! * [`faulted`] — the resilience matrix: seeded fault plans crossed with
 //!   defenses and workloads, measuring false negatives, audit detections,
 //!   and graceful degradation under injected tracker, controller, and
@@ -41,6 +43,7 @@ pub mod pool;
 pub mod runner;
 pub mod scenarios;
 pub mod sharded;
+pub mod spsc;
 
 pub use faulted::{
     plan_label, run_matrix_faulted, CellOutcome, FaultedRun, ResilienceCell, ResilienceReport,

@@ -1,21 +1,30 @@
-//! Full-system sharded execution: route once, hammer channels in parallel.
+//! Full-system sharded execution: stream batches, hammer channels in
+//! parallel.
 //!
-//! The legacy runner drives one [`MemoryController`](memctrl::MemoryController)
-//! over the whole geometry. This module drives the channel-sharded
-//! [`SystemController`]: the front end routes every access through the
-//! configured [`MappingPolicy`] into per-channel stamped sub-traces, and the
-//! shards — which share no state — execute those sub-traces concurrently on
-//! the crate's work-stealing [`pool`] in `batch`-sized chunks.
+//! The legacy runner drives one [`MemoryController`] over the whole
+//! geometry. This module drives the channel-sharded [`SystemController`] as
+//! a **pipeline**: the routing front end runs on the calling thread,
+//! decoding accesses through the configured [`MappingPolicy`] and streaming
+//! `batch`-sized chunks of stamped accesses into one bounded SPSC queue per
+//! channel ([`crate::spsc`]); the shards — which share no state — drain
+//! their queues as long-lived cooperative jobs on the crate's work-stealing
+//! [`pool`]. Routing and execution overlap, nothing is materialized
+//! up front, and a shard job that finds its queue empty re-enqueues itself
+//! so fewer workers than channels can never deadlock the pipeline.
 //!
-//! The two paths are interchangeable by construction: a shard replays its
-//! channel's accesses at the same absolute arrival times the sequential
-//! front end would have presented them, so [`run_system`] (sequential) and
+//! The two paths are interchangeable by construction: each channel's queue
+//! delivers that channel's accesses in routing order, stamped with the same
+//! absolute arrival times the sequential front end would have presented
+//! them, and per-shard stats/telemetry are merged deterministically (in
+//! channel order) after the pool drains. So [`run_system`] (sequential) and
 //! [`run_system_sharded`] (parallel) produce **bit-identical**
-//! [`SystemStats`]. The integration test `sharded_equivalence` pins this
-//! against the legacy single-shard path as well.
+//! [`SystemStats`] at every worker count. The integration tests
+//! `sharded_equivalence` and `parallel_determinism` pin this against the
+//! legacy single-shard path and across 1/2/4/8-thread runs.
 
 use memctrl::{
-    DefenseFactory, MappingPolicy, McBuilder, SystemController, SystemStats, TelemetryTap,
+    DefenseFactory, MappingPolicy, McBuilder, MemoryController, StampedAccess, SystemController,
+    SystemStats, TelemetryTap,
 };
 use telemetry::{Cadence, MetricsSink, NoopSink, Recorder, SharedSink, Snapshot};
 use workloads::Workload;
@@ -23,6 +32,50 @@ use workloads::Workload;
 use crate::pool;
 use crate::runner::{audit_run, SimConfig};
 use crate::scenarios::{DefenseSpec, WorkloadSpec};
+use crate::spsc;
+
+/// Batches in flight per channel queue: enough to decouple the router from
+/// a momentarily busy shard without ballooning memory (depth × batch
+/// accesses buffered per channel).
+const QUEUE_DEPTH: usize = 16;
+
+/// Empty polls a shard job tolerates before re-enqueueing itself and
+/// releasing its worker — the cooperative yield that keeps the pipeline
+/// live when fewer workers than channels are available. Each failed poll
+/// yields the timeslice rather than spinning: with fewer cores than
+/// pipeline threads (the extreme being a single-core host), a spinning
+/// consumer would burn the exact quantum the router needs to refill the
+/// queues.
+const PUMP_IDLE_POLLS: u32 = 4;
+
+/// A shard's consumer loop: drain the channel queue batch by batch until
+/// the router closes it. On a dry spell the job re-enqueues itself (moving
+/// to the back of the worker's deque) instead of camping on the worker.
+fn pump<'env>(
+    shard: &'env mut MemoryController,
+    mut rx: spsc::Consumer<'env, Vec<StampedAccess>>,
+    sp: &pool::Spawner<'env, '_>,
+) {
+    let mut idle = 0u32;
+    loop {
+        // Read `closed` before the pop: closed + empty means end-of-stream,
+        // in that order only (see [`spsc::Consumer::is_closed`]).
+        let closed = rx.is_closed();
+        if let Some(batch) = rx.try_pop() {
+            idle = 0;
+            shard.try_run_batch(&batch).expect("routed access is in shard range");
+        } else if closed {
+            return;
+        } else {
+            idle += 1;
+            if idle >= PUMP_IDLE_POLLS {
+                sp.spawn(move |sp2| pump(shard, rx, sp2));
+                return;
+            }
+            std::thread::yield_now();
+        }
+    }
+}
 
 /// Result of one full-system run (sequential or sharded).
 #[derive(Debug, Clone)]
@@ -150,10 +203,12 @@ pub fn run_system(
 }
 
 /// Runs one (defense, workload) pair through the sharded system in
-/// **parallel**: the whole trace is routed up front into per-channel
-/// stamped sub-traces, then every channel executes its sub-trace on the
-/// work-stealing pool in `batch`-sized chunks. Produces [`SystemStats`]
-/// bit-identical to [`run_system`] on the same campaign.
+/// **parallel**: the routing front end streams `batch`-sized chunks of
+/// stamped accesses into one bounded SPSC queue per channel while the
+/// shards drain their queues concurrently on `threads` pool workers (the
+/// router itself rides the calling thread). Routing and execution overlap;
+/// nothing is materialized up front. Produces [`SystemStats`] bit-identical
+/// to [`run_system`] on the same campaign, at every worker count.
 ///
 /// # Panics
 ///
@@ -174,25 +229,45 @@ pub fn run_system_sharded(
     let mut system = build_system(sim, policy, defense, audit, &shared);
     let geometry = *system.geometry();
     let mut w = workload.build(geometry.total_banks() as u16, geometry.rows_per_bank, sim.seed);
-    let accesses = w.take_accesses(sim.accesses as usize);
-    let batches = system
-        .route_batch(&accesses)
-        .unwrap_or_else(|e| panic!("{}/{}: {e}", defense.name(), workload.name()));
-    drop(accesses);
+    let channels = geometry.channels as usize;
+    let mut queues: Vec<spsc::SpscQueue<Vec<StampedAccess>>> =
+        (0..channels).map(|_| spsc::SpscQueue::new(QUEUE_DEPTH)).collect();
     {
-        let jobs: Vec<pool::Job<'_>> = system
-            .shards_mut()
+        let (mut router, shards) = system.split_streaming();
+        let mut producers = Vec::with_capacity(channels);
+        let mut consumers = Vec::with_capacity(channels);
+        for q in &mut queues {
+            let (tx, rx) = q.split();
+            producers.push(tx);
+            consumers.push(rx);
+        }
+        let jobs: Vec<pool::Job<'_>> = shards
             .iter_mut()
-            .zip(&batches)
-            .map(|(shard, stamped)| {
-                pool::job(move |_| {
-                    for chunk in stamped.chunks(batch) {
-                        shard.try_run_batch(chunk).expect("routed access is in shard range");
-                    }
-                })
-            })
+            .zip(consumers)
+            .map(|(shard, rx)| pool::job(move |sp| pump(shard, rx, sp)))
             .collect();
-        pool::run_scoped(threads, jobs);
+        pool::run_scoped_with_driver(threads, jobs, move || {
+            let mut pending: Vec<Vec<StampedAccess>> =
+                (0..channels).map(|_| Vec::with_capacity(batch)).collect();
+            for _ in 0..sim.accesses {
+                let access = w.next_access();
+                let (c, stamped) = router
+                    .route_one(&access)
+                    .unwrap_or_else(|e| panic!("{}/{}: {e}", defense.name(), workload.name()));
+                pending[c].push(stamped);
+                if pending[c].len() == batch {
+                    let full = std::mem::replace(&mut pending[c], Vec::with_capacity(batch));
+                    producers[c].push_blocking(full);
+                }
+            }
+            for (c, buf) in pending.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    producers[c].push_blocking(buf);
+                }
+            }
+            // Dropping the producers closes every queue; the shard jobs
+            // drain what remains and the pool winds down.
+        });
     }
     let (stats, snapshot) = seal(system, defense, workload, audit, shared);
     SystemReport {

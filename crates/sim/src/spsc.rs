@@ -1,0 +1,243 @@
+//! A bounded single-producer single-consumer ring buffer (std-only).
+//!
+//! The streaming sharded runner ([`crate::run_system_sharded`]) pipes
+//! per-channel batches of stamped accesses from the routing thread to the
+//! shard workers through one of these per channel. The requirements are
+//! narrow — one producer, one consumer, bounded capacity, no allocation
+//! per transfer, no external crates — so the implementation is the classic
+//! two-counter ring: free-running head/tail indices over a power-of-two
+//! slot array, `Release`/`Acquire` pairs ordering the slot writes against
+//! the index publications.
+//!
+//! Single-producer/single-consumer is enforced at compile time:
+//! [`SpscQueue::split`] hands out exactly one [`Producer`] and one
+//! [`Consumer`], neither of which is `Clone`, and the `&mut` borrow it
+//! takes pins the queue until both halves are gone.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// The shared ring. Owns the slots; the [`Producer`]/[`Consumer`] halves
+/// returned by [`split`](Self::split) borrow it from the owning frame —
+/// scoped-thread-friendly, no `Arc` required.
+pub struct SpscQueue<T> {
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    mask: usize,
+    /// Next slot to pop (written by the consumer only).
+    head: AtomicUsize,
+    /// Next slot to push (written by the producer only).
+    tail: AtomicUsize,
+    /// Producer dropped: once the ring drains, the stream is over.
+    closed: AtomicBool,
+}
+
+// Safety: the queue hands out at most one producer and one consumer, and
+// every slot is transferred with a Release store of `tail` (producer) that
+// the consumer's Acquire load of `tail` synchronizes with (and vice versa
+// for `head` when a slot is recycled), so no slot is ever accessed from two
+// threads at once.
+unsafe impl<T: Send> Sync for SpscQueue<T> {}
+
+impl<T> SpscQueue<T> {
+    /// A ring holding at least `capacity` items (rounded up to a power of
+    /// two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue needs room for at least one item");
+        let cap = capacity.next_power_of_two();
+        SpscQueue {
+            slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
+            mask: cap - 1,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// The rounded-up capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Splits into the producer and consumer halves. The exclusive borrow
+    /// guarantees this can only happen once at a time, and the non-`Clone`
+    /// halves guarantee one producer and one consumer.
+    pub fn split(&mut self) -> (Producer<'_, T>, Consumer<'_, T>) {
+        (Producer { queue: self }, Consumer { queue: self })
+    }
+}
+
+impl<T> Drop for SpscQueue<T> {
+    fn drop(&mut self) {
+        // Drop anything pushed but never popped.
+        let head = *self.head.get_mut();
+        let tail = *self.tail.get_mut();
+        for i in head..tail {
+            unsafe { (*self.slots[i & self.mask].get()).assume_init_drop() };
+        }
+    }
+}
+
+/// The push half. Dropping it closes the queue — the consumer drains what
+/// remains and then observes end-of-stream.
+pub struct Producer<'q, T> {
+    queue: &'q SpscQueue<T>,
+}
+
+impl<T> Producer<'_, T> {
+    /// Attempts to enqueue `item`; hands it back if the ring is full.
+    pub fn try_push(&mut self, item: T) -> Result<(), T> {
+        let tail = self.queue.tail.load(Ordering::Relaxed);
+        let head = self.queue.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) == self.queue.slots.len() {
+            return Err(item);
+        }
+        unsafe { (*self.queue.slots[tail & self.queue.mask].get()).write(item) };
+        self.queue.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Enqueues `item`, spinning (with escalation to `yield_now`) while the
+    /// ring is full. The consumer side never blocks indefinitely — workers
+    /// cooperatively reschedule — so the wait is bounded by one batch's
+    /// execution time.
+    pub fn push_blocking(&mut self, mut item: T) {
+        let mut spins = 0u32;
+        loop {
+            match self.try_push(item) {
+                Ok(()) => return,
+                Err(back) => {
+                    item = back;
+                    spins += 1;
+                    if spins > 16 {
+                        // A full ring means the consumer is behind; hand it
+                        // the timeslice instead of spinning it away (on a
+                        // host with fewer cores than pipeline threads the
+                        // consumer cannot run until we yield).
+                        std::thread::yield_now();
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<T> Drop for Producer<'_, T> {
+    fn drop(&mut self) {
+        // Release-ordered after all pushes: a consumer that Acquire-loads
+        // `closed == true` sees every item that preceded the close.
+        self.queue.closed.store(true, Ordering::Release);
+    }
+}
+
+/// The pop half.
+pub struct Consumer<'q, T> {
+    queue: &'q SpscQueue<T>,
+}
+
+impl<T> Consumer<'_, T> {
+    /// Dequeues the oldest item, or `None` when the ring is currently
+    /// empty (which does not mean the stream ended — see
+    /// [`is_closed`](Self::is_closed)).
+    pub fn try_pop(&mut self) -> Option<T> {
+        let head = self.queue.head.load(Ordering::Relaxed);
+        let tail = self.queue.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        let item = unsafe { (*self.queue.slots[head & self.queue.mask].get()).assume_init_read() };
+        self.queue.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(item)
+    }
+
+    /// True once the producer is gone. Check **before** a failed
+    /// [`try_pop`](Self::try_pop): if the queue was already closed when the
+    /// pop came up empty, every item has been consumed and the stream is
+    /// over. (Checking after instead would race with pushes that landed
+    /// between the pop and the check.)
+    pub fn is_closed(&self) -> bool {
+        self.queue.closed.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let mut q = SpscQueue::new(4);
+        let (mut tx, mut rx) = q.split();
+        for i in 0..4 {
+            tx.try_push(i).unwrap();
+        }
+        assert!(tx.try_push(99).is_err(), "ring of 4 must reject the 5th");
+        assert_eq!((0..4).map(|_| rx.try_pop().unwrap()).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let q = SpscQueue::<u32>::new(5);
+        assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn close_is_observed_after_drain() {
+        let mut q = SpscQueue::new(2);
+        let (mut tx, mut rx) = q.split();
+        tx.try_push(7).unwrap();
+        assert!(!rx.is_closed());
+        drop(tx);
+        // Closed, but the buffered item must still come out first.
+        assert!(rx.is_closed());
+        assert_eq!(rx.try_pop(), Some(7));
+        assert_eq!(rx.try_pop(), None);
+    }
+
+    #[test]
+    fn unconsumed_items_are_dropped_with_the_queue() {
+        use std::rc::Rc;
+        let probe = Rc::new(());
+        {
+            let mut q = SpscQueue::new(4);
+            let (mut tx, _rx) = q.split();
+            tx.try_push(Rc::clone(&probe)).unwrap();
+            tx.try_push(Rc::clone(&probe)).unwrap();
+        }
+        assert_eq!(Rc::strong_count(&probe), 1, "queue drop must release its items");
+    }
+
+    #[test]
+    fn cross_thread_stream_arrives_in_order() {
+        let mut q = SpscQueue::new(8);
+        let (mut tx, mut rx) = q.split();
+        const N: u64 = 50_000;
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    tx.push_blocking(i);
+                }
+            });
+            let mut expected = 0;
+            loop {
+                let closed = rx.is_closed();
+                if let Some(v) = rx.try_pop() {
+                    assert_eq!(v, expected);
+                    expected += 1;
+                } else if closed {
+                    break;
+                } else {
+                    std::hint::spin_loop();
+                }
+            }
+            assert_eq!(expected, N);
+        });
+    }
+}

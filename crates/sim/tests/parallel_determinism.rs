@@ -1,0 +1,115 @@
+//! Thread-count determinism of the streaming sharded runner: the merged
+//! [`SystemStats`] **and** the recorded telemetry [`Snapshot`] must be
+//! bit-identical at 1, 2, 4, and 8 pool workers — and identical to the
+//! sequential [`run_system`] reference — for every mapping policy.
+//!
+//! This is the other half of the `sharded_equivalence` anchor: that suite
+//! pins the sharded system against the legacy single-shard controller;
+//! this one pins the *parallel* schedule against the sequential one. The
+//! two together let the perf-smoke CI job treat any stats drift as a real
+//! correctness regression rather than a scheduling artifact.
+//!
+//! Determinism holds by construction — each channel's accesses arrive
+//! pre-stamped with their global arrival times in routing order over a
+//! per-channel FIFO, and shards never share mutable state — but the
+//! construction is exactly what refactors break, so it is pinned here at
+//! every worker count the scaling benchmark reports.
+
+use dram_model::fault::DisturbanceModel;
+use dram_model::geometry::DramGeometry;
+use memctrl::MappingPolicy;
+use rh_sim::{run_system, run_system_sharded, DefenseSpec, SimConfig, TelemetrySpec, WorkloadSpec};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn campaign(accesses: u64, telemetry: bool) -> SimConfig {
+    let mut sim = SimConfig::micro2020(accesses);
+    sim.system.geometry =
+        DramGeometry { channels: 4, ranks_per_channel: 1, banks_per_rank: 4, rows_per_bank: 4_096 };
+    sim.system.fault_model = Some(DisturbanceModel { t_rh: 2_000, ..DisturbanceModel::ddr4_50k() });
+    sim.audit = false;
+    if telemetry {
+        sim.telemetry = Some(TelemetrySpec::every_acts(256));
+    }
+    sim
+}
+
+/// Stats are bit-identical across every worker count, batch size, mapping
+/// policy, and defense — anchored to the sequential runner.
+#[test]
+fn stats_identical_at_every_thread_count() {
+    let sim = campaign(24_000, false);
+    let cases = [
+        (MappingPolicy::RowInterleaved, DefenseSpec::Graphene { t_rh: 2_000, k: 2 }),
+        (MappingPolicy::BankInterleaved, DefenseSpec::Para { p: 0.02 }),
+        (MappingPolicy::ChannelXor, DefenseSpec::None),
+    ];
+    let workload = WorkloadSpec::StripedManySided { sides: 4, banks: 16 };
+    for (policy, defense) in cases {
+        let seq = run_system(&sim, policy, &defense, &workload);
+        for threads in THREAD_COUNTS {
+            // Batch sizes chosen to exercise exact-fit, ragged-tail, and
+            // single-access dispatch.
+            for batch in [1, 64, 193] {
+                let par = run_system_sharded(&sim, policy, &defense, &workload, threads, batch);
+                assert_eq!(
+                    seq.stats,
+                    par.stats,
+                    "stats diverged under {policy:?}/{} at threads={threads} batch={batch}",
+                    defense.name()
+                );
+            }
+        }
+    }
+}
+
+/// Recorded telemetry snapshots — every series, every sample, every
+/// timestamp — are identical across worker counts and match the
+/// sequential run. A reordered merge or a racy sampling cadence would
+/// show up here even if the aggregate stats happened to agree.
+#[test]
+fn telemetry_snapshots_identical_at_every_thread_count() {
+    let sim = campaign(16_000, true);
+    let defense = DefenseSpec::Graphene { t_rh: 2_000, k: 2 };
+    let workload = WorkloadSpec::StripedManySided { sides: 4, banks: 16 };
+    for policy in
+        [MappingPolicy::RowInterleaved, MappingPolicy::BankInterleaved, MappingPolicy::ChannelXor]
+    {
+        let seq = run_system(&sim, policy, &defense, &workload);
+        let baseline = seq
+            .snapshot
+            .as_ref()
+            .unwrap_or_else(|| panic!("recording campaign must yield a snapshot under {policy:?}"));
+        for threads in THREAD_COUNTS {
+            let par = run_system_sharded(&sim, policy, &defense, &workload, threads, 97);
+            let got = par.snapshot.as_ref().expect("sharded run lost its snapshot");
+            assert_eq!(
+                baseline, got,
+                "telemetry snapshot diverged under {policy:?} at threads={threads}"
+            );
+        }
+    }
+}
+
+/// The audit certificate (per-shard invariant checks plus fault-oracle
+/// cross-check) passes identically on the parallel schedule.
+#[test]
+fn audited_parallel_run_matches_sequential() {
+    let mut sim = campaign(12_000, false);
+    sim.audit = true;
+    let defense = DefenseSpec::Graphene { t_rh: 2_000, k: 2 };
+    let workload = WorkloadSpec::SameRowAllBanks { banks: 16 };
+    let seq = run_system(&sim, MappingPolicy::BankInterleaved, &defense, &workload);
+    for threads in [2, 8] {
+        let par = run_system_sharded(
+            &sim,
+            MappingPolicy::BankInterleaved,
+            &defense,
+            &workload,
+            threads,
+            128,
+        );
+        assert_eq!(seq.stats, par.stats, "audited stats diverged at threads={threads}");
+    }
+    assert_eq!(seq.stats.merged.accesses, 12_000);
+}
