@@ -75,7 +75,7 @@ pub mod table;
 pub use cam::CamStats;
 pub use checked::CheckedGraphene;
 pub use config::{ConfigError, GrapheneConfig, GrapheneConfigBuilder, GrapheneParams};
-pub use mechanism::{Graphene, GrapheneStats, NrrRequest};
+pub use mechanism::{Graphene, GrapheneSnapshot, GrapheneStats, NrrRequest};
 pub use multi::{BankIndexError, BankSet};
 pub use reference::{IndexedCounterTable, LinearCounterTable};
-pub use table::{CounterTable, TableUpdate};
+pub use table::{CounterTable, TableSnapshot, TableUpdate};

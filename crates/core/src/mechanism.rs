@@ -9,7 +9,7 @@ use telemetry::MetricsSink;
 
 use crate::cam::CamStats;
 use crate::config::{ConfigError, GrapheneConfig, GrapheneParams};
-use crate::table::{CounterTable, TableUpdate};
+use crate::table::{CounterTable, TableSnapshot, TableUpdate};
 
 /// A request to refresh the neighbours of an aggressor row.
 ///
@@ -45,6 +45,21 @@ pub struct GrapheneStats {
     /// Occupied entries evicted by Misra-Gries replacement (spillover-count
     /// matches that displaced a tracked row).
     pub evictions: u64,
+}
+
+/// The full dynamic state of one [`Graphene`] engine, as captured by
+/// [`Graphene::snapshot`] and replayed by [`Graphene::restore`] —
+/// the unit of per-bank state in a run checkpoint.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GrapheneSnapshot {
+    /// The counter table's architectural state.
+    pub table: TableSnapshot,
+    /// Index of the reset window the engine is currently in.
+    pub current_window: u64,
+    /// Operation counters.
+    pub stats: GrapheneStats,
+    /// NRRs issued since the last window roll.
+    pub nrrs_this_window: u64,
 }
 
 /// Graphene for a single DRAM bank.
@@ -182,6 +197,35 @@ impl Graphene {
         sink.sample("graphene.evictions", bank, now, self.stats.evictions as f64);
         sink.sample("graphene.window_nrrs", bank, now, self.nrrs_this_window as f64);
         sink.sample("graphene.nrrs", bank, now, self.stats.nrrs_issued as f64);
+    }
+
+    /// Captures the engine's full dynamic state — counter table, window
+    /// position, statistics — for later [`restore`](Self::restore). The
+    /// derived parameters are *not* captured; the restoring engine pins
+    /// them through its own construction, so a snapshot can only be
+    /// replayed into an engine built from the same configuration.
+    pub fn snapshot(&self) -> GrapheneSnapshot {
+        GrapheneSnapshot {
+            table: self.table.snapshot(),
+            current_window: self.current_window,
+            stats: self.stats,
+            nrrs_this_window: self.nrrs_this_window,
+        }
+    }
+
+    /// Replays `snap`, after which the engine continues bit-identically to
+    /// the engine the snapshot was taken from.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the table's dimension check — restoring into an engine
+    /// derived from a different configuration is refused.
+    pub fn restore(&mut self, snap: &GrapheneSnapshot) -> Result<(), String> {
+        self.table.restore(&snap.table)?;
+        self.current_window = snap.current_window;
+        self.stats = snap.stats;
+        self.nrrs_this_window = snap.nrrs_this_window;
+        Ok(())
     }
 
     /// Forces a table reset (e.g. for tests or an externally driven window).
@@ -376,5 +420,40 @@ mod tests {
         let req = req.expect("trigger");
         assert_eq!(req.radius, 3);
         assert_eq!(req.victim_rows(), 6);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically() {
+        // Drive an engine across a window boundary and into the next
+        // window, snapshot mid-flight, restore into a fresh engine, and
+        // check that both produce identical NRR streams and identical end
+        // state on the same continuation.
+        let mut live = engine();
+        let w = live.params().reset_window;
+        let stream =
+            |i: u64| (RowId(if i % 4 == 0 { 3 } else { 100 + (i % 13) as u32 }), i * (w / 20_000));
+        for i in 0..30_000u64 {
+            let (row, at) = stream(i);
+            live.on_activation(row, at);
+        }
+        let snap = live.snapshot();
+
+        let mut resumed = engine();
+        resumed.restore(&snap).unwrap();
+        assert_eq!(resumed.stats(), live.stats());
+        assert_eq!(resumed.nrrs_this_window(), live.nrrs_this_window());
+
+        for i in 30_000..80_000u64 {
+            let (row, at) = stream(i);
+            assert_eq!(live.on_activation(row, at), resumed.on_activation(row, at), "act {i}");
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_configuration() {
+        let snap = engine().snapshot();
+        let mut other = Graphene::new(GrapheneParams { n_entry: 2, ..*engine().params() });
+        assert!(other.restore(&snap).is_err());
     }
 }

@@ -102,6 +102,33 @@ impl TableUpdate {
     }
 }
 
+/// The architectural state of a [`CounterTable`], as captured by
+/// [`CounterTable::snapshot`] and replayed by [`CounterTable::restore`].
+///
+/// Holds only the *primary* lanes — what the hardware's SRAM actually
+/// stores plus the software bookkeeping counters. Acceleration state
+/// (probe lane, presence filter, probe cursor) and parity bits are derived
+/// on restore.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSnapshot {
+    /// Address-CAM key lane (stale bits preserved for invalid slots).
+    pub keys: Vec<u32>,
+    /// Count lane (counts modulo `T`).
+    pub low: Vec<u32>,
+    /// Valid bits, packed 64 per word.
+    pub valid: Vec<u64>,
+    /// Overflow bits.
+    pub overflow: Vec<bool>,
+    /// Wrap counts (statistics/verification bookkeeping).
+    pub crossings: Vec<u64>,
+    /// The spillover register.
+    pub spillover: u64,
+    /// Activations processed since the last reset.
+    pub acts_since_reset: u64,
+    /// CAM access counters.
+    pub stats: CamStats,
+}
+
 /// The Graphene per-bank counter table.
 ///
 /// Both hot-path lookups (address hit, spillover-count match) scan packed
@@ -585,6 +612,97 @@ impl CounterTable {
         (slots, spill)
     }
 
+    /// Captures the table's architectural state — the lanes the hardware
+    /// actually stores (addresses, counts, valid/overflow bits), the
+    /// spillover register, and the bookkeeping counters — as a value that
+    /// [`restore`](Self::restore) can later replay into a freshly built
+    /// table of the same shape.
+    ///
+    /// Derived acceleration state (probe lane, presence filter, probe
+    /// cursor, parity bits) is *not* captured: it is a pure function of the
+    /// primary lanes and is rebuilt on restore. Consequently a snapshot
+    /// taken while injected corruption left parity bits stale restores as
+    /// parity-clean — checkpointing is only meaningful for fault-free runs,
+    /// and the controller layer refuses to snapshot fault-armed systems.
+    pub fn snapshot(&self) -> TableSnapshot {
+        TableSnapshot {
+            keys: self.keys.clone(),
+            low: self.low.clone(),
+            valid: self.valid.clone(),
+            overflow: self.overflow.clone(),
+            crossings: self.crossings.clone(),
+            spillover: self.spillover,
+            acts_since_reset: self.acts_since_reset,
+            stats: self.stats,
+        }
+    }
+
+    /// Replays `snap` into this table, overwriting all dynamic state. The
+    /// table must have been constructed with the same `n_entry` (and, for
+    /// the restored counts to mean anything, the same threshold `T` — the
+    /// snapshot stores counts modulo `T`, so the caller pins `T` via its
+    /// own configuration).
+    ///
+    /// The derived lanes are rebuilt from the primary ones: probe lane from
+    /// (low, overflow), parity from the restored bits, presence filter from
+    /// the valid keys. The probe cursor rewinds to slot 0 — acceleration
+    /// state only, so the restored table is *behaviorally* identical to the
+    /// snapshotted one even though the cursor position differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the mismatch when the snapshot's lane
+    /// lengths disagree with this table's capacity, or when the packed
+    /// valid words carry bits beyond `n_entry`.
+    pub fn restore(&mut self, snap: &TableSnapshot) -> Result<(), String> {
+        let n = self.capacity();
+        if snap.keys.len() != n
+            || snap.low.len() != n
+            || snap.overflow.len() != n
+            || snap.crossings.len() != n
+        {
+            return Err(format!(
+                "snapshot lanes sized for {} entries, table has {n}",
+                snap.keys.len()
+            ));
+        }
+        if snap.valid.len() != n.div_ceil(64) {
+            return Err(format!(
+                "snapshot has {} valid words, table needs {}",
+                snap.valid.len(),
+                n.div_ceil(64)
+            ));
+        }
+        if !n.is_multiple_of(64) && snap.valid[snap.valid.len() - 1] >> (n % 64) != 0 {
+            return Err(format!("snapshot marks valid bits beyond entry {}", n - 1));
+        }
+        self.keys.copy_from_slice(&snap.keys);
+        self.low.copy_from_slice(&snap.low);
+        self.valid.copy_from_slice(&snap.valid);
+        self.overflow.copy_from_slice(&snap.overflow);
+        self.crossings.copy_from_slice(&snap.crossings);
+        self.spillover = snap.spillover;
+        self.acts_since_reset = snap.acts_since_reset;
+        self.stats = snap.stats;
+        // Rebuild every derived lane from the restored primaries.
+        for i in 0..n {
+            self.probe_low[i] = if self.overflow[i] { OVERFLOW_SENTINEL } else { self.low[i] };
+        }
+        for i in 0..n {
+            self.parity[i] = self.parity_of(i);
+        }
+        self.spillover_parity = self.spillover.count_ones() % 2 == 1;
+        self.filter.fill(0);
+        for i in 0..n {
+            if self.is_valid(i) {
+                self.filter_add(self.keys[i]);
+            }
+        }
+        self.probe_cursor = 0;
+        self.suppress_lookup = false;
+        Ok(())
+    }
+
     /// Exhaustively checks the derived lanes against the primary ones: the
     /// probe lane must mirror (low, overflow), no row may occupy two valid
     /// slots, the presence filter must be the exact bucket histogram of the
@@ -959,5 +1077,75 @@ mod tests {
     #[should_panic(expected = "32-bit count lane")]
     fn oversized_threshold_panics() {
         let _ = CounterTable::new(1, u64::from(u32::MAX) + 1);
+    }
+
+    /// A deterministic but non-trivial activation stream: a few hot rows,
+    /// a rotating cold tail, enough pressure to exercise hits, replacements,
+    /// spillover increments, and overflow wraps.
+    fn mixed_stream(len: u64) -> impl Iterator<Item = RowId> {
+        (0..len).map(|i| {
+            if i % 3 == 0 {
+                RowId(7)
+            } else if i % 3 == 1 {
+                RowId(1000 + (i % 11) as u32)
+            } else {
+                RowId(50_000 + (i % 97) as u32)
+            }
+        })
+    }
+
+    #[test]
+    fn restore_resumes_bit_identically() {
+        let mut live = CounterTable::new(8, 16);
+        for row in mixed_stream(500) {
+            live.process_activation(row);
+        }
+        let snap = live.snapshot();
+
+        let mut resumed = CounterTable::new(8, 16);
+        resumed.restore(&snap).unwrap();
+        resumed.assert_index_consistency();
+        assert!(resumed.parity_clean());
+
+        // Both tables must now agree on every subsequent update, and end in
+        // the same architectural state.
+        for row in mixed_stream(1200).skip(500) {
+            assert_eq!(live.process_activation(row), resumed.process_activation(row));
+        }
+        assert_eq!(live.snapshot(), resumed.snapshot());
+        resumed.assert_index_consistency();
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_dimensions() {
+        let snap = CounterTable::new(8, 16).snapshot();
+        let mut other = CounterTable::new(9, 16);
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("8 entries"), "unexpected message: {err}");
+
+        let mut stray = snap.clone();
+        stray.valid[0] |= 1 << 8; // bit beyond entry 7
+        let mut same_shape = CounterTable::new(8, 16);
+        let err = same_shape.restore(&stray).unwrap_err();
+        assert!(err.contains("beyond entry 7"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn restore_overwrites_previous_state() {
+        let mut a = CounterTable::new(4, 10);
+        for _ in 0..7 {
+            a.process_activation(RowId(42));
+        }
+        let snap = a.snapshot();
+
+        // A table with unrelated history converges to the snapshot exactly.
+        let mut b = CounterTable::new(4, 10);
+        for r in [1u32, 2, 3, 4, 5, 6] {
+            b.process_activation(RowId(r));
+        }
+        b.restore(&snap).unwrap();
+        assert_eq!(b.snapshot(), snap);
+        assert_eq!(b.estimate(RowId(42)), Some(7));
+        b.assert_index_consistency();
     }
 }

@@ -93,6 +93,39 @@ impl RefreshEngine {
         self.cmds_per_window
     }
 
+    /// REF commands issued within the current refresh window — with
+    /// [`refs_issued`](Self::refs_issued) and
+    /// [`next_ref_at`](Self::next_ref_at), the full dynamic position of the
+    /// rotation (checkpoint support).
+    pub fn burst_in_window(&self) -> u64 {
+        self.burst_in_window
+    }
+
+    /// Restores the dynamic rotation position from a checkpoint taken on an
+    /// engine with identical timing and bank size. The derived fields
+    /// (`rows_per_ref`, `cmds_per_window`, `t_refi`) stay as constructed;
+    /// only the position moves, so a restored engine continues the burst
+    /// sequence bit-identically to the engine the snapshot was taken from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `burst_in_window` is not below the window's command count.
+    pub fn restore_position(
+        &mut self,
+        burst_in_window: u64,
+        refs_issued: u64,
+        next_ref_at: Picoseconds,
+    ) {
+        assert!(
+            burst_in_window < self.cmds_per_window,
+            "burst index {burst_in_window} outside a {}-command window",
+            self.cmds_per_window
+        );
+        self.burst_in_window = burst_in_window;
+        self.refs_issued = refs_issued;
+        self.next_ref_at = next_ref_at;
+    }
+
     /// Executes one REF command and returns the rows it restores.
     ///
     /// The rotation is aligned to the refresh window: each window of

@@ -131,6 +131,28 @@ impl BankState {
         self.ready_at += extra;
     }
 
+    /// The bank's dynamic state `(open_row, hits_on_open_row, ready_at,
+    /// last_act_at)` for a run checkpoint. Timing and page policy are
+    /// configuration, rebuilt by the restoring controller.
+    pub(crate) fn dynamic_state(&self) -> (Option<RowId>, u32, Picoseconds, Option<Picoseconds>) {
+        (self.open_row, self.hits_on_open_row, self.ready_at, self.last_act_at)
+    }
+
+    /// Overwrites the dynamic state captured by
+    /// [`dynamic_state`](Self::dynamic_state).
+    pub(crate) fn restore_dynamic_state(
+        &mut self,
+        open_row: Option<RowId>,
+        hits_on_open_row: u32,
+        ready_at: Picoseconds,
+        last_act_at: Option<Picoseconds>,
+    ) {
+        self.open_row = open_row;
+        self.hits_on_open_row = hits_on_open_row;
+        self.ready_at = ready_at;
+        self.last_act_at = last_act_at;
+    }
+
     /// Blocks the bank for a victim refresh of `rows` rows (`tRC` each plus
     /// one `tRP`), starting no earlier than `at`. Returns the completion time.
     pub fn block_for_victim_refresh(&mut self, rows: u64, at: Picoseconds) -> Picoseconds {

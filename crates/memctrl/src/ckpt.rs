@@ -1,0 +1,135 @@
+//! Shared JSON plumbing for controller checkpoint state.
+//!
+//! The workspace's `serde` is an inert offline stub, so checkpoint state is
+//! rendered and parsed by hand on top of [`telemetry::json`] (the faultsim
+//! JSONL idiom). The parser is integer-first, so every `u64` counter
+//! round-trips exactly.
+
+use telemetry::json::JsonValue;
+
+use crate::stats::RunStats;
+
+/// Builds an object from `(key, value)` pairs.
+pub(crate) fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+/// Required sub-value lookup.
+pub(crate) fn field<'v>(v: &'v JsonValue, key: &str) -> Result<&'v JsonValue, String> {
+    v.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+/// Required integer field.
+pub(crate) fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+/// Optional integer field: `Null` (or absence) maps to `None`.
+pub(crate) fn opt_u64_field(v: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(x) => x
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field `{key}` is neither null nor an integer")),
+    }
+}
+
+/// Renders an `Option<u64>` as `U64` or `Null`.
+pub(crate) fn opt_u64(v: Option<u64>) -> JsonValue {
+    match v {
+        Some(x) => JsonValue::U64(x),
+        None => JsonValue::Null,
+    }
+}
+
+/// Renders [`RunStats`] as a JSON object (`per_stream` as an array of
+/// `[count, latency]` pairs).
+pub(crate) fn run_stats_to_json(s: &RunStats) -> JsonValue {
+    obj(vec![
+        ("accesses", JsonValue::U64(s.accesses)),
+        ("activations", JsonValue::U64(s.activations)),
+        ("row_hits", JsonValue::U64(s.row_hits)),
+        ("refreshes", JsonValue::U64(s.refreshes)),
+        ("defense_refresh_commands", JsonValue::U64(s.defense_refresh_commands)),
+        ("victim_rows_refreshed", JsonValue::U64(s.victim_rows_refreshed)),
+        ("defense_busy", JsonValue::U64(s.defense_busy)),
+        ("completion", JsonValue::U64(s.completion)),
+        ("total_latency", JsonValue::U64(s.total_latency)),
+        ("bit_flips", JsonValue::U64(s.bit_flips)),
+        (
+            "per_stream",
+            JsonValue::Arr(
+                s.per_stream
+                    .iter()
+                    .map(|&(n, lat)| JsonValue::Arr(vec![JsonValue::U64(n), JsonValue::U64(lat)]))
+                    .collect(),
+            ),
+        ),
+        ("stray_stream_accesses", JsonValue::U64(s.stray_stream_accesses)),
+        ("stray_stream_latency", JsonValue::U64(s.stray_stream_latency)),
+    ])
+}
+
+/// Parses what [`run_stats_to_json`] rendered.
+pub(crate) fn run_stats_from_json(v: &JsonValue) -> Result<RunStats, String> {
+    let per_stream = field(v, "per_stream")?
+        .as_arr()
+        .ok_or_else(|| "field `per_stream` is not an array".to_owned())?
+        .iter()
+        .map(|pair| {
+            let pair = pair
+                .as_arr()
+                .filter(|p| p.len() == 2)
+                .ok_or_else(|| "per_stream element is not a [count, latency] pair".to_owned())?;
+            match (pair[0].as_u64(), pair[1].as_u64()) {
+                (Some(n), Some(lat)) => Ok((n, lat)),
+                _ => Err("non-integer per_stream pair".to_owned()),
+            }
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(RunStats {
+        accesses: u64_field(v, "accesses")?,
+        activations: u64_field(v, "activations")?,
+        row_hits: u64_field(v, "row_hits")?,
+        refreshes: u64_field(v, "refreshes")?,
+        defense_refresh_commands: u64_field(v, "defense_refresh_commands")?,
+        victim_rows_refreshed: u64_field(v, "victim_rows_refreshed")?,
+        defense_busy: u64_field(v, "defense_busy")?,
+        completion: u64_field(v, "completion")?,
+        total_latency: u64_field(v, "total_latency")?,
+        bit_flips: u64_field(v, "bit_flips")?,
+        per_stream,
+        stray_stream_accesses: u64_field(v, "stray_stream_accesses")?,
+        stray_stream_latency: u64_field(v, "stray_stream_latency")?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_stats_round_trip_through_text() {
+        let mut s = RunStats {
+            accesses: u64::MAX,
+            activations: 3,
+            completion: 123_456_789_012_345,
+            ..RunStats::default()
+        };
+        s.note_stream(0, 10);
+        s.note_stream(5, 99);
+        let text = run_stats_to_json(&s).to_string();
+        let back = run_stats_from_json(&telemetry::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn missing_field_is_reported() {
+        let err =
+            run_stats_from_json(&telemetry::json::parse("{\"accesses\":1}").unwrap()).unwrap_err();
+        assert!(err.contains("per_stream"), "{err}");
+    }
+}

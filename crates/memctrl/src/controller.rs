@@ -9,7 +9,12 @@ use faultsim::{ControllerFault, FaultKind, FaultPlan};
 use mitigations::{RefreshAction, RowHammerDefense};
 use workloads::Workload;
 
+use telemetry::json::JsonValue;
+
 use crate::bank::{BankState, ServiceOutcome};
+use crate::ckpt::{
+    field, obj, opt_u64, opt_u64_field, run_stats_from_json, run_stats_to_json, u64_field,
+};
 use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
 use crate::config::McConfig;
 use crate::faults::{FaultInjector, FaultStats};
@@ -733,6 +738,140 @@ impl MemoryController {
     pub fn is_clean(&self) -> bool {
         self.stats.bit_flips == 0
     }
+
+    /// Serializes the controller's complete dynamic state — clocks, refresh
+    /// position, statistics, per-bank timing state, and every bank's defense
+    /// — as a JSON value, such that [`restore`](Self::restore) on a freshly
+    /// built controller of the same configuration resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Refuses when the run carries side-band machinery whose state is not
+    /// checkpointable — a fault oracle, an armed fault plan, a command log,
+    /// or a telemetry tap (resuming would silently replay their histories
+    /// from empty) — or when a bank's defense does not support
+    /// checkpointing.
+    pub fn snapshot(&self) -> Result<JsonValue, String> {
+        if self.oracles.is_some() {
+            return Err("cannot checkpoint a run with a ground-truth fault oracle".to_owned());
+        }
+        if self.faults.is_some() {
+            return Err("cannot checkpoint a run with an armed fault plan".to_owned());
+        }
+        if self.command_log.is_some() {
+            return Err("cannot checkpoint a run with a command log attached".to_owned());
+        }
+        if self.telemetry.is_some() {
+            return Err("cannot checkpoint a run with a telemetry tap attached".to_owned());
+        }
+        let banks = (0..self.banks.len())
+            .map(|b| {
+                let (open_row, hits, ready_at, last_act_at) = self.banks[b].dynamic_state();
+                let eng = &self.refresh_engines[b];
+                Ok(obj(vec![
+                    ("open_row", opt_u64(open_row.map(|r| u64::from(r.0)))),
+                    ("hits_on_open_row", JsonValue::U64(u64::from(hits))),
+                    ("ready_at", JsonValue::U64(ready_at)),
+                    ("last_act_at", opt_u64(last_act_at)),
+                    ("ref_burst_in_window", JsonValue::U64(eng.burst_in_window())),
+                    ("ref_refs_issued", JsonValue::U64(eng.refs_issued())),
+                    ("ref_next_at", JsonValue::U64(eng.next_ref_at())),
+                    (
+                        "defense",
+                        self.defenses[b].snapshot_state().map_err(|e| format!("bank {b}: {e}"))?,
+                    ),
+                ]))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(obj(vec![
+            ("channel", JsonValue::U64(u64::from(self.channel))),
+            ("clock", JsonValue::U64(self.clock)),
+            ("wall", JsonValue::U64(self.wall)),
+            ("next_refresh_at", JsonValue::U64(self.next_refresh_at)),
+            ("refresh_hold_until", JsonValue::U64(self.refresh_hold_until)),
+            ("stats", run_stats_to_json(&self.stats)),
+            ("banks", JsonValue::Arr(banks)),
+        ]))
+    }
+
+    /// Replays state captured by [`snapshot`](Self::snapshot) into this
+    /// controller, which must have been built from the same configuration
+    /// (same geometry, timing, page policy, and defense set — the snapshot
+    /// stores none of these, so the builder pins them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or mismatched field:
+    /// wrong channel, wrong bank count, a refresh position outside the
+    /// engine's window, or a defense that rejects its state.
+    pub fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let channel = u64_field(state, "channel")?;
+        if channel != u64::from(self.channel) {
+            return Err(format!(
+                "checkpoint is for channel {channel}, restoring channel {}",
+                self.channel
+            ));
+        }
+        let banks = field(state, "banks")?
+            .as_arr()
+            .ok_or_else(|| "field `banks` is not an array".to_owned())?;
+        if banks.len() != self.banks.len() {
+            return Err(format!(
+                "checkpoint has {} bank(s), controller has {}",
+                banks.len(),
+                self.banks.len()
+            ));
+        }
+        let stats = run_stats_from_json(field(state, "stats")?)?;
+        let clock = u64_field(state, "clock")?;
+        let wall = u64_field(state, "wall")?;
+        let next_refresh_at = u64_field(state, "next_refresh_at")?;
+        let refresh_hold_until = u64_field(state, "refresh_hold_until")?;
+        // Parse everything fallible for every bank before mutating any
+        // state, so a malformed checkpoint cannot leave the controller
+        // half-restored.
+        let mut parsed = Vec::with_capacity(banks.len());
+        for (b, bank) in banks.iter().enumerate() {
+            let ctx = |e: String| format!("bank {b}: {e}");
+            let open_row = opt_u64_field(bank, "open_row").map_err(ctx)?;
+            let open_row = open_row
+                .map(|r| u32::try_from(r).map(RowId).map_err(|_| "open_row exceeds u32".to_owned()))
+                .transpose()
+                .map_err(ctx)?;
+            let hits = u32::try_from(u64_field(bank, "hits_on_open_row").map_err(ctx)?)
+                .map_err(|_| format!("bank {b}: hits_on_open_row exceeds u32"))?;
+            let ready_at = u64_field(bank, "ready_at").map_err(ctx)?;
+            let last_act_at = opt_u64_field(bank, "last_act_at").map_err(ctx)?;
+            let burst = u64_field(bank, "ref_burst_in_window").map_err(ctx)?;
+            if burst >= self.refresh_engines[b].cmds_per_window() {
+                return Err(format!(
+                    "bank {b}: refresh burst position {burst} outside the \
+                     {}-command window",
+                    self.refresh_engines[b].cmds_per_window()
+                ));
+            }
+            let refs_issued = u64_field(bank, "ref_refs_issued").map_err(ctx)?;
+            let ref_next_at = u64_field(bank, "ref_next_at").map_err(ctx)?;
+            parsed.push((open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at));
+        }
+        for (b, bank) in banks.iter().enumerate() {
+            self.defenses[b]
+                .restore_state(field(bank, "defense").map_err(|e| format!("bank {b}: {e}"))?)
+                .map_err(|e| format!("bank {b}: {e}"))?;
+        }
+        for (b, (open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at)) in
+            parsed.into_iter().enumerate()
+        {
+            self.banks[b].restore_dynamic_state(open_row, hits, ready_at, last_act_at);
+            self.refresh_engines[b].restore_position(burst, refs_issued, ref_next_at);
+        }
+        self.clock = clock;
+        self.wall = wall;
+        self.next_refresh_at = next_refresh_at;
+        self.refresh_hold_until = refresh_hold_until;
+        self.stats = stats;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1184,6 +1323,47 @@ mod tests {
             fstats.nrrs_released, fstats.nrrs_deferred,
             "every deferred action must eventually apply"
         );
+    }
+
+    #[test]
+    fn checkpoint_resumes_bit_identically_through_json_text() {
+        let accesses = Synthetic::s3(65_536, 1).take_accesses(60_000);
+        let halves = |range: std::ops::Range<usize>| {
+            workloads::Trace::from_accesses("half", accesses[range].to_vec()).replay()
+        };
+        // Uninterrupted reference run of the first half.
+        let mut full = graphene_mc(McConfig::single_bank(65_536, None));
+        full.run(&mut halves(0..30_000), 30_000);
+        // Checkpoint it through rendered text and restore into a fresh
+        // controller of the same configuration.
+        let text = full.snapshot().unwrap().to_string();
+        let mut resumed = graphene_mc(McConfig::single_bank(65_536, None));
+        resumed.restore(&telemetry::json::parse(&text).unwrap()).unwrap();
+        // The second half must play out identically on both.
+        let a = full.run(&mut halves(30_000..60_000), 30_000);
+        let b = resumed.run(&mut halves(30_000..60_000), 30_000);
+        assert_eq!(a, b);
+        assert_eq!(full.snapshot().unwrap().to_string(), resumed.snapshot().unwrap().to_string());
+    }
+
+    #[test]
+    fn checkpoint_refuses_a_run_with_a_fault_oracle() {
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let mc = no_defense_mc(McConfig::single_bank(65_536, Some(model)));
+        let err = mc.snapshot().err().expect("oracle runs must refuse checkpointing");
+        assert!(err.contains("fault oracle"), "{err}");
+    }
+
+    #[test]
+    fn restore_rejects_a_checkpoint_with_the_wrong_shape() {
+        let mut mc = graphene_mc(McConfig::single_bank(65_536, None));
+        mc.run(&mut Synthetic::s3(65_536, 1), 1_000);
+        let snap = mc.snapshot().unwrap();
+        // micro2020_no_oracle has 16 banks per channel shard; the snapshot
+        // came from a single-bank controller.
+        let mut other = McBuilder::new(McConfig::micro2020_no_oracle()).build();
+        let err = other.restore(&snap).unwrap_err();
+        assert!(err.contains("bank(s)"), "{err}");
     }
 
     #[test]

@@ -45,6 +45,7 @@
 pub mod audit;
 pub mod bank;
 pub mod builder;
+pub(crate) mod ckpt;
 pub mod cmdlog;
 pub mod config;
 pub mod controller;

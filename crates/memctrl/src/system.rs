@@ -20,8 +20,10 @@
 
 use dram_model::geometry::DramGeometry;
 use dram_model::timing::Picoseconds;
+use telemetry::json::JsonValue;
 use workloads::{Access, Workload};
 
+use crate::ckpt::{field, obj, u64_field};
 use crate::controller::{McError, MemoryController, StampedAccess};
 use crate::mapping::MappingPolicy;
 use crate::stats::RunStats;
@@ -331,6 +333,66 @@ impl SystemController {
     pub fn is_clean(&self) -> bool {
         self.shards.iter().all(MemoryController::is_clean)
     }
+
+    /// Serializes the full system's dynamic state — the routing front end's
+    /// clock and access count plus one
+    /// [`MemoryController::snapshot`] per channel shard — such that
+    /// [`restore`](Self::restore) on a freshly built system of the same
+    /// configuration resumes bit-identically.
+    ///
+    /// # Errors
+    ///
+    /// Refuses while the batched path holds buffered work (checkpoint
+    /// between [`try_run_batched`](Self::try_run_batched) calls, which
+    /// always flush), and propagates any shard's refusal (oracle, fault
+    /// plan, command log, telemetry tap, or an uncheckpointable defense).
+    pub fn snapshot(&self) -> Result<JsonValue, String> {
+        if self.buffers.iter().any(|b| !b.is_empty()) {
+            return Err("cannot checkpoint with buffered unexecuted accesses".to_owned());
+        }
+        let shards = self
+            .shards
+            .iter()
+            .enumerate()
+            .map(|(c, s)| s.snapshot().map_err(|e| format!("channel {c}: {e}")))
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(obj(vec![
+            ("clock", JsonValue::U64(self.clock)),
+            ("routed", JsonValue::U64(self.routed)),
+            ("shards", JsonValue::Arr(shards)),
+        ]))
+    }
+
+    /// Replays state captured by [`snapshot`](Self::snapshot) into this
+    /// system, which must have been built from the same configuration (the
+    /// snapshot stores no geometry or policy; the builder pins them).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or mismatched field —
+    /// wrong channel count, or any shard-level rejection. Shards restore in
+    /// channel order; on error, earlier shards may already hold the
+    /// checkpoint's state, so discard the system rather than resuming it.
+    pub fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+        let clock = u64_field(state, "clock")?;
+        let routed = u64_field(state, "routed")?;
+        let shards = field(state, "shards")?
+            .as_arr()
+            .ok_or_else(|| "field `shards` is not an array".to_owned())?;
+        if shards.len() != self.shards.len() {
+            return Err(format!(
+                "checkpoint has {} channel shard(s), system has {}",
+                shards.len(),
+                self.shards.len()
+            ));
+        }
+        for (c, shard_state) in shards.iter().enumerate() {
+            self.shards[c].restore(shard_state).map_err(|e| format!("channel {c}: {e}"))?;
+        }
+        self.clock = clock;
+        self.routed = routed;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -404,6 +466,29 @@ mod tests {
         }
         // The two good accesses were flushed before the error surfaced.
         assert_eq!(sys.finish().merged.accesses, 2);
+    }
+
+    #[test]
+    fn system_checkpoint_resumes_bit_identically_through_json_text() {
+        let accesses = trace(40_000);
+        let mut full = system(64);
+        full.run_batched(&accesses[..20_000]);
+        let text = full.snapshot().unwrap().to_string();
+        let mut resumed = system(64);
+        resumed.restore(&telemetry::json::parse(&text).unwrap()).unwrap();
+        full.run_batched(&accesses[20_000..]);
+        resumed.run_batched(&accesses[20_000..]);
+        assert_eq!(full.clock(), resumed.clock());
+        assert_eq!(full.finish(), resumed.finish());
+        assert_eq!(full.snapshot().unwrap().to_string(), resumed.snapshot().unwrap().to_string());
+    }
+
+    #[test]
+    fn system_restore_rejects_wrong_shard_count() {
+        let mut sys = system(64);
+        let state = telemetry::json::parse("{\"clock\":0,\"routed\":0,\"shards\":[]}").unwrap();
+        let err = sys.restore(&state).unwrap_err();
+        assert!(err.contains("shard"), "{err}");
     }
 
     #[test]

@@ -128,6 +128,30 @@ pub trait RowHammerDefense {
     /// own windows; exposed for tests and reuse across runs).
     fn reset(&mut self);
 
+    /// Serializes the defense's complete dynamic state as a JSON value for
+    /// a run checkpoint, such that [`restore_state`](Self::restore_state) on
+    /// a freshly configured instance of the same scheme resumes
+    /// bit-identically to the snapshotted one. Default: checkpointing is
+    /// unsupported — the streaming fleet runner refuses to checkpoint a run
+    /// whose defense cannot round-trip its state, rather than silently
+    /// resuming from a reset tracker.
+    fn snapshot_state(&self) -> Result<telemetry::json::JsonValue, String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
+    /// Replays state captured by [`snapshot_state`](Self::snapshot_state)
+    /// into this instance. The instance must have been built from the same
+    /// configuration as the snapshotted one; implementations validate what
+    /// they can (scheme tag, table dimensions) and refuse mismatches.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed or mismatched field, or
+    /// the unsupported-checkpointing default.
+    fn restore_state(&mut self, _state: &telemetry::json::JsonValue) -> Result<(), String> {
+        Err(format!("{} does not support checkpointing", self.name()))
+    }
+
     /// Injects one tracker-layer fault (an SRAM soft error or a transient
     /// CAM mismatch) into the defense's internal state. Returns `true` if
     /// the fault was applied, `false` if the scheme has no corresponding

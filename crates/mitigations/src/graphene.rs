@@ -2,8 +2,12 @@
 
 use dram_model::geometry::RowId;
 use dram_model::timing::Picoseconds;
-use graphene_core::{ConfigError, Graphene, GrapheneConfig};
+use graphene_core::mechanism::GrapheneSnapshot;
+use graphene_core::table::TableSnapshot;
+use graphene_core::{CamStats, ConfigError, Graphene, GrapheneConfig, GrapheneStats};
+use telemetry::json::JsonValue;
 
+use crate::ckpt::{expect_scheme, field, lane, obj, u32_lane, u64_field, u64_lane};
 use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
 
 /// Adapter exposing [`graphene_core::Graphene`] as a [`RowHammerDefense`].
@@ -81,6 +85,85 @@ impl RowHammerDefense for GrapheneDefense {
         self.inner.force_reset();
     }
 
+    fn snapshot_state(&self) -> Result<JsonValue, String> {
+        let s = self.inner.snapshot();
+        Ok(obj(vec![
+            ("scheme", JsonValue::Str("graphene".to_owned())),
+            ("current_window", JsonValue::U64(s.current_window)),
+            ("nrrs_this_window", JsonValue::U64(s.nrrs_this_window)),
+            (
+                "stats",
+                obj(vec![
+                    ("activations", JsonValue::U64(s.stats.activations)),
+                    ("nrrs_issued", JsonValue::U64(s.stats.nrrs_issued)),
+                    ("victim_rows_requested", JsonValue::U64(s.stats.victim_rows_requested)),
+                    ("table_resets", JsonValue::U64(s.stats.table_resets)),
+                    ("evictions", JsonValue::U64(s.stats.evictions)),
+                ]),
+            ),
+            (
+                "table",
+                obj(vec![
+                    ("keys", lane(s.table.keys.iter().map(|&k| u64::from(k)))),
+                    ("low", lane(s.table.low.iter().map(|&k| u64::from(k)))),
+                    ("valid", lane(s.table.valid.iter().copied())),
+                    ("overflow", lane(s.table.overflow.iter().map(|&b| u64::from(b)))),
+                    ("crossings", lane(s.table.crossings.iter().copied())),
+                    ("spillover", JsonValue::U64(s.table.spillover)),
+                    ("acts_since_reset", JsonValue::U64(s.table.acts_since_reset)),
+                    (
+                        "cam",
+                        obj(vec![
+                            ("addr_searches", JsonValue::U64(s.table.stats.addr_searches)),
+                            ("addr_writes", JsonValue::U64(s.table.stats.addr_writes)),
+                            ("count_searches", JsonValue::U64(s.table.stats.count_searches)),
+                            ("count_writes", JsonValue::U64(s.table.stats.count_writes)),
+                            (
+                                "spillover_increments",
+                                JsonValue::U64(s.table.stats.spillover_increments),
+                            ),
+                        ]),
+                    ),
+                ]),
+            ),
+        ]))
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        expect_scheme(state, "graphene")?;
+        let table = field(state, "table")?;
+        let stats = field(state, "stats")?;
+        let cam = field(table, "cam")?;
+        let snap = GrapheneSnapshot {
+            table: TableSnapshot {
+                keys: u32_lane(table, "keys")?,
+                low: u32_lane(table, "low")?,
+                valid: u64_lane(table, "valid")?,
+                overflow: u64_lane(table, "overflow")?.into_iter().map(|b| b != 0).collect(),
+                crossings: u64_lane(table, "crossings")?,
+                spillover: u64_field(table, "spillover")?,
+                acts_since_reset: u64_field(table, "acts_since_reset")?,
+                stats: CamStats {
+                    addr_searches: u64_field(cam, "addr_searches")?,
+                    addr_writes: u64_field(cam, "addr_writes")?,
+                    count_searches: u64_field(cam, "count_searches")?,
+                    count_writes: u64_field(cam, "count_writes")?,
+                    spillover_increments: u64_field(cam, "spillover_increments")?,
+                },
+            },
+            current_window: u64_field(state, "current_window")?,
+            stats: GrapheneStats {
+                activations: u64_field(stats, "activations")?,
+                nrrs_issued: u64_field(stats, "nrrs_issued")?,
+                victim_rows_requested: u64_field(stats, "victim_rows_requested")?,
+                table_resets: u64_field(stats, "table_resets")?,
+                evictions: u64_field(stats, "evictions")?,
+            },
+            nrrs_this_window: u64_field(state, "nrrs_this_window")?,
+        };
+        self.inner.restore(&snap)
+    }
+
     fn inject_fault(&mut self, fault: &faultsim::TrackerFault) -> bool {
         let table = self.inner.table_mut();
         match *fault {
@@ -125,5 +208,39 @@ mod tests {
     fn refresh_tick_is_noop() {
         let mut d = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
         assert!(d.on_refresh_tick(0).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_round_trips_through_json_text() {
+        let mut live = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        for i in 0..20_000u64 {
+            let row = RowId(if i % 5 == 0 { 40 } else { 1_000 + (i % 23) as u32 });
+            live.on_activation(row, i * 45_000);
+        }
+        // Render → text → parse, as the checkpoint file does.
+        let text = live.snapshot_state().unwrap().to_string();
+        let state = telemetry::json::parse(&text).unwrap();
+
+        let mut resumed = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        resumed.restore_state(&state).unwrap();
+        assert_eq!(resumed.inner().snapshot(), live.inner().snapshot());
+
+        // Identical continuations.
+        for i in 20_000..60_000u64 {
+            let row = RowId(if i % 5 == 0 { 40 } else { 1_000 + (i % 23) as u32 });
+            assert_eq!(
+                live.on_activation(row, i * 45_000),
+                resumed.on_activation(row, i * 45_000),
+                "act {i}"
+            );
+        }
+        assert_eq!(resumed.inner().snapshot(), live.inner().snapshot());
+    }
+
+    #[test]
+    fn checkpoint_rejects_foreign_scheme() {
+        let mut d = GrapheneDefense::from_config(&GrapheneConfig::micro2020()).unwrap();
+        let err = d.restore_state(&telemetry::json::parse("{\"scheme\":\"para\"}").unwrap());
+        assert!(err.unwrap_err().contains("scheme `para`"));
     }
 }

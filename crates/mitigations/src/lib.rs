@@ -39,6 +39,7 @@
 
 pub mod audit;
 pub mod cbt;
+pub(crate) mod ckpt;
 pub mod cra;
 pub mod defense;
 pub mod graphene;

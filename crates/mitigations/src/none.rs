@@ -2,7 +2,9 @@
 
 use dram_model::geometry::RowId;
 use dram_model::timing::Picoseconds;
+use telemetry::json::JsonValue;
 
+use crate::ckpt::{expect_scheme, obj};
 use crate::defense::{RefreshAction, RowHammerDefense, TableBits};
 
 /// A defense that does nothing — the unprotected baseline against which
@@ -32,6 +34,15 @@ impl RowHammerDefense for NoDefense {
     }
 
     fn reset(&mut self) {}
+
+    fn snapshot_state(&self) -> Result<JsonValue, String> {
+        // Stateless: the scheme tag is the whole checkpoint.
+        Ok(obj(vec![("scheme", JsonValue::Str("none".to_owned()))]))
+    }
+
+    fn restore_state(&mut self, state: &JsonValue) -> Result<(), String> {
+        expect_scheme(state, "none")
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,593 @@
+//! Bounded-memory fleet replay: stream an RHT3 trace from disk through the
+//! sharded SPSC pipeline in checkpointed segments.
+//!
+//! The matrix runners materialize workloads in memory; a fleet-scale trace
+//! (hundreds of millions of ACTs from thousands of tenants) cannot be. This
+//! module drives the [`sharded`](crate::sharded) pipeline straight from a
+//! [`TraceReader`] — the reader refills one chunk at a time, the router
+//! streams stamped batches into bounded per-channel SPSC queues, and the
+//! shards drain them concurrently — so resident memory stays O(chunk +
+//! queue depth) regardless of trace length.
+//!
+//! Execution is **segmented**: [`run_fleet`] streams `segment` accesses,
+//! quiesces the pipeline, writes a `fleetckpt.v1` checkpoint (the JSONL
+//! idiom of [`faultsim`]'s serial module: a schema-tagged header line, then
+//! one line per channel shard), reports progress, and repeats. A killed run
+//! resumes from the last checkpoint via [`TraceReader::skip_to`] plus
+//! [`SystemController::restore`], and — because the trace is pre-synthesized
+//! and every layer's checkpoint is exact — the resumed run is
+//! **bit-identical** to an uninterrupted one at every worker count. The
+//! `fleet_replay` integration test pins this with a proptest across 1/2/4
+//! workers and arbitrary kill points.
+//!
+//! [`synth_fleet_trace`] writes the multi-tenant input: thousands of
+//! interleaved clients — Zipf/streaming SPEC-like proxies seasoned with
+//! throttled row-hammer attackers — merged by arrival time through a k-way
+//! heap and recorded incrementally, so synthesis is bounded-memory too.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dram_model::geometry::DramGeometry;
+use memctrl::{MappingPolicy, McBuilder, McConfig, StampedAccess, SystemController, SystemStats};
+use telemetry::json::{self, JsonValue};
+use workloads::{
+    Access, ProxyWorkload, RateLimited, SpecPreset, StripedNSided, TraceReader, TraceWriter,
+    Workload,
+};
+
+use crate::pool;
+use crate::scenarios::DefenseSpec;
+use crate::sharded::{pump, QUEUE_DEPTH};
+use crate::spsc;
+
+/// Schema tag of the checkpoint header line.
+pub const FLEET_CKPT_SCHEMA: &str = "fleetckpt.v1";
+
+fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
+    JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
+}
+
+fn u64_field(v: &JsonValue, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_u64)
+        .ok_or_else(|| format!("missing or non-integer field `{key}`"))
+}
+
+fn str_field<'v>(v: &'v JsonValue, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| format!("missing or non-string field `{key}`"))
+}
+
+/// A parsed `fleetckpt.v1` checkpoint: where the run was in the trace plus
+/// the full dynamic state of the sharded system at that point.
+#[derive(Debug, Clone)]
+pub struct FleetCheckpoint {
+    /// Name stamped into the trace this checkpoint belongs to.
+    pub trace: String,
+    /// Trace records fully executed when the checkpoint was taken.
+    pub accesses_done: u64,
+    /// The [`SystemController::restore`] value.
+    state: JsonValue,
+}
+
+impl FleetCheckpoint {
+    /// Replays the checkpointed state into a freshly built system of the
+    /// same configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any shard-level mismatch; on error the system may be
+    /// partially restored and must be discarded.
+    pub fn restore_into(&self, system: &mut SystemController) -> Result<(), String> {
+        system.restore(&self.state)
+    }
+}
+
+/// Writes a `fleetckpt.v1` checkpoint atomically (temp sibling + rename, so
+/// a crash mid-write leaves the previous checkpoint intact).
+///
+/// # Errors
+///
+/// Propagates [`SystemController::snapshot`] refusals (oracle, fault plan,
+/// command log, telemetry tap, uncheckpointable defense) and filesystem
+/// errors, both as strings.
+pub fn write_fleet_checkpoint(
+    path: &Path,
+    trace_name: &str,
+    accesses_done: u64,
+    system: &SystemController,
+) -> Result<(), String> {
+    let snap = system.snapshot()?;
+    let shards = snap
+        .get("shards")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| "system snapshot lacks a `shards` array".to_owned())?;
+    let mut text = String::new();
+    let header = obj(vec![
+        ("schema", JsonValue::Str(FLEET_CKPT_SCHEMA.to_owned())),
+        ("trace", JsonValue::Str(trace_name.to_owned())),
+        ("accesses_done", JsonValue::U64(accesses_done)),
+        ("clock", JsonValue::U64(u64_field(&snap, "clock")?)),
+        ("routed", JsonValue::U64(u64_field(&snap, "routed")?)),
+        ("channels", JsonValue::U64(shards.len() as u64)),
+    ]);
+    text.push_str(&header.to_string());
+    text.push('\n');
+    for shard in shards {
+        text.push_str(&shard.to_string());
+        text.push('\n');
+    }
+    let tmp = path.with_extension("ckpt.tmp");
+    let io = |e: std::io::Error| format!("checkpoint write {}: {e}", path.display());
+    {
+        let mut f = fs::File::create(&tmp).map_err(io)?;
+        f.write_all(text.as_bytes()).map_err(io)?;
+        f.sync_all().map_err(io)?;
+    }
+    fs::rename(&tmp, path).map_err(io)
+}
+
+/// Reads and validates a `fleetckpt.v1` checkpoint file.
+///
+/// # Errors
+///
+/// Reports the first malformed line: wrong schema tag, a non-object line,
+/// or a channel count disagreeing with the shard lines present.
+pub fn read_fleet_checkpoint(path: &Path) -> Result<FleetCheckpoint, String> {
+    let text =
+        fs::read_to_string(path).map_err(|e| format!("checkpoint read {}: {e}", path.display()))?;
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = json::parse(lines.next().ok_or("empty checkpoint file")?)
+        .map_err(|e| format!("checkpoint header: {e}"))?;
+    let schema = str_field(&header, "schema")?;
+    if schema != FLEET_CKPT_SCHEMA {
+        return Err(format!("checkpoint schema is `{schema}`, expected `{FLEET_CKPT_SCHEMA}`"));
+    }
+    let channels = u64_field(&header, "channels")?;
+    let shards = lines
+        .enumerate()
+        .map(|(i, line)| json::parse(line).map_err(|e| format!("checkpoint shard line {i}: {e}")))
+        .collect::<Result<Vec<_>, String>>()?;
+    if shards.len() as u64 != channels {
+        return Err(format!(
+            "checkpoint header promises {channels} channel(s), found {} shard line(s)",
+            shards.len()
+        ));
+    }
+    Ok(FleetCheckpoint {
+        trace: str_field(&header, "trace")?.to_owned(),
+        accesses_done: u64_field(&header, "accesses_done")?,
+        state: obj(vec![
+            ("clock", JsonValue::U64(u64_field(&header, "clock")?)),
+            ("routed", JsonValue::U64(u64_field(&header, "routed")?)),
+            ("shards", JsonValue::Arr(shards)),
+        ]),
+    })
+}
+
+/// Streams exactly `n` accesses from `reader` through the split pipeline:
+/// the router rides the calling thread, shards drain their queues on `threads`
+/// pool workers. Identical mechanics to
+/// [`run_system_sharded`](crate::run_system_sharded), minus the workload
+/// factory: the reader IS the stream.
+fn stream_segment(
+    system: &mut SystemController,
+    reader: &mut TraceReader,
+    n: u64,
+    threads: usize,
+    batch: usize,
+) {
+    let channels = system.geometry().channels as usize;
+    let mut queues: Vec<spsc::SpscQueue<Vec<StampedAccess>>> =
+        (0..channels).map(|_| spsc::SpscQueue::new(QUEUE_DEPTH)).collect();
+    let (mut router, shards) = system.split_streaming();
+    let mut producers = Vec::with_capacity(channels);
+    let mut consumers = Vec::with_capacity(channels);
+    for q in &mut queues {
+        let (tx, rx) = q.split();
+        producers.push(tx);
+        consumers.push(rx);
+    }
+    let jobs: Vec<pool::Job<'_>> = shards
+        .iter_mut()
+        .zip(consumers)
+        .map(|(shard, rx)| pool::job(move |sp| pump(shard, rx, sp)))
+        .collect();
+    pool::run_scoped_with_driver(threads, jobs, move || {
+        let mut pending: Vec<Vec<StampedAccess>> =
+            (0..channels).map(|_| Vec::with_capacity(batch)).collect();
+        for _ in 0..n {
+            let access = reader.next_access();
+            // invariant: both the trace header and every record were
+            // validated against this geometry on read.
+            let (c, stamped) =
+                router.route_one(&access).unwrap_or_else(|e| panic!("fleet trace: {e}"));
+            pending[c].push(stamped);
+            if pending[c].len() == batch {
+                let full = std::mem::replace(&mut pending[c], Vec::with_capacity(batch));
+                producers[c].push_blocking(full);
+            }
+        }
+        for (c, buf) in pending.into_iter().enumerate() {
+            if !buf.is_empty() {
+                producers[c].push_blocking(buf);
+            }
+        }
+        // Dropping the producers closes the queues; pumps drain and exit.
+    });
+}
+
+/// Configuration of one fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Controller configuration; its geometry must match the trace header.
+    /// Must carry no fault oracle when checkpointing (snapshots refuse it).
+    pub system: McConfig,
+    /// Address-mapping policy of the routing front end.
+    pub policy: MappingPolicy,
+    /// Defense instantiated per bank.
+    pub defense: DefenseSpec,
+    /// Wrap every defense in the invariant-auditing shim.
+    pub audit: bool,
+    /// Worker threads draining the channel queues.
+    pub threads: usize,
+    /// Stamped accesses per SPSC batch.
+    pub batch: usize,
+    /// Accesses per streaming segment; the pipeline quiesces and a
+    /// checkpoint is written after each.
+    pub segment: u64,
+    /// Checkpoint file. When the file already exists, the run **resumes**
+    /// from it instead of starting over.
+    pub checkpoint: Option<PathBuf>,
+    /// Stop (after checkpointing) once this many trace records have been
+    /// executed — the kill switch the resume test and CI smoke use.
+    pub stop_after: Option<u64>,
+}
+
+impl FleetConfig {
+    /// A paper-geometry replay with the given defense: micro2020 system
+    /// (no oracle — checkpoints refuse one), bank-interleaved routing,
+    /// 4 workers, 64-access batches, 1M-access segments.
+    pub fn micro2020(defense: DefenseSpec) -> Self {
+        FleetConfig {
+            system: McConfig::micro2020_no_oracle(),
+            policy: MappingPolicy::BankInterleaved,
+            defense,
+            audit: false,
+            threads: 4,
+            batch: 64,
+            segment: 1_000_000,
+            checkpoint: None,
+            stop_after: None,
+        }
+    }
+}
+
+/// Progress report delivered to the [`run_fleet`] callback after every
+/// segment (post-checkpoint, so a consumer that dies mid-callback loses
+/// nothing).
+#[derive(Debug, Clone)]
+pub struct FleetProgress {
+    /// Trace records executed so far (across resumes).
+    pub accesses_done: u64,
+    /// Total records this run will execute (respects `stop_after`).
+    pub goal: u64,
+    /// Records stamped into the trace header.
+    pub trace_len: u64,
+    /// Simulated time (ps) of the routing front end.
+    pub clock: u64,
+    /// Cumulative per-channel and merged counters.
+    pub stats: SystemStats,
+}
+
+/// Result of a fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// Final cumulative statistics.
+    pub stats: SystemStats,
+    /// Trace records executed when the run ended.
+    pub accesses_done: u64,
+    /// Records stamped into the trace header.
+    pub trace_len: u64,
+    /// Set when the run resumed from an existing checkpoint, to the record
+    /// count it resumed at.
+    pub resumed_from: Option<u64>,
+    /// Streaming segments executed by **this** invocation.
+    pub segments: u64,
+}
+
+/// Streams `trace` through a sharded system in checkpointed segments,
+/// invoking `on_segment` after each. See the module docs for the memory
+/// and bit-identity contracts.
+///
+/// # Errors
+///
+/// Reports (as strings) an unreadable or geometry-mismatched trace, a
+/// corrupt or foreign checkpoint, and checkpoint write failures.
+///
+/// # Panics
+///
+/// Panics if `threads`, `batch`, or `segment` is zero, or if the trace
+/// stream fails mid-read (truncated file).
+pub fn run_fleet(
+    cfg: &FleetConfig,
+    trace: &Path,
+    mut on_segment: impl FnMut(&FleetProgress),
+) -> Result<FleetReport, String> {
+    assert!(cfg.threads > 0, "need at least one worker thread");
+    assert!(cfg.batch > 0, "batch of 0 dispatches nothing");
+    assert!(cfg.segment > 0, "segment of 0 makes no progress");
+    let mut reader = TraceReader::open_for(trace, &cfg.system.geometry)
+        .map_err(|e| format!("trace {}: {e}", trace.display()))?;
+    let trace_len = reader.len();
+    let mut system = McBuilder::new(cfg.system.clone())
+        .mapping(cfg.policy)
+        .defenses(&cfg.defense)
+        .audit(cfg.audit)
+        .build_system();
+    let mut done = 0u64;
+    let mut resumed_from = None;
+    if let Some(path) = &cfg.checkpoint {
+        if path.exists() {
+            let ckpt = read_fleet_checkpoint(path)?;
+            if ckpt.trace != reader.name() {
+                return Err(format!(
+                    "checkpoint belongs to trace `{}`, not `{}`",
+                    ckpt.trace,
+                    reader.name()
+                ));
+            }
+            if ckpt.accesses_done > trace_len {
+                return Err(format!(
+                    "checkpoint claims {} records done of a {trace_len}-record trace",
+                    ckpt.accesses_done
+                ));
+            }
+            ckpt.restore_into(&mut system)?;
+            reader
+                .skip_to(ckpt.accesses_done)
+                .map_err(|e| format!("trace seek to {}: {e}", ckpt.accesses_done))?;
+            done = ckpt.accesses_done;
+            resumed_from = Some(done);
+        }
+    }
+    let goal = cfg.stop_after.map_or(trace_len, |s| s.min(trace_len)).max(done);
+    let mut segments = 0u64;
+    while done < goal {
+        let n = cfg.segment.min(goal - done);
+        stream_segment(&mut system, &mut reader, n, cfg.threads, cfg.batch);
+        done += n;
+        segments += 1;
+        if let Some(path) = &cfg.checkpoint {
+            write_fleet_checkpoint(path, &reader.name(), done, &system)?;
+        }
+        let progress = FleetProgress {
+            accesses_done: done,
+            goal,
+            trace_len,
+            clock: system.clock(),
+            stats: system.finish(),
+        };
+        on_segment(&progress);
+    }
+    Ok(FleetReport {
+        stats: system.finish(),
+        accesses_done: done,
+        trace_len,
+        resumed_from,
+        segments,
+    })
+}
+
+/// splitmix64: derives decorrelated per-client seeds from one fleet seed
+/// without pulling a PRNG dependency into this crate.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Builds the fleet's client population: every 16th client is a throttled
+/// 4-sided row-hammer attacker, the rest are SPEC-like proxies cycling
+/// through every preset (the streaming presets — libquantum, lbm, RADIX —
+/// give the mix its sequential-walk tenants, the rest its Zipf tenants).
+fn fleet_clients(
+    geometry: &DramGeometry,
+    clients: u16,
+    seed: u64,
+) -> Vec<Box<dyn Workload + Send>> {
+    let banks = geometry.total_banks() as u16;
+    let rows = geometry.rows_per_bank;
+    let presets = SpecPreset::all();
+    (0..clients)
+        .map(|i| {
+            let client_seed = splitmix64(seed ^ (u64::from(i) << 1));
+            if i % 16 == 0 {
+                // Spread attackers' victims over the row space; throttle to
+                // one ACT per ~50 ns so no single tenant saturates the bus.
+                let victim = 8 + (client_seed as u32 % rows.saturating_sub(16).max(1));
+                let attack = StripedNSided::new(victim, 4, banks, rows);
+                Box::new(RateLimited::new(attack, 50_000 + (client_seed % 8) * 10_000))
+                    as Box<dyn Workload + Send>
+            } else {
+                let preset = presets[usize::from(i) % presets.len()];
+                Box::new(ProxyWorkload::from_preset(preset, banks, rows, client_seed))
+            }
+        })
+        .collect()
+}
+
+/// Synthesizes a multi-tenant RHT3 trace: `clients` independent tenant
+/// streams merged by arrival time (a k-way heap merge, each stream keeping
+/// its own clock) and recorded incrementally — memory stays O(clients +
+/// chunk) no matter how many records are written. Each record's `stream` id
+/// is its client index, so per-tenant latency attribution survives replay.
+///
+/// # Errors
+///
+/// Propagates trace-writer I/O errors.
+///
+/// # Panics
+///
+/// Panics if `clients` is zero.
+pub fn synth_fleet_trace(
+    path: &Path,
+    name: &str,
+    geometry: &DramGeometry,
+    clients: u16,
+    accesses: u64,
+    seed: u64,
+) -> std::io::Result<()> {
+    assert!(clients > 0, "need at least one client");
+    let mut streams = fleet_clients(geometry, clients, seed);
+    let mut writer = TraceWriter::create(path, name, *geometry)?;
+    // Heap of (next arrival, client); ties break on the lower client index,
+    // so synthesis is deterministic.
+    let mut heap: BinaryHeap<Reverse<(u64, u16)>> = BinaryHeap::with_capacity(streams.len());
+    let mut pending: Vec<Access> = Vec::with_capacity(streams.len());
+    for (i, s) in streams.iter_mut().enumerate() {
+        let a = s.next_access();
+        heap.push(Reverse((a.gap, i as u16)));
+        pending.push(a);
+    }
+    let mut last_emitted = 0u64;
+    for _ in 0..accesses {
+        let Reverse((at, idx)) = heap.pop().expect("heap holds one entry per client");
+        let access = pending[usize::from(idx)];
+        let next = streams[usize::from(idx)].next_access();
+        pending[usize::from(idx)] = next;
+        heap.push(Reverse((at.saturating_add(next.gap), idx)));
+        writer.push(&Access { gap: at.saturating_sub(last_emitted), stream: idx, ..access })?;
+        last_emitted = at;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp(name: &str) -> PathBuf {
+        static UNIQ: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join("graphene_repro_fleet");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(format!(
+            "{}-{}-{}",
+            std::process::id(),
+            UNIQ.fetch_add(1, Ordering::Relaxed),
+            name
+        ))
+    }
+
+    fn small_cfg() -> FleetConfig {
+        let mut cfg = FleetConfig::micro2020(DefenseSpec::Graphene { t_rh: 2_000, k: 2 });
+        cfg.system.geometry = DramGeometry {
+            channels: 4,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 4_096,
+        };
+        cfg.threads = 2;
+        cfg.batch = 32;
+        cfg.segment = 5_000;
+        cfg
+    }
+
+    fn small_trace(cfg: &FleetConfig, accesses: u64) -> PathBuf {
+        let path = tmp("fleet.rht3");
+        synth_fleet_trace(&path, "fleet-test", &cfg.system.geometry, 48, accesses, 7).unwrap();
+        path
+    }
+
+    #[test]
+    fn synthesized_fleet_mixes_tenants_and_replays_fully() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 12_000);
+        let mut segments_seen = 0;
+        let report = run_fleet(&cfg, &trace, |p| {
+            segments_seen += 1;
+            assert!(p.accesses_done <= p.goal);
+        })
+        .unwrap();
+        assert_eq!(report.accesses_done, 12_000);
+        assert_eq!(report.segments, 3);
+        assert_eq!(segments_seen, 3);
+        assert_eq!(report.stats.merged.accesses, 12_000);
+        // The interleave reaches every channel and carries many tenants.
+        assert!(report.stats.per_channel.iter().all(|s| s.accesses > 0));
+        assert!(report.stats.merged.per_stream.iter().filter(|&&(n, _)| n > 0).count() > 16);
+        fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn kill_and_resume_is_bit_identical_to_uninterrupted() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 20_000);
+        let uninterrupted = run_fleet(&cfg, &trace, |_| {}).unwrap();
+
+        let ckpt = tmp("fleet.ckpt");
+        let mut killed = cfg.clone();
+        killed.checkpoint = Some(ckpt.clone());
+        killed.stop_after = Some(7_500); // mid-segment kill: a short final segment
+        let first = run_fleet(&killed, &trace, |_| {}).unwrap();
+        assert_eq!(first.accesses_done, 7_500);
+        assert!(first.resumed_from.is_none());
+
+        let mut resumed = killed.clone();
+        resumed.stop_after = None;
+        let second = run_fleet(&resumed, &trace, |_| {}).unwrap();
+        assert_eq!(second.resumed_from, Some(first.accesses_done));
+        assert_eq!(second.accesses_done, 20_000);
+        assert_eq!(second.stats, uninterrupted.stats, "resume must be bit-identical");
+        fs::remove_file(&trace).ok();
+        fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn checkpoint_for_a_different_trace_is_refused() {
+        let cfg = small_cfg();
+        let trace_a = small_trace(&cfg, 6_000);
+        let ckpt = tmp("fleet.ckpt");
+        let mut with_ckpt = cfg.clone();
+        with_ckpt.checkpoint = Some(ckpt.clone());
+        run_fleet(&with_ckpt, &trace_a, |_| {}).unwrap();
+
+        let trace_b = tmp("other.rht3");
+        synth_fleet_trace(&trace_b, "other-fleet", &cfg.system.geometry, 8, 1_000, 9).unwrap();
+        let err = run_fleet(&with_ckpt, &trace_b, |_| {}).unwrap_err();
+        assert!(err.contains("belongs to trace"), "{err}");
+        for p in [trace_a, trace_b, ckpt] {
+            fs::remove_file(&p).ok();
+        }
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_a_typed_error_not_a_crash() {
+        let path = tmp("bad.ckpt");
+        fs::write(&path, "{\"schema\":\"somethingelse.v9\",\"channels\":0}\n").unwrap();
+        let err = read_fleet_checkpoint(&path).unwrap_err();
+        assert!(err.contains("fleetckpt.v1"), "{err}");
+        fs::write(&path, "").unwrap();
+        assert!(read_fleet_checkpoint(&path).unwrap_err().contains("empty"));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn checkpoint_refuses_oracle_armed_systems() {
+        let mut cfg = small_cfg();
+        cfg.system = McConfig::micro2020(); // carries the ground-truth oracle
+        cfg.system.geometry.rows_per_bank = 4_096;
+        cfg.checkpoint = Some(tmp("refused.ckpt"));
+        let trace = small_trace(&cfg, 6_000);
+        let err = run_fleet(&cfg, &trace, |_| {}).unwrap_err();
+        assert!(err.contains("fault oracle"), "{err}");
+        fs::remove_file(&trace).ok();
+    }
+}

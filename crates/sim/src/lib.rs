@@ -23,6 +23,10 @@
 //!   defenses and workloads, measuring false negatives, audit detections,
 //!   and graceful degradation under injected tracker, controller, and
 //!   harness faults.
+//! * [`fleet`] — bounded-memory fleet replay: RHT3 traces streamed from
+//!   disk through the sharded pipeline in checkpointed segments, with
+//!   bit-identical kill/resume via `fleetckpt.v1` checkpoints and
+//!   multi-tenant trace synthesis.
 //!
 //! # Example
 //!
@@ -39,6 +43,7 @@
 //! ```
 
 pub mod faulted;
+pub mod fleet;
 pub mod pool;
 pub mod runner;
 pub mod scenarios;
@@ -47,6 +52,10 @@ pub mod spsc;
 
 pub use faulted::{
     plan_label, run_matrix_faulted, CellOutcome, FaultedRun, ResilienceCell, ResilienceReport,
+};
+pub use fleet::{
+    read_fleet_checkpoint, run_fleet, synth_fleet_trace, write_fleet_checkpoint, FleetCheckpoint,
+    FleetConfig, FleetProgress, FleetReport, FLEET_CKPT_SCHEMA,
 };
 pub use pool::{PoolReport, WatchdogConfig};
 pub use runner::{

@@ -37,7 +37,7 @@ use crate::spsc;
 /// Batches in flight per channel queue: enough to decouple the router from
 /// a momentarily busy shard without ballooning memory (depth × batch
 /// accesses buffered per channel).
-const QUEUE_DEPTH: usize = 16;
+pub(crate) const QUEUE_DEPTH: usize = 16;
 
 /// Empty polls a shard job tolerates before re-enqueueing itself and
 /// releasing its worker — the cooperative yield that keeps the pipeline
@@ -51,7 +51,7 @@ const PUMP_IDLE_POLLS: u32 = 4;
 /// A shard's consumer loop: drain the channel queue batch by batch until
 /// the router closes it. On a dry spell the job re-enqueues itself (moving
 /// to the back of the worker's deque) instead of camping on the worker.
-fn pump<'env>(
+pub(crate) fn pump<'env>(
     shard: &'env mut MemoryController,
     mut rx: spsc::Consumer<'env, Vec<StampedAccess>>,
     sp: &pool::Spawner<'env, '_>,

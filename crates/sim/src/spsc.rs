@@ -39,23 +39,65 @@ pub struct SpscQueue<T> {
 // threads at once.
 unsafe impl<T: Send> Sync for SpscQueue<T> {}
 
+/// A requested ring capacity that cannot be rounded up to a power of two
+/// without overflowing `usize` (anything above 2⁶³ on 64-bit hosts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityTooLarge {
+    /// The capacity the caller asked for.
+    pub requested: usize,
+}
+
+impl std::fmt::Display for CapacityTooLarge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "queue capacity {} exceeds the largest power-of-two ring ({})",
+            self.requested,
+            1usize << (usize::BITS - 1)
+        )
+    }
+}
+
+impl std::error::Error for CapacityTooLarge {}
+
 impl<T> SpscQueue<T> {
     /// A ring holding at least `capacity` items (rounded up to a power of
     /// two).
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0`.
+    /// Panics if `capacity == 0` or the round-up overflows
+    /// ([`CapacityTooLarge`]); use [`try_new`](Self::try_new) to handle the
+    /// limit as an error.
     pub fn new(capacity: usize) -> Self {
+        Self::try_new(capacity).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`new`](Self::new), surfacing an un-roundable capacity as an
+    /// error. `next_power_of_two()` on a request above 2⁶³ panics in debug
+    /// and wraps to 0 in release — which would make `mask` wrap to
+    /// `usize::MAX` and index far outside the slot array — so the round-up
+    /// is checked before anything is allocated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityTooLarge`] when `capacity` exceeds the largest
+    /// representable power of two.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn try_new(capacity: usize) -> Result<Self, CapacityTooLarge> {
         assert!(capacity > 0, "queue needs room for at least one item");
-        let cap = capacity.next_power_of_two();
-        SpscQueue {
+        let cap =
+            capacity.checked_next_power_of_two().ok_or(CapacityTooLarge { requested: capacity })?;
+        Ok(SpscQueue {
             slots: (0..cap).map(|_| UnsafeCell::new(MaybeUninit::uninit())).collect(),
             mask: cap - 1,
             head: AtomicUsize::new(0),
             tail: AtomicUsize::new(0),
             closed: AtomicBool::new(false),
-        }
+        })
     }
 
     /// The rounded-up capacity.
@@ -186,6 +228,24 @@ mod tests {
     fn capacity_rounds_up_to_power_of_two() {
         let q = SpscQueue::<u32>::new(5);
         assert_eq!(q.capacity(), 8);
+    }
+
+    #[test]
+    fn oversized_capacity_is_a_typed_error_not_a_wrap() {
+        // Regression: `next_power_of_two()` on a request above 2^63 panics
+        // in debug and wraps to 0 in release, wrapping `mask` to
+        // usize::MAX. The checked round-up reports the limit instead
+        // (before allocating anything).
+        for requested in [usize::MAX, (1usize << (usize::BITS - 1)) + 1] {
+            let err = SpscQueue::<u8>::try_new(requested).err().expect("must hit the limit");
+            assert_eq!(err, CapacityTooLarge { requested });
+            assert!(err.to_string().contains("exceeds"));
+        }
+        // The largest power of two itself needs no rounding — accepted by
+        // the checked path (constructing it would allocate 2^63 slots, so
+        // only the boundary arithmetic of the round-up is what's pinned
+        // here, via the value one past it above).
+        assert!(SpscQueue::<u8>::try_new(64).is_ok());
     }
 
     #[test]

@@ -196,7 +196,10 @@ impl Workload for SameRowAllBanks {
     }
 
     fn next_access(&mut self) -> Access {
-        let bank = (self.position % self.banks as usize) as u16;
+        // `position % banks` is bounded by the u16 bank count; the checked
+        // conversion documents that invariant instead of narrowing silently.
+        let bank = u16::try_from(self.position % self.banks as usize)
+            .expect("modulo a u16 bank count fits u16");
         let sweep = self.position / self.banks as usize;
         self.position += 1;
         Access { bank, row: self.aggressors[sweep % 2], gap: 0, stream: 0 }

@@ -40,6 +40,7 @@ pub mod stream;
 pub mod synthetic;
 pub mod throttle;
 pub mod trace;
+pub mod trace3;
 pub mod zipf;
 
 pub use attacks::{NSidedAttack, SameRowAllBanks, StripedNSided};
@@ -49,5 +50,6 @@ pub use spec_like::{ProxyParams, ProxyWorkload, SpecPreset};
 pub use stream::{Access, Workload};
 pub use synthetic::Synthetic;
 pub use throttle::RateLimited;
-pub use trace::{Trace, TraceReplay};
+pub use trace::{Trace, TraceError, TraceReplay};
+pub use trace3::{TraceReader, TraceWriter};
 pub use zipf::Zipf;

@@ -216,7 +216,12 @@ impl Workload for ProxyWorkload {
             self.cursor = (self.cursor + 1) % self.params.footprint_pages;
             self.cursor
         } else {
-            let rank = self.zipf.sample(&mut self.rng) as u32;
+            // The sampler draws from `0..footprint_pages` and the footprint
+            // is a u32, so the rank always fits; a checked conversion turns
+            // any future violation of that invariant into a loud panic
+            // instead of a silently aliased page (the old `as u32` wrapped).
+            let rank = u32::try_from(self.zipf.sample(&mut self.rng))
+                .expect("zipf rank bounded by the u32 footprint");
             let page = self.shuffle_rank(rank);
             self.cursor = page;
             page

@@ -6,14 +6,135 @@
 //! materialized access list with a compact binary encoding
 //! (16 bytes/access: bank `u16`, row `u32`, gap `u64`, stream `u16`,
 //! little-endian).
+//!
+//! The v2 format has no geometry metadata, so a trace recorded for one
+//! bank/row layout replayed against a smaller system produces out-of-range
+//! banks. Decoders that know the target geometry should use
+//! [`Trace::from_bytes_for`] / [`Trace::read_from_file_for`], which reject
+//! such traces up front with a typed [`TraceError`] instead of letting a
+//! late `McError` (or silent per-bank aliasing) surface mid-run. The
+//! streaming v3 format ([`crate::trace3`]) stamps the geometry into the
+//! header so the check needs no out-of-band knowledge.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use dram_model::geometry::RowId;
+use dram_model::geometry::{DramGeometry, RowId};
 
 use crate::stream::{Access, Workload};
 
 /// Magic prefix of the binary encoding (`"RHT2"`).
 const MAGIC: [u8; 4] = *b"RHT2";
+
+/// A malformed, oversized, or geometry-incompatible trace encoding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TraceError {
+    /// Fewer bytes than the fixed header.
+    ShortHeader {
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The magic prefix is not a known trace format.
+    BadMagic {
+        /// The four bytes found where the magic should be.
+        found: [u8; 4],
+    },
+    /// The body length disagrees with the header's record count.
+    LengthMismatch {
+        /// Bytes remaining after the header.
+        body: usize,
+        /// Records the header promised.
+        records: u64,
+    },
+    /// More accesses than the header's length field can carry.
+    TooLong {
+        /// Accesses in the trace.
+        len: usize,
+    },
+    /// The trace was recorded on a different geometry than the replay
+    /// target (v3 traces carry their geometry in the header).
+    GeometryMismatch {
+        /// The geometry the replay runs on.
+        expected: DramGeometry,
+        /// The geometry stamped into the trace.
+        found: DramGeometry,
+    },
+    /// An access addresses a bank or row outside the target geometry.
+    OutOfRange {
+        /// Index of the offending access within the trace.
+        index: u64,
+        /// Its bank index.
+        bank: u16,
+        /// Its row index.
+        row: u32,
+        /// The geometry it was validated against.
+        geometry: DramGeometry,
+    },
+    /// Any other structural corruption (bad varint, truncated chunk, …).
+    Malformed {
+        /// Human-readable description of the corruption.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::ShortHeader { len } => {
+                write!(f, "trace shorter than header ({len} bytes)")
+            }
+            TraceError::BadMagic { found } => write!(f, "bad magic {found:?}"),
+            TraceError::LengthMismatch { body, records } => {
+                write!(f, "body length {body} does not match {records} accesses")
+            }
+            TraceError::TooLong { len } => write!(
+                f,
+                "trace has {len} accesses but the header length field is a u32 (max {})",
+                u32::MAX
+            ),
+            TraceError::GeometryMismatch { expected, found } => {
+                write!(f, "trace recorded for {found:?} cannot replay on {expected:?}")
+            }
+            TraceError::OutOfRange { index, bank, row, geometry } => write!(
+                f,
+                "access #{index} (bank {bank}, row {row}) is outside the target geometry \
+                 ({} banks × {} rows)",
+                geometry.total_banks(),
+                geometry.rows_per_bank
+            ),
+            TraceError::Malformed { detail } => write!(f, "malformed trace: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<TraceError> for std::io::Error {
+    fn from(e: TraceError) -> Self {
+        std::io::Error::new(std::io::ErrorKind::InvalidData, e)
+    }
+}
+
+/// Writes `bytes` to `path` atomically: the content goes to a temp sibling
+/// first and is renamed into place, so a crash mid-write can never leave a
+/// truncated file at `path` that still begins with valid magic — the
+/// destination either keeps its previous content or holds the complete new
+/// encoding.
+pub(crate) fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = tmp_sibling(path);
+    let result = std::fs::write(&tmp, bytes).and_then(|()| std::fs::rename(&tmp, path));
+    if result.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
+}
+
+/// The temp sibling `write_atomic` stages into: same directory (so the
+/// rename cannot cross filesystems), name suffixed with `.tmp`.
+pub(crate) fn tmp_sibling(path: &std::path::Path) -> std::path::PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
 
 /// A recorded access trace.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
@@ -66,16 +187,11 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns an error if the access count does not fit the header's
-    /// `u32` length field.
-    pub fn try_to_bytes(&self) -> Result<Bytes, String> {
-        let n = u32::try_from(self.accesses.len()).map_err(|_| {
-            format!(
-                "trace has {} accesses but the header length field is a u32 (max {})",
-                self.accesses.len(),
-                u32::MAX
-            )
-        })?;
+    /// Returns [`TraceError::TooLong`] if the access count does not fit the
+    /// header's `u32` length field.
+    pub fn try_to_bytes(&self) -> Result<Bytes, TraceError> {
+        let n = u32::try_from(self.accesses.len())
+            .map_err(|_| TraceError::TooLong { len: self.accesses.len() })?;
         let mut buf = BytesMut::with_capacity(4 + 4 + self.accesses.len() * 16);
         buf.put_slice(&MAGIC);
         buf.put_u32_le(n);
@@ -92,20 +208,20 @@ impl Trace {
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformation (bad magic, truncated body,
-    /// trailing bytes).
-    pub fn from_bytes(mut data: Bytes) -> Result<Self, String> {
+    /// Returns the typed malformation (bad magic, truncated body, trailing
+    /// bytes).
+    pub fn from_bytes(mut data: Bytes) -> Result<Self, TraceError> {
         if data.remaining() < 8 {
-            return Err("trace shorter than header".to_owned());
+            return Err(TraceError::ShortHeader { len: data.remaining() });
         }
         let mut magic = [0u8; 4];
         data.copy_to_slice(&mut magic);
         if magic != MAGIC {
-            return Err(format!("bad magic {magic:?}"));
+            return Err(TraceError::BadMagic { found: magic });
         }
         let n = data.get_u32_le() as usize;
         if data.remaining() != n * 16 {
-            return Err(format!("body length {} does not match {n} accesses", data.remaining()));
+            return Err(TraceError::LengthMismatch { body: data.remaining(), records: n as u64 });
         }
         let mut accesses = Vec::with_capacity(n);
         for _ in 0..n {
@@ -118,6 +234,43 @@ impl Trace {
         Ok(Trace { accesses, name: "trace(decoded)".to_owned() })
     }
 
+    /// [`from_bytes`](Self::from_bytes) plus a geometry bound check on
+    /// every decoded access — the v2 header carries no geometry metadata,
+    /// so this is the only way to catch a trace recorded for a larger
+    /// layout before it routes out of range mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Returns the decode errors of [`from_bytes`](Self::from_bytes), or
+    /// [`TraceError::OutOfRange`] naming the first offending access.
+    pub fn from_bytes_for(data: Bytes, geometry: &DramGeometry) -> Result<Self, TraceError> {
+        let trace = Self::from_bytes(data)?;
+        trace.validate_for(geometry)?;
+        Ok(trace)
+    }
+
+    /// Checks every access addresses a bank and row inside `geometry`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::OutOfRange`] for the first access outside the
+    /// geometry.
+    pub fn validate_for(&self, geometry: &DramGeometry) -> Result<(), TraceError> {
+        let banks = geometry.total_banks();
+        let rows = geometry.rows_per_bank;
+        for (i, a) in self.accesses.iter().enumerate() {
+            if u32::from(a.bank) >= banks || a.row.0 >= rows {
+                return Err(TraceError::OutOfRange {
+                    index: i as u64,
+                    bank: a.bank,
+                    row: a.row.0,
+                    geometry: *geometry,
+                });
+            }
+        }
+        Ok(())
+    }
+
     /// An infinitely looping replayer over this trace.
     ///
     /// # Panics
@@ -128,13 +281,16 @@ impl Trace {
         TraceReplay { trace: self.clone(), position: 0 }
     }
 
-    /// Writes the binary form to a file.
+    /// Writes the binary form to a file, atomically: the encoding is staged
+    /// in a temp sibling and renamed into place, so a crash mid-write
+    /// leaves either the previous file or the complete new one — never a
+    /// truncated body behind valid magic.
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the filesystem.
     pub fn write_to_file(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_bytes())
+        write_atomic(path.as_ref(), self.to_bytes().as_ref())
     }
 
     /// Reads a trace previously written with
@@ -146,8 +302,22 @@ impl Trace {
     /// file (mapped to [`std::io::ErrorKind::InvalidData`]).
     pub fn read_from_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
         let data = std::fs::read(path)?;
-        Self::from_bytes(Bytes::from(data))
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+        Self::from_bytes(Bytes::from(data)).map_err(Into::into)
+    }
+
+    /// [`read_from_file`](Self::read_from_file) with the geometry bound
+    /// check of [`from_bytes_for`](Self::from_bytes_for).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`std::io::Error`]; geometry violations map to
+    /// [`std::io::ErrorKind::InvalidData`].
+    pub fn read_from_file_for(
+        path: impl AsRef<std::path::Path>,
+        geometry: &DramGeometry,
+    ) -> std::io::Result<Self> {
+        let data = std::fs::read(path)?;
+        Self::from_bytes_for(Bytes::from(data), geometry).map_err(Into::into)
     }
 }
 
@@ -237,7 +407,8 @@ mod tests {
     #[test]
     fn rejects_bad_magic() {
         let err = Trace::from_bytes(Bytes::from_static(b"XXXX\x00\x00\x00\x00")).unwrap_err();
-        assert!(err.contains("bad magic"));
+        assert_eq!(err, TraceError::BadMagic { found: *b"XXXX" });
+        assert!(err.to_string().contains("bad magic"));
     }
 
     #[test]
@@ -246,12 +417,53 @@ mod tests {
             Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(1), gap: 2, stream: 0 }]);
         let mut bytes = trace.to_bytes().to_vec();
         bytes.pop();
-        assert!(Trace::from_bytes(Bytes::from(bytes)).is_err());
+        assert!(matches!(
+            Trace::from_bytes(Bytes::from(bytes)),
+            Err(TraceError::LengthMismatch { .. })
+        ));
     }
 
     #[test]
     fn rejects_short_header() {
-        assert!(Trace::from_bytes(Bytes::from_static(b"RHT")).is_err());
+        assert!(matches!(
+            Trace::from_bytes(Bytes::from_static(b"RHT")),
+            Err(TraceError::ShortHeader { len: 3 })
+        ));
+    }
+
+    #[test]
+    fn geometry_validation_catches_foreign_trace() {
+        // Recorded on a 64-bank/64K-row layout, replayed against 4 banks of
+        // 1K rows: the v2 header cannot tell, so the decode-time check must.
+        let trace = Trace::from_accesses(
+            "big",
+            vec![Access { bank: 37, row: RowId(50_000), gap: 1, stream: 0 }],
+        );
+        let small = DramGeometry {
+            channels: 1,
+            ranks_per_channel: 1,
+            banks_per_rank: 4,
+            rows_per_bank: 1_024,
+        };
+        let err = Trace::from_bytes_for(trace.to_bytes(), &small).unwrap_err();
+        assert!(
+            matches!(err, TraceError::OutOfRange { index: 0, bank: 37, row: 50_000, .. }),
+            "{err}"
+        );
+        // The same bytes replay fine on the layout they were recorded for.
+        let big = DramGeometry::micro2020();
+        assert!(Trace::from_bytes_for(trace.to_bytes(), &big).is_ok());
+    }
+
+    #[test]
+    fn geometry_validation_checks_rows_independently_of_banks() {
+        let g = DramGeometry::single_bank(100);
+        let ok =
+            Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(99), gap: 0, stream: 0 }]);
+        assert!(ok.validate_for(&g).is_ok());
+        let bad_row =
+            Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(100), gap: 0, stream: 0 }]);
+        assert!(bad_row.validate_for(&g).is_err());
     }
 
     #[test]
@@ -278,5 +490,50 @@ mod tests {
         let err = Trace::read_from_file(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
         assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn torn_write_never_corrupts_destination() {
+        // Regression: `write_to_file` used to write the destination in
+        // place, so a crash mid-write left a truncated file that still
+        // began with valid magic. The atomic path stages into a temp
+        // sibling: an aborted writer (simulated here by a torn temp file
+        // that never got renamed) leaves the destination byte-identical.
+        let dir = std::env::temp_dir().join("graphene_repro_torn_write");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.rht");
+        let old = Trace::from_accesses(
+            "old",
+            vec![Access { bank: 1, row: RowId(7), gap: 3, stream: 0 }; 50],
+        );
+        old.write_to_file(&path).unwrap();
+
+        // A writer that died mid-write leaves only a torn temp sibling.
+        let new = Trace::from_accesses(
+            "new",
+            vec![Access { bank: 2, row: RowId(9), gap: 4, stream: 1 }; 50],
+        );
+        let torn = &new.to_bytes().as_ref()[..20].to_vec();
+        std::fs::write(tmp_sibling(&path), torn).unwrap();
+
+        let loaded = Trace::read_from_file(&path).unwrap();
+        assert_eq!(loaded.accesses(), old.accesses(), "destination must be the old trace");
+
+        // A subsequent complete write replaces both, leaving no temp debris.
+        new.write_to_file(&path).unwrap();
+        assert_eq!(Trace::read_from_file(&path).unwrap().accesses(), new.accesses());
+        assert!(!tmp_sibling(&path).exists(), "rename must consume the temp file");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failed_write_cleans_up_temp_file() {
+        let dir = std::env::temp_dir().join("graphene_repro_failed_write_missing_dir");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("trace.rht");
+        let trace =
+            Trace::from_accesses("t", vec![Access { bank: 0, row: RowId(1), gap: 2, stream: 0 }]);
+        assert!(trace.write_to_file(&path).is_err(), "missing parent dir must fail");
+        assert!(!path.exists());
     }
 }
