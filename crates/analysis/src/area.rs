@@ -1,7 +1,10 @@
 //! Table-size models: Table IV and Figure 9(a).
 
 use graphene_core::GrapheneConfig;
-use mitigations::{CbtConfig, TableBits, TwiceConfig};
+use mitigations::{
+    AbacusConfig, AbacusDefense, BlockHammerConfig, BlockHammerDefense, CbtConfig, CometConfig,
+    CometDefense, RowHammerDefense, TableBits, TwiceConfig,
+};
 use serde::{Deserialize, Serialize};
 
 /// Per-scheme table footprints at one Row Hammer threshold.
@@ -57,6 +60,77 @@ pub fn rank_megabytes(bits: TableBits, banks: u32) -> f64 {
     bits.per_rank(banks) as f64 / 8.0 / 1024.0 / 1024.0
 }
 
+/// Per-bank table footprints of the tracker-arena schemes at one threshold.
+///
+/// Complements [`AreaComparison`] (the paper's own Table IV schemes) with
+/// the next-generation trackers: CoMeT's fixed-geometry sketch + RAT,
+/// ABACuS's single all-bank table (reported as its per-bank share so rank
+/// totals stay comparable), and BlockHammer's dual counting-Bloom filters.
+/// Each footprint comes from the scheme's own [`TableBits`] accounting, so
+/// the arena report and the defense implementations can never drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArenaAreaComparison {
+    /// The threshold the comparison was computed for.
+    pub t_rh: u64,
+    /// Graphene (pure CAM), the exact baseline.
+    pub graphene: TableBits,
+    /// CoMeT: CMS (SRAM) + recent-aggressor table (CAM).
+    pub comet: TableBits,
+    /// ABACuS: per-bank share of the one shared all-bank table.
+    pub abacus: TableBits,
+    /// BlockHammer: two counting-Bloom filters + pacing register.
+    pub blockhammer: TableBits,
+}
+
+impl ArenaAreaComparison {
+    /// Computes the arena comparison at `t_rh` for a rank of `banks` banks
+    /// of `rows_per_bank` rows.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any scheme's configuration-derivation error as text.
+    pub fn at_threshold(t_rh: u64, banks: u32, rows_per_bank: u32) -> Result<Self, String> {
+        let graphene = GrapheneConfig::builder()
+            .row_hammer_threshold(t_rh)
+            .rows_per_bank(rows_per_bank)
+            .build()
+            .map_err(|e| format!("{e:?}"))?
+            .derive()
+            .map_err(|e| format!("{e:?}"))?;
+        let comet = CometDefense::new(CometConfig::for_threshold(t_rh, rows_per_bank)?);
+        // One facade over the genuinely shared table (`single` would shrink
+        // the config to one bank and misreport the share).
+        let abacus = AbacusDefense::shared_for_banks(AbacusConfig::for_geometry(
+            t_rh,
+            2,
+            banks,
+            rows_per_bank,
+        )?)
+        .swap_remove(0);
+        let blockhammer =
+            BlockHammerDefense::new(BlockHammerConfig::for_threshold(t_rh, rows_per_bank)?);
+        Ok(ArenaAreaComparison {
+            t_rh,
+            graphene: TableBits { cam_bits: graphene.table_bits_per_bank(), sram_bits: 0 },
+            comet: comet.table_bits(),
+            abacus: abacus.table_bits(),
+            blockhammer: blockhammer.table_bits(),
+        })
+    }
+
+    /// The full arena sweep over the Figure 9(a) threshold ladder.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing threshold's error.
+    pub fn figure9_sweep(banks: u32, rows_per_bank: u32) -> Result<Vec<Self>, String> {
+        AreaComparison::figure9_thresholds()
+            .iter()
+            .map(|&t| Self::at_threshold(t, banks, rows_per_bank))
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +178,40 @@ mod tests {
         // Graphene stays an order of magnitude below TWiCe.
         let g_mb = rank_megabytes(c.graphene, 16);
         assert!(c.twice_over_graphene() > 8.0, "graphene {g_mb} MB/rank");
+    }
+
+    #[test]
+    fn arena_comet_area_is_flat_across_thresholds() {
+        // CoMeT's sketch geometry is fixed (4×512); only counter widths and
+        // the RAT's count field grow logarithmically, so the footprint is
+        // near-flat while Graphene's table grows ~linearly in 1/T_RH.
+        let sweep = ArenaAreaComparison::figure9_sweep(16, 65_536).unwrap();
+        let first = sweep.first().unwrap().comet.total() as f64;
+        let last = sweep.last().unwrap().comet.total() as f64;
+        assert!(last / first < 1.3, "CoMeT grew {first} -> {last}");
+        let g_first = sweep.first().unwrap().graphene.total() as f64;
+        let g_last = sweep.last().unwrap().graphene.total() as f64;
+        assert!(g_last / g_first > 10.0, "Graphene grew {g_first} -> {g_last}");
+    }
+
+    #[test]
+    fn arena_abacus_share_beats_graphene_per_bank() {
+        // ABACuS's entire point: one all-bank table whose per-bank share is
+        // far below a private per-bank Graphene table.
+        let c = ArenaAreaComparison::at_threshold(50_000, 16, 65_536).unwrap();
+        assert!(
+            c.abacus.total() < c.graphene.total(),
+            "abacus {} vs graphene {}",
+            c.abacus.total(),
+            c.graphene.total()
+        );
+    }
+
+    #[test]
+    fn arena_blockhammer_is_pure_sram() {
+        let c = ArenaAreaComparison::at_threshold(50_000, 16, 65_536).unwrap();
+        assert_eq!(c.blockhammer.cam_bits, 0);
+        assert!(c.blockhammer.sram_bits > 0);
     }
 
     #[test]

@@ -75,6 +75,51 @@ impl EnergyModel {
         rows as f64 * self.act_pre_nj
     }
 
+    /// Graphene's synthesized CAM density: 2,511 bits at `T_RH` = 50K is
+    /// the one tracker whose dynamic and static energies the paper reports,
+    /// so it anchors the per-bit scaling used for the arena trackers.
+    const CALIBRATION_BITS: f64 = 2_511.0;
+
+    /// First-order dynamic energy of one tracker lookup+update touching
+    /// `bits_touched` storage bits (nJ): linear scaling calibrated on
+    /// Graphene's synthesis point (3.69×10⁻³ nJ over 2,511 bits). A CMS
+    /// touches only `depth` counters per ACT, not its whole table — pass
+    /// the touched bits, not the total.
+    pub fn tracker_dynamic_per_act_nj(&self, bits_touched: u64) -> f64 {
+        self.graphene_dynamic_per_act_nj * bits_touched as f64 / Self::CALIBRATION_BITS
+    }
+
+    /// First-order static (leakage) energy per tREFW of a tracker holding
+    /// `total_bits` of storage (nJ), calibrated on the same synthesis point
+    /// (4.03×10³ nJ over 2,511 bits). SRAM leaks less per bit than CAM, so
+    /// for sketch-heavy trackers this over- rather than under-estimates.
+    pub fn tracker_static_per_refw_nj(&self, total_bits: u64) -> f64 {
+        self.graphene_static_per_refw_nj * total_bits as f64 / Self::CALIBRATION_BITS
+    }
+
+    /// Throttling energy is *negative* traffic: a delayed ACT is an ACT
+    /// that happens later, not an extra one, so BlockHammer's only energy
+    /// cost is its filters. This helper folds a run's tracker energy into a
+    /// fraction of the banks' auto-refresh energy, the same normalization
+    /// as [`refresh_energy_overhead`](Self::refresh_energy_overhead).
+    pub fn tracker_energy_overhead(
+        &self,
+        bits_touched_per_act: u64,
+        total_bits: u64,
+        activations: u64,
+        duration: Picoseconds,
+        banks: u32,
+    ) -> f64 {
+        if duration == 0 || banks == 0 {
+            return 0.0;
+        }
+        let windows = duration as f64 / self.t_refw as f64;
+        let baseline = self.refresh_per_bank_per_refw_nj * windows * f64::from(banks);
+        let dynamic = self.tracker_dynamic_per_act_nj(bits_touched_per_act) * activations as f64;
+        let static_ = self.tracker_static_per_refw_nj(total_bits) * windows * f64::from(banks);
+        (dynamic + static_) / baseline
+    }
+
     /// Constant refresh-energy overhead of PARA at probability `p`: PARA
     /// issues `p` extra row refreshes per ACT regardless of the pattern, so
     /// at full ACT rate the overhead is `p · W · E_actpre / E_refresh` per
@@ -142,5 +187,27 @@ mod tests {
         let m = EnergyModel::micro2020();
         assert_eq!(m.refresh_energy_overhead(10, 0, 1), 0.0);
         assert_eq!(m.refresh_energy_overhead(10, 100, 0), 0.0);
+        assert_eq!(m.tracker_energy_overhead(100, 1000, 10, 0, 1), 0.0);
+        assert_eq!(m.tracker_energy_overhead(100, 1000, 10, 100, 0), 0.0);
+    }
+
+    #[test]
+    fn tracker_scaling_recovers_graphene_at_calibration_point() {
+        let m = EnergyModel::micro2020();
+        let d = m.tracker_dynamic_per_act_nj(2_511);
+        assert!((d - m.graphene_dynamic_per_act_nj).abs() < 1e-12);
+        let s = m.tracker_static_per_refw_nj(2_511);
+        assert!((s - m.graphene_static_per_refw_nj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tracker_overhead_scales_linearly_in_bits() {
+        let m = EnergyModel::micro2020();
+        let small = m.tracker_energy_overhead(0, 1_000, 0, m.t_refw, 1);
+        let big = m.tracker_energy_overhead(0, 2_000, 0, m.t_refw, 1);
+        assert!((big / small - 2.0).abs() < 1e-9, "static term linear in bits");
+        // A sketch that touches 4 counters of 16 bits per ACT costs far
+        // less dynamic energy than Graphene's full-table CAM search.
+        assert!(m.tracker_dynamic_per_act_nj(64) < m.graphene_dynamic_per_act_nj / 10.0);
     }
 }

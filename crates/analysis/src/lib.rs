@@ -10,6 +10,10 @@
 //!   overhead accounting used in Figures 8 and 9: one victim-row refresh
 //!   costs one ACT+PRE pair against the background of per-bank auto-refresh
 //!   energy per tREFW.
+//! * [`certificates`] — bounded false-negative certificates for the
+//!   tracker-arena's probabilistic schemes: CoMeT's collision-discount
+//!   bound and BlockHammer's deterministic rate-cap margin, checked against
+//!   audited runs' ground-truth disturbance.
 //! * [`security`] — Section V-A: the PARA failure recurrence `P(e_N)`, the
 //!   system-level (64 banks × 1 year) failure probability, the minimal `p`
 //!   search that reproduces PARA-0.00145 and the Figure 9 `p` ladder, plus
@@ -32,6 +36,7 @@
 //! ```
 
 pub mod area;
+pub mod certificates;
 pub mod energy;
 pub mod export;
 pub mod montecarlo;
@@ -40,6 +45,7 @@ pub mod security;
 pub mod sensitivity;
 pub mod worstcase;
 
-pub use area::AreaComparison;
+pub use area::{AreaComparison, ArenaAreaComparison};
+pub use certificates::{FnCertCheck, FnCertificate};
 pub use energy::EnergyModel;
 pub use report::TablePrinter;

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `tracker-arena` head-to-head tracker sweep.
+
+fn main() {
+    rh_bench::propagate_audit_mode();
+    rh_bench::tracker_arena::run(rh_bench::fast_mode());
+}

@@ -25,6 +25,7 @@ pub mod exp_table5;
 pub mod exp_trr;
 pub mod resilience_report;
 pub mod telemetry_report;
+pub mod tracker_arena;
 
 /// Parses the shared `--fast` / `RH_FAST` switch for the experiment bins.
 pub fn fast_mode() -> bool {

@@ -131,6 +131,17 @@ impl BankState {
         self.ready_at += extra;
     }
 
+    /// Forbids the bank from starting any access before `until` — the
+    /// throttle primitive behind [`ThrottleDecision`]. Unlike
+    /// [`delay`](Self::delay), this is a *deadline*, not an extension: it
+    /// has effect even on an idle bank whose `ready_at` is in the past, and
+    /// it never moves readiness backwards.
+    ///
+    /// [`ThrottleDecision`]: mitigations::ThrottleDecision
+    pub fn hold_until(&mut self, until: Picoseconds) {
+        self.ready_at = self.ready_at.max(until);
+    }
+
     /// The bank's dynamic state `(open_row, hits_on_open_row, ready_at,
     /// last_act_at)` for a run checkpoint. Timing and page policy are
     /// configuration, rebuilt by the restoring controller.

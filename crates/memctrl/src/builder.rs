@@ -47,6 +47,30 @@ pub trait DefenseFactory {
         rows_per_bank: u32,
         audited: bool,
     ) -> Box<dyn RowHammerDefense + Send>;
+
+    /// Builds one defense *per bank* for a contiguous span of `banks` banks
+    /// starting at global index `first_bank`, when the spec's tracker shares
+    /// state across banks (ABACuS's single all-bank counter table). Return
+    /// `None` — the default — to keep the strictly per-bank
+    /// [`build_defense`](Self::build_defense) path.
+    ///
+    /// The span is one controller's worth of banks: the whole geometry for
+    /// [`McBuilder::build`], one channel for
+    /// [`McBuilder::build_system`]. Sharing therefore never crosses a shard
+    /// boundary, which keeps sharded execution deterministic (each shard
+    /// serializes its own activations) and lets shards checkpoint
+    /// independently. A `Some` return must hold exactly `banks` boxes, in
+    /// bank order.
+    fn build_all_bank(
+        &self,
+        first_bank: usize,
+        banks: u32,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+        let _ = (first_bank, banks, rows_per_bank, audited);
+        None
+    }
 }
 
 impl<F> DefenseFactory for F
@@ -239,9 +263,10 @@ impl<'a> McBuilder<'a> {
     /// Returns [`McBuildError::InvalidConfig`] when the geometry or timing
     /// half of the [`McConfig`] fails validation.
     pub fn try_build(self) -> Result<MemoryController, McBuildError> {
-        let McBuilder { config, source, audit, command_log, telemetry, faults, .. } = self;
+        let McBuilder { config, mut source, audit, command_log, telemetry, faults, .. } = self;
         let rows = config.geometry.rows_per_bank;
-        let mut make = resolve(source, rows, audit);
+        let banks = config.geometry.total_banks() as usize;
+        let mut make = resolve_span(&mut source, 0, banks, rows, audit);
         let mut mc = MemoryController::try_from_parts(config, &mut make, 0, 0)?;
         if let Some(log) = command_log {
             mc.set_command_log(log);
@@ -311,11 +336,14 @@ impl<'a> McBuilder<'a> {
         let geometry = config.geometry;
         let rows = geometry.rows_per_bank;
         let per_channel = geometry.banks_per_channel() as usize;
-        let mut make = resolve(source, rows, audit);
+        let mut source = source;
         let mut shards = Vec::with_capacity(usize::from(geometry.channels));
         for c in 0..geometry.channels {
             let shard_config = McConfig { geometry: geometry.channel_geometry(), ..config.clone() };
             let offset = usize::from(c) * per_channel;
+            // Resolve per shard so all-bank factories share within — never
+            // across — a channel's banks.
+            let mut make = resolve_span(&mut source, offset, per_channel, rows, audit);
             let mut shard = MemoryController::try_from_parts(shard_config, &mut make, c, offset)?;
             if let Some(log) = &command_log {
                 shard.set_command_log(log.clone());
@@ -331,18 +359,43 @@ impl<'a> McBuilder<'a> {
     }
 }
 
-/// Collapses a defense source into the per-bank closure `from_parts` eats.
-fn resolve<'a>(
-    source: DefenseSource<'a>,
+/// Collapses a defense source into the per-bank closure `from_parts` eats,
+/// scoped to one controller's span of `banks` banks starting at
+/// `first_bank`. Factory sources are offered the whole span via
+/// [`DefenseFactory::build_all_bank`] first; a `Some` answer is drained
+/// box-by-box (asserting bank order), `None` falls back to the per-bank
+/// [`DefenseFactory::build_defense`] path.
+fn resolve_span<'s, 'a: 's>(
+    source: &'s mut DefenseSource<'a>,
+    first_bank: usize,
+    banks: usize,
     rows_per_bank: u32,
     audit: bool,
-) -> Box<dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send> + 'a> {
+) -> Box<dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send> + 's> {
     match source {
         DefenseSource::None => Box::new(|_| Box::new(NoDefense::new())),
         DefenseSource::Factory(f) => {
-            Box::new(move |bank| f.build_defense(bank, rows_per_bank, audit))
+            let f: &'a dyn DefenseFactory = *f;
+            match f.build_all_bank(first_bank, banks as u32, rows_per_bank, audit) {
+                Some(pool) => {
+                    assert_eq!(
+                        pool.len(),
+                        banks,
+                        "build_all_bank returned {} defenses for a {banks}-bank span",
+                        pool.len(),
+                    );
+                    let mut pool = pool.into_iter();
+                    let mut next = first_bank;
+                    Box::new(move |bank| {
+                        assert_eq!(bank, next, "all-bank defenses drain in bank order");
+                        next += 1;
+                        pool.next().expect("all-bank defense pool exhausted")
+                    })
+                }
+                None => Box::new(move |bank| f.build_defense(bank, rows_per_bank, audit)),
+            }
         }
-        DefenseSource::Closure(c) => c,
+        DefenseSource::Closure(c) => Box::new(move |bank| c(bank)),
     }
 }
 
@@ -391,6 +444,95 @@ mod tests {
         assert_eq!(spy.audited.load(Ordering::Relaxed), 64);
         assert_eq!(system.shards().len(), 4);
         assert_eq!(system.shards()[2].channel(), 2);
+    }
+
+    #[test]
+    fn all_bank_factory_spans_each_shard_once() {
+        // An all-bank factory is offered one contiguous span per controller:
+        // the whole geometry for build(), one channel for build_system().
+        struct SpanSpy {
+            spans: std::sync::Mutex<Vec<(usize, u32)>>,
+        }
+        impl DefenseFactory for SpanSpy {
+            fn build_defense(
+                &self,
+                _bank: usize,
+                _rows_per_bank: u32,
+                _audited: bool,
+            ) -> Box<dyn RowHammerDefense + Send> {
+                panic!("per-bank path must not run when build_all_bank answers");
+            }
+            fn build_all_bank(
+                &self,
+                first_bank: usize,
+                banks: u32,
+                rows_per_bank: u32,
+                _audited: bool,
+            ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+                assert_eq!(rows_per_bank, 65_536);
+                self.spans.lock().unwrap().push((first_bank, banks));
+                Some(
+                    (0..banks)
+                        .map(|_| Box::new(NoDefense::new()) as Box<dyn RowHammerDefense + Send>)
+                        .collect(),
+                )
+            }
+        }
+
+        let spy = SpanSpy { spans: std::sync::Mutex::new(Vec::new()) };
+        let system = McBuilder::new(McConfig::micro2020_no_oracle()).defenses(&spy).build_system();
+        assert_eq!(system.shards().len(), 4);
+        assert_eq!(*spy.spans.lock().unwrap(), vec![(0, 16), (16, 16), (32, 16), (48, 16)]);
+
+        spy.spans.lock().unwrap().clear();
+        let mc = McBuilder::new(McConfig::micro2020_no_oracle()).defenses(&spy).build();
+        assert_eq!(mc.config().geometry.total_banks(), 64);
+        assert_eq!(*spy.spans.lock().unwrap(), vec![(0, 64)]);
+    }
+
+    #[test]
+    fn default_build_all_bank_keeps_per_bank_path() {
+        struct PerBank(AtomicUsize);
+        impl DefenseFactory for PerBank {
+            fn build_defense(
+                &self,
+                _bank: usize,
+                _rows_per_bank: u32,
+                _audited: bool,
+            ) -> Box<dyn RowHammerDefense + Send> {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                Box::new(NoDefense::new())
+            }
+        }
+        let f = PerBank(AtomicUsize::new(0));
+        let _ = McBuilder::new(McConfig::micro2020_no_oracle()).defenses(&f).build_system();
+        assert_eq!(f.0.load(Ordering::Relaxed), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "2 defenses for a 64-bank span")]
+    fn short_all_bank_pool_is_rejected() {
+        struct Short;
+        impl DefenseFactory for Short {
+            fn build_defense(
+                &self,
+                _bank: usize,
+                _rows_per_bank: u32,
+                _audited: bool,
+            ) -> Box<dyn RowHammerDefense + Send> {
+                Box::new(NoDefense::new())
+            }
+            fn build_all_bank(
+                &self,
+                _first_bank: usize,
+                _banks: u32,
+                _rows_per_bank: u32,
+                _audited: bool,
+            ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+                Some(vec![Box::new(NoDefense::new()), Box::new(NoDefense::new())])
+            }
+        }
+        let _ = McBuilder::new(McConfig::micro2020_no_oracle()).defenses(&Short).build();
     }
 
     #[test]

@@ -59,6 +59,8 @@ pub(crate) fn run_stats_to_json(s: &RunStats) -> JsonValue {
         ("completion", JsonValue::U64(s.completion)),
         ("total_latency", JsonValue::U64(s.total_latency)),
         ("bit_flips", JsonValue::U64(s.bit_flips)),
+        ("throttled_acts", JsonValue::U64(s.throttled_acts)),
+        ("throttle_delay", JsonValue::U64(s.throttle_delay)),
         (
             "per_stream",
             JsonValue::Arr(
@@ -101,6 +103,8 @@ pub(crate) fn run_stats_from_json(v: &JsonValue) -> Result<RunStats, String> {
         completion: u64_field(v, "completion")?,
         total_latency: u64_field(v, "total_latency")?,
         bit_flips: u64_field(v, "bit_flips")?,
+        throttled_acts: u64_field(v, "throttled_acts")?,
+        throttle_delay: u64_field(v, "throttle_delay")?,
         per_stream,
         stray_stream_accesses: u64_field(v, "stray_stream_accesses")?,
         stray_stream_latency: u64_field(v, "stray_stream_latency")?,
@@ -117,6 +121,8 @@ mod tests {
             accesses: u64::MAX,
             activations: 3,
             completion: 123_456_789_012_345,
+            throttled_acts: 7,
+            throttle_delay: 9_999,
             ..RunStats::default()
         };
         s.note_stream(0, 10);

@@ -440,6 +440,7 @@ impl MemoryController {
             // served once more (a second ACT if the page policy closed the
             // row). The replay is a real access: it advances the clock, the
             // oracle, and the defense exactly like the original.
+            self.consult_throttle(bank_idx, row, self.clock.max(arrival));
             let replay = self.banks[bank_idx].serve(row, self.clock.max(arrival));
             self.apply_outcome(bank_idx, row, arrival, stream, replay);
         }
@@ -514,6 +515,7 @@ impl MemoryController {
             self.catch_up_refresh();
 
             let bank_idx = self.route(access.bank, i)?;
+            self.consult_throttle(bank_idx, access.row, self.clock);
             let outcome = self.banks[bank_idx].serve(access.row, self.clock);
             self.apply_outcome(bank_idx, access.row, self.clock, access.stream, outcome);
         }
@@ -543,6 +545,7 @@ impl MemoryController {
             self.clock = self.clock.max(a.at);
             self.catch_up_refresh();
             let bank_idx = self.route(a.bank, i as u64)?;
+            self.consult_throttle(bank_idx, a.row, self.clock);
             let outcome = self.banks[bank_idx].serve(a.row, self.clock);
             self.apply_outcome(bank_idx, a.row, self.clock, a.stream, outcome);
         }
@@ -658,8 +661,28 @@ impl MemoryController {
         let open = self.banks[bank_idx].open_row();
         // invariant: every caller gates on !queues[bank_idx].is_empty().
         let req = queues[bank_idx].pop_next(open).expect("caller checked non-empty");
+        self.consult_throttle(bank_idx, req.row, req.arrival);
         let outcome = self.banks[bank_idx].serve(req.row, req.arrival);
         self.apply_outcome(bank_idx, req.row, req.arrival, req.stream, outcome);
+    }
+
+    /// Consults the bank's defense immediately before serving an access —
+    /// the [`ThrottleDecision`](mitigations::ThrottleDecision) feedback
+    /// path. A throttling defense (BlockHammer) answers with a delay; the
+    /// controller holds the bank so the access cannot start before
+    /// `now + delay`, and accounts the decision in the run statistics.
+    ///
+    /// Every dispatch path (in-order, queued, batched, duplicate replay)
+    /// consults with exactly the `(row, now)` pair its `serve` call uses,
+    /// so a stateful throttle sees one identical decision stream regardless
+    /// of batching — preserving the batched-dispatch bit-identity contract.
+    fn consult_throttle(&mut self, bank_idx: usize, row: RowId, now: Picoseconds) {
+        let decision = self.defenses[bank_idx].throttle_decision(row, now);
+        if decision.is_throttled() {
+            self.banks[bank_idx].hold_until(now + decision.delay);
+            self.stats.throttled_acts += 1;
+            self.stats.throttle_delay += decision.delay;
+        }
     }
 
     /// Drains and charges the defense's bookkeeping traffic to its bank.

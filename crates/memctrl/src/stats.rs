@@ -26,6 +26,11 @@ pub struct RunStats {
     pub total_latency: Picoseconds,
     /// Ground-truth bit flips observed (0 unless the defense failed).
     pub bit_flips: u64,
+    /// Activations delayed by a throttling defense (BlockHammer's
+    /// `ThrottleDecision` feedback path).
+    pub throttled_acts: u64,
+    /// Total activation delay imposed by throttling (ps).
+    pub throttle_delay: Picoseconds,
     /// Per-stream (access count, total latency in ps), indexed by the
     /// stream id carried on each access — the raw material for the paper's
     /// weighted-speedup metric.
@@ -86,6 +91,8 @@ impl RunStats {
         self.completion = self.completion.max(other.completion);
         self.total_latency += other.total_latency;
         self.bit_flips += other.bit_flips;
+        self.throttled_acts += other.throttled_acts;
+        self.throttle_delay += other.throttle_delay;
         if self.per_stream.len() < other.per_stream.len() {
             self.per_stream.resize(other.per_stream.len(), (0, 0));
         }
@@ -229,16 +236,26 @@ mod tests {
             completion: 5_000,
             total_latency: 900,
             bit_flips: 1,
+            throttled_acts: 2,
+            throttle_delay: 400,
             stray_stream_accesses: 1,
             stray_stream_latency: 30,
             ..RunStats::default()
         };
         a.note_stream(0, 100);
-        let mut b = RunStats { accesses: 5, completion: 7_000, ..RunStats::default() };
+        let mut b = RunStats {
+            accesses: 5,
+            completion: 7_000,
+            throttled_acts: 3,
+            throttle_delay: 600,
+            ..RunStats::default()
+        };
         b.note_stream(0, 50);
         b.note_stream(2, 70);
         a.merge(&b);
         assert_eq!(a.accesses, 15);
+        assert_eq!(a.throttled_acts, 5);
+        assert_eq!(a.throttle_delay, 1_000);
         assert_eq!(a.completion, 7_000, "channels overlap in wall-clock time");
         assert_eq!(a.bit_flips, 1);
         assert_eq!(a.per_stream.len(), 3);

@@ -299,6 +299,18 @@ impl RowHammerDefense for AuditedDefense {
         actions
     }
 
+    fn throttle_decision(
+        &mut self,
+        row: RowId,
+        now: Picoseconds,
+    ) -> crate::defense::ThrottleDecision {
+        // Forwarded verbatim: throttling is scheduler feedback, not a
+        // refresh action, so there is nothing for the action validator to
+        // check — but losing it here would silently disarm a throttling
+        // defense under audit.
+        self.inner.throttle_decision(row, now)
+    }
+
     fn drain_overhead_time(&mut self) -> Picoseconds {
         self.inner.drain_overhead_time()
     }

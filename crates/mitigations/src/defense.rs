@@ -63,6 +63,39 @@ impl RefreshAction {
     }
 }
 
+/// A defense's answer to "may this access proceed now?" — the feedback
+/// path from a throttling defense (BlockHammer) to the memory-controller
+/// scheduler.
+///
+/// Refresh-based defenses never throttle and inherit the
+/// [`RowHammerDefense::throttle_decision`] default of
+/// [`ThrottleDecision::proceed`]. A throttling defense instead returns the
+/// extra delay the scheduler must impose before serving the access; the
+/// controller holds the bank for that long and accounts the decision in
+/// `RunStats::{throttled_acts, throttle_delay}`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThrottleDecision {
+    /// Extra delay (ps) before the access may be served; 0 = proceed now.
+    pub delay: Picoseconds,
+}
+
+impl ThrottleDecision {
+    /// No throttling: serve the access immediately.
+    pub fn proceed() -> Self {
+        ThrottleDecision { delay: 0 }
+    }
+
+    /// Delay the access by `delay` picoseconds.
+    pub fn delay(delay: Picoseconds) -> Self {
+        ThrottleDecision { delay }
+    }
+
+    /// Whether the decision actually delays the access.
+    pub fn is_throttled(&self) -> bool {
+        self.delay > 0
+    }
+}
+
 /// Hardware table footprint of a defense, split by memory type as the
 /// paper's Table IV reports it.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -97,6 +130,23 @@ pub trait RowHammerDefense {
     /// Processes one activation at absolute time `now`; returns the
     /// proactive refreshes to perform (usually empty).
     fn on_activation(&mut self, row: RowId, now: Picoseconds) -> Vec<RefreshAction>;
+
+    /// Consulted by the scheduler *before* serving an access to `row` at
+    /// time `now`: a throttling defense (BlockHammer) returns the delay to
+    /// impose on blacklisted activations; everything else proceeds.
+    ///
+    /// The controller consults this on every dispatch path (in-order,
+    /// queued, batched) with the same `(row, now)` sequence, so a stateful
+    /// implementation stays bit-identical under batched dispatch, and the
+    /// state it mutates here must be covered by
+    /// [`snapshot_state`](Self::snapshot_state). Wrappers
+    /// ([`AuditedDefense`](crate::AuditedDefense),
+    /// [`InstrumentedDefense`](crate::InstrumentedDefense)) forward to their
+    /// inner scheme so the feedback path survives decoration. Default:
+    /// never throttle.
+    fn throttle_decision(&mut self, _row: RowId, _now: Picoseconds) -> ThrottleDecision {
+        ThrottleDecision::proceed()
+    }
 
     /// Called once per tREFI when the controller issues the periodic REF.
     /// Schemes with time-based bookkeeping (TWiCe pruning, PRoHIT's refresh

@@ -191,6 +191,17 @@ impl RowHammerDefense for InstrumentedDefense {
         actions
     }
 
+    fn throttle_decision(
+        &mut self,
+        row: RowId,
+        now: Picoseconds,
+    ) -> crate::defense::ThrottleDecision {
+        // Forwarded so a throttling defense keeps working under
+        // instrumentation; the inner scheme reports its own throttle
+        // counters via `emit_telemetry`.
+        self.inner.throttle_decision(row, now)
+    }
+
     fn drain_overhead_time(&mut self) -> Picoseconds {
         self.inner.drain_overhead_time()
     }

@@ -15,6 +15,13 @@
 //! | [`Twice`] | per-row counters w/ pruning | no false negatives | [`twice`] |
 //! | [`IdealCounters`] | one counter per row | no false negatives (oracle) | [`ideal`] |
 //! | [`NoDefense`] | — | none (baseline) | [`none`] |
+//! | [`CometDefense`] | Count-Min Sketch + recent-aggressor table | bounded false-negative probability | [`comet`] |
+//! | [`AbacusDefense`] | one shared all-bank counter table | no false negatives (certified with headroom) | [`abacus`] |
+//! | [`BlockHammerDefense`] | dual counting-Bloom blacklist, throttles | deterministic rate cap, no refreshes | [`blockhammer`] |
+//!
+//! The last three form the *tracker arena* (DESIGN.md §6j): Graphene's
+//! successors wired through the same trait, the same audit layer, and — for
+//! BlockHammer — the [`ThrottleDecision`] scheduler-feedback path.
 //!
 //! A defense is driven by the memory controller: [`RowHammerDefense::on_activation`]
 //! for every ACT and [`RowHammerDefense::on_refresh_tick`] at every tREFI
@@ -37,9 +44,12 @@
 //! assert!((5..25).contains(&extra));
 //! ```
 
+pub mod abacus;
 pub mod audit;
+pub mod blockhammer;
 pub mod cbt;
 pub(crate) mod ckpt;
+pub mod comet;
 pub mod cra;
 pub mod defense;
 pub mod graphene;
@@ -54,10 +64,13 @@ pub mod refresh_rate;
 pub mod trr;
 pub mod twice;
 
+pub use abacus::{AbacusConfig, AbacusCore, AbacusDefense, AbacusStats};
 pub use audit::{AuditConfig, AuditedDefense, ShadowCert};
+pub use blockhammer::{BlockHammerConfig, BlockHammerDefense, BlockHammerStats};
 pub use cbt::{Cbt, CbtConfig};
+pub use comet::{CometConfig, CometDefense, CometStats};
 pub use cra::{Cra, CraConfig, CraStats};
-pub use defense::{RefreshAction, RowHammerDefense, TableBits};
+pub use defense::{RefreshAction, RowHammerDefense, TableBits, ThrottleDecision};
 pub use graphene::GrapheneDefense;
 pub use hardened::{HardenedGraphene, HardenedStats};
 pub use ideal::IdealCounters;

@@ -27,6 +27,10 @@
 //!   disk through the sharded pipeline in checkpointed segments, with
 //!   bit-identical kill/resume via `fleetckpt.v1` checkpoints and
 //!   multi-tenant trace synthesis.
+//! * [`arena`] — the tracker arena: Graphene, CoMeT, ABACuS, and
+//!   BlockHammer head to head across attack workloads and thresholds,
+//!   each audited cell scored on security (exact or bounded-FN
+//!   certificate), slowdown, area, and energy.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@
 //! assert_eq!(report.stats.bit_flips, 0);
 //! ```
 
+pub mod arena;
 pub mod faulted;
 pub mod fleet;
 pub mod pool;
@@ -50,6 +55,7 @@ pub mod scenarios;
 pub mod sharded;
 pub mod spsc;
 
+pub use arena::{arena_lineup, run_arena, ArenaCell, ArenaConfig};
 pub use faulted::{
     plan_label, run_matrix_faulted, CellOutcome, FaultedRun, ResilienceCell, ResilienceReport,
 };

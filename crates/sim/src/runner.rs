@@ -205,9 +205,18 @@ fn execute_cell(
             None => Box::new(NoopSink),
         }
     };
+    // Honor the all-bank factory path under instrumentation too: pre-build
+    // the shared pool (ABACuS) and drain it in bank order, falling back to
+    // the per-bank factory for everything else. Each facade still gets its
+    // own instrumentation wrapper, so per-bank series stay per-bank.
+    let mut all_bank_pool =
+        defense.build_all_bank(0, cfg.geometry.total_banks(), rows, audit).map(Vec::into_iter);
     let mut mc = McBuilder::new(cfg.clone())
         .defenses_with(|bank| {
-            let inner = defense.build_defense(bank, rows, audit);
+            let inner = match all_bank_pool.as_mut() {
+                Some(pool) => pool.next().expect("all-bank defense pool exhausted"),
+                None => defense.build_defense(bank, rows, audit),
+            };
             mitigations::instrumented(inner, sink_for(&shared), bank as u16, rows, cadence)
         })
         .telemetry(TelemetryTap::new(sink_for(&shared), cadence))

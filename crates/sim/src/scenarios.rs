@@ -4,9 +4,10 @@ use dram_model::timing::DramTiming;
 use graphene_core::GrapheneConfig;
 use memctrl::DefenseFactory;
 use mitigations::{
-    AuditConfig, AuditedDefense, Cbt, CbtConfig, Cra, CraConfig, GrapheneDefense, HardenedGraphene,
-    IdealCounters, Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig, RowHammerDefense,
-    ShadowCert, Twice, TwiceConfig,
+    AbacusConfig, AbacusDefense, AuditConfig, AuditedDefense, BlockHammerConfig,
+    BlockHammerDefense, Cbt, CbtConfig, CometConfig, CometDefense, Cra, CraConfig, GrapheneDefense,
+    HardenedGraphene, IdealCounters, Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig,
+    RowHammerDefense, ShadowCert, Twice, TwiceConfig,
 };
 use serde::{Deserialize, Serialize};
 use workloads::{
@@ -68,6 +69,28 @@ pub enum DefenseSpec {
         /// Row Hammer threshold.
         t_rh: u64,
     },
+    /// CoMeT: count-min sketch + exact recent-aggressor table, with a
+    /// bounded-FN certificate instead of the exact shadow cert.
+    Comet {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
+    /// ABACuS: one shared all-bank counter table. Built through the
+    /// all-bank factory path (one table per controller/shard); the strictly
+    /// per-bank path falls back to private single-bank tables.
+    Abacus {
+        /// Row Hammer threshold.
+        t_rh: u64,
+        /// Reset-window divisor `k`.
+        k: u32,
+    },
+    /// BlockHammer: dual counting-Bloom blacklist that throttles blacklisted
+    /// activations through the [`mitigations::ThrottleDecision`] feedback
+    /// path instead of refreshing victims.
+    BlockHammer {
+        /// Row Hammer threshold.
+        t_rh: u64,
+    },
 }
 
 impl DefenseSpec {
@@ -86,6 +109,84 @@ impl DefenseSpec {
             DefenseSpec::Cra { .. } => "CRA-128".into(),
             DefenseSpec::Twice { .. } => "TWiCe".into(),
             DefenseSpec::Ideal { .. } => "Ideal".into(),
+            DefenseSpec::Comet { .. } => "CoMeT".into(),
+            DefenseSpec::Abacus { .. } => "ABACuS".into(),
+            DefenseSpec::BlockHammer { .. } => "BlockHammer".into(),
+        }
+    }
+
+    /// Canonical machine-readable spec string, parseable by
+    /// [`DefenseSpec::parse`] — the CLI/CSV notation of the arena report
+    /// (e.g. `graphene@50000,k=2`, `abacus@50000,k=2`, `para@0.00145`).
+    pub fn spec_string(&self) -> String {
+        match *self {
+            DefenseSpec::None => "none".into(),
+            DefenseSpec::Graphene { t_rh, k } => format!("graphene@{t_rh},k={k}"),
+            DefenseSpec::HardenedGraphene { t_rh, k } => format!("hardened-graphene@{t_rh},k={k}"),
+            DefenseSpec::Para { p } => format!("para@{p}"),
+            DefenseSpec::Prohit => "prohit".into(),
+            DefenseSpec::Mrloc { p } => format!("mrloc@{p}"),
+            DefenseSpec::Cbt { t_rh } => format!("cbt@{t_rh}"),
+            DefenseSpec::Cra { t_rh } => format!("cra@{t_rh}"),
+            DefenseSpec::Twice { t_rh } => format!("twice@{t_rh}"),
+            DefenseSpec::Ideal { t_rh } => format!("ideal@{t_rh}"),
+            DefenseSpec::Comet { t_rh } => format!("comet@{t_rh}"),
+            DefenseSpec::Abacus { t_rh, k } => format!("abacus@{t_rh},k={k}"),
+            DefenseSpec::BlockHammer { t_rh } => format!("blockhammer@{t_rh}"),
+        }
+    }
+
+    /// Parses the notation of [`DefenseSpec::spec_string`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed spec.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let (head, args) = match s.split_once('@') {
+            Some((h, a)) => (h, Some(a)),
+            None => (s, None),
+        };
+        let no_args = |spec: DefenseSpec| match args {
+            None => Ok(spec),
+            Some(_) => Err(format!("`{head}` takes no `@` arguments")),
+        };
+        let t_rh_arg = || -> Result<u64, String> {
+            args.ok_or_else(|| format!("`{head}` needs `@<t_rh>`"))?
+                .parse::<u64>()
+                .map_err(|e| format!("bad t_rh in `{s}`: {e}"))
+        };
+        let t_rh_k_args = || -> Result<(u64, u32), String> {
+            let args = args.ok_or_else(|| format!("`{head}` needs `@<t_rh>,k=<k>`"))?;
+            let (t, k) = args
+                .split_once(",k=")
+                .ok_or_else(|| format!("`{head}` needs `@<t_rh>,k=<k>`, got `{args}`"))?;
+            Ok((
+                t.parse::<u64>().map_err(|e| format!("bad t_rh in `{s}`: {e}"))?,
+                k.parse::<u32>().map_err(|e| format!("bad k in `{s}`: {e}"))?,
+            ))
+        };
+        let p_arg = || -> Result<f64, String> {
+            args.ok_or_else(|| format!("`{head}` needs `@<p>`"))?
+                .parse::<f64>()
+                .map_err(|e| format!("bad p in `{s}`: {e}"))
+        };
+        match head {
+            "none" => no_args(DefenseSpec::None),
+            "prohit" => no_args(DefenseSpec::Prohit),
+            "graphene" => t_rh_k_args().map(|(t_rh, k)| DefenseSpec::Graphene { t_rh, k }),
+            "hardened-graphene" => {
+                t_rh_k_args().map(|(t_rh, k)| DefenseSpec::HardenedGraphene { t_rh, k })
+            }
+            "abacus" => t_rh_k_args().map(|(t_rh, k)| DefenseSpec::Abacus { t_rh, k }),
+            "para" => p_arg().map(|p| DefenseSpec::Para { p }),
+            "mrloc" => p_arg().map(|p| DefenseSpec::Mrloc { p }),
+            "cbt" => t_rh_arg().map(|t_rh| DefenseSpec::Cbt { t_rh }),
+            "cra" => t_rh_arg().map(|t_rh| DefenseSpec::Cra { t_rh }),
+            "twice" => t_rh_arg().map(|t_rh| DefenseSpec::Twice { t_rh }),
+            "ideal" => t_rh_arg().map(|t_rh| DefenseSpec::Ideal { t_rh }),
+            "comet" => t_rh_arg().map(|t_rh| DefenseSpec::Comet { t_rh }),
+            "blockhammer" => t_rh_arg().map(|t_rh| DefenseSpec::BlockHammer { t_rh }),
+            other => Err(format!("unknown defense `{other}`")),
         }
     }
 
@@ -138,6 +239,21 @@ impl DefenseSpec {
             DefenseSpec::Ideal { t_rh } => {
                 Box::new(IdealCounters::new(t_rh, rows_per_bank, timing.t_refw))
             }
+            DefenseSpec::Comet { t_rh } => Box::new(CometDefense::new(
+                CometConfig::for_threshold(t_rh, rows_per_bank).expect("valid CoMeT config"),
+            )),
+            DefenseSpec::Abacus { t_rh, k } => {
+                // Per-bank fallback: a private single-bank table. The shared
+                // all-bank table is built through `build_all_bank` below.
+                Box::new(AbacusDefense::single(
+                    AbacusConfig::for_geometry(t_rh, k, 1, rows_per_bank)
+                        .expect("valid ABACuS config"),
+                ))
+            }
+            DefenseSpec::BlockHammer { t_rh } => Box::new(BlockHammerDefense::new(
+                BlockHammerConfig::for_threshold(t_rh, rows_per_bank)
+                    .expect("valid BlockHammer config"),
+            )),
         }
     }
 
@@ -183,6 +299,26 @@ impl DefenseSpec {
             // and the certificate, waiving only the was-activated check.
             cfg.degraded_repairs = true;
         }
+        // ABACuS counts exactly too (Misra-Gries over full row addresses),
+        // so it carries the same no-false-negative certificate as Graphene
+        // — at its cert threshold (2× the shared-table tracking quantum,
+        // headroom for cross-bank spillover churn).
+        if let DefenseSpec::Abacus { t_rh, k } = *self {
+            let a =
+                AbacusConfig::for_geometry(t_rh, k, 1, rows_per_bank).expect("valid ABACuS config");
+            cfg.max_radius = a.radius;
+            cfg.certify = Some(ShadowCert {
+                tracking_threshold: a.cert_threshold,
+                reset_window: a.reset_window,
+            });
+        }
+        // CoMeT's sketch can (with bounded probability) under-count, so it
+        // runs under the plain action audit plus the analysis-layer
+        // bounded-FN certificate, not the exact shadow cert.
+        if let DefenseSpec::Comet { t_rh } = *self {
+            cfg.max_radius =
+                CometConfig::for_threshold(t_rh, rows_per_bank).expect("valid CoMeT config").radius;
+        }
         Box::new(AuditedDefense::new(inner, cfg))
     }
 
@@ -222,6 +358,40 @@ impl DefenseFactory for DefenseSpec {
         } else {
             self.build(bank, rows_per_bank)
         }
+    }
+
+    fn build_all_bank(
+        &self,
+        _first_bank: usize,
+        banks: u32,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+        let DefenseSpec::Abacus { t_rh, k } = *self else { return None };
+        let cfg = AbacusConfig::for_geometry(t_rh, k, banks, rows_per_bank)
+            .expect("valid ABACuS geometry");
+        Some(
+            AbacusDefense::shared_for_banks(cfg)
+                .into_iter()
+                .map(|facade| {
+                    let inner: Box<dyn RowHammerDefense + Send> = Box::new(facade);
+                    if !audited {
+                        return inner;
+                    }
+                    // Same exact certificate as the per-bank audited path:
+                    // the audit shell is per-bank even when the table is
+                    // shared, so every bank's shadow count independently
+                    // proves the no-false-negative property.
+                    let mut audit = AuditConfig::new(rows_per_bank);
+                    audit.max_radius = cfg.radius;
+                    audit.certify = Some(ShadowCert {
+                        tracking_threshold: cfg.cert_threshold,
+                        reset_window: cfg.reset_window,
+                    });
+                    Box::new(AuditedDefense::new(inner, audit))
+                })
+                .collect(),
+        )
     }
 }
 
@@ -427,6 +597,9 @@ mod tests {
             DefenseSpec::Cra { t_rh: 50_000 },
             DefenseSpec::Twice { t_rh: 50_000 },
             DefenseSpec::Ideal { t_rh: 50_000 },
+            DefenseSpec::Comet { t_rh: 50_000 },
+            DefenseSpec::Abacus { t_rh: 50_000, k: 2 },
+            DefenseSpec::BlockHammer { t_rh: 50_000 },
         ] {
             let d = spec.build(0, 65_536);
             assert!(!d.name().is_empty());
@@ -435,6 +608,74 @@ mod tests {
             assert_eq!(a.name(), format!("Audited({})", d.name()));
             assert_eq!(a.table_bits(), d.table_bits(), "audit must not change footprint");
         }
+    }
+
+    #[test]
+    fn spec_strings_round_trip() {
+        for spec in [
+            DefenseSpec::None,
+            DefenseSpec::Graphene { t_rh: 50_000, k: 2 },
+            DefenseSpec::HardenedGraphene { t_rh: 12_500, k: 4 },
+            DefenseSpec::Para { p: 0.00145 },
+            DefenseSpec::Prohit,
+            DefenseSpec::Mrloc { p: 0.00145 },
+            DefenseSpec::Cbt { t_rh: 50_000 },
+            DefenseSpec::Cra { t_rh: 50_000 },
+            DefenseSpec::Twice { t_rh: 50_000 },
+            DefenseSpec::Ideal { t_rh: 50_000 },
+            DefenseSpec::Comet { t_rh: 25_000 },
+            DefenseSpec::Abacus { t_rh: 25_000, k: 2 },
+            DefenseSpec::BlockHammer { t_rh: 25_000 },
+        ] {
+            let text = spec.spec_string();
+            let back = DefenseSpec::parse(&text).unwrap_or_else(|e| panic!("{text}: {e}"));
+            assert_eq!(back, spec, "{text}");
+        }
+    }
+
+    #[test]
+    fn arena_spec_strings_carry_all_bank_factory_params() {
+        // The ABACuS notation must round-trip the reset-window divisor the
+        // all-bank factory consumes, not just the threshold.
+        let spec = DefenseSpec::parse("abacus@6250,k=4").unwrap();
+        assert_eq!(spec, DefenseSpec::Abacus { t_rh: 6_250, k: 4 });
+        assert_eq!(spec.spec_string(), "abacus@6250,k=4");
+        assert_eq!(DefenseSpec::parse("comet@1560").unwrap(), DefenseSpec::Comet { t_rh: 1_560 });
+        assert_eq!(
+            DefenseSpec::parse("blockhammer@3125").unwrap(),
+            DefenseSpec::BlockHammer { t_rh: 3_125 },
+        );
+    }
+
+    #[test]
+    fn malformed_spec_strings_are_rejected_with_reasons() {
+        for (text, needle) in [
+            ("abacus@6250", "k="),
+            ("comet", "t_rh"),
+            ("blockhammer@abc", "bad t_rh"),
+            ("prohit@7", "no `@` arguments"),
+            ("warp-field@9000", "unknown defense"),
+        ] {
+            let err = DefenseSpec::parse(text).unwrap_err();
+            assert!(err.contains(needle), "`{text}` -> {err}");
+        }
+    }
+
+    #[test]
+    fn abacus_all_bank_factory_shares_one_table() {
+        let spec = DefenseSpec::Abacus { t_rh: 50_000, k: 2 };
+        let pool = spec.build_all_bank(0, 4, 65_536, false).expect("ABACuS is all-bank");
+        assert_eq!(pool.len(), 4);
+        for d in &pool {
+            assert_eq!(d.name(), "ABACuS");
+        }
+        let audited = spec.build_all_bank(0, 4, 65_536, true).expect("ABACuS is all-bank");
+        assert_eq!(audited[0].name(), "Audited(ABACuS)");
+        // Everything else keeps the per-bank path.
+        assert!(DefenseSpec::Comet { t_rh: 50_000 }.build_all_bank(0, 4, 65_536, false).is_none());
+        assert!(DefenseSpec::Graphene { t_rh: 50_000, k: 2 }
+            .build_all_bank(0, 4, 65_536, false)
+            .is_none());
     }
 
     #[test]

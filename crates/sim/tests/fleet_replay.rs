@@ -12,6 +12,13 @@
 //! Runs audited: every shard's defense is wrapped in the invariant shim, so
 //! the checkpoint also has to carry the audit's shadow accounting across
 //! the kill — an audited resume that lost it would panic mid-continuation.
+//!
+//! The defense dimension spans the tracker arena: Graphene (exact CAM),
+//! CoMeT (sketch + recent-aggressor table), ABACuS (one table shared by a
+//! shard's banks — the restore has to rebuild shared-core state coherently
+//! across its per-bank facades), and BlockHammer (counting-Bloom filters
+//! plus the throttle feedback path, whose pending hold-until deadlines ride
+//! the controller checkpoint).
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -31,8 +38,17 @@ fn tmp(name: &str) -> PathBuf {
     dir.join(format!("{}-{}-{}", std::process::id(), UNIQ.fetch_add(1, Ordering::Relaxed), name))
 }
 
-fn config() -> FleetConfig {
-    let mut cfg = FleetConfig::micro2020(DefenseSpec::Graphene { t_rh: 2_000, k: 2 });
+/// The arena lineup under checkpoint test, indexed by the proptest's
+/// defense dimension.
+const DEFENSES: [DefenseSpec; 4] = [
+    DefenseSpec::Graphene { t_rh: 2_000, k: 2 },
+    DefenseSpec::Comet { t_rh: 2_000 },
+    DefenseSpec::Abacus { t_rh: 2_000, k: 2 },
+    DefenseSpec::BlockHammer { t_rh: 2_000 },
+];
+
+fn config(didx: usize) -> FleetConfig {
+    let mut cfg = FleetConfig::micro2020(DEFENSES[didx]);
     cfg.system.geometry =
         DramGeometry { channels: 4, ranks_per_channel: 1, banks_per_rank: 4, rows_per_bank: 4_096 };
     cfg.audit = true;
@@ -40,35 +56,46 @@ fn config() -> FleetConfig {
     cfg
 }
 
-/// The shared fleet trace, synthesized once, and the uninterrupted
-/// reference run of it.
-fn fixture() -> &'static (PathBuf, SystemStats) {
-    static FIXTURE: OnceLock<(PathBuf, SystemStats)> = OnceLock::new();
-    FIXTURE.get_or_init(|| {
+/// The shared fleet trace, synthesized once for the common geometry.
+fn trace() -> &'static PathBuf {
+    static TRACE: OnceLock<PathBuf> = OnceLock::new();
+    TRACE.get_or_init(|| {
         let path = tmp("shared.rht3");
-        let cfg = config();
-        synth_fleet_trace(&path, "fleet-prop", &cfg.system.geometry, 64, TRACE_LEN, 11).unwrap();
-        let mut reference = cfg;
-        reference.threads = 1;
-        reference.segment = TRACE_LEN;
-        let report = run_fleet(&reference, &path, |_| {}).unwrap();
+        synth_fleet_trace(&path, "fleet-prop", &config(0).system.geometry, 64, TRACE_LEN, 11)
+            .unwrap();
+        path
+    })
+}
+
+/// The uninterrupted reference run of the shared trace under defense
+/// `didx`, computed once per defense.
+fn reference(didx: usize) -> &'static SystemStats {
+    static REFERENCES: [OnceLock<SystemStats>; 4] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    REFERENCES[didx].get_or_init(|| {
+        let mut cfg = config(didx);
+        cfg.threads = 1;
+        cfg.segment = TRACE_LEN;
+        let report = run_fleet(&cfg, trace(), |_| {}).unwrap();
         assert_eq!(report.accesses_done, TRACE_LEN);
-        (path, report.stats)
+        report.stats
     })
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(6))]
+    #![proptest_config(ProptestConfig::with_cases(8))]
     #[test]
     fn kill_resume_is_bit_identical_across_workers(
         segment in 1_500u64..7_000,
         kill in 500u64..23_500,
         widx in 0usize..3,
+        didx in 0usize..4,
     ) {
-        let (trace, reference) = fixture();
+        let trace = trace();
+        let reference = reference(didx);
         let threads = [1usize, 2, 4][widx];
         let ckpt = tmp("case.ckpt");
-        let mut cfg = config();
+        let mut cfg = config(didx);
         cfg.threads = threads;
         cfg.segment = segment;
         cfg.checkpoint = Some(ckpt.clone());

@@ -75,3 +75,40 @@ fn recording_matrix_captures_per_defense_series() {
     assert_eq!(parsed, merged);
     assert!(parsed.series_for("S3/Graphene/graphene.spillover", 0).is_some());
 }
+
+#[test]
+fn arena_trackers_report_their_scheme_series() {
+    let cfg = SimConfig {
+        telemetry: Some(TelemetrySpec::every_acts(500)),
+        ..SimConfig::attack_bank(5_000, 12_000)
+    };
+    let defenses = vec![
+        DefenseSpec::Comet { t_rh: 5_000 },
+        DefenseSpec::Abacus { t_rh: 5_000, k: 2 },
+        DefenseSpec::BlockHammer { t_rh: 5_000 },
+    ];
+    let m = run_matrix_telemetry(&cfg, &defenses, &[WorkloadSpec::S3]);
+
+    // Tracker-specific trajectories: CMS occupancy, shared-table spillover,
+    // and throttle accounting — plus the uniform wrapper series everywhere.
+    let expect = [
+        ("CoMeT", "comet.cms_occupancy"),
+        ("ABACuS", "abacus.spillover"),
+        ("BlockHammer", "blockhammer.throttled"),
+    ];
+    for (defense, metric) in expect {
+        let cell = m.cells.iter().find(|c| c.defense == defense).unwrap();
+        let s = cell.snapshot.series_for(metric, 0).unwrap_or_else(|| {
+            panic!("missing {metric}: have {:?}", cell.snapshot.series_metrics())
+        });
+        assert!(!s.samples.is_empty(), "{metric} recorded no samples");
+        let acts = cell.snapshot.series_for("defense.acts", 0).expect("uniform acts series");
+        assert!(acts.samples.last().unwrap().value > 0.0, "{defense}");
+    }
+
+    // S3 hammers one row flat out, so BlockHammer's throttle series must
+    // actually move.
+    let bh = m.cells.iter().find(|c| c.defense == "BlockHammer").unwrap();
+    let throttled = bh.snapshot.series_for("blockhammer.throttled", 0).unwrap();
+    assert!(throttled.samples.last().unwrap().value > 0.0, "hot row never throttled");
+}
