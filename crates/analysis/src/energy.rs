@@ -39,6 +39,23 @@ impl EnergyModel {
         }
     }
 
+    /// [`EnergyModel::micro2020`] re-anchored to another device's refresh
+    /// window: the per-window constants (auto-refresh energy, static
+    /// tracker energy) are scaled pro rata to the new tREFW, so a 32 ms
+    /// DDR5/LPDDR window spends half the per-window refresh energy of the
+    /// DDR4 64 ms window, as the shorter window implies. Per-operation
+    /// constants (ACT+PRE, dynamic lookup) are device-independent here.
+    pub fn for_timing(timing: &DramTiming) -> Self {
+        let base = Self::micro2020();
+        let scale = timing.t_refw as f64 / base.t_refw as f64;
+        EnergyModel {
+            refresh_per_bank_per_refw_nj: base.refresh_per_bank_per_refw_nj * scale,
+            graphene_static_per_refw_nj: base.graphene_static_per_refw_nj * scale,
+            t_refw: timing.t_refw,
+            ..base
+        }
+    }
+
     /// Graphene's dynamic energy per ACT as a fraction of one ACT+PRE pair —
     /// the paper reports 0.032 %.
     pub fn graphene_dynamic_fraction(&self) -> f64 {
@@ -139,6 +156,22 @@ impl Default for EnergyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn for_timing_scales_per_window_constants_to_the_device_window() {
+        let d4 = EnergyModel::micro2020();
+        let d5 = EnergyModel::for_timing(&dram_model::Generation::Ddr5_4800.timing());
+        assert_eq!(d5.t_refw, d4.t_refw / 2);
+        let half = d4.refresh_per_bank_per_refw_nj / 2.0;
+        assert!((d5.refresh_per_bank_per_refw_nj - half).abs() < 1e-6);
+        // The refresh-energy *rate* is window-invariant, so equal-duration
+        // runs with equal victim counts score the same overhead fraction.
+        let a = d4.refresh_energy_overhead(100, d4.t_refw, 1);
+        let b = d5.refresh_energy_overhead(100, d4.t_refw, 1);
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        // And the DDR4 instance is the paper's model, unchanged.
+        assert_eq!(EnergyModel::for_timing(&DramTiming::ddr4_2400()), d4);
+    }
 
     #[test]
     fn table_v_dynamic_fraction() {

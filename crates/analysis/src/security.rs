@@ -26,8 +26,18 @@
 //! per-window bit-flip probability the paper quotes (0.25 % per tREFW for
 //! PRoHIT at PARA-0.00145's refresh budget).
 
-/// Windows per year at tREFW = 64 ms.
+/// Windows per year at the paper's DDR4 tREFW = 64 ms — the
+/// [`windows_per_year`] instance the DDR4 analyses use.
 pub const WINDOWS_PER_YEAR: f64 = 365.25 * 24.0 * 3600.0 / 0.064;
+
+/// Refresh windows per year for a device with refresh window `t_refw`
+/// (picoseconds) — the generation-generic form of [`WINDOWS_PER_YEAR`].
+/// DDR5/LPDDR devices with 32 ms windows restart the attack game twice as
+/// often, doubling the yearly trial count.
+pub fn windows_per_year(t_refw: dram_model::Picoseconds) -> f64 {
+    let seconds_per_year = 365.25 * 24.0 * 3600.0;
+    seconds_per_year / (t_refw as f64 * 1e-12)
+}
 
 /// Probability that PARA with refresh probability `p` fails to protect a
 /// single bank within one window of `w` ACTs at Row Hammer threshold `t_rh`
@@ -79,7 +89,18 @@ pub fn victim_failure_probability(q: f64, t_rh: u64, w: u64, victims: u32) -> f6
 /// restarting the game every window. Computed in log space for tiny
 /// per-window probabilities.
 pub fn yearly_failure(p_window: f64, banks: u32) -> f64 {
-    let trials = f64::from(banks) * WINDOWS_PER_YEAR;
+    yearly_failure_for_window(p_window, banks, dram_model::DramTiming::ddr4_2400().t_refw)
+}
+
+/// [`yearly_failure`] for a device with refresh window `t_refw`: same
+/// per-window probability, but the yearly trial count is derived from the
+/// device's own window instead of the DDR4 64 ms assumption.
+pub fn yearly_failure_for_window(
+    p_window: f64,
+    banks: u32,
+    t_refw: dram_model::Picoseconds,
+) -> f64 {
+    let trials = f64::from(banks) * windows_per_year(t_refw);
     if p_window <= 0.0 {
         return 0.0;
     }
@@ -123,6 +144,19 @@ mod tests {
     use super::*;
 
     const W: u64 = 1_358_404;
+
+    #[test]
+    fn windows_per_year_derives_the_ddr4_constant_and_halved_windows() {
+        let ddr4 = dram_model::DramTiming::ddr4_2400().t_refw;
+        assert!((windows_per_year(ddr4) - WINDOWS_PER_YEAR).abs() < 1e-6);
+        // A 32 ms window restarts the game twice as often.
+        let ddr5 = dram_model::Generation::Ddr5_4800.timing().t_refw;
+        assert!((windows_per_year(ddr5) - 2.0 * WINDOWS_PER_YEAR).abs() < 1e-6);
+        // And yearly_failure is exactly its 64 ms instance.
+        let p = 1e-12;
+        assert_eq!(yearly_failure(p, 64), yearly_failure_for_window(p, 64, ddr4));
+        assert!(yearly_failure_for_window(p, 64, ddr5) > yearly_failure(p, 64));
+    }
 
     #[test]
     fn para_0_00145_gives_near_complete_protection() {

@@ -1,0 +1,6 @@
+//! Binary wrapper for the `generation-matrix` cross-generation sweep.
+
+fn main() {
+    rh_bench::propagate_audit_mode();
+    rh_bench::generation_matrix::run(rh_bench::fast_mode());
+}

@@ -1,12 +1,15 @@
-//! Table I: DDR4 refresh parameters.
+//! Table I: refresh parameters — the paper's DDR4 column plus the other
+//! DRAM generations the simulator models.
 
-use dram_model::DramTiming;
+use dram_model::Generation;
 use rh_analysis::TablePrinter;
 
-/// Prints Table I (paper values are definitions, so measured == paper).
+/// Prints Table I (paper values are definitions, so measured == paper),
+/// then the same parameters for every modeled generation, derived from
+/// the [`Generation`] timing API instead of assuming DDR4's numbers.
 pub fn run(_fast: bool) {
     crate::banner("Table I — DDR4 refresh parameters (JEDEC)");
-    let t = DramTiming::ddr4_2400();
+    let t = Generation::Ddr4_2400.timing();
     let mut table = TablePrinter::new(vec!["term", "definition", "paper", "model"]);
     table.row(vec![
         "tREFI".into(),
@@ -33,4 +36,34 @@ pub fn run(_fast: bool) {
         format!("{} ms", t.t_refw as f64 / 1e9),
     ]);
     table.print();
+
+    println!();
+    println!("Refresh parameters across modeled generations:");
+    let mut gens = TablePrinter::new(vec![
+        "generation",
+        "tREFW",
+        "tREFI",
+        "tRFC",
+        "tRC",
+        "REFs/window",
+        "max postponed",
+        "RFM",
+    ]);
+    for generation in Generation::ALL {
+        let t = generation.timing();
+        gens.row(vec![
+            generation.name().into(),
+            format!("{} ms", t.t_refw as f64 / 1e9),
+            format!("{} us", t.t_refi as f64 / 1e6),
+            format!("{} ns", t.t_rfc as f64 / 1e3),
+            format!("{} ns", t.t_rc as f64 / 1e3),
+            (t.t_refw / t.t_refi).to_string(),
+            generation.max_postponed_refs().to_string(),
+            match generation.rfm() {
+                Some(rfm) => format!("RAAIMT {} / RAAMMT {}", rfm.raaimt, rfm.raammt),
+                None => "-".into(),
+            },
+        ]);
+    }
+    gens.print();
 }

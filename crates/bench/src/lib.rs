@@ -23,6 +23,7 @@ pub mod exp_table3;
 pub mod exp_table4;
 pub mod exp_table5;
 pub mod exp_trr;
+pub mod generation_matrix;
 pub mod resilience_report;
 pub mod telemetry_report;
 pub mod tracker_arena;

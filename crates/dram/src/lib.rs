@@ -7,6 +7,10 @@
 //! * [`timing`] — JEDEC DDR4 timing parameters (Table I of the paper) and the
 //!   derived quantities the paper's sizing formulas need, most importantly the
 //!   maximum number of row activations that fit in a refresh window.
+//! * [`generation`] — the multi-generation layer over [`timing`]: zero-cost
+//!   [`DramGeneration`] const-timing instances (DDR4-2400, DDR5-4800 with
+//!   RFM, LPDDR4X, LPDDR5), the runtime [`Generation`] enum, and the
+//!   [`RfmSpec`] refresh-management accounting constants.
 //! * [`geometry`] — channel/rank/bank/row organization and strongly-typed
 //!   addresses ([`RowId`], [`BankCoord`]).
 //! * [`fault`] — a ground-truth Row Hammer *fault oracle*: it integrates the
@@ -35,6 +39,7 @@ pub mod data;
 pub mod device;
 pub mod error;
 pub mod fault;
+pub mod generation;
 pub mod geometry;
 pub mod refresh;
 pub mod timing;
@@ -44,6 +49,7 @@ pub use data::{DataPattern, DataShadow};
 pub use device::{BankDevice, DeviceStats};
 pub use error::DramError;
 pub use fault::{BitFlip, DisturbanceModel, FaultOracle, MuModel};
+pub use generation::{DramGeneration, Generation, RfmSpec};
 pub use geometry::{BankCoord, DramGeometry, RowId};
 pub use refresh::{RefreshEngine, MAX_POSTPONED_REFS};
 pub use timing::{DramTiming, Picoseconds};

@@ -11,13 +11,21 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::DramError;
+use crate::generation::Generation;
 use crate::geometry::RowId;
 use crate::timing::{DramTiming, Picoseconds};
 
 /// Maximum number of REF commands a DDR4 controller may postpone
 /// (JESD79-4 §4.24: up to 8 tREFI of accumulated postponement, to be made up
-/// before the debit exceeds 8 commands).
+/// before the debit exceeds 8 commands). Other generations carry their own
+/// limit — see [`Generation::max_postponed_refs`] and
+/// [`RefreshEngine::for_generation`]; the plain [`RefreshEngine::new`]
+/// constructor keeps this DDR4 value.
 pub const MAX_POSTPONED_REFS: u32 = 8;
+
+fn default_max_postponed() -> u32 {
+    MAX_POSTPONED_REFS
+}
 
 /// Rotating auto-refresh state for one bank.
 ///
@@ -46,6 +54,11 @@ pub struct RefreshEngine {
     t_refi: Picoseconds,
     /// Time the next REF is due.
     next_ref_at: Picoseconds,
+    /// Generation postponement limit for [`Self::catch_up_postponed`].
+    /// Defaults to the DDR4 [`MAX_POSTPONED_REFS`], so checkpoints written
+    /// before the field existed restore as DDR4 engines.
+    #[serde(default = "default_max_postponed")]
+    max_postponed: u32,
 }
 
 impl RefreshEngine {
@@ -69,7 +82,37 @@ impl RefreshEngine {
             refs_issued: 0,
             t_refi: timing.t_refi,
             next_ref_at: timing.t_refi,
+            max_postponed: default_max_postponed(),
         }
+    }
+
+    /// Creates the engine for a [`Generation`]: the generation's timing
+    /// drives the rotation and its postponement limit bounds
+    /// [`Self::catch_up_postponed`] (DDR4 keeps 8; the halved-tREFI DDR5
+    /// generations allow 16 for the same wall-clock budget).
+    ///
+    /// For [`Generation::Ddr4_2400`] the result is identical to
+    /// [`RefreshEngine::new`] over [`DramTiming::ddr4_2400`].
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`RefreshEngine::new`] on a zero-REF window.
+    pub fn for_generation(generation: Generation, rows_per_bank: u32) -> Self {
+        let mut eng = Self::new(&generation.timing(), rows_per_bank);
+        eng.max_postponed = generation.max_postponed_refs();
+        eng
+    }
+
+    /// Overrides the postponement limit — for controllers that pair an
+    /// explicit (possibly overridden) timing with a generation's bound.
+    pub fn with_max_postponed(mut self, max_postponed: u32) -> Self {
+        self.max_postponed = max_postponed.max(1);
+        self
+    }
+
+    /// The postponement limit [`Self::catch_up_postponed`] enforces.
+    pub fn max_postponed_refs(&self) -> u32 {
+        self.max_postponed
     }
 
     /// Rows restored by each REF command.
@@ -164,25 +207,29 @@ impl RefreshEngine {
 
     /// Like [`RefreshEngine::catch_up`], but with `postponed` REF commands
     /// legally deferred: a REF nominally due at `t` is only executed once
-    /// `t + postponed × tREFI ≤ now`. DDR4 permits this for up to
-    /// [`MAX_POSTPONED_REFS`] commands; the debt is repaid by a later call
-    /// with a smaller (eventually zero) postponement, after which the
-    /// engine's rotation state is identical to the nominal schedule's.
+    /// `t + postponed × tREFI ≤ now`. The generation's limit bounds the
+    /// accumulation ([`MAX_POSTPONED_REFS`] = 8 for DDR4-constructed
+    /// engines; [`Self::for_generation`] arms the per-generation value);
+    /// the debt is repaid by a later call with a smaller (eventually zero)
+    /// postponement, after which the engine's rotation state is identical
+    /// to the nominal schedule's.
     ///
     /// # Errors
     ///
-    /// Returns [`DramError::InvalidTiming`] if `postponed` exceeds
-    /// [`MAX_POSTPONED_REFS`]; the engine state is untouched.
+    /// Returns [`DramError::InvalidTiming`] if `postponed` exceeds the
+    /// engine's [`Self::max_postponed_refs`]; the engine state is
+    /// untouched.
     pub fn catch_up_postponed(
         &mut self,
         now: Picoseconds,
         postponed: u32,
     ) -> Result<Vec<RowId>, DramError> {
-        if postponed > MAX_POSTPONED_REFS {
+        if postponed > self.max_postponed {
             return Err(DramError::InvalidTiming {
                 reason: format!(
-                    "cannot postpone {postponed} REF commands: DDR4 allows at most \
-                     {MAX_POSTPONED_REFS} (JESD79-4 \u{00a7}4.24)"
+                    "cannot postpone {postponed} REF commands: this generation allows at \
+                     most {} (JESD79-4 \u{00a7}4.24 and the JESD79-5 equivalent)",
+                    self.max_postponed
                 ),
             });
         }
@@ -314,6 +361,39 @@ mod tests {
     }
 
     #[test]
+    fn generation_postponement_bounds() {
+        use crate::generation::Generation;
+
+        // Each generation's engine enforces its own accumulated-postponement
+        // limit: DDR4/LPDDR4X stop at 8 commands, the halved-tREFI DDR5
+        // generations at 16 — the same ~62.4 µs wall-clock budget.
+        for (generation, limit) in [
+            (Generation::Ddr4_2400, 8),
+            (Generation::Lpddr4x, 8),
+            (Generation::Ddr5_4800, 16),
+            (Generation::Lpddr5, 16),
+        ] {
+            let mut eng = RefreshEngine::for_generation(generation, 4_096);
+            assert_eq!(eng.max_postponed_refs(), limit, "{generation}");
+            let now = 100 * generation.timing().t_refi;
+            let before = eng.clone();
+            let err = eng.catch_up_postponed(now, limit + 1).unwrap_err();
+            assert!(matches!(err, DramError::InvalidTiming { .. }), "{generation}: {err:?}");
+            assert_eq!(eng, before, "{generation}: rejected call must not perturb state");
+            assert!(eng.catch_up_postponed(now, limit).is_ok(), "{generation}");
+        }
+    }
+
+    #[test]
+    fn ddr4_generation_engine_matches_legacy_constructor() {
+        use crate::generation::Generation;
+
+        let legacy = RefreshEngine::new(&DramTiming::ddr4_2400(), 65_536);
+        let gen = RefreshEngine::for_generation(Generation::Ddr4_2400, 65_536);
+        assert_eq!(legacy, gen, "DDR4 path must be bit-identical through the generation API");
+    }
+
+    #[test]
     fn postponement_defers_exactly_lag_refis() {
         let t = DramTiming::ddr4_2400();
         let mut nominal = RefreshEngine::new(&t, 65_536);
@@ -342,7 +422,7 @@ mod tests {
         let mut oracle_a = FaultOracle::new(model.clone(), rows);
         let mut oracle_b = FaultOracle::new(model, rows);
 
-        let mut hammer = |oracle: &mut FaultOracle, at: Picoseconds| {
+        let hammer = |oracle: &mut FaultOracle, at: Picoseconds| {
             oracle.activate(RowId(30), at);
             oracle.activate(RowId(7), at + 1);
         };

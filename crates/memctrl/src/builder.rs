@@ -359,7 +359,7 @@ impl<'a> McBuilder<'a> {
     }
 }
 
-/// Collapses a defense source into the per-bank closure `from_parts` eats,
+/// Collapses a defense source into the per-bank closure `try_from_parts` eats,
 /// scoped to one controller's span of `banks` banks starting at
 /// `first_bank`. Factory sources are offered the whole span via
 /// [`DefenseFactory::build_all_bank`] first; a `Some` answer is drained

@@ -72,6 +72,8 @@ pub(crate) fn run_stats_to_json(s: &RunStats) -> JsonValue {
         ),
         ("stray_stream_accesses", JsonValue::U64(s.stray_stream_accesses)),
         ("stray_stream_latency", JsonValue::U64(s.stray_stream_latency)),
+        ("rfm_commands", JsonValue::U64(s.rfm_commands)),
+        ("forced_rfms", JsonValue::U64(s.forced_rfms)),
     ])
 }
 
@@ -108,6 +110,9 @@ pub(crate) fn run_stats_from_json(v: &JsonValue) -> Result<RunStats, String> {
         per_stream,
         stray_stream_accesses: u64_field(v, "stray_stream_accesses")?,
         stray_stream_latency: u64_field(v, "stray_stream_latency")?,
+        // Absent in pre-RFM checkpoints: default 0 (a DDR4 run issued none).
+        rfm_commands: opt_u64_field(v, "rfm_commands")?.unwrap_or(0),
+        forced_rfms: opt_u64_field(v, "forced_rfms")?.unwrap_or(0),
     })
 }
 

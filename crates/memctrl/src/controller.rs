@@ -180,6 +180,12 @@ pub struct MemoryController {
     /// Auto-refresh is held while the wall clock is below this (set by
     /// [`ControllerFault::PostponeRefresh`]; backlog catches up after).
     refresh_hold_until: Picoseconds,
+    /// Per-bank Rolling Accumulated ACT counters (JESD79-5 RFM). Empty
+    /// unless [`McConfig::rfm`] is armed: each ACT increments its bank's
+    /// counter, each executed RFM debits RAAIMT, each periodic REF debits
+    /// RAAIMT, and reaching RAAMMT forces the controller to issue an RFM
+    /// itself.
+    raa: Vec<u64>,
     stats: RunStats,
 }
 
@@ -198,19 +204,8 @@ impl MemoryController {
     /// single-shard and per-channel paths. `defense_factory` is called once
     /// per bank with `defense_index_offset + local_bank` — the **global**
     /// flat bank index — so a shard's defenses seed identically to the same
-    /// banks in a whole-system controller.
-    pub(crate) fn from_parts(
-        config: McConfig,
-        defense_factory: &mut dyn FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
-        channel: u8,
-        defense_index_offset: usize,
-    ) -> Self {
-        Self::try_from_parts(config, defense_factory, channel, defense_index_offset)
-            .unwrap_or_else(|e| panic!("{e}"))
-    }
-
-    /// Like [`from_parts`](Self::from_parts), but surfaces configuration
-    /// problems as [`McBuildError`] instead of panicking — the engine behind
+    /// banks in a whole-system controller. Surfaces configuration problems
+    /// as [`McBuildError`] — the engine behind
     /// [`McBuilder::try_build`](crate::McBuilder::try_build).
     pub(crate) fn try_from_parts(
         config: McConfig,
@@ -229,10 +224,18 @@ impl MemoryController {
                 .map(|_| FaultOracle::new(m.clone(), config.geometry.rows_per_bank))
                 .collect()
         });
+        // The engine rotates on the configured timing (which tests may
+        // override independently of the generation) while the generation
+        // sets the postponement bound — 8 on DDR4, 16 on the halved-tREFI
+        // DDR5 generations.
         let refresh_engines = (0..n_banks)
-            .map(|_| RefreshEngine::new(&config.timing, config.geometry.rows_per_bank))
+            .map(|_| {
+                RefreshEngine::new(&config.timing, config.geometry.rows_per_bank)
+                    .with_max_postponed(config.generation.max_postponed_refs())
+            })
             .collect();
         let next_refresh_at = config.timing.t_refi;
+        let raa = if config.rfm.is_some() { vec![0u64; n_banks] } else { Vec::new() };
         Ok(MemoryController {
             config,
             channel,
@@ -247,26 +250,9 @@ impl MemoryController {
             telemetry: None,
             faults: None,
             refresh_hold_until: 0,
+            raa,
             stats: RunStats::default(),
         })
-    }
-
-    /// Builds the controller; `defense_factory` is called once per bank with
-    /// the flattened bank index (use it to seed RNG-based defenses
-    /// distinctly).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the configuration's geometry or timing fail validation.
-    #[deprecated(
-        since = "0.2.0",
-        note = "construct through `McBuilder::new(config).defenses_with(factory).build()`"
-    )]
-    pub fn new(
-        config: McConfig,
-        mut defense_factory: impl FnMut(usize) -> Box<dyn RowHammerDefense + Send>,
-    ) -> Self {
-        Self::from_parts(config, &mut defense_factory, 0, 0)
     }
 
     pub(crate) fn set_command_log(&mut self, log: CommandLog) {
@@ -287,25 +273,9 @@ impl MemoryController {
         self.faults.as_ref().map(FaultInjector::stats)
     }
 
-    /// Attaches a command log; every ACT slot, REF blackout start, and
-    /// victim-refresh burst is recorded for post-hoc protocol checking
-    /// ([`crate::cmdlog::ProtocolChecker`]).
-    #[deprecated(since = "0.2.0", note = "pass the log to `McBuilder::command_log` instead")]
-    pub fn enable_command_log(&mut self, log: CommandLog) {
-        self.set_command_log(log);
-    }
-
     /// The command log, if one was attached.
     pub fn command_log(&self) -> Option<&CommandLog> {
         self.command_log.as_ref()
-    }
-
-    /// Attaches a telemetry tap; ACT/REF/victim-refresh rates and end-of-run
-    /// service gauges are reported through it (see [`crate::tap`]). With a
-    /// disabled sink the tap is inert and the run is bit-identical.
-    #[deprecated(since = "0.2.0", note = "pass the tap to `McBuilder::telemetry` instead")]
-    pub fn attach_telemetry(&mut self, tap: TelemetryTap) {
-        self.set_telemetry(tap);
     }
 
     /// The telemetry tap, if one was attached.
@@ -426,6 +396,9 @@ impl MemoryController {
                 let flips = oracles[bank_idx].activate(row, outcome.start);
                 self.stats.bit_flips += flips.len() as u64;
             }
+            if self.config.rfm.is_some() {
+                self.raa[bank_idx] += 1;
+            }
             let mut actions = self.defenses[bank_idx].on_activation(row, outcome.start);
             if let Some(inj) = &mut self.faults {
                 actions = inj.filter_actions(bank_idx, access_index, actions);
@@ -434,6 +407,7 @@ impl MemoryController {
                 self.apply_action(bank_idx, action);
             }
             self.charge_overhead(bank_idx);
+            self.enforce_raa_maximum(bank_idx);
         }
         if self.faults.as_mut().is_some_and(FaultInjector::take_duplicate) {
             // Command duplication at the shard boundary: the same request is
@@ -724,6 +698,10 @@ impl MemoryController {
                 for action in actions {
                     self.apply_action(bank_idx, action);
                 }
+                // JESD79-5: each REF also retires one RAAIMT quantum of
+                // accumulated ACTs, so benign traffic never drifts toward
+                // the RAAMMT backstop.
+                self.debit_raa(bank_idx);
             }
             self.next_refresh_at += self.config.timing.t_refi;
         }
@@ -751,9 +729,45 @@ impl MemoryController {
         self.wall = self.wall.max(end);
         self.stats.defense_refresh_commands += 1;
         self.stats.victim_rows_refreshed += rows.len() as u64;
+        if matches!(action, RefreshAction::Rfm { .. }) {
+            self.stats.rfm_commands += 1;
+            self.debit_raa(bank_idx);
+        }
         if let Some(oracles) = &mut self.oracles {
             oracles[bank_idx].refresh_rows(rows);
         }
+    }
+
+    /// Debits one RAAIMT quantum from a bank's Rolling Accumulated ACT
+    /// counter — the JESD79-5 accounting for an executed RFM or REF.
+    /// No-op when RFM accounting is disarmed.
+    fn debit_raa(&mut self, bank_idx: usize) {
+        if let Some(rfm) = self.config.rfm {
+            if let Some(raa) = self.raa.get_mut(bank_idx) {
+                *raa = raa.saturating_sub(u64::from(rfm.raaimt));
+            }
+        }
+    }
+
+    /// Forces an RFM if a bank's RAA counter has reached RAAMMT — the
+    /// device-side backstop a JESD79-5 controller must honour regardless of
+    /// what its Row Hammer defense decided. The forced RFM is untargeted
+    /// (the device refreshes its own candidates), so it blocks the bank for
+    /// tRFM and debits RAAIMT without naming victim rows.
+    fn enforce_raa_maximum(&mut self, bank_idx: usize) {
+        let Some(rfm) = self.config.rfm else { return };
+        while self.raa.get(bank_idx).is_some_and(|&r| r >= u64::from(rfm.raammt)) {
+            self.banks[bank_idx].delay(rfm.t_rfm);
+            self.stats.defense_busy += rfm.t_rfm;
+            self.stats.forced_rfms += 1;
+            self.debit_raa(bank_idx);
+        }
+    }
+
+    /// A bank's current Rolling Accumulated ACT count (0 when RFM
+    /// accounting is disarmed) — exposed for RFM-mode audits and tests.
+    pub fn raa_count(&self, bank_idx: usize) -> u64 {
+        self.raa.get(bank_idx).copied().unwrap_or(0)
     }
 
     /// True if no ground-truth bit flip has occurred (always true when the
@@ -799,6 +813,7 @@ impl MemoryController {
                     ("ref_burst_in_window", JsonValue::U64(eng.burst_in_window())),
                     ("ref_refs_issued", JsonValue::U64(eng.refs_issued())),
                     ("ref_next_at", JsonValue::U64(eng.next_ref_at())),
+                    ("raa", JsonValue::U64(self.raa.get(b).copied().unwrap_or(0))),
                     (
                         "defense",
                         self.defenses[b].snapshot_state().map_err(|e| format!("bank {b}: {e}"))?,
@@ -875,18 +890,33 @@ impl MemoryController {
             }
             let refs_issued = u64_field(bank, "ref_refs_issued").map_err(ctx)?;
             let ref_next_at = u64_field(bank, "ref_next_at").map_err(ctx)?;
-            parsed.push((open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at));
+            // Pre-RFM checkpoints lack the field; 0 is their only possible
+            // RAA value.
+            let raa = opt_u64_field(bank, "raa").map_err(ctx)?.unwrap_or(0);
+            parsed.push((
+                open_row,
+                hits,
+                ready_at,
+                last_act_at,
+                burst,
+                refs_issued,
+                ref_next_at,
+                raa,
+            ));
         }
         for (b, bank) in banks.iter().enumerate() {
             self.defenses[b]
                 .restore_state(field(bank, "defense").map_err(|e| format!("bank {b}: {e}"))?)
                 .map_err(|e| format!("bank {b}: {e}"))?;
         }
-        for (b, (open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at)) in
+        for (b, (open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at, raa)) in
             parsed.into_iter().enumerate()
         {
             self.banks[b].restore_dynamic_state(open_row, hits, ready_at, last_act_at);
             self.refresh_engines[b].restore_position(burst, refs_issued, ref_next_at);
+            if let Some(slot) = self.raa.get_mut(b) {
+                *slot = raa;
+            }
         }
         self.clock = clock;
         self.wall = wall;
@@ -1160,19 +1190,6 @@ mod tests {
     }
 
     #[test]
-    fn deprecated_constructor_still_builds_a_working_controller() {
-        #[allow(deprecated)]
-        let mut mc = MemoryController::new(McConfig::single_bank(65_536, None), |_| {
-            Box::new(NoDefense::new())
-        });
-        #[allow(deprecated)]
-        mc.enable_command_log(CommandLog::bounded(16));
-        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100);
-        assert_eq!(stats.accesses, 100);
-        assert!(!mc.command_log().unwrap().records().is_empty());
-    }
-
-    #[test]
     #[should_panic(expected = "targets bank 999")]
     fn run_panics_on_bad_bank_mapping() {
         let mut mc = no_defense_mc(McConfig::single_bank(65_536, None));
@@ -1387,6 +1404,102 @@ mod tests {
         let mut other = McBuilder::new(McConfig::micro2020_no_oracle()).build();
         let err = other.restore(&snap).unwrap_err();
         assert!(err.contains("bank(s)"), "{err}");
+    }
+
+    #[test]
+    fn rfm_issuer_graphene_protects_on_ddr5() {
+        use dram_model::Generation;
+        use mitigations::RfmIssuer;
+
+        let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
+        let mut mc = McBuilder::new(McConfig::single_bank_for_generation(
+            Generation::Ddr5_4800,
+            65_536,
+            Some(model),
+        ))
+        .defenses_with(|_| {
+            let cfg = GrapheneConfig::builder()
+                .row_hammer_threshold(5_000)
+                .timing(Generation::Ddr5_4800.timing())
+                .build()
+                .unwrap();
+            Box::new(RfmIssuer::new(Box::new(GrapheneDefense::from_config(&cfg).unwrap())))
+        })
+        .build();
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 100_000);
+        assert_eq!(stats.bit_flips, 0, "RFM-mode Graphene must still protect");
+        assert!(stats.rfm_commands > 0, "DDR5 defense must issue RFMs, not NRRs");
+        assert_eq!(
+            stats.rfm_commands, stats.defense_refresh_commands,
+            "every defense refresh on this path is an RFM"
+        );
+        assert!(stats.victim_rows_refreshed > 0);
+    }
+
+    #[test]
+    fn raa_backstop_forces_rfms_when_the_defense_stays_silent() {
+        use dram_model::Generation;
+
+        // No defense: only the controller's RAAMMT backstop stands between
+        // a saturating hammer and unbounded accumulated ACTs.
+        let gen = Generation::Ddr5_4800;
+        let mut mc =
+            McBuilder::new(McConfig::single_bank_for_generation(gen, 65_536, None)).build();
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 50_000);
+        let rfm = gen.rfm().unwrap();
+        assert!(stats.forced_rfms > 0, "saturating ACTs must trip the RAAMMT backstop");
+        assert!(
+            mc.raa_count(0) < u64::from(rfm.raammt),
+            "RAA {} must stay below RAAMMT {}",
+            mc.raa_count(0),
+            rfm.raammt
+        );
+    }
+
+    #[test]
+    fn ddr4_runs_never_touch_rfm_accounting() {
+        let mut mc = graphene_mc(McConfig::single_bank(65_536, None));
+        let stats = mc.run(&mut Synthetic::s3(65_536, 1), 50_000);
+        assert_eq!(stats.rfm_commands, 0);
+        assert_eq!(stats.forced_rfms, 0);
+        assert_eq!(mc.raa_count(0), 0);
+    }
+
+    #[test]
+    fn ddr5_checkpoint_round_trips_raa_state() {
+        use dram_model::Generation;
+        use mitigations::RfmIssuer;
+
+        let build = || {
+            McBuilder::new(McConfig::single_bank_for_generation(
+                Generation::Ddr5_4800,
+                65_536,
+                None,
+            ))
+            .defenses_with(|_| {
+                let cfg = GrapheneConfig::builder()
+                    .row_hammer_threshold(5_000)
+                    .timing(Generation::Ddr5_4800.timing())
+                    .build()
+                    .unwrap();
+                Box::new(RfmIssuer::new(Box::new(GrapheneDefense::from_config(&cfg).unwrap())))
+            })
+            .build()
+        };
+        let accesses = Synthetic::s3(65_536, 1).take_accesses(60_000);
+        let halves = |range: std::ops::Range<usize>| {
+            workloads::Trace::from_accesses("half", accesses[range].to_vec()).replay()
+        };
+        let mut full = build();
+        full.run(&mut halves(0..30_000), 30_000);
+        assert!(full.raa_count(0) > 0 || full.stats().rfm_commands > 0);
+        let text = full.snapshot().unwrap().to_string();
+        let mut resumed = build();
+        resumed.restore(&telemetry::json::parse(&text).unwrap()).unwrap();
+        assert_eq!(full.raa_count(0), resumed.raa_count(0));
+        let a = full.run(&mut halves(30_000..60_000), 30_000);
+        let b = resumed.run(&mut halves(30_000..60_000), 30_000);
+        assert_eq!(a, b);
     }
 
     #[test]

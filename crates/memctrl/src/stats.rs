@@ -45,6 +45,15 @@ pub struct RunStats {
     /// `total_latency == Σ per_stream latencies + stray_stream_latency`
     /// remains an exact invariant.
     pub stray_stream_latency: Picoseconds,
+    /// Defense-requested RFM commands executed (DDR5/LPDDR5 Refresh
+    /// Management; a subset of `defense_refresh_commands`). Always 0 when
+    /// [`crate::McConfig::rfm`] is unset.
+    #[serde(default)]
+    pub rfm_commands: u64,
+    /// RFMs the *controller* was forced to issue because a bank's Rolling
+    /// Accumulated ACT counter reached RAAMMT before the defense acted.
+    #[serde(default)]
+    pub forced_rfms: u64,
 }
 
 impl RunStats {
@@ -102,6 +111,8 @@ impl RunStats {
         }
         self.stray_stream_accesses += other.stray_stream_accesses;
         self.stray_stream_latency += other.stray_stream_latency;
+        self.rfm_commands += other.rfm_commands;
+        self.forced_rfms += other.forced_rfms;
     }
 
     /// Mean latency of one stream (ps), or `None` if it served no accesses.
@@ -240,6 +251,8 @@ mod tests {
             throttle_delay: 400,
             stray_stream_accesses: 1,
             stray_stream_latency: 30,
+            rfm_commands: 4,
+            forced_rfms: 1,
             ..RunStats::default()
         };
         a.note_stream(0, 100);
@@ -248,6 +261,8 @@ mod tests {
             completion: 7_000,
             throttled_acts: 3,
             throttle_delay: 600,
+            rfm_commands: 6,
+            forced_rfms: 2,
             ..RunStats::default()
         };
         b.note_stream(0, 50);
@@ -262,6 +277,8 @@ mod tests {
         assert_eq!(a.per_stream[0], (2, 150));
         assert_eq!(a.per_stream[2], (1, 70));
         assert_eq!(a.stray_stream_accesses, 1);
+        assert_eq!(a.rfm_commands, 10);
+        assert_eq!(a.forced_rfms, 3);
     }
 
     #[test]

@@ -36,7 +36,7 @@
 use std::sync::{Arc, Mutex};
 
 use dram_model::geometry::RowId;
-use dram_model::timing::Picoseconds;
+use dram_model::timing::{DramTiming, Picoseconds};
 use graphene_core::GrapheneConfig;
 use telemetry::json::JsonValue;
 
@@ -84,6 +84,24 @@ impl AbacusConfig {
     /// Rejects `banks` outside `1..=64` and propagates the Graphene
     /// derivation error as text.
     pub fn for_geometry(t_rh: u64, k: u32, banks: u32, rows_per_bank: u32) -> Result<Self, String> {
+        Self::for_geometry_with_timing(t_rh, k, banks, rows_per_bank, DramTiming::ddr4_2400())
+    }
+
+    /// [`Self::for_geometry`] against an explicit timing configuration —
+    /// table sizing (`W / (T/2)`) and the reset window follow the
+    /// generation's tREFW/tREFI/tRC instead of assuming DDR4-2400.
+    ///
+    /// # Errors
+    ///
+    /// Rejects `banks` outside `1..=64` and propagates the Graphene
+    /// derivation error as text.
+    pub fn for_geometry_with_timing(
+        t_rh: u64,
+        k: u32,
+        banks: u32,
+        rows_per_bank: u32,
+        timing: DramTiming,
+    ) -> Result<Self, String> {
         if banks == 0 || banks > 64 {
             return Err(format!("ABACuS shares one u64 SAV: banks must be 1..=64, got {banks}"));
         }
@@ -91,6 +109,7 @@ impl AbacusConfig {
             .row_hammer_threshold(t_rh)
             .reset_window_divisor(k)
             .rows_per_bank(rows_per_bank)
+            .timing(timing)
             .build()
             .map_err(|e| format!("{e:?}"))?
             .derive()

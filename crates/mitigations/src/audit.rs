@@ -144,7 +144,10 @@ impl AuditedDefense {
             "audit[{name}]: emitted {action:?} at t={now} before any ACT was observed"
         );
         match *action {
-            RefreshAction::Neighbors { aggressor, radius } => {
+            // An RFM is the DDR5 spelling of an NRR: same victim set, same
+            // physical constraints, so it passes exactly the NRR checks.
+            RefreshAction::Neighbors { aggressor, radius }
+            | RefreshAction::Rfm { aggressor, radius } => {
                 assert!(
                     radius >= 1,
                     "audit[{name}]: NRR with radius 0 refreshes nothing ({action:?})"
@@ -236,19 +239,23 @@ impl RowHammerDefense for AuditedDefense {
             self.validate_action(action, now);
             if let Some(cert) = self.cfg.certify {
                 match *action {
-                    RefreshAction::Neighbors { aggressor, .. } => {
+                    RefreshAction::Neighbors { aggressor, .. }
+                    | RefreshAction::Rfm { aggressor, .. } => {
                         // `validate_action` already proved the aggressor was
                         // activated. It is usually the current row (Graphene
                         // triggers on the aggressor being activated), but a
                         // hardened wrapper may emit conservative *repair*
                         // NRRs for other tracked aggressors after detecting
                         // corruption — those credit the named row's shadow
-                        // account instead.
+                        // account instead. An RFM refreshes the same victim
+                        // set as an NRR (the RAA debit is controller
+                        // bookkeeping, not a protection difference), so the
+                        // certificate credits both spellings identically.
                         self.shadow_nrrs[aggressor.0 as usize] += 1;
                     }
                     ref other => panic!(
                         "audit[{}]: certified defense emitted {other:?}; Graphene \
-                         only issues NRRs",
+                         only issues NRRs (or their RFM spelling)",
                         self.inner.name()
                     ),
                 }
@@ -291,7 +298,9 @@ impl RowHammerDefense for AuditedDefense {
             // be invisible to the certificate and trip a false alarm at
             // the row's next crossing.
             if self.cfg.certify.is_some() {
-                if let RefreshAction::Neighbors { aggressor, .. } = *action {
+                if let RefreshAction::Neighbors { aggressor, .. }
+                | RefreshAction::Rfm { aggressor, .. } = *action
+                {
                     self.shadow_nrrs[aggressor.0 as usize] += 1;
                 }
             }
@@ -648,6 +657,68 @@ mod tests {
     fn checkpoint_unsupported_for_uncheckpointable_inner() {
         let d = audited(Box::new(Para::new(0.01, 3)));
         assert!(d.snapshot_state().unwrap_err().contains("does not support checkpointing"));
+    }
+
+    #[test]
+    fn rfm_mode_graphene_preserves_the_certificate() {
+        // Satellite: Graphene-as-RFM-issuer on DDR5 must still satisfy the
+        // no-false-negative certificate — the audit credits an RFM exactly
+        // like the NRR it re-spells.
+        use crate::graphene::GrapheneDefense;
+        use crate::rfm::RfmIssuer;
+        use graphene_core::GrapheneConfig;
+
+        let cfg = GrapheneConfig::builder()
+            .timing(dram_model::Generation::Ddr5_4800.timing())
+            .row_hammer_threshold(50_000)
+            .build()
+            .unwrap();
+        let p = cfg.derive().unwrap();
+        let audit_cfg = AuditConfig {
+            certify: Some(ShadowCert {
+                tracking_threshold: p.tracking_threshold,
+                reset_window: p.reset_window,
+            }),
+            ..AuditConfig::new(65_536)
+        };
+        let inner = RfmIssuer::new(Box::new(GrapheneDefense::from_config(&cfg).unwrap()));
+        let mut d = AuditedDefense::new(Box::new(inner), audit_cfg);
+        let mut rfms = 0;
+        for i in 0..60_000u64 {
+            let row = RowId(if i % 3 == 0 { 7 } else { 500 + (i % 11) as u32 });
+            for a in d.on_activation(row, i * 45_000) {
+                assert!(matches!(a, RefreshAction::Rfm { .. }), "expected RFM, got {a:?}");
+                rfms += 1;
+            }
+        }
+        assert!(rfms > 0, "hammering row 7 past T must trigger RFMs");
+        assert_eq!(d.name(), "Audited(Rfm(Graphene))");
+    }
+
+    /// Emits a Row refresh despite claiming Graphene's certificate — the
+    /// audit must still reject non-NRR/RFM actions from certified defenses.
+    #[test]
+    #[should_panic(expected = "only issues NRRs (or their RFM spelling)")]
+    fn certified_defense_emitting_row_refresh_is_caught() {
+        struct RowEmitter;
+        impl RowHammerDefense for RowEmitter {
+            fn name(&self) -> String {
+                "RowEmitter".into()
+            }
+            fn on_activation(&mut self, row: RowId, _now: Picoseconds) -> Vec<RefreshAction> {
+                vec![RefreshAction::Row(row)]
+            }
+            fn table_bits(&self) -> TableBits {
+                TableBits::default()
+            }
+            fn reset(&mut self) {}
+        }
+        let cfg = AuditConfig {
+            certify: Some(ShadowCert { tracking_threshold: 50, reset_window: u64::MAX }),
+            ..AuditConfig::new(1_024)
+        };
+        let mut d = AuditedDefense::new(Box::new(RowEmitter), cfg);
+        d.on_activation(RowId(3), 0);
     }
 
     #[test]

@@ -68,10 +68,26 @@ impl BlockHammerConfig {
     ///
     /// Propagates the Graphene derivation error as text.
     pub fn for_threshold(t_rh: u64, rows_per_bank: u32) -> Result<Self, String> {
+        Self::for_threshold_with_timing(t_rh, rows_per_bank, dram_model::DramTiming::ddr4_2400())
+    }
+
+    /// [`Self::for_threshold`] against an explicit timing configuration —
+    /// the epoch and throttle interval follow the generation's tREFW
+    /// instead of assuming DDR4-2400's 64 ms.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Graphene derivation error as text.
+    pub fn for_threshold_with_timing(
+        t_rh: u64,
+        rows_per_bank: u32,
+        timing: dram_model::DramTiming,
+    ) -> Result<Self, String> {
         let params = GrapheneConfig::builder()
             .row_hammer_threshold(t_rh)
             .reset_window_divisor(1) // reset_window == tREFW
             .rows_per_bank(rows_per_bank)
+            .timing(timing)
             .build()
             .map_err(|e| format!("{e:?}"))?
             .derive()

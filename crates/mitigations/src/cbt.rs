@@ -45,12 +45,18 @@ pub struct CbtConfig {
 impl CbtConfig {
     /// The paper's CBT-128 (10 levels) at `T_RH = 50K`, 64K-row banks.
     pub fn cbt128() -> Self {
+        Self::cbt128_with_timing(&dram_model::DramTiming::ddr4_2400())
+    }
+
+    /// [`Self::cbt128`] with the reset window taken from an explicit timing
+    /// configuration (tREFW) instead of the DDR4-2400 64 ms assumption.
+    pub fn cbt128_with_timing(timing: &dram_model::DramTiming) -> Self {
         CbtConfig {
             num_counters: 128,
             levels: 10,
             row_hammer_threshold: 50_000,
             rows_per_bank: 65_536,
-            reset_window: 64_000_000_000,
+            reset_window: timing.t_refw,
             addr_bits: 16,
         }
     }

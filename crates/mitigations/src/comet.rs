@@ -69,9 +69,25 @@ impl CometConfig {
     ///
     /// Propagates the Graphene derivation error as text.
     pub fn for_threshold(t_rh: u64, rows_per_bank: u32) -> Result<Self, String> {
+        Self::for_threshold_with_timing(t_rh, rows_per_bank, dram_model::DramTiming::ddr4_2400())
+    }
+
+    /// [`Self::for_threshold`] against an explicit timing configuration —
+    /// the derived thresholds and reset window scale with the generation's
+    /// tREFW/tREFI/tRC instead of assuming DDR4-2400.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the Graphene derivation error as text.
+    pub fn for_threshold_with_timing(
+        t_rh: u64,
+        rows_per_bank: u32,
+        timing: dram_model::DramTiming,
+    ) -> Result<Self, String> {
         let params = GrapheneConfig::builder()
             .row_hammer_threshold(t_rh)
             .rows_per_bank(rows_per_bank)
+            .timing(timing)
             .build()
             .map_err(|e| format!("{e:?}"))?
             .derive()

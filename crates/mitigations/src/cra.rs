@@ -49,11 +49,18 @@ pub struct CraConfig {
 impl CraConfig {
     /// A typical configuration: 128-entry counter cache at `T_RH` = 50K.
     pub fn micro2020() -> Self {
+        Self::with_timing(&dram_model::DramTiming::ddr4_2400())
+    }
+
+    /// [`Self::micro2020`] with the reset window taken from an explicit
+    /// timing configuration (tREFW) instead of the DDR4-2400 64 ms
+    /// assumption.
+    pub fn with_timing(timing: &dram_model::DramTiming) -> Self {
         CraConfig {
             row_hammer_threshold: 50_000,
             cache_entries: 128,
             rows_per_bank: 65_536,
-            reset_window: 64_000_000_000,
+            reset_window: timing.t_refw,
             addr_bits: 16,
         }
     }

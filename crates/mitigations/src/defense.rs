@@ -27,15 +27,26 @@ pub enum RefreshAction {
         /// Number of rows.
         count: u32,
     },
+    /// Issue a DDR5/LPDDR5 RFM (Refresh Management) command directed at the
+    /// victims of `aggressor` — the generation-native spelling of an NRR.
+    /// The controller executes the same victim refreshes as
+    /// [`RefreshAction::Neighbors`] and additionally debits the bank's
+    /// Rolling Accumulated ACT counter by RAAIMT (see
+    /// `dram_model::generation::RfmSpec`).
+    Rfm {
+        /// The aggressor row whose victims the RFM refreshes.
+        aggressor: RowId,
+        /// Rows refreshed on each side.
+        radius: u32,
+    },
 }
 
 impl RefreshAction {
     /// The concrete rows this action refreshes, clipped to the bank.
     pub fn rows(&self, rows_per_bank: u32) -> Vec<RowId> {
         match *self {
-            RefreshAction::Neighbors { aggressor, radius } => {
-                aggressor.victims(radius, rows_per_bank)
-            }
+            RefreshAction::Neighbors { aggressor, radius }
+            | RefreshAction::Rfm { aggressor, radius } => aggressor.victims(radius, rows_per_bank),
             RefreshAction::Row(r) => {
                 if r.0 < rows_per_bank {
                     vec![r]
@@ -52,7 +63,8 @@ impl RefreshAction {
     /// Number of rows the action refreshes (after clipping).
     pub fn row_count(&self, rows_per_bank: u32) -> u64 {
         match *self {
-            RefreshAction::Neighbors { aggressor, radius } => {
+            RefreshAction::Neighbors { aggressor, radius }
+            | RefreshAction::Rfm { aggressor, radius } => {
                 aggressor.victims(radius, rows_per_bank).len() as u64
             }
             RefreshAction::Row(r) => u64::from(r.0 < rows_per_bank),
@@ -247,6 +259,14 @@ mod tests {
         let a = RefreshAction::Range { start: RowId(95), count: 10 };
         assert_eq!(a.row_count(100), 5);
         assert_eq!(a.rows(100).len(), 5);
+    }
+
+    #[test]
+    fn rfm_refreshes_the_same_victims_as_neighbors() {
+        let nrr = RefreshAction::Neighbors { aggressor: RowId(5), radius: 2 };
+        let rfm = RefreshAction::Rfm { aggressor: RowId(5), radius: 2 };
+        assert_eq!(rfm.rows(100), nrr.rows(100));
+        assert_eq!(rfm.row_count(100), nrr.row_count(100));
     }
 
     #[test]

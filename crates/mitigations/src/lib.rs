@@ -23,6 +23,10 @@
 //! successors wired through the same trait, the same audit layer, and — for
 //! BlockHammer — the [`ThrottleDecision`] scheduler-feedback path.
 //!
+//! On DDR5/LPDDR5 targets the [`RfmIssuer`] wrapper ([`rfm`]) re-spells a
+//! defense's NRRs as standardised RFM commands (DESIGN.md §6k); the audit
+//! layer certifies both spellings identically.
+//!
 //! A defense is driven by the memory controller: [`RowHammerDefense::on_activation`]
 //! for every ACT and [`RowHammerDefense::on_refresh_tick`] at every tREFI
 //! (where TWiCe prunes and PRoHIT spends its refresh slot). A defense answers
@@ -61,6 +65,7 @@ pub mod none;
 pub mod para;
 pub mod prohit;
 pub mod refresh_rate;
+pub mod rfm;
 pub mod trr;
 pub mod twice;
 
@@ -80,5 +85,6 @@ pub use none::NoDefense;
 pub use para::Para;
 pub use prohit::{Prohit, ProhitConfig};
 pub use refresh_rate::RefreshRateScaling;
+pub use rfm::RfmIssuer;
 pub use trr::{TrrConfig, TrrSampler};
 pub use twice::{Twice, TwiceConfig};

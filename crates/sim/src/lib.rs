@@ -31,6 +31,10 @@
 //!   BlockHammer head to head across attack workloads and thresholds,
 //!   each audited cell scored on security (exact or bounded-FN
 //!   certificate), slowdown, area, and energy.
+//! * [`generations`] — the cross-generation matrix: the same lineup raced
+//!   on every DRAM generation ([`dram_model::Generation`]) with
+//!   per-generation derived parameters, RFM-issuing defenses on DDR5 and
+//!   LPDDR5, and a DDR4 column pinned bit-identical to the legacy path.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@
 pub mod arena;
 pub mod faulted;
 pub mod fleet;
+pub mod generations;
 pub mod pool;
 pub mod runner;
 pub mod scenarios;
@@ -63,10 +68,13 @@ pub use fleet::{
     read_fleet_checkpoint, run_fleet, synth_fleet_trace, write_fleet_checkpoint, FleetCheckpoint,
     FleetConfig, FleetProgress, FleetReport, FLEET_CKPT_SCHEMA,
 };
+pub use generations::{
+    generation_lineup, run_generation_matrix, GenerationCell, GenerationMatrixConfig,
+};
 pub use pool::{PoolReport, WatchdogConfig};
 pub use runner::{
     run_matrix, run_matrix_telemetry, run_pair, try_run_matrix, try_run_matrix_telemetry,
     CellFailure, CellTelemetry, MatrixError, MatrixTelemetry, SimConfig, SimReport, TelemetrySpec,
 };
-pub use scenarios::{DefenseSpec, WorkloadSpec};
+pub use scenarios::{DefenseSpec, GenSpec, SpecParseError, WorkloadSpec};
 pub use sharded::{run_system, run_system_matrix, run_system_sharded, SystemReport};

@@ -1,19 +1,56 @@
 //! The defense and workload catalogs used by the experiment harness.
 
-use dram_model::timing::DramTiming;
+use std::fmt;
+
+use dram_model::Generation;
 use graphene_core::GrapheneConfig;
 use memctrl::DefenseFactory;
 use mitigations::{
     AbacusConfig, AbacusDefense, AuditConfig, AuditedDefense, BlockHammerConfig,
     BlockHammerDefense, Cbt, CbtConfig, CometConfig, CometDefense, Cra, CraConfig, GrapheneDefense,
     HardenedGraphene, IdealCounters, Mrloc, MrlocConfig, NoDefense, Para, Prohit, ProhitConfig,
-    RowHammerDefense, ShadowCert, Twice, TwiceConfig,
+    RfmIssuer, RowHammerDefense, ShadowCert, Twice, TwiceConfig,
 };
 use serde::{Deserialize, Serialize};
 use workloads::{
     Interleaved, MrlocAttack, ProhitAttack, ProxyWorkload, SameRowAllBanks, SpecPreset,
     StripedNSided, Synthetic, Workload,
 };
+
+/// A malformed defense or generation spec string, broken down into the
+/// field that failed, the offending token, and what the parser expected —
+/// the typed replacement for the old stringly parse failures, so CLI
+/// front-ends can point at the exact token instead of grepping a message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpecParseError {
+    /// Which part of the spec failed: `"defense"`, `"generation"`,
+    /// `"args"`, `"t_rh"`, `"k"`, or `"p"`.
+    pub field: &'static str,
+    /// The token (or whole spec) that did not parse.
+    pub token: String,
+    /// What the parser expected in its place.
+    pub expected: String,
+}
+
+impl SpecParseError {
+    fn new(field: &'static str, token: impl Into<String>, expected: impl Into<String>) -> Self {
+        SpecParseError { field, token: token.into(), expected: expected.into() }
+    }
+}
+
+impl fmt::Display for SpecParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.field {
+            "defense" => write!(f, "unknown defense `{}` (expected {})", self.token, self.expected),
+            "generation" => {
+                write!(f, "unknown DRAM generation `{}` (expected {})", self.token, self.expected)
+            }
+            field => write!(f, "bad {field} `{}`: expected {}", self.token, self.expected),
+        }
+    }
+}
+
+impl std::error::Error for SpecParseError {}
 
 /// A named, buildable defense configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -115,6 +152,21 @@ impl DefenseSpec {
         }
     }
 
+    /// Whether this defense identifies aggressor rows, so its neighbor
+    /// refreshes can be re-spelled as directed RFM commands on a generation
+    /// that defines them. The probabilistic samplers (PARA, PRoHIT, MRLoc)
+    /// refresh individual victim rows without an aggressor-count crossing,
+    /// so they keep their row-granular spelling even on DDR5/LPDDR5.
+    pub fn rfm_capable(&self) -> bool {
+        !matches!(
+            self,
+            DefenseSpec::None
+                | DefenseSpec::Para { .. }
+                | DefenseSpec::Prohit
+                | DefenseSpec::Mrloc { .. }
+        )
+    }
+
     /// Canonical machine-readable spec string, parseable by
     /// [`DefenseSpec::parse`] — the CLI/CSV notation of the arena report
     /// (e.g. `graphene@50000,k=2`, `abacus@50000,k=2`, `para@0.00145`).
@@ -140,35 +192,39 @@ impl DefenseSpec {
     ///
     /// # Errors
     ///
-    /// Returns a description of the malformed spec.
-    pub fn parse(s: &str) -> Result<Self, String> {
+    /// Returns a [`SpecParseError`] naming the field that failed, the
+    /// offending token, and what was expected there.
+    pub fn parse(s: &str) -> Result<Self, SpecParseError> {
         let (head, args) = match s.split_once('@') {
             Some((h, a)) => (h, Some(a)),
             None => (s, None),
         };
         let no_args = |spec: DefenseSpec| match args {
             None => Ok(spec),
-            Some(_) => Err(format!("`{head}` takes no `@` arguments")),
+            Some(a) => {
+                Err(SpecParseError::new("args", a, format!("no `@` arguments after `{head}`")))
+            }
         };
-        let t_rh_arg = || -> Result<u64, String> {
-            args.ok_or_else(|| format!("`{head}` needs `@<t_rh>`"))?
-                .parse::<u64>()
-                .map_err(|e| format!("bad t_rh in `{s}`: {e}"))
+        let t_rh_arg = || -> Result<u64, SpecParseError> {
+            let a =
+                args.ok_or_else(|| SpecParseError::new("args", s, format!("`{head}@<t_rh>`")))?;
+            a.parse::<u64>().map_err(|_| SpecParseError::new("t_rh", a, "an unsigned integer"))
         };
-        let t_rh_k_args = || -> Result<(u64, u32), String> {
-            let args = args.ok_or_else(|| format!("`{head}` needs `@<t_rh>,k=<k>`"))?;
-            let (t, k) = args
+        let t_rh_k_args = || -> Result<(u64, u32), SpecParseError> {
+            let a = args
+                .ok_or_else(|| SpecParseError::new("args", s, format!("`{head}@<t_rh>,k=<k>`")))?;
+            let (t, k) = a
                 .split_once(",k=")
-                .ok_or_else(|| format!("`{head}` needs `@<t_rh>,k=<k>`, got `{args}`"))?;
+                .ok_or_else(|| SpecParseError::new("args", a, "`@<t_rh>,k=<k>`"))?;
             Ok((
-                t.parse::<u64>().map_err(|e| format!("bad t_rh in `{s}`: {e}"))?,
-                k.parse::<u32>().map_err(|e| format!("bad k in `{s}`: {e}"))?,
+                t.parse::<u64>()
+                    .map_err(|_| SpecParseError::new("t_rh", t, "an unsigned integer"))?,
+                k.parse::<u32>().map_err(|_| SpecParseError::new("k", k, "an unsigned integer"))?,
             ))
         };
-        let p_arg = || -> Result<f64, String> {
-            args.ok_or_else(|| format!("`{head}` needs `@<p>`"))?
-                .parse::<f64>()
-                .map_err(|e| format!("bad p in `{s}`: {e}"))
+        let p_arg = || -> Result<f64, SpecParseError> {
+            let a = args.ok_or_else(|| SpecParseError::new("args", s, format!("`{head}@<p>`")))?;
+            a.parse::<f64>().map_err(|_| SpecParseError::new("p", a, "a probability"))
         };
         match head {
             "none" => no_args(DefenseSpec::None),
@@ -186,18 +242,41 @@ impl DefenseSpec {
             "ideal" => t_rh_arg().map(|t_rh| DefenseSpec::Ideal { t_rh }),
             "comet" => t_rh_arg().map(|t_rh| DefenseSpec::Comet { t_rh }),
             "blockhammer" => t_rh_arg().map(|t_rh| DefenseSpec::BlockHammer { t_rh }),
-            other => Err(format!("unknown defense `{other}`")),
+            other => Err(SpecParseError::new(
+                "defense",
+                other,
+                "one of the lineup heads (none, graphene, hardened-graphene, para, prohit, \
+                 mrloc, cbt, cra, twice, ideal, comet, abacus, blockhammer)",
+            )),
         }
     }
 
-    /// Builds one per-bank instance; `bank` seeds RNG-based schemes.
+    /// Builds one per-bank instance for the paper's DDR4-2400 device;
+    /// `bank` seeds RNG-based schemes.
     ///
     /// # Panics
     ///
     /// Panics if the spec's parameters are underivable for the given bank
     /// size (e.g. a threshold too low for Graphene).
     pub fn build(&self, bank: usize, rows_per_bank: u32) -> Box<dyn RowHammerDefense + Send> {
-        let timing = DramTiming::ddr4_2400();
+        self.build_for(Generation::Ddr4_2400, bank, rows_per_bank)
+    }
+
+    /// Builds one per-bank instance with every derived parameter — reset
+    /// windows, table sizes, spill budgets — recomputed from the
+    /// generation's timing. `build_for(Generation::Ddr4_2400, ..)` is
+    /// bit-identical to the legacy [`DefenseSpec::build`] path.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`DefenseSpec::build`] on underivable parameters.
+    pub fn build_for(
+        &self,
+        generation: Generation,
+        bank: usize,
+        rows_per_bank: u32,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        let timing = generation.timing();
         match *self {
             DefenseSpec::None => Box::new(NoDefense::new()),
             DefenseSpec::Graphene { t_rh, k } => {
@@ -205,6 +284,7 @@ impl DefenseSpec {
                     .row_hammer_threshold(t_rh)
                     .reset_window_divisor(k)
                     .rows_per_bank(rows_per_bank)
+                    .timing(timing)
                     .build()
                     .expect("valid Graphene config");
                 Box::new(GrapheneDefense::from_config(&cfg).expect("derivable"))
@@ -214,6 +294,7 @@ impl DefenseSpec {
                     .row_hammer_threshold(t_rh)
                     .reset_window_divisor(k)
                     .rows_per_bank(rows_per_bank)
+                    .timing(timing)
                     .build()
                     .expect("valid Graphene config");
                 Box::new(HardenedGraphene::from_config(&cfg).expect("derivable"))
@@ -227,31 +308,36 @@ impl DefenseSpec {
                 bank as u64 + 1,
             )),
             DefenseSpec::Cbt { t_rh } => {
-                let cfg = CbtConfig { rows_per_bank, ..CbtConfig::scaled_for_threshold(t_rh) };
+                let cfg = CbtConfig {
+                    rows_per_bank,
+                    reset_window: timing.t_refw,
+                    ..CbtConfig::scaled_for_threshold(t_rh)
+                };
                 Box::new(Cbt::new(cfg))
             }
             DefenseSpec::Cra { t_rh } => Box::new(Cra::new(CraConfig {
                 row_hammer_threshold: t_rh,
                 rows_per_bank,
-                ..CraConfig::micro2020()
+                ..CraConfig::with_timing(&timing)
             })),
             DefenseSpec::Twice { t_rh } => Box::new(Twice::new(TwiceConfig::with_threshold(t_rh))),
             DefenseSpec::Ideal { t_rh } => {
                 Box::new(IdealCounters::new(t_rh, rows_per_bank, timing.t_refw))
             }
             DefenseSpec::Comet { t_rh } => Box::new(CometDefense::new(
-                CometConfig::for_threshold(t_rh, rows_per_bank).expect("valid CoMeT config"),
+                CometConfig::for_threshold_with_timing(t_rh, rows_per_bank, timing)
+                    .expect("valid CoMeT config"),
             )),
             DefenseSpec::Abacus { t_rh, k } => {
                 // Per-bank fallback: a private single-bank table. The shared
                 // all-bank table is built through `build_all_bank` below.
                 Box::new(AbacusDefense::single(
-                    AbacusConfig::for_geometry(t_rh, k, 1, rows_per_bank)
+                    AbacusConfig::for_geometry_with_timing(t_rh, k, 1, rows_per_bank, timing)
                         .expect("valid ABACuS config"),
                 ))
             }
             DefenseSpec::BlockHammer { t_rh } => Box::new(BlockHammerDefense::new(
-                BlockHammerConfig::for_threshold(t_rh, rows_per_bank)
+                BlockHammerConfig::for_threshold_with_timing(t_rh, rows_per_bank, timing)
                     .expect("valid BlockHammer config"),
             )),
         }
@@ -270,7 +356,33 @@ impl DefenseSpec {
         bank: usize,
         rows_per_bank: u32,
     ) -> Box<dyn RowHammerDefense + Send> {
-        let inner = self.build(bank, rows_per_bank);
+        self.build_audited_for(Generation::Ddr4_2400, bank, rows_per_bank)
+    }
+
+    /// [`DefenseSpec::build_audited`] on an explicit generation: the inner
+    /// defense *and* the certificate (tracking threshold, reset window) are
+    /// derived from the generation's timing, so the audit proves the
+    /// no-false-negative property against the window the device actually
+    /// has, not the DDR4 64 ms assumption.
+    ///
+    /// # Panics
+    ///
+    /// Panics like [`DefenseSpec::build`] on underivable parameters.
+    pub fn build_audited_for(
+        &self,
+        generation: Generation,
+        bank: usize,
+        rows_per_bank: u32,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        let inner = self.build_for(generation, bank, rows_per_bank);
+        Box::new(AuditedDefense::new(inner, self.audit_config_for(generation, rows_per_bank)))
+    }
+
+    /// The audit shell for this spec: action bounds plus the exact shadow
+    /// certificate where the scheme supports one, every threshold derived
+    /// from the generation's timing.
+    fn audit_config_for(&self, generation: Generation, rows_per_bank: u32) -> AuditConfig {
+        let timing = generation.timing();
         let mut cfg = AuditConfig::new(rows_per_bank);
         // The hardened variant runs under the *same* certificate as plain
         // Graphene: its repair NRRs are ordinary Neighbors actions, so the
@@ -282,6 +394,7 @@ impl DefenseSpec {
                 .row_hammer_threshold(t_rh)
                 .reset_window_divisor(k)
                 .rows_per_bank(rows_per_bank)
+                .timing(timing)
                 .build()
                 .expect("valid Graphene config")
                 .derive()
@@ -304,8 +417,8 @@ impl DefenseSpec {
         // — at its cert threshold (2× the shared-table tracking quantum,
         // headroom for cross-bank spillover churn).
         if let DefenseSpec::Abacus { t_rh, k } = *self {
-            let a =
-                AbacusConfig::for_geometry(t_rh, k, 1, rows_per_bank).expect("valid ABACuS config");
+            let a = AbacusConfig::for_geometry_with_timing(t_rh, k, 1, rows_per_bank, timing)
+                .expect("valid ABACuS config");
             cfg.max_radius = a.radius;
             cfg.certify = Some(ShadowCert {
                 tracking_threshold: a.cert_threshold,
@@ -316,10 +429,58 @@ impl DefenseSpec {
         // runs under the plain action audit plus the analysis-layer
         // bounded-FN certificate, not the exact shadow cert.
         if let DefenseSpec::Comet { t_rh } = *self {
-            cfg.max_radius =
-                CometConfig::for_threshold(t_rh, rows_per_bank).expect("valid CoMeT config").radius;
+            cfg.max_radius = CometConfig::for_threshold_with_timing(t_rh, rows_per_bank, timing)
+                .expect("valid CoMeT config")
+                .radius;
         }
-        Box::new(AuditedDefense::new(inner, cfg))
+        cfg
+    }
+
+    /// The shared all-bank pool (ABACuS) for one generation, with the
+    /// optional RFM re-spelling applied *inside* the audit shell so the
+    /// certificate sees the spelling the controller sees.
+    fn all_bank_pool_for(
+        &self,
+        generation: Generation,
+        banks: u32,
+        rows_per_bank: u32,
+        audited: bool,
+        rfm: bool,
+    ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+        let DefenseSpec::Abacus { t_rh, k } = *self else { return None };
+        let cfg = AbacusConfig::for_geometry_with_timing(
+            t_rh,
+            k,
+            banks,
+            rows_per_bank,
+            generation.timing(),
+        )
+        .expect("valid ABACuS geometry");
+        Some(
+            AbacusDefense::shared_for_banks(cfg)
+                .into_iter()
+                .map(|facade| {
+                    let mut inner: Box<dyn RowHammerDefense + Send> = Box::new(facade);
+                    if rfm {
+                        inner = Box::new(RfmIssuer::new(inner));
+                    }
+                    if !audited {
+                        return inner;
+                    }
+                    // Same exact certificate as the per-bank audited path:
+                    // the audit shell is per-bank even when the table is
+                    // shared, so every bank's shadow count independently
+                    // proves the no-false-negative property.
+                    let mut audit = AuditConfig::new(rows_per_bank);
+                    audit.max_radius = cfg.radius;
+                    audit.certify = Some(ShadowCert {
+                        tracking_threshold: cfg.cert_threshold,
+                        reset_window: cfg.reset_window,
+                    });
+                    Box::new(AuditedDefense::new(inner, audit))
+                })
+                .collect(),
+        )
     }
 
     /// The four schemes Figure 8/9 compare, at threshold `t_rh` with the
@@ -367,30 +528,116 @@ impl DefenseFactory for DefenseSpec {
         rows_per_bank: u32,
         audited: bool,
     ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
-        let DefenseSpec::Abacus { t_rh, k } = *self else { return None };
-        let cfg = AbacusConfig::for_geometry(t_rh, k, banks, rows_per_bank)
-            .expect("valid ABACuS geometry");
-        Some(
-            AbacusDefense::shared_for_banks(cfg)
-                .into_iter()
-                .map(|facade| {
-                    let inner: Box<dyn RowHammerDefense + Send> = Box::new(facade);
-                    if !audited {
-                        return inner;
-                    }
-                    // Same exact certificate as the per-bank audited path:
-                    // the audit shell is per-bank even when the table is
-                    // shared, so every bank's shadow count independently
-                    // proves the no-false-negative property.
-                    let mut audit = AuditConfig::new(rows_per_bank);
-                    audit.max_radius = cfg.radius;
-                    audit.certify = Some(ShadowCert {
-                        tracking_threshold: cfg.cert_threshold,
-                        reset_window: cfg.reset_window,
-                    });
-                    Box::new(AuditedDefense::new(inner, audit))
-                })
-                .collect(),
+        self.all_bank_pool_for(Generation::Ddr4_2400, banks, rows_per_bank, audited, false)
+    }
+}
+
+/// A [`DefenseSpec`] bound to the [`Generation`] it protects — the unit the
+/// cross-generation matrix ([`crate::generations`]) sweeps.
+///
+/// Spec strings are generation-qualified (`ddr5/graphene@20000,k=2`); a
+/// bare defense spec means the paper's DDR4-2400 device, so every legacy
+/// string keeps parsing to the legacy behavior. As a [`DefenseFactory`] it
+/// derives every parameter from the generation's timing and, on the
+/// generations that define Refresh Management (DDR5, LPDDR5), re-spells
+/// the defense's NRRs as RFM commands through [`RfmIssuer`] — inside the
+/// audit shell, so the certificate covers the RFM spelling.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GenSpec {
+    /// The DRAM generation the defense is built for.
+    pub generation: Generation,
+    /// The defense to build.
+    pub defense: DefenseSpec,
+}
+
+impl GenSpec {
+    /// Binds `defense` to `generation`.
+    pub fn new(generation: Generation, defense: DefenseSpec) -> Self {
+        GenSpec { generation, defense }
+    }
+
+    /// The legacy binding: `defense` on the paper's DDR4-2400 device.
+    pub fn ddr4(defense: DefenseSpec) -> Self {
+        GenSpec::new(Generation::Ddr4_2400, defense)
+    }
+
+    /// Whether this pairing issues RFM commands: the generation defines the
+    /// command and the defense tracks aggressors whose neighbor refreshes
+    /// can be re-spelled ([`DefenseSpec::rfm_capable`]).
+    pub fn issues_rfm(&self) -> bool {
+        self.generation.rfm().is_some() && self.defense.rfm_capable()
+    }
+
+    /// Report name, generation-qualified (`ddr5/Graphene`).
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.generation.name(), self.defense.name())
+    }
+
+    /// Canonical spec string. DDR4 stays bare — byte-for-byte the legacy
+    /// [`DefenseSpec::spec_string`] notation — every other generation is
+    /// prefixed (`lpddr5/comet@10000`).
+    pub fn spec_string(&self) -> String {
+        match self.generation {
+            Generation::Ddr4_2400 => self.defense.spec_string(),
+            g => format!("{}/{}", g.name(), self.defense.spec_string()),
+        }
+    }
+
+    /// Parses the notation of [`GenSpec::spec_string`]: an optional
+    /// `<generation>/` prefix, then a defense spec. Bare specs bind to
+    /// DDR4-2400.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecParseError`] naming the field, token, and
+    /// expectation.
+    pub fn parse(s: &str) -> Result<Self, SpecParseError> {
+        match s.split_once('/') {
+            Some((g, rest)) => {
+                let generation = g.parse::<Generation>().map_err(|_| {
+                    SpecParseError::new("generation", g, "ddr4, ddr5, lpddr4x or lpddr5")
+                })?;
+                Ok(GenSpec::new(generation, DefenseSpec::parse(rest)?))
+            }
+            None => Ok(GenSpec::ddr4(DefenseSpec::parse(s)?)),
+        }
+    }
+}
+
+impl DefenseFactory for GenSpec {
+    fn build_defense(
+        &self,
+        bank: usize,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Box<dyn RowHammerDefense + Send> {
+        let mut inner = self.defense.build_for(self.generation, bank, rows_per_bank);
+        if self.issues_rfm() {
+            inner = Box::new(RfmIssuer::new(inner));
+        }
+        if audited {
+            Box::new(AuditedDefense::new(
+                inner,
+                self.defense.audit_config_for(self.generation, rows_per_bank),
+            ))
+        } else {
+            inner
+        }
+    }
+
+    fn build_all_bank(
+        &self,
+        _first_bank: usize,
+        banks: u32,
+        rows_per_bank: u32,
+        audited: bool,
+    ) -> Option<Vec<Box<dyn RowHammerDefense + Send>>> {
+        self.defense.all_bank_pool_for(
+            self.generation,
+            banks,
+            rows_per_bank,
+            audited,
+            self.issues_rfm(),
         )
     }
 }
@@ -657,8 +904,61 @@ mod tests {
             ("warp-field@9000", "unknown defense"),
         ] {
             let err = DefenseSpec::parse(text).unwrap_err();
-            assert!(err.contains(needle), "`{text}` -> {err}");
+            assert!(err.to_string().contains(needle), "`{text}` -> {err}");
         }
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_field_and_token() {
+        let err = DefenseSpec::parse("blockhammer@abc").unwrap_err();
+        assert_eq!((err.field, err.token.as_str()), ("t_rh", "abc"));
+        let err = DefenseSpec::parse("graphene@50000,k=x").unwrap_err();
+        assert_eq!((err.field, err.token.as_str()), ("k", "x"));
+        let err = DefenseSpec::parse("para@fast").unwrap_err();
+        assert_eq!((err.field, err.token.as_str()), ("p", "fast"));
+        let err = DefenseSpec::parse("warp-field@9000").unwrap_err();
+        assert_eq!((err.field, err.token.as_str()), ("defense", "warp-field"));
+        let err = GenSpec::parse("xdr9/graphene@50000,k=2").unwrap_err();
+        assert_eq!((err.field, err.token.as_str()), ("generation", "xdr9"));
+    }
+
+    #[test]
+    fn generation_qualified_specs_round_trip() {
+        let g = GenSpec::parse("ddr5/graphene@20000,k=2").unwrap();
+        assert_eq!(g.generation, Generation::Ddr5_4800);
+        assert_eq!(g.defense, DefenseSpec::Graphene { t_rh: 20_000, k: 2 });
+        assert_eq!(g.spec_string(), "ddr5/graphene@20000,k=2");
+        assert_eq!(g.name(), "ddr5/Graphene");
+        // Bare specs are the DDR4 legacy notation, in both directions.
+        let bare = GenSpec::parse("comet@6250").unwrap();
+        assert_eq!(bare.generation, Generation::Ddr4_2400);
+        assert_eq!(bare.spec_string(), "comet@6250");
+        // A bad defense inside a good generation prefix still points at the
+        // defense token.
+        let err = GenSpec::parse("lpddr5/warp-field@9000").unwrap_err();
+        assert_eq!(err.field, "defense");
+    }
+
+    #[test]
+    fn rfm_generations_wrap_defenses_in_the_issuer() {
+        let spec =
+            GenSpec::new(Generation::Ddr5_4800, DefenseSpec::Graphene { t_rh: 20_000, k: 2 });
+        assert!(spec.issues_rfm());
+        assert_eq!(spec.build_defense(0, 65_536, false).name(), "Rfm(Graphene)");
+        assert_eq!(spec.build_defense(0, 65_536, true).name(), "Audited(Rfm(Graphene))");
+        // No RFM on DDR4 or LPDDR4X: the defense is untouched, and the DDR4
+        // audited build matches the legacy factory byte for byte.
+        let d4 = GenSpec::ddr4(DefenseSpec::Graphene { t_rh: 50_000, k: 2 });
+        assert!(!d4.issues_rfm());
+        assert_eq!(d4.build_defense(0, 65_536, true).name(), "Audited(Graphene)");
+        let lp4 = GenSpec::new(Generation::Lpddr4x, DefenseSpec::Comet { t_rh: 12_500 });
+        assert_eq!(lp4.build_defense(0, 65_536, false).name(), "CoMeT");
+        // There is no defense to re-spell in the baseline.
+        assert!(!GenSpec::new(Generation::Ddr5_4800, DefenseSpec::None).issues_rfm());
+        // The shared-table factory keeps the wrap order per facade.
+        let ab = GenSpec::new(Generation::Lpddr5, DefenseSpec::Abacus { t_rh: 10_000, k: 2 });
+        let pool = ab.build_all_bank(0, 4, 65_536, true).expect("ABACuS is all-bank");
+        assert_eq!(pool[0].name(), "Audited(Rfm(ABACuS))");
     }
 
     #[test]

@@ -1,0 +1,85 @@
+//! Property test: every defense spec — bare or generation-qualified —
+//! round-trips through its canonical spec string, and the parser's typed
+//! errors never panic on junk.
+
+use dram_model::Generation;
+use proptest::prelude::*;
+use rh_sim::{DefenseSpec, GenSpec};
+
+/// One spec of the full lineup, driven by plain generator inputs.
+fn lineup_spec(idx: usize, t_rh: u64, k: u32, p: f64) -> DefenseSpec {
+    match idx {
+        0 => DefenseSpec::None,
+        1 => DefenseSpec::Graphene { t_rh, k },
+        2 => DefenseSpec::HardenedGraphene { t_rh, k },
+        3 => DefenseSpec::Para { p },
+        4 => DefenseSpec::Prohit,
+        5 => DefenseSpec::Mrloc { p },
+        6 => DefenseSpec::Cbt { t_rh },
+        7 => DefenseSpec::Cra { t_rh },
+        8 => DefenseSpec::Twice { t_rh },
+        9 => DefenseSpec::Ideal { t_rh },
+        10 => DefenseSpec::Comet { t_rh },
+        11 => DefenseSpec::Abacus { t_rh, k },
+        _ => DefenseSpec::BlockHammer { t_rh },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// spec → string → spec is the identity, for every defense shape and
+    /// parameter draw.
+    #[test]
+    fn defense_specs_round_trip(
+        idx in 0usize..13,
+        t_rh in 1u64..10_000_000,
+        k in 1u32..64,
+        p_millionths in 1u64..1_000_000,
+    ) {
+        let spec = lineup_spec(idx, t_rh, k, p_millionths as f64 / 1e6);
+        let text = spec.spec_string();
+        let back = DefenseSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+        prop_assert_eq!(back, spec, "{}", text);
+    }
+
+    /// The generation-qualified notation round-trips too, across every
+    /// generation — and DDR4 strings stay bare (the legacy notation).
+    #[test]
+    fn generation_qualified_specs_round_trip(
+        gen_idx in 0usize..4,
+        idx in 0usize..13,
+        t_rh in 1u64..10_000_000,
+        k in 1u32..64,
+        p_millionths in 1u64..1_000_000,
+    ) {
+        let generation = Generation::ALL[gen_idx];
+        let spec = GenSpec::new(generation, lineup_spec(idx, t_rh, k, p_millionths as f64 / 1e6));
+        let text = spec.spec_string();
+        let back = GenSpec::parse(&text)
+            .unwrap_or_else(|e| panic!("`{text}` failed to re-parse: {e}"));
+        prop_assert_eq!(back, spec, "{}", text);
+        prop_assert_eq!(
+            text.contains('/'),
+            generation != Generation::Ddr4_2400,
+            "only non-DDR4 strings carry a generation prefix: {}", text
+        );
+    }
+
+    /// The parser rejects junk with a typed error instead of panicking,
+    /// and the error always names a field.
+    #[test]
+    fn junk_never_panics_the_parser(chars in prop::collection::vec(0usize..16, 0..24)) {
+        const ALPHABET: [char; 16] =
+            ['a', 'b', 'g', 'r', 'p', 'h', 'e', 'n', '0', '5', '9', '@', ',', '/', '=', '.'];
+        let s: String = chars.iter().map(|&i| ALPHABET[i]).collect();
+        if let Err(e) = GenSpec::parse(&s) {
+            prop_assert!(
+                ["defense", "generation", "args", "t_rh", "k", "p"].contains(&e.field),
+                "`{}` -> unexpected field {}", s, e.field
+            );
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+}

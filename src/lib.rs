@@ -6,12 +6,19 @@
 //!
 //! * [`graphene_core`] — the Graphene mechanism itself.
 //! * [`freq_elems`] — generic frequent-elements algorithms.
-//! * [`dram_model`] — DDR4 timing/geometry and the Row Hammer fault oracle.
+//! * [`dram_model`] — multi-generation DRAM timing/geometry (DDR4, DDR5,
+//!   LPDDR4X, LPDDR5) and the Row Hammer fault oracle.
 //! * [`memctrl`] — the memory-controller timing simulator.
 //! * [`mitigations`] — PARA, PRoHIT, MRLoc, CBT, TWiCe and the defense trait.
 //! * [`workloads`] — adversarial and SPEC-like workload generators.
 //! * [`rh_analysis`] — area/energy/security analysis models.
 //! * [`rh_sim`] — the end-to-end simulator used by the experiment harness.
+//!
+//! The most commonly composed entry points are re-exported at the top level:
+//! the builder-based controller construction path ([`McBuilder`],
+//! [`McConfig`], [`DefenseFactory`]), the generation API ([`Generation`],
+//! [`RfmSpec`]), and the spec notation of the experiment harness
+//! ([`DefenseSpec`], [`GenSpec`]).
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -23,3 +30,7 @@ pub use mitigations;
 pub use rh_analysis;
 pub use rh_sim;
 pub use workloads;
+
+pub use dram_model::{DramTiming, Generation, RfmSpec};
+pub use memctrl::{DefenseFactory, McBuilder, McConfig, MemoryController, RunStats};
+pub use rh_sim::{DefenseSpec, GenSpec, SpecParseError, WorkloadSpec};
