@@ -30,6 +30,13 @@
 //! [`FaultPlan::parse_jsonl`]) so a sweep can archive the exact schedule it
 //! ran alongside its results.
 //!
+//! A fourth layer targets the harness's **storage stack** rather than the
+//! simulated hardware: [`IoFaultPlan`] ([`iofault`]) schedules torn writes,
+//! bit rot, fsync failures, and reader stalls against the trace and
+//! checkpoint files a fleet run persists, keyed by I/O-operation index, and
+//! [`ChaosFs`] ([`chaosfs`]) executes such a plan as a drop-in
+//! `workloads::vfs::Vfs` under the *real* reader/writer code.
+//!
 //! # Example
 //!
 //! ```
@@ -42,9 +49,13 @@
 //! assert_eq!(reparsed, plan); // serializable
 //! ```
 
+pub mod chaosfs;
+pub mod iofault;
 pub mod plan;
 pub mod serial;
 
+pub use chaosfs::{ChaosFs, InjectedFault, IoOpCounts};
+pub use iofault::{IoFaultEvent, IoFaultKind, IoFaultPlan, IoFaultSpec, IoOp, IO_SCHEMA};
 pub use plan::{
     ControllerFault, FaultCursor, FaultEvent, FaultKind, FaultPlan, FaultSpec, HarnessFault,
     TrackerFault, MAX_REFRESH_POSTPONE_REFI,

@@ -14,6 +14,7 @@ use telemetry::json::JsonValue;
 use crate::bank::{BankState, ServiceOutcome};
 use crate::ckpt::{
     field, obj, opt_u64, opt_u64_field, run_stats_from_json, run_stats_to_json, u64_field,
+    CkptError,
 };
 use crate::cmdlog::{CommandLog, CommandRecord, LoggedCommand};
 use crate::config::McConfig;
@@ -788,18 +789,18 @@ impl MemoryController {
     /// or a telemetry tap (resuming would silently replay their histories
     /// from empty) — or when a bank's defense does not support
     /// checkpointing.
-    pub fn snapshot(&self) -> Result<JsonValue, String> {
+    pub fn snapshot(&self) -> Result<JsonValue, CkptError> {
         if self.oracles.is_some() {
-            return Err("cannot checkpoint a run with a ground-truth fault oracle".to_owned());
+            return Err(CkptError::Unsupported { what: "a run with a ground-truth fault oracle" });
         }
         if self.faults.is_some() {
-            return Err("cannot checkpoint a run with an armed fault plan".to_owned());
+            return Err(CkptError::Unsupported { what: "a run with an armed fault plan" });
         }
         if self.command_log.is_some() {
-            return Err("cannot checkpoint a run with a command log attached".to_owned());
+            return Err(CkptError::Unsupported { what: "a run with a command log attached" });
         }
         if self.telemetry.is_some() {
-            return Err("cannot checkpoint a run with a telemetry tap attached".to_owned());
+            return Err(CkptError::Unsupported { what: "a run with a telemetry tap attached" });
         }
         let banks = (0..self.banks.len())
             .map(|b| {
@@ -816,11 +817,13 @@ impl MemoryController {
                     ("raa", JsonValue::U64(self.raa.get(b).copied().unwrap_or(0))),
                     (
                         "defense",
-                        self.defenses[b].snapshot_state().map_err(|e| format!("bank {b}: {e}"))?,
+                        self.defenses[b]
+                            .snapshot_state()
+                            .map_err(|e| CkptError::Defense { bank: b, detail: e })?,
                     ),
                 ]))
             })
-            .collect::<Result<Vec<_>, String>>()?;
+            .collect::<Result<Vec<_>, CkptError>>()?;
         Ok(obj(vec![
             ("channel", JsonValue::U64(u64::from(self.channel))),
             ("clock", JsonValue::U64(self.clock)),
@@ -842,23 +845,16 @@ impl MemoryController {
     /// Returns a description of the first malformed or mismatched field:
     /// wrong channel, wrong bank count, a refresh position outside the
     /// engine's window, or a defense that rejects its state.
-    pub fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+    pub fn restore(&mut self, state: &JsonValue) -> Result<(), CkptError> {
         let channel = u64_field(state, "channel")?;
         if channel != u64::from(self.channel) {
-            return Err(format!(
-                "checkpoint is for channel {channel}, restoring channel {}",
-                self.channel
-            ));
+            return Err(CkptError::WrongChannel { found: channel, restoring: self.channel });
         }
         let banks = field(state, "banks")?
             .as_arr()
-            .ok_or_else(|| "field `banks` is not an array".to_owned())?;
+            .ok_or_else(|| CkptError::NotArray { key: "banks".to_owned() })?;
         if banks.len() != self.banks.len() {
-            return Err(format!(
-                "checkpoint has {} bank(s), controller has {}",
-                banks.len(),
-                self.banks.len()
-            ));
+            return Err(CkptError::BankCount { found: banks.len(), have: self.banks.len() });
         }
         let stats = run_stats_from_json(field(state, "stats")?)?;
         let clock = u64_field(state, "clock")?;
@@ -870,23 +866,23 @@ impl MemoryController {
         // half-restored.
         let mut parsed = Vec::with_capacity(banks.len());
         for (b, bank) in banks.iter().enumerate() {
-            let ctx = |e: String| format!("bank {b}: {e}");
+            let ctx = |e: CkptError| CkptError::bank(b, e);
+            let shape =
+                |detail: &str| CkptError::bank(b, CkptError::Shape { detail: detail.to_owned() });
             let open_row = opt_u64_field(bank, "open_row").map_err(ctx)?;
             let open_row = open_row
-                .map(|r| u32::try_from(r).map(RowId).map_err(|_| "open_row exceeds u32".to_owned()))
-                .transpose()
-                .map_err(ctx)?;
+                .map(|r| u32::try_from(r).map(RowId).map_err(|_| shape("open_row exceeds u32")))
+                .transpose()?;
             let hits = u32::try_from(u64_field(bank, "hits_on_open_row").map_err(ctx)?)
-                .map_err(|_| format!("bank {b}: hits_on_open_row exceeds u32"))?;
+                .map_err(|_| shape("hits_on_open_row exceeds u32"))?;
             let ready_at = u64_field(bank, "ready_at").map_err(ctx)?;
             let last_act_at = opt_u64_field(bank, "last_act_at").map_err(ctx)?;
             let burst = u64_field(bank, "ref_burst_in_window").map_err(ctx)?;
             if burst >= self.refresh_engines[b].cmds_per_window() {
-                return Err(format!(
-                    "bank {b}: refresh burst position {burst} outside the \
-                     {}-command window",
+                return Err(shape(&format!(
+                    "refresh burst position {burst} outside the {}-command window",
                     self.refresh_engines[b].cmds_per_window()
-                ));
+                )));
             }
             let refs_issued = u64_field(bank, "ref_refs_issued").map_err(ctx)?;
             let ref_next_at = u64_field(bank, "ref_next_at").map_err(ctx)?;
@@ -906,8 +902,8 @@ impl MemoryController {
         }
         for (b, bank) in banks.iter().enumerate() {
             self.defenses[b]
-                .restore_state(field(bank, "defense").map_err(|e| format!("bank {b}: {e}"))?)
-                .map_err(|e| format!("bank {b}: {e}"))?;
+                .restore_state(field(bank, "defense").map_err(|e| CkptError::bank(b, e))?)
+                .map_err(|e| CkptError::Defense { bank: b, detail: e })?;
         }
         for (b, (open_row, hits, ready_at, last_act_at, burst, refs_issued, ref_next_at, raa)) in
             parsed.into_iter().enumerate()
@@ -1391,7 +1387,8 @@ mod tests {
         let model = DisturbanceModel { t_rh: 5_000, mu: MuModel::Adjacent };
         let mc = no_defense_mc(McConfig::single_bank(65_536, Some(model)));
         let err = mc.snapshot().err().expect("oracle runs must refuse checkpointing");
-        assert!(err.contains("fault oracle"), "{err}");
+        assert!(matches!(err, crate::ckpt::CkptError::Unsupported { .. }), "{err:?}");
+        assert!(err.to_string().contains("fault oracle"), "{err}");
     }
 
     #[test]
@@ -1403,7 +1400,7 @@ mod tests {
         // came from a single-bank controller.
         let mut other = McBuilder::new(McConfig::micro2020_no_oracle()).build();
         let err = other.restore(&snap).unwrap_err();
-        assert!(err.contains("bank(s)"), "{err}");
+        assert!(err.to_string().contains("bank(s)"), "{err}");
     }
 
     #[test]

@@ -45,7 +45,7 @@
 pub mod audit;
 pub mod bank;
 pub mod builder;
-pub(crate) mod ckpt;
+pub mod ckpt;
 pub mod cmdlog;
 pub mod config;
 pub mod controller;
@@ -60,6 +60,7 @@ pub mod tap;
 pub use audit::{StatsAudit, StatsFinding};
 pub use bank::BankState;
 pub use builder::{DefenseFactory, McBuilder};
+pub use ckpt::CkptError;
 pub use cmdlog::{CommandLog, CommandRecord, LoggedCommand, ProtocolChecker, ProtocolViolation};
 pub use config::McConfig;
 pub use controller::{McBuildError, McError, MemoryController, StampedAccess};

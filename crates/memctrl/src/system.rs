@@ -23,7 +23,7 @@ use dram_model::timing::Picoseconds;
 use telemetry::json::JsonValue;
 use workloads::{Access, Workload};
 
-use crate::ckpt::{field, obj, u64_field};
+use crate::ckpt::{field, obj, u64_field, CkptError};
 use crate::controller::{McError, MemoryController, StampedAccess};
 use crate::mapping::MappingPolicy;
 use crate::stats::RunStats;
@@ -346,16 +346,18 @@ impl SystemController {
     /// between [`try_run_batched`](Self::try_run_batched) calls, which
     /// always flush), and propagates any shard's refusal (oracle, fault
     /// plan, command log, telemetry tap, or an uncheckpointable defense).
-    pub fn snapshot(&self) -> Result<JsonValue, String> {
+    pub fn snapshot(&self) -> Result<JsonValue, CkptError> {
         if self.buffers.iter().any(|b| !b.is_empty()) {
-            return Err("cannot checkpoint with buffered unexecuted accesses".to_owned());
+            return Err(CkptError::Unsupported { what: "with buffered unexecuted accesses" });
         }
         let shards = self
             .shards
             .iter()
             .enumerate()
-            .map(|(c, s)| s.snapshot().map_err(|e| format!("channel {c}: {e}")))
-            .collect::<Result<Vec<_>, String>>()?;
+            .map(|(c, s)| {
+                s.snapshot().map_err(|e| CkptError::Channel { channel: c, source: Box::new(e) })
+            })
+            .collect::<Result<Vec<_>, CkptError>>()?;
         Ok(obj(vec![
             ("clock", JsonValue::U64(self.clock)),
             ("routed", JsonValue::U64(self.routed)),
@@ -373,21 +375,19 @@ impl SystemController {
     /// wrong channel count, or any shard-level rejection. Shards restore in
     /// channel order; on error, earlier shards may already hold the
     /// checkpoint's state, so discard the system rather than resuming it.
-    pub fn restore(&mut self, state: &JsonValue) -> Result<(), String> {
+    pub fn restore(&mut self, state: &JsonValue) -> Result<(), CkptError> {
         let clock = u64_field(state, "clock")?;
         let routed = u64_field(state, "routed")?;
         let shards = field(state, "shards")?
             .as_arr()
-            .ok_or_else(|| "field `shards` is not an array".to_owned())?;
+            .ok_or_else(|| CkptError::NotArray { key: "shards".to_owned() })?;
         if shards.len() != self.shards.len() {
-            return Err(format!(
-                "checkpoint has {} channel shard(s), system has {}",
-                shards.len(),
-                self.shards.len()
-            ));
+            return Err(CkptError::ShardCount { found: shards.len(), have: self.shards.len() });
         }
         for (c, shard_state) in shards.iter().enumerate() {
-            self.shards[c].restore(shard_state).map_err(|e| format!("channel {c}: {e}"))?;
+            self.shards[c]
+                .restore(shard_state)
+                .map_err(|e| CkptError::Channel { channel: c, source: Box::new(e) })?;
         }
         self.clock = clock;
         self.routed = routed;
@@ -488,7 +488,8 @@ mod tests {
         let mut sys = system(64);
         let state = telemetry::json::parse("{\"clock\":0,\"routed\":0,\"shards\":[]}").unwrap();
         let err = sys.restore(&state).unwrap_err();
-        assert!(err.contains("shard"), "{err}");
+        assert!(matches!(err, CkptError::ShardCount { found: 0, have: _ }), "{err:?}");
+        assert!(err.to_string().contains("shard"), "{err}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Bounded-memory fleet replay: stream an RHT3 trace from disk through the
-//! sharded SPSC pipeline in checkpointed segments.
+//! Bounded-memory fleet replay: stream an RHT4 trace from disk through the
+//! sharded SPSC pipeline in checkpointed segments, with integrity-framed
+//! formats and a crash-and-corruption recovery supervisor.
 //!
 //! The matrix runners materialize workloads in memory; a fleet-scale trace
 //! (hundreds of millions of ACTs from thousands of tenants) cannot be. This
@@ -10,15 +11,37 @@
 //! queue depth) regardless of trace length.
 //!
 //! Execution is **segmented**: [`run_fleet`] streams `segment` accesses,
-//! quiesces the pipeline, writes a `fleetckpt.v1` checkpoint (the JSONL
-//! idiom of [`faultsim`]'s serial module: a schema-tagged header line, then
-//! one line per channel shard), reports progress, and repeats. A killed run
-//! resumes from the last checkpoint via [`TraceReader::skip_to`] plus
-//! [`SystemController::restore`], and — because the trace is pre-synthesized
-//! and every layer's checkpoint is exact — the resumed run is
-//! **bit-identical** to an uninterrupted one at every worker count. The
-//! `fleet_replay` integration test pins this with a proptest across 1/2/4
-//! workers and arbitrary kill points.
+//! quiesces the pipeline, writes a `fleetckpt.v2` checkpoint (the JSONL
+//! idiom of [`faultsim`]'s serial module: a schema-tagged header line, one
+//! line per channel shard, and a CRC32C integrity footer), reports
+//! progress, and repeats. A killed run resumes from the last checkpoint via
+//! [`TraceReader::skip_to`] plus [`SystemController::restore`], and —
+//! because the trace is pre-synthesized and every layer's checkpoint is
+//! exact — the resumed run is **bit-identical** to an uninterrupted one at
+//! every worker count. The `fleet_replay` integration test pins this with a
+//! proptest across 1/2/4 workers and arbitrary kill points.
+//!
+//! ## Integrity and failure model (DESIGN.md §6l)
+//!
+//! Every failure is a typed [`FleetError`], never a panic or a silent wrong
+//! result. The on-disk formats defend themselves: RHT4 traces carry
+//! per-chunk CRC32C frames (checked by [`TraceReader`]), and `fleetckpt.v2`
+//! carries per-line CRCs, a whole-body CRC, and a **config fingerprint**
+//! ([`CkptFingerprint`]: defense spec, mapping policy, DRAM generation,
+//! audit flag, geometry) so that restoring under a different configuration
+//! is rejected with a diagnostic naming the differing field rather than
+//! silently producing plausible-but-wrong statistics.
+//!
+//! [`run_fleet_supervised`] adds the recovery layer: checkpoints rotate
+//! across `keep` generation slots, corrupt files are **quarantined aside**
+//! (renamed, never deleted or overwritten in place), a failed segment rolls
+//! back to the newest *verified* checkpoint and retries with bounded,
+//! deterministic (virtual — recorded, not slept) backoff, and the degraded-
+//! mode accounting surfaces as `fleet.retries` / `fleet.rollbacks` /
+//! `fleet.corrupt_chunks` / `fleet.quarantined` telemetry counters. All
+//! file I/O flows through the [`workloads::vfs`] seam, so the `chaos-fleet`
+//! harness injects deterministic torn writes, bit rot, and fsync failures
+//! under these exact code paths.
 //!
 //! [`synth_fleet_trace`] writes the multi-tenant input: thousands of
 //! interleaved clients — Zipf/streaming SPEC-like proxies seasoned with
@@ -27,16 +50,23 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
-use std::fs;
+use std::fmt;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dram_model::geometry::DramGeometry;
-use memctrl::{MappingPolicy, McBuilder, McConfig, StampedAccess, SystemController, SystemStats};
+use memctrl::{
+    CkptError, MappingPolicy, McBuilder, McConfig, McError, StampedAccess, SystemController,
+    SystemStats,
+};
 use telemetry::json::{self, JsonValue};
+use telemetry::{MetricsSink, SharedSink};
+use workloads::crc::crc32c;
+use workloads::vfs::{real_fs, Vfs};
 use workloads::{
-    Access, ProxyWorkload, RateLimited, SpecPreset, StripedNSided, TraceReader, TraceWriter,
-    Workload,
+    Access, ProxyWorkload, RateLimited, SpecPreset, StripedNSided, TraceError, TraceReader,
+    TraceWriter, Workload,
 };
 
 use crate::pool;
@@ -45,7 +75,190 @@ use crate::sharded::{pump, QUEUE_DEPTH};
 use crate::spsc;
 
 /// Schema tag of the checkpoint header line.
-pub const FLEET_CKPT_SCHEMA: &str = "fleetckpt.v1";
+pub const FLEET_CKPT_SCHEMA: &str = "fleetckpt.v2";
+
+/// Schema tag of the integrity footer line.
+pub const FLEET_CKPT_FOOTER_SCHEMA: &str = "fleetckpt.v2#footer";
+
+/// Legacy (un-framed, fingerprint-less) schema, still readable.
+pub const FLEET_CKPT_SCHEMA_V1: &str = "fleetckpt.v1";
+
+/// Why a fleet replay failed.
+///
+/// The variants separate the three things a recovery layer must tell
+/// apart: *this artifact is damaged* ([`CkptCorrupt`](Self::CkptCorrupt),
+/// a [`TraceStream`](Self::TraceStream) carrying a CRC failure — retry or
+/// roll back), *this artifact belongs to a different run*
+/// ([`WrongTrace`](Self::WrongTrace),
+/// [`ConfigMismatch`](Self::ConfigMismatch) — no retry will ever work), and
+/// *the environment failed* (I/O variants — maybe transient).
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The trace file could not be opened or seeked.
+    Trace {
+        /// The trace path.
+        path: PathBuf,
+        /// The underlying failure (typed [`workloads::TraceError`]s arrive
+        /// as [`std::io::ErrorKind::InvalidData`] payloads).
+        source: std::io::Error,
+    },
+    /// The trace stream failed mid-segment (truncation, CRC failure, I/O).
+    TraceStream {
+        /// Records consumed when the stream failed.
+        position: u64,
+        /// The underlying failure.
+        source: std::io::Error,
+    },
+    /// The routing front end rejected an access.
+    Route {
+        /// Records consumed when routing failed.
+        position: u64,
+        /// The controller's error.
+        source: McError,
+    },
+    /// The system refused to snapshot (oracle, tap, uncheckpointable
+    /// defense, …).
+    Snapshot {
+        /// The controller-layer error.
+        source: CkptError,
+    },
+    /// The system rejected a structurally valid checkpoint on restore.
+    Restore {
+        /// The controller-layer error.
+        source: CkptError,
+    },
+    /// Checkpoint file I/O failed.
+    CkptIo {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// The checkpoint file is damaged: bad JSON, a failed CRC frame, a
+    /// missing footer, or a shard count disagreeing with its header.
+    CkptCorrupt {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// What exactly is damaged.
+        detail: String,
+    },
+    /// The checkpoint carries an unknown schema tag.
+    CkptSchema {
+        /// The checkpoint path.
+        path: PathBuf,
+        /// The tag found.
+        found: String,
+    },
+    /// The checkpoint belongs to a different trace.
+    WrongTrace {
+        /// Name stamped in the trace being replayed.
+        expected: String,
+        /// Name recorded in the checkpoint.
+        found: String,
+    },
+    /// The checkpoint claims more records than the trace holds.
+    BeyondTrace {
+        /// Records the checkpoint claims were executed.
+        claimed: u64,
+        /// Records the trace actually holds.
+        trace_len: u64,
+    },
+    /// The checkpoint's config fingerprint disagrees with this run's
+    /// configuration on `field`.
+    ConfigMismatch {
+        /// The differing fingerprint field.
+        field: &'static str,
+        /// This run's value.
+        expected: String,
+        /// The checkpoint's value.
+        found: String,
+    },
+    /// The supervisor exhausted its retry budget on one segment.
+    RetriesExhausted {
+        /// First record of the failing segment.
+        segment_start: u64,
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last failure.
+        last: Box<FleetError>,
+    },
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Trace { path, source } => write!(f, "trace {}: {source}", path.display()),
+            FleetError::TraceStream { position, source } => {
+                write!(f, "trace stream failed at record {position}: {source}")
+            }
+            FleetError::Route { position, source } => {
+                write!(f, "routing failed at record {position}: {source}")
+            }
+            FleetError::Snapshot { source } => write!(f, "checkpoint snapshot: {source}"),
+            FleetError::Restore { source } => write!(f, "checkpoint restore: {source}"),
+            FleetError::CkptIo { path, source } => {
+                write!(f, "checkpoint {}: {source}", path.display())
+            }
+            FleetError::CkptCorrupt { path, detail } => {
+                write!(f, "corrupt checkpoint {}: {detail}", path.display())
+            }
+            FleetError::CkptSchema { path, found } => write!(
+                f,
+                "checkpoint {}: schema `{found}` is not `{FLEET_CKPT_SCHEMA}` \
+                 (or legacy `{FLEET_CKPT_SCHEMA_V1}`)",
+                path.display()
+            ),
+            FleetError::WrongTrace { expected, found } => {
+                write!(f, "checkpoint belongs to trace `{found}`, not `{expected}`")
+            }
+            FleetError::BeyondTrace { claimed, trace_len } => {
+                write!(f, "checkpoint claims {claimed} records done of a {trace_len}-record trace")
+            }
+            FleetError::ConfigMismatch { field, expected, found } => write!(
+                f,
+                "checkpoint config mismatch: `{field}` is `{found}` in the checkpoint \
+                 but `{expected}` in this run"
+            ),
+            FleetError::RetriesExhausted { segment_start, attempts, last } => write!(
+                f,
+                "segment at record {segment_start} failed after {attempts} attempt(s); \
+                 last error: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FleetError::Trace { source, .. }
+            | FleetError::TraceStream { source, .. }
+            | FleetError::CkptIo { source, .. } => Some(source),
+            FleetError::Route { source, .. } => Some(source),
+            FleetError::Snapshot { source } | FleetError::Restore { source } => Some(source),
+            FleetError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl FleetError {
+    /// True when the failure is *data damage* a CRC frame caught — a trace
+    /// chunk or checkpoint whose content no longer matches its checksum.
+    /// The supervisor counts these as `fleet.corrupt_chunks`.
+    pub fn is_corruption(&self) -> bool {
+        match self {
+            FleetError::CkptCorrupt { .. } => true,
+            FleetError::Trace { source, .. } | FleetError::TraceStream { source, .. } => source
+                .get_ref()
+                .and_then(|r| r.downcast_ref::<TraceError>())
+                .is_some_and(|t| matches!(t, TraceError::Corrupt { .. })),
+            FleetError::RetriesExhausted { last, .. } => last.is_corruption(),
+            _ => false,
+        }
+    }
+}
 
 fn obj(fields: Vec<(&str, JsonValue)>) -> JsonValue {
     JsonValue::Obj(fields.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
@@ -63,14 +276,129 @@ fn str_field<'v>(v: &'v JsonValue, key: &str) -> Result<&'v str, String> {
         .ok_or_else(|| format!("missing or non-string field `{key}`"))
 }
 
-/// A parsed `fleetckpt.v1` checkpoint: where the run was in the trace plus
-/// the full dynamic state of the sharded system at that point.
+/// The configuration identity stamped into every `fleetckpt.v2` header.
+///
+/// A checkpoint is only as good as the run that wrote it: restoring
+/// Graphene-at-2k state into a CoMeT-at-1k system would not fail loudly —
+/// it would *run*, producing statistics that belong to neither
+/// configuration. The fingerprint pins everything that shapes simulated
+/// behavior but is absent from the state itself; restore compares field by
+/// field and rejects with [`FleetError::ConfigMismatch`] naming the first
+/// difference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CkptFingerprint {
+    /// [`DefenseSpec::spec_string`] of the per-bank defense.
+    pub defense: String,
+    /// [`MappingPolicy::name`] of the routing front end.
+    pub policy: String,
+    /// DRAM generation name (timings and RFM behavior).
+    pub generation: String,
+    /// Whether defenses run under the invariant-auditing shim.
+    pub audit: bool,
+    /// Geometry the trace was routed against.
+    pub geometry: DramGeometry,
+}
+
+impl CkptFingerprint {
+    /// The fingerprint of `cfg`.
+    pub fn of(cfg: &FleetConfig) -> Self {
+        CkptFingerprint {
+            defense: cfg.defense.spec_string(),
+            policy: cfg.policy.name().to_owned(),
+            generation: cfg.system.generation.name().to_owned(),
+            audit: cfg.audit,
+            geometry: cfg.system.geometry,
+        }
+    }
+
+    fn to_json(&self) -> JsonValue {
+        obj(vec![
+            ("defense", JsonValue::Str(self.defense.clone())),
+            ("policy", JsonValue::Str(self.policy.clone())),
+            ("generation", JsonValue::Str(self.generation.clone())),
+            ("audit", JsonValue::Bool(self.audit)),
+            ("channels", JsonValue::U64(u64::from(self.geometry.channels))),
+            ("ranks", JsonValue::U64(u64::from(self.geometry.ranks_per_channel))),
+            ("banks", JsonValue::U64(u64::from(self.geometry.banks_per_rank))),
+            ("rows", JsonValue::U64(u64::from(self.geometry.rows_per_bank))),
+        ])
+    }
+
+    fn from_json(v: &JsonValue) -> Result<Self, String> {
+        let audit = match v.get("audit") {
+            Some(JsonValue::Bool(b)) => *b,
+            _ => return Err("missing or non-boolean field `audit`".to_owned()),
+        };
+        Ok(CkptFingerprint {
+            defense: str_field(v, "defense")?.to_owned(),
+            policy: str_field(v, "policy")?.to_owned(),
+            generation: str_field(v, "generation")?.to_owned(),
+            audit,
+            geometry: DramGeometry {
+                channels: u64_field(v, "channels")? as u8,
+                ranks_per_channel: u64_field(v, "ranks")? as u8,
+                banks_per_rank: u64_field(v, "banks")? as u8,
+                rows_per_bank: u64_field(v, "rows")? as u32,
+            },
+        })
+    }
+
+    /// Rejects a restore whose run configuration (`expected`) differs from
+    /// this checkpointed fingerprint, naming the first differing field.
+    ///
+    /// # Errors
+    ///
+    /// [`FleetError::ConfigMismatch`].
+    pub fn check_against(&self, expected: &CkptFingerprint) -> Result<(), FleetError> {
+        let mismatch = |field, expected: &dyn fmt::Display, found: &dyn fmt::Display| {
+            Err(FleetError::ConfigMismatch {
+                field,
+                expected: expected.to_string(),
+                found: found.to_string(),
+            })
+        };
+        if self.defense != expected.defense {
+            return mismatch("defense", &expected.defense, &self.defense);
+        }
+        if self.policy != expected.policy {
+            return mismatch("policy", &expected.policy, &self.policy);
+        }
+        if self.generation != expected.generation {
+            return mismatch("generation", &expected.generation, &self.generation);
+        }
+        if self.audit != expected.audit {
+            return mismatch("audit", &expected.audit, &self.audit);
+        }
+        let g = &self.geometry;
+        let e = &expected.geometry;
+        if g.channels != e.channels {
+            return mismatch("channels", &e.channels, &g.channels);
+        }
+        if g.ranks_per_channel != e.ranks_per_channel {
+            return mismatch("ranks", &e.ranks_per_channel, &g.ranks_per_channel);
+        }
+        if g.banks_per_rank != e.banks_per_rank {
+            return mismatch("banks", &e.banks_per_rank, &g.banks_per_rank);
+        }
+        if g.rows_per_bank != e.rows_per_bank {
+            return mismatch("rows", &e.rows_per_bank, &g.rows_per_bank);
+        }
+        Ok(())
+    }
+}
+
+/// A parsed fleet checkpoint: where the run was in the trace, the config
+/// identity it ran under, and the full dynamic state of the sharded system
+/// at that point.
 #[derive(Debug, Clone)]
 pub struct FleetCheckpoint {
     /// Name stamped into the trace this checkpoint belongs to.
     pub trace: String,
     /// Trace records fully executed when the checkpoint was taken.
     pub accesses_done: u64,
+    /// Config fingerprint; `None` for legacy `fleetckpt.v1` files, which
+    /// predate it (their restores skip the fingerprint check).
+    pub config: Option<CkptFingerprint>,
     /// The [`SystemController::restore`] value.
     state: JsonValue,
 }
@@ -83,105 +411,216 @@ impl FleetCheckpoint {
     ///
     /// Propagates any shard-level mismatch; on error the system may be
     /// partially restored and must be discarded.
-    pub fn restore_into(&self, system: &mut SystemController) -> Result<(), String> {
+    pub fn restore_into(&self, system: &mut SystemController) -> Result<(), CkptError> {
         system.restore(&self.state)
     }
 }
 
-/// Writes a `fleetckpt.v1` checkpoint atomically (temp sibling + rename, so
-/// a crash mid-write leaves the previous checkpoint intact).
+/// Writes a `fleetckpt.v2` checkpoint atomically (temp sibling + rename, so
+/// a crash mid-write leaves the previous checkpoint intact) through the
+/// given filesystem.
+///
+/// The rendered file is a JSONL document: a header line carrying the trace
+/// identity, progress, and `fingerprint`; one line per channel shard; and a
+/// footer line with a CRC32C per body line plus one over the whole body, so
+/// any later bit rot or truncation is detected at read time.
 ///
 /// # Errors
 ///
-/// Propagates [`SystemController::snapshot`] refusals (oracle, fault plan,
-/// command log, telemetry tap, uncheckpointable defense) and filesystem
-/// errors, both as strings.
+/// [`FleetError::Snapshot`] when the system refuses to snapshot (oracle,
+/// fault plan, command log, telemetry tap, uncheckpointable defense);
+/// [`FleetError::CkptIo`] on filesystem failure.
 pub fn write_fleet_checkpoint(
+    fs: &dyn Vfs,
     path: &Path,
     trace_name: &str,
     accesses_done: u64,
     system: &SystemController,
-) -> Result<(), String> {
-    let snap = system.snapshot()?;
+    fingerprint: &CkptFingerprint,
+) -> Result<(), FleetError> {
+    let snap = system.snapshot().map_err(|source| FleetError::Snapshot { source })?;
     let shards = snap
         .get("shards")
         .and_then(JsonValue::as_arr)
-        .ok_or_else(|| "system snapshot lacks a `shards` array".to_owned())?;
-    let mut text = String::new();
-    let header = obj(vec![
-        ("schema", JsonValue::Str(FLEET_CKPT_SCHEMA.to_owned())),
-        ("trace", JsonValue::Str(trace_name.to_owned())),
-        ("accesses_done", JsonValue::U64(accesses_done)),
-        ("clock", JsonValue::U64(u64_field(&snap, "clock")?)),
-        ("routed", JsonValue::U64(u64_field(&snap, "routed")?)),
-        ("channels", JsonValue::U64(shards.len() as u64)),
-    ]);
-    text.push_str(&header.to_string());
-    text.push('\n');
+        .expect("system snapshots always carry a `shards` array");
+    let mut lines: Vec<String> = Vec::with_capacity(shards.len() + 2);
+    lines.push(
+        obj(vec![
+            ("schema", JsonValue::Str(FLEET_CKPT_SCHEMA.to_owned())),
+            ("trace", JsonValue::Str(trace_name.to_owned())),
+            ("accesses_done", JsonValue::U64(accesses_done)),
+            ("clock", JsonValue::U64(u64_field(&snap, "clock").expect("snapshot carries clock"))),
+            (
+                "routed",
+                JsonValue::U64(u64_field(&snap, "routed").expect("snapshot carries routed")),
+            ),
+            ("channels", JsonValue::U64(shards.len() as u64)),
+            ("config", fingerprint.to_json()),
+        ])
+        .to_string(),
+    );
     for shard in shards {
-        text.push_str(&shard.to_string());
-        text.push('\n');
+        lines.push(shard.to_string());
     }
+    let line_crcs: Vec<JsonValue> =
+        lines.iter().map(|l| JsonValue::U64(u64::from(crc32c(l.as_bytes())))).collect();
+    let mut body = String::new();
+    for l in &lines {
+        body.push_str(l);
+        body.push('\n');
+    }
+    let footer = obj(vec![
+        ("schema", JsonValue::Str(FLEET_CKPT_FOOTER_SCHEMA.to_owned())),
+        ("lines", JsonValue::U64(lines.len() as u64)),
+        ("crc32c", JsonValue::U64(u64::from(crc32c(body.as_bytes())))),
+        ("line_crcs", JsonValue::Arr(line_crcs)),
+    ]);
+    body.push_str(&footer.to_string());
+    body.push('\n');
     let tmp = path.with_extension("ckpt.tmp");
-    let io = |e: std::io::Error| format!("checkpoint write {}: {e}", path.display());
+    let io = |e: std::io::Error| FleetError::CkptIo { path: path.to_path_buf(), source: e };
     {
-        let mut f = fs::File::create(&tmp).map_err(io)?;
-        f.write_all(text.as_bytes()).map_err(io)?;
+        let mut f = fs.create(&tmp).map_err(io)?;
+        f.write_all(body.as_bytes()).map_err(io)?;
         f.sync_all().map_err(io)?;
     }
-    fs::rename(&tmp, path).map_err(io)
+    fs.rename(&tmp, path).map_err(io)
 }
 
-/// Reads and validates a `fleetckpt.v1` checkpoint file.
+/// Reads and validates a fleet checkpoint file through the given
+/// filesystem.
+///
+/// `fleetckpt.v2` files must carry an intact integrity footer: the whole-
+/// body CRC and every per-line CRC are verified **before** any line is
+/// parsed, so bit rot, torn writes, and truncation surface as
+/// [`FleetError::CkptCorrupt`] naming the damaged line — never as a
+/// half-plausible parse. Legacy `fleetckpt.v1` files (no footer, no
+/// fingerprint) remain readable without corruption detection.
 ///
 /// # Errors
 ///
-/// Reports the first malformed line: wrong schema tag, a non-object line,
-/// or a channel count disagreeing with the shard lines present.
-pub fn read_fleet_checkpoint(path: &Path) -> Result<FleetCheckpoint, String> {
-    let text =
-        fs::read_to_string(path).map_err(|e| format!("checkpoint read {}: {e}", path.display()))?;
-    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
-    let header = json::parse(lines.next().ok_or("empty checkpoint file")?)
-        .map_err(|e| format!("checkpoint header: {e}"))?;
-    let schema = str_field(&header, "schema")?;
-    if schema != FLEET_CKPT_SCHEMA {
-        return Err(format!("checkpoint schema is `{schema}`, expected `{FLEET_CKPT_SCHEMA}`"));
+/// [`FleetError::CkptIo`] on filesystem failure, [`FleetError::CkptSchema`]
+/// for an unknown schema tag, [`FleetError::CkptCorrupt`] for a failed CRC
+/// frame or structural damage.
+pub fn read_fleet_checkpoint(fs: &dyn Vfs, path: &Path) -> Result<FleetCheckpoint, FleetError> {
+    let text = fs
+        .read_to_string(path)
+        .map_err(|e| FleetError::CkptIo { path: path.to_path_buf(), source: e })?;
+    let corrupt = |detail: String| FleetError::CkptCorrupt { path: path.to_path_buf(), detail };
+    let mut lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    if lines.is_empty() {
+        return Err(corrupt("empty checkpoint file".to_owned()));
     }
-    let channels = u64_field(&header, "channels")?;
-    let shards = lines
+    // Peek the header's schema tag to pick the framing.
+    let header_json = json::parse(lines[0]).map_err(|e| corrupt(format!("header: {e}")))?;
+    let schema = str_field(&header_json, "schema").map_err(&corrupt)?;
+    let legacy = match schema {
+        s if s == FLEET_CKPT_SCHEMA => false,
+        s if s == FLEET_CKPT_SCHEMA_V1 => true,
+        other => {
+            return Err(FleetError::CkptSchema {
+                path: path.to_path_buf(),
+                found: other.to_owned(),
+            })
+        }
+    };
+    if !legacy {
+        // Verify the footer before believing anything else.
+        let footer_line = lines.pop().ok_or_else(|| corrupt("missing footer".to_owned()))?;
+        let footer = json::parse(footer_line).map_err(|e| corrupt(format!("footer: {e}")))?;
+        if str_field(&footer, "schema").map_err(&corrupt)? != FLEET_CKPT_FOOTER_SCHEMA {
+            return Err(corrupt("last line is not an integrity footer".to_owned()));
+        }
+        if u64_field(&footer, "lines").map_err(&corrupt)? != lines.len() as u64 {
+            return Err(corrupt(format!(
+                "footer promises {} body line(s), found {}",
+                u64_field(&footer, "lines").map_err(&corrupt)?,
+                lines.len()
+            )));
+        }
+        let line_crcs = footer
+            .get("line_crcs")
+            .and_then(JsonValue::as_arr)
+            .ok_or_else(|| corrupt("footer lacks a `line_crcs` array".to_owned()))?;
+        if line_crcs.len() != lines.len() {
+            return Err(corrupt(format!(
+                "footer carries {} line crc(s) for {} line(s)",
+                line_crcs.len(),
+                lines.len()
+            )));
+        }
+        for (i, (line, stored)) in lines.iter().zip(line_crcs).enumerate() {
+            let stored =
+                stored.as_u64().ok_or_else(|| corrupt("non-integer line crc".to_owned()))?;
+            let computed = u64::from(crc32c(line.as_bytes()));
+            if stored != computed {
+                return Err(corrupt(format!(
+                    "line {i}: crc32c mismatch (stored {stored:#010x}, computed {computed:#010x})"
+                )));
+            }
+        }
+        let mut body = String::new();
+        for l in &lines {
+            body.push_str(l);
+            body.push('\n');
+        }
+        let stored_body = u64_field(&footer, "crc32c").map_err(&corrupt)?;
+        let computed_body = u64::from(crc32c(body.as_bytes()));
+        if stored_body != computed_body {
+            return Err(corrupt(format!(
+                "body crc32c mismatch (stored {stored_body:#010x}, computed {computed_body:#010x})"
+            )));
+        }
+    }
+    let channels = u64_field(&header_json, "channels").map_err(&corrupt)?;
+    let shards = lines[1..]
+        .iter()
         .enumerate()
-        .map(|(i, line)| json::parse(line).map_err(|e| format!("checkpoint shard line {i}: {e}")))
-        .collect::<Result<Vec<_>, String>>()?;
+        .map(|(i, line)| json::parse(line).map_err(|e| corrupt(format!("shard line {i}: {e}"))))
+        .collect::<Result<Vec<_>, FleetError>>()?;
     if shards.len() as u64 != channels {
-        return Err(format!(
-            "checkpoint header promises {channels} channel(s), found {} shard line(s)",
+        return Err(corrupt(format!(
+            "header promises {channels} channel(s), found {} shard line(s)",
             shards.len()
-        ));
+        )));
     }
+    let config = if legacy {
+        None
+    } else {
+        let cf = header_json
+            .get("config")
+            .ok_or_else(|| corrupt("header lacks a `config` fingerprint".to_owned()))?;
+        Some(CkptFingerprint::from_json(cf).map_err(&corrupt)?)
+    };
     Ok(FleetCheckpoint {
-        trace: str_field(&header, "trace")?.to_owned(),
-        accesses_done: u64_field(&header, "accesses_done")?,
+        trace: str_field(&header_json, "trace").map_err(&corrupt)?.to_owned(),
+        accesses_done: u64_field(&header_json, "accesses_done").map_err(&corrupt)?,
+        config,
         state: obj(vec![
-            ("clock", JsonValue::U64(u64_field(&header, "clock")?)),
-            ("routed", JsonValue::U64(u64_field(&header, "routed")?)),
+            ("clock", JsonValue::U64(u64_field(&header_json, "clock").map_err(&corrupt)?)),
+            ("routed", JsonValue::U64(u64_field(&header_json, "routed").map_err(&corrupt)?)),
             ("shards", JsonValue::Arr(shards)),
         ]),
     })
 }
 
 /// Streams exactly `n` accesses from `reader` through the split pipeline:
-/// the router rides the calling thread, shards drain their queues on `threads`
-/// pool workers. Identical mechanics to
+/// the router rides the calling thread, shards drain their queues on
+/// `threads` pool workers. Identical mechanics to
 /// [`run_system_sharded`](crate::run_system_sharded), minus the workload
 /// factory: the reader IS the stream.
+///
+/// On a mid-segment failure (trace corruption, routing rejection) the
+/// producers are dropped, the pumps drain what was already queued and exit,
+/// and the typed error propagates — the system is left partially advanced
+/// and must be rolled back by the caller before retrying.
 fn stream_segment(
     system: &mut SystemController,
     reader: &mut TraceReader,
     n: u64,
     threads: usize,
     batch: usize,
-) {
+) -> Result<(), FleetError> {
     let channels = system.geometry().channels as usize;
     let mut queues: Vec<spsc::SpscQueue<Vec<StampedAccess>>> =
         (0..channels).map(|_| spsc::SpscQueue::new(QUEUE_DEPTH)).collect();
@@ -198,15 +637,17 @@ fn stream_segment(
         .zip(consumers)
         .map(|(shard, rx)| pool::job(move |sp| pump(shard, rx, sp)))
         .collect();
-    pool::run_scoped_with_driver(threads, jobs, move || {
+    pool::run_scoped_with_driver(threads, jobs, move || -> Result<(), FleetError> {
         let mut pending: Vec<Vec<StampedAccess>> =
             (0..channels).map(|_| Vec::with_capacity(batch)).collect();
         for _ in 0..n {
-            let access = reader.next_access();
-            // invariant: both the trace header and every record were
-            // validated against this geometry on read.
-            let (c, stamped) =
-                router.route_one(&access).unwrap_or_else(|e| panic!("fleet trace: {e}"));
+            let access = reader.try_next().map_err(|source| FleetError::TraceStream {
+                position: reader.position(),
+                source,
+            })?;
+            let (c, stamped) = router
+                .route_one(&access)
+                .map_err(|source| FleetError::Route { position: reader.position(), source })?;
             pending[c].push(stamped);
             if pending[c].len() == batch {
                 let full = std::mem::replace(&mut pending[c], Vec::with_capacity(batch));
@@ -218,8 +659,10 @@ fn stream_segment(
                 producers[c].push_blocking(buf);
             }
         }
-        // Dropping the producers closes the queues; pumps drain and exit.
-    });
+        // Dropping the producers closes the queues; pumps drain and exit —
+        // on the error paths above too.
+        Ok(())
+    })
 }
 
 /// Configuration of one fleet replay.
@@ -241,12 +684,18 @@ pub struct FleetConfig {
     /// Accesses per streaming segment; the pipeline quiesces and a
     /// checkpoint is written after each.
     pub segment: u64,
-    /// Checkpoint file. When the file already exists, the run **resumes**
-    /// from it instead of starting over.
+    /// Checkpoint file ([`run_fleet`]) or rotation base path
+    /// ([`run_fleet_supervised`], which appends `.g<N>` slot suffixes).
+    /// When the file already exists, the run **resumes** from it instead of
+    /// starting over.
     pub checkpoint: Option<PathBuf>,
     /// Stop (after checkpointing) once this many trace records have been
     /// executed — the kill switch the resume test and CI smoke use.
     pub stop_after: Option<u64>,
+    /// Filesystem all trace and checkpoint I/O flows through; `None` means
+    /// the real one. The chaos harness plants faultsim's fallible shim
+    /// here.
+    pub fs: Option<Arc<dyn Vfs>>,
 }
 
 impl FleetConfig {
@@ -264,7 +713,21 @@ impl FleetConfig {
             segment: 1_000_000,
             checkpoint: None,
             stop_after: None,
+            fs: None,
         }
+    }
+
+    /// The filesystem this run's I/O flows through.
+    fn vfs(&self) -> Arc<dyn Vfs> {
+        self.fs.clone().unwrap_or_else(real_fs)
+    }
+
+    fn build_system(&self) -> SystemController {
+        McBuilder::new(self.system.clone())
+            .mapping(self.policy)
+            .defenses(&self.defense)
+            .audit(self.audit)
+            .build_system()
     }
 }
 
@@ -307,51 +770,41 @@ pub struct FleetReport {
 ///
 /// # Errors
 ///
-/// Reports (as strings) an unreadable or geometry-mismatched trace, a
-/// corrupt or foreign checkpoint, and checkpoint write failures.
+/// Every failure is a typed [`FleetError`]: an unreadable or geometry-
+/// mismatched trace, mid-stream corruption (a chunk whose CRC frame fails
+/// is [`FleetError::TraceStream`] — never a silent wrong replay), a
+/// corrupt, foreign, or config-mismatched checkpoint, and checkpoint write
+/// failures. A run that resumes from a checkpoint whose fingerprint
+/// disagrees with this configuration fails with
+/// [`FleetError::ConfigMismatch`] naming the differing field.
 ///
 /// # Panics
 ///
-/// Panics if `threads`, `batch`, or `segment` is zero, or if the trace
-/// stream fails mid-read (truncated file).
+/// Panics if `threads`, `batch`, or `segment` is zero.
 pub fn run_fleet(
     cfg: &FleetConfig,
     trace: &Path,
     mut on_segment: impl FnMut(&FleetProgress),
-) -> Result<FleetReport, String> {
+) -> Result<FleetReport, FleetError> {
     assert!(cfg.threads > 0, "need at least one worker thread");
     assert!(cfg.batch > 0, "batch of 0 dispatches nothing");
     assert!(cfg.segment > 0, "segment of 0 makes no progress");
-    let mut reader = TraceReader::open_for(trace, &cfg.system.geometry)
-        .map_err(|e| format!("trace {}: {e}", trace.display()))?;
+    let fs = cfg.vfs();
+    let mut reader = TraceReader::open_for_on(fs.clone(), trace, &cfg.system.geometry)
+        .map_err(|source| FleetError::Trace { path: trace.to_path_buf(), source })?;
     let trace_len = reader.len();
-    let mut system = McBuilder::new(cfg.system.clone())
-        .mapping(cfg.policy)
-        .defenses(&cfg.defense)
-        .audit(cfg.audit)
-        .build_system();
+    let fingerprint = CkptFingerprint::of(cfg);
+    let mut system = cfg.build_system();
     let mut done = 0u64;
     let mut resumed_from = None;
     if let Some(path) = &cfg.checkpoint {
-        if path.exists() {
-            let ckpt = read_fleet_checkpoint(path)?;
-            if ckpt.trace != reader.name() {
-                return Err(format!(
-                    "checkpoint belongs to trace `{}`, not `{}`",
-                    ckpt.trace,
-                    reader.name()
-                ));
-            }
-            if ckpt.accesses_done > trace_len {
-                return Err(format!(
-                    "checkpoint claims {} records done of a {trace_len}-record trace",
-                    ckpt.accesses_done
-                ));
-            }
-            ckpt.restore_into(&mut system)?;
+        if fs.exists(path) {
+            let ckpt = read_fleet_checkpoint(fs.as_ref(), path)?;
+            check_checkpoint(&ckpt, &reader.name(), trace_len, &fingerprint)?;
+            ckpt.restore_into(&mut system).map_err(|source| FleetError::Restore { source })?;
             reader
                 .skip_to(ckpt.accesses_done)
-                .map_err(|e| format!("trace seek to {}: {e}", ckpt.accesses_done))?;
+                .map_err(|source| FleetError::Trace { path: trace.to_path_buf(), source })?;
             done = ckpt.accesses_done;
             resumed_from = Some(done);
         }
@@ -360,11 +813,11 @@ pub fn run_fleet(
     let mut segments = 0u64;
     while done < goal {
         let n = cfg.segment.min(goal - done);
-        stream_segment(&mut system, &mut reader, n, cfg.threads, cfg.batch);
+        stream_segment(&mut system, &mut reader, n, cfg.threads, cfg.batch)?;
         done += n;
         segments += 1;
         if let Some(path) = &cfg.checkpoint {
-            write_fleet_checkpoint(path, &reader.name(), done, &system)?;
+            write_fleet_checkpoint(fs.as_ref(), path, &reader.name(), done, &system, &fingerprint)?;
         }
         let progress = FleetProgress {
             accesses_done: done,
@@ -381,6 +834,395 @@ pub fn run_fleet(
         trace_len,
         resumed_from,
         segments,
+    })
+}
+
+/// The identity/bounds/fingerprint gauntlet every checkpoint passes before
+/// its state is believed.
+fn check_checkpoint(
+    ckpt: &FleetCheckpoint,
+    trace_name: &str,
+    trace_len: u64,
+    fingerprint: &CkptFingerprint,
+) -> Result<(), FleetError> {
+    if ckpt.trace != trace_name {
+        return Err(FleetError::WrongTrace {
+            expected: trace_name.to_owned(),
+            found: ckpt.trace.clone(),
+        });
+    }
+    if ckpt.accesses_done > trace_len {
+        return Err(FleetError::BeyondTrace { claimed: ckpt.accesses_done, trace_len });
+    }
+    if let Some(cf) = &ckpt.config {
+        cf.check_against(fingerprint)?;
+    }
+    Ok(())
+}
+
+/// Rotating checkpoint storage: `keep` generation slots (`<base>.g0` ..
+/// `<base>.g{keep-1}`), written round-robin so the newest verified
+/// generation always survives the next write, with corrupt slots
+/// **quarantined aside** (renamed to `<slot>.quarantined`) rather than
+/// deleted — the evidence is preserved and a re-run cannot trip over it.
+#[derive(Debug)]
+pub struct CheckpointStore {
+    fs: Arc<dyn Vfs>,
+    base: PathBuf,
+    keep: usize,
+}
+
+impl CheckpointStore {
+    /// A store of `keep` slots rooted at `base`. `keep >= 2` is required:
+    /// a single slot would be overwritten in place, so a torn write could
+    /// destroy the only good generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep < 2`.
+    pub fn new(fs: Arc<dyn Vfs>, base: PathBuf, keep: usize) -> Self {
+        assert!(keep >= 2, "rotation needs at least two generations to be crash-safe");
+        CheckpointStore { fs, base, keep }
+    }
+
+    /// The slot paths, in slot order.
+    pub fn slots(&self) -> Vec<PathBuf> {
+        (0..self.keep).map(|i| self.slot(i)).collect()
+    }
+
+    fn slot(&self, i: usize) -> PathBuf {
+        let mut s = self.base.as_os_str().to_owned();
+        s.push(format!(".g{i}"));
+        PathBuf::from(s)
+    }
+
+    fn quarantine_path(slot: &Path) -> PathBuf {
+        let mut s = slot.as_os_str().to_owned();
+        s.push(".quarantined");
+        PathBuf::from(s)
+    }
+
+    /// Moves a damaged slot aside, returning where it went. Quarantining
+    /// never deletes: the corrupt bytes stay on disk for post-mortems.
+    fn quarantine(&self, slot: &Path) -> PathBuf {
+        let dest = Self::quarantine_path(slot);
+        let _ = self.fs.remove_file(&dest); // clobber an older quarantine
+        let _ = self.fs.rename(slot, &dest);
+        dest
+    }
+
+    /// Reads every slot, quarantines the corrupt ones, and returns the
+    /// newest valid checkpoint (highest `accesses_done`) with its slot
+    /// path, plus the list of newly quarantined files.
+    pub fn latest(&self) -> (Option<(PathBuf, FleetCheckpoint)>, Vec<PathBuf>) {
+        let mut best: Option<(PathBuf, FleetCheckpoint)> = None;
+        let mut quarantined = Vec::new();
+        for slot in self.slots() {
+            if !self.fs.exists(&slot) {
+                continue;
+            }
+            match read_fleet_checkpoint(self.fs.as_ref(), &slot) {
+                Ok(ckpt) => {
+                    if best.as_ref().is_none_or(|(_, b)| ckpt.accesses_done > b.accesses_done) {
+                        best = Some((slot, ckpt));
+                    }
+                }
+                Err(_) => quarantined.push(self.quarantine(&slot)),
+            }
+        }
+        (best, quarantined)
+    }
+
+    /// The slot the next checkpoint should be written to: the one holding
+    /// the *least* recent data (or nothing), so the newest generation is
+    /// never the one being overwritten.
+    pub fn next_slot(&self) -> PathBuf {
+        let mut choice: Option<(PathBuf, Option<u64>)> = None;
+        for slot in self.slots() {
+            let age = if self.fs.exists(&slot) {
+                read_fleet_checkpoint(self.fs.as_ref(), &slot).ok().map(|c| c.accesses_done)
+            } else {
+                None
+            };
+            let older = match (&choice, &age) {
+                (None, _) => true,
+                (Some((_, None)), _) => false, // already found an empty slot
+                (Some(_), None) => true,       // empty beats any data
+                (Some((_, Some(b))), Some(a)) => a < b,
+            };
+            if older {
+                choice = Some((slot, age));
+            }
+        }
+        choice.expect("keep >= 2 slots").0
+    }
+}
+
+/// Configuration of a supervised fleet run.
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// The underlying replay configuration. `fleet.checkpoint` is the
+    /// rotation **base path** (slots are `<base>.g<N>`) and must be set.
+    pub fleet: FleetConfig,
+    /// Checkpoint generations to rotate across (minimum 2).
+    pub keep: usize,
+    /// Retry budget per segment (and per checkpoint write); exceeding it is
+    /// [`FleetError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Base of the deterministic exponential backoff. Backoff is
+    /// **virtual**: recorded in the report and telemetry, never slept, so
+    /// supervised runs stay exactly reproducible and fast.
+    pub backoff_ns: u64,
+    /// Read back and CRC-verify every checkpoint immediately after writing
+    /// it (catches torn writes at write time instead of at the next
+    /// resume).
+    pub verify_writes: bool,
+}
+
+impl SupervisorConfig {
+    /// Defaults: 2 generations, 3 retries, 1 ms base backoff, write
+    /// verification on.
+    pub fn new(fleet: FleetConfig) -> Self {
+        SupervisorConfig {
+            fleet,
+            keep: 2,
+            max_retries: 3,
+            backoff_ns: 1_000_000,
+            verify_writes: true,
+        }
+    }
+}
+
+/// Result of a supervised fleet run: the replay report plus the degraded-
+/// mode accounting.
+#[derive(Debug, Clone)]
+pub struct SupervisorReport {
+    /// The underlying replay's report.
+    pub report: FleetReport,
+    /// Segment attempts and checkpoint rewrites beyond the first.
+    pub retries: u64,
+    /// Times the run was rolled back to an earlier verified checkpoint
+    /// (including a resume that had to discard a corrupt newest
+    /// generation).
+    pub rollbacks: u64,
+    /// Failures whose root cause was a CRC-detected corruption (trace
+    /// chunk or checkpoint frame).
+    pub corrupt_chunks: u64,
+    /// Files moved aside as corrupt, in quarantine order.
+    pub quarantined: Vec<PathBuf>,
+    /// Total virtual backoff accumulated (never slept).
+    pub backoff_ns: u64,
+}
+
+/// [`run_fleet`] wrapped in the recovery supervisor: rotating verified
+/// checkpoints, quarantine-aside for corrupt files, bounded deterministic
+/// retry with virtual backoff, and rollback to the newest verified
+/// generation on segment failure. Degraded-mode accounting is reported and
+/// (when `sink` is given) emitted as `fleet.retries` / `fleet.rollbacks` /
+/// `fleet.corrupt_chunks` / `fleet.quarantined` counters.
+///
+/// The contract the chaos harness asserts: under any injected I/O fault
+/// schedule, a supervised run either completes with statistics
+/// **bit-identical** to a fault-free run, or fails with a typed
+/// [`FleetError`] — it never completes with silently wrong numbers.
+///
+/// # Errors
+///
+/// [`FleetError::RetriesExhausted`] once a segment (or checkpoint write)
+/// fails more than `max_retries` times; otherwise the same identity and
+/// configuration errors as [`run_fleet`].
+///
+/// # Panics
+///
+/// Panics if `fleet.checkpoint` is `None`, `keep < 2`, or any of the
+/// zero-value [`run_fleet`] panics apply.
+pub fn run_fleet_supervised(
+    cfg: &SupervisorConfig,
+    trace: &Path,
+    mut sink: Option<SharedSink>,
+    mut on_segment: impl FnMut(&FleetProgress),
+) -> Result<SupervisorReport, FleetError> {
+    let fleet = &cfg.fleet;
+    assert!(fleet.threads > 0, "need at least one worker thread");
+    assert!(fleet.batch > 0, "batch of 0 dispatches nothing");
+    assert!(fleet.segment > 0, "segment of 0 makes no progress");
+    let base =
+        fleet.checkpoint.clone().expect("supervised runs need a checkpoint base path for rotation");
+    let fs = fleet.vfs();
+    let store = CheckpointStore::new(fs.clone(), base, cfg.keep);
+    let fingerprint = CkptFingerprint::of(fleet);
+    let mut reader = TraceReader::open_for_on(fs.clone(), trace, &fleet.system.geometry)
+        .map_err(|source| FleetError::Trace { path: trace.to_path_buf(), source })?;
+    let trace_len = reader.len();
+    let trace_name = reader.name();
+
+    let mut retries = 0u64;
+    let mut rollbacks = 0u64;
+    let mut corrupt_chunks = 0u64;
+    let mut backoff_ns = 0u64;
+    let mut quarantined: Vec<PathBuf> = Vec::new();
+    let bump = |sink: &mut Option<SharedSink>, name: &'static str| {
+        if let Some(s) = sink.as_mut() {
+            s.counter(name, 1);
+        }
+    };
+
+    // Restores the newest verified generation (quarantining damaged slots)
+    // into a freshly built system; returns the record count to resume from.
+    let restore_latest = |reader: &mut TraceReader,
+                          quarantined: &mut Vec<PathBuf>|
+     -> Result<(SystemController, u64), FleetError> {
+        let (best, newly_quarantined) = store.latest();
+        quarantined.extend(newly_quarantined);
+        let mut system = fleet.build_system();
+        let done = match best {
+            Some((_, ckpt)) => {
+                check_checkpoint(&ckpt, &trace_name, trace_len, &fingerprint)?;
+                ckpt.restore_into(&mut system).map_err(|source| FleetError::Restore { source })?;
+                ckpt.accesses_done
+            }
+            None => 0,
+        };
+        reader
+            .skip_to(done)
+            .map_err(|source| FleetError::Trace { path: trace.to_path_buf(), source })?;
+        Ok((system, done))
+    };
+
+    let had_quarantine_at_start;
+    let (mut system, mut done) = {
+        let before = quarantined.len();
+        let r = restore_latest(&mut reader, &mut quarantined)?;
+        had_quarantine_at_start = quarantined.len() > before;
+        r
+    };
+    if had_quarantine_at_start {
+        // A damaged newest generation was discarded: whatever state it held
+        // is gone and the run falls back to an older (or empty) one.
+        rollbacks += 1;
+        bump(&mut sink, "fleet.rollbacks");
+        for _ in 0..quarantined.len() {
+            bump(&mut sink, "fleet.quarantined");
+        }
+    }
+    let resumed_from = (done > 0).then_some(done);
+
+    let goal = fleet.stop_after.map_or(trace_len, |s| s.min(trace_len)).max(done);
+    let mut segments = 0u64;
+    while done < goal {
+        let mut n = fleet.segment.min(goal - done);
+        // --- run the segment, rolling back and retrying on failure ---
+        let mut attempt = 0u32;
+        loop {
+            match stream_segment(&mut system, &mut reader, n, fleet.threads, fleet.batch) {
+                Ok(()) => break,
+                Err(e) => {
+                    if e.is_corruption() {
+                        corrupt_chunks += 1;
+                        bump(&mut sink, "fleet.corrupt_chunks");
+                    }
+                    attempt += 1;
+                    if attempt > cfg.max_retries {
+                        return Err(FleetError::RetriesExhausted {
+                            segment_start: done,
+                            attempts: attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    retries += 1;
+                    bump(&mut sink, "fleet.retries");
+                    backoff_ns += cfg.backoff_ns << (attempt - 1);
+                    let before = quarantined.len();
+                    let (sys, restored) = restore_latest(&mut reader, &mut quarantined)?;
+                    for _ in before..quarantined.len() {
+                        bump(&mut sink, "fleet.quarantined");
+                    }
+                    system = sys;
+                    done = restored;
+                    rollbacks += 1;
+                    bump(&mut sink, "fleet.rollbacks");
+                    n = fleet.segment.min(goal - done);
+                }
+            }
+        }
+        done += n;
+        segments += 1;
+        // --- persist, verify, and quarantine-retry the checkpoint ---
+        let mut write_attempt = 0u32;
+        loop {
+            let slot = store.next_slot();
+            let outcome = write_fleet_checkpoint(
+                fs.as_ref(),
+                &slot,
+                &trace_name,
+                done,
+                &system,
+                &fingerprint,
+            )
+            .and_then(|()| {
+                if !cfg.verify_writes {
+                    return Ok(());
+                }
+                let back = read_fleet_checkpoint(fs.as_ref(), &slot)?;
+                if back.accesses_done == done {
+                    Ok(())
+                } else {
+                    Err(FleetError::CkptCorrupt {
+                        path: slot.clone(),
+                        detail: format!(
+                            "read-back claims {} records done, just wrote {done}",
+                            back.accesses_done
+                        ),
+                    })
+                }
+            });
+            match outcome {
+                Ok(()) => break,
+                Err(e) => {
+                    if e.is_corruption() {
+                        corrupt_chunks += 1;
+                        bump(&mut sink, "fleet.corrupt_chunks");
+                        if fs.exists(&slot) {
+                            quarantined.push(store.quarantine(&slot));
+                            bump(&mut sink, "fleet.quarantined");
+                        }
+                    }
+                    write_attempt += 1;
+                    if write_attempt > cfg.max_retries {
+                        return Err(FleetError::RetriesExhausted {
+                            segment_start: done,
+                            attempts: write_attempt,
+                            last: Box::new(e),
+                        });
+                    }
+                    retries += 1;
+                    bump(&mut sink, "fleet.retries");
+                    backoff_ns += cfg.backoff_ns << (write_attempt - 1);
+                }
+            }
+        }
+        let progress = FleetProgress {
+            accesses_done: done,
+            goal,
+            trace_len,
+            clock: system.clock(),
+            stats: system.finish(),
+        };
+        on_segment(&progress);
+    }
+    Ok(SupervisorReport {
+        report: FleetReport {
+            stats: system.finish(),
+            accesses_done: done,
+            trace_len,
+            resumed_from,
+            segments,
+        },
+        retries,
+        rollbacks,
+        corrupt_chunks,
+        quarantined,
+        backoff_ns,
     })
 }
 
@@ -423,7 +1265,7 @@ fn fleet_clients(
         .collect()
 }
 
-/// Synthesizes a multi-tenant RHT3 trace: `clients` independent tenant
+/// Synthesizes a multi-tenant RHT4 trace: `clients` independent tenant
 /// streams merged by arrival time (a k-way heap merge, each stream keeping
 /// its own clock) and recorded incrementally — memory stays O(clients +
 /// chunk) no matter how many records are written. Each record's `stream` id
@@ -472,6 +1314,7 @@ pub fn synth_fleet_trace(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
     use std::sync::atomic::{AtomicU64, Ordering};
 
     fn tmp(name: &str) -> PathBuf {
@@ -562,20 +1405,123 @@ mod tests {
         let trace_b = tmp("other.rht3");
         synth_fleet_trace(&trace_b, "other-fleet", &cfg.system.geometry, 8, 1_000, 9).unwrap();
         let err = run_fleet(&with_ckpt, &trace_b, |_| {}).unwrap_err();
-        assert!(err.contains("belongs to trace"), "{err}");
+        assert!(matches!(err, FleetError::WrongTrace { .. }), "{err:?}");
+        assert!(err.to_string().contains("belongs to trace"), "{err}");
         for p in [trace_a, trace_b, ckpt] {
             fs::remove_file(&p).ok();
         }
     }
 
     #[test]
+    fn resume_under_a_different_config_names_the_differing_field() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 6_000);
+        let ckpt = tmp("fleet.ckpt");
+        let mut with_ckpt = cfg.clone();
+        with_ckpt.checkpoint = Some(ckpt.clone());
+        run_fleet(&with_ckpt, &trace, |_| {}).unwrap();
+
+        // Same geometry, different defense threshold: the state would
+        // restore structurally, so only the fingerprint stands between this
+        // and silently wrong statistics.
+        let mut different = with_ckpt.clone();
+        different.defense = DefenseSpec::Graphene { t_rh: 1_000, k: 2 };
+        let err = run_fleet(&different, &trace, |_| {}).unwrap_err();
+        match &err {
+            FleetError::ConfigMismatch { field, expected, found } => {
+                assert_eq!(*field, "defense");
+                assert!(expected.contains("1000"), "{expected}");
+                assert!(found.contains("2000"), "{found}");
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        assert!(err.to_string().contains("`defense`"), "{err}");
+
+        // And a different audit flag is caught the same way.
+        let mut audited = with_ckpt.clone();
+        audited.audit = true;
+        let err = run_fleet(&audited, &trace, |_| {}).unwrap_err();
+        assert!(matches!(err, FleetError::ConfigMismatch { field: "audit", .. }), "{err:?}");
+        fs::remove_file(&trace).ok();
+        fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
     fn corrupt_checkpoint_is_a_typed_error_not_a_crash() {
+        let fs_ = real_fs();
         let path = tmp("bad.ckpt");
         fs::write(&path, "{\"schema\":\"somethingelse.v9\",\"channels\":0}\n").unwrap();
-        let err = read_fleet_checkpoint(&path).unwrap_err();
-        assert!(err.contains("fleetckpt.v1"), "{err}");
+        let err = read_fleet_checkpoint(fs_.as_ref(), &path).unwrap_err();
+        assert!(matches!(err, FleetError::CkptSchema { .. }), "{err:?}");
+        assert!(err.to_string().contains("fleetckpt.v2"), "{err}");
         fs::write(&path, "").unwrap();
-        assert!(read_fleet_checkpoint(&path).unwrap_err().contains("empty"));
+        let err = read_fleet_checkpoint(fs_.as_ref(), &path).unwrap_err();
+        assert!(err.to_string().contains("empty"), "{err}");
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_rot_in_a_checkpoint_is_detected_by_its_crc_frames() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 6_000);
+        let ckpt = tmp("rot.ckpt");
+        let mut with_ckpt = cfg.clone();
+        with_ckpt.checkpoint = Some(ckpt.clone());
+        run_fleet(&with_ckpt, &trace, |_| {}).unwrap();
+
+        let clean = fs::read(&ckpt).unwrap();
+        let fs_ = real_fs();
+        assert!(read_fleet_checkpoint(fs_.as_ref(), &ckpt).is_ok());
+        // Flip one bit in a handful of positions across the body: each must
+        // surface as CkptCorrupt (or a parse-level corruption), never as a
+        // silently different checkpoint.
+        for target in [10usize, clean.len() / 4, clean.len() / 2, clean.len() * 3 / 4] {
+            let mut rotted = clean.clone();
+            rotted[target] ^= 0x08;
+            fs::write(&ckpt, &rotted).unwrap();
+            let err = read_fleet_checkpoint(fs_.as_ref(), &ckpt).unwrap_err();
+            assert!(
+                matches!(err, FleetError::CkptCorrupt { .. } | FleetError::CkptSchema { .. }),
+                "byte {target}: {err:?}"
+            );
+        }
+        // Truncation (a torn write that lost the tail) is caught too.
+        fs::write(&ckpt, &clean[..clean.len() - 40]).unwrap();
+        let err = read_fleet_checkpoint(fs_.as_ref(), &ckpt).unwrap_err();
+        assert!(matches!(err, FleetError::CkptCorrupt { .. }), "{err:?}");
+        fs::remove_file(&trace).ok();
+        fs::remove_file(&ckpt).ok();
+    }
+
+    #[test]
+    fn legacy_v1_checkpoints_stay_readable() {
+        // Hand-build a v1 file (no footer, no config) around a real system
+        // snapshot; the reader must accept it and skip the fingerprint.
+        let cfg = small_cfg();
+        let system = cfg.build_system();
+        let snap = system.snapshot().unwrap();
+        let shards = snap.get("shards").and_then(JsonValue::as_arr).unwrap();
+        let mut text = obj(vec![
+            ("schema", JsonValue::Str(FLEET_CKPT_SCHEMA_V1.to_owned())),
+            ("trace", JsonValue::Str("legacy".to_owned())),
+            ("accesses_done", JsonValue::U64(0)),
+            ("clock", JsonValue::U64(0)),
+            ("routed", JsonValue::U64(0)),
+            ("channels", JsonValue::U64(shards.len() as u64)),
+        ])
+        .to_string();
+        text.push('\n');
+        for s in shards {
+            text.push_str(&s.to_string());
+            text.push('\n');
+        }
+        let path = tmp("legacy.ckpt");
+        fs::write(&path, text).unwrap();
+        let ckpt = read_fleet_checkpoint(real_fs().as_ref(), &path).unwrap();
+        assert_eq!(ckpt.trace, "legacy");
+        assert!(ckpt.config.is_none());
+        let mut fresh = cfg.build_system();
+        ckpt.restore_into(&mut fresh).unwrap();
         fs::remove_file(&path).ok();
     }
 
@@ -587,7 +1533,100 @@ mod tests {
         cfg.checkpoint = Some(tmp("refused.ckpt"));
         let trace = small_trace(&cfg, 6_000);
         let err = run_fleet(&cfg, &trace, |_| {}).unwrap_err();
-        assert!(err.contains("fault oracle"), "{err}");
+        assert!(matches!(err, FleetError::Snapshot { .. }), "{err:?}");
+        assert!(err.to_string().contains("fault oracle"), "{err}");
+        fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn supervised_run_matches_plain_run_when_nothing_fails() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 12_000);
+        let plain = run_fleet(&cfg, &trace, |_| {}).unwrap();
+        let mut fleet = cfg.clone();
+        fleet.checkpoint = Some(tmp("sup.ckpt"));
+        let sup_cfg = SupervisorConfig::new(fleet.clone());
+        let sup = run_fleet_supervised(&sup_cfg, &trace, None, |_| {}).unwrap();
+        assert_eq!(sup.report.stats, plain.stats);
+        assert_eq!(sup.retries, 0);
+        assert_eq!(sup.rollbacks, 0);
+        assert_eq!(sup.corrupt_chunks, 0);
+        assert!(sup.quarantined.is_empty());
+        // Rotation left at most `keep` generation slots.
+        let store = CheckpointStore::new(real_fs(), fleet.checkpoint.clone().unwrap(), 2);
+        let existing = store.slots().iter().filter(|s| s.exists()).count();
+        assert!(existing >= 1 && existing <= 2, "found {existing} slots");
+        for s in store.slots() {
+            fs::remove_file(&s).ok();
+        }
+        fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn supervisor_quarantines_a_corrupt_newest_generation_and_rolls_back() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 15_000);
+        let reference = run_fleet(&cfg, &trace, |_| {}).unwrap();
+
+        let base = tmp("roll.ckpt");
+        let mut fleet = cfg.clone();
+        fleet.checkpoint = Some(base.clone());
+        fleet.stop_after = Some(10_000);
+        let sup_cfg = SupervisorConfig::new(fleet.clone());
+        run_fleet_supervised(&sup_cfg, &trace, None, |_| {}).unwrap();
+
+        // Corrupt the newest generation on disk (bit rot in place).
+        let store = CheckpointStore::new(real_fs(), base.clone(), 2);
+        let (best, _) = store.latest();
+        let (newest, ckpt) = best.expect("a checkpoint was written");
+        assert_eq!(ckpt.accesses_done, 10_000);
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&newest, &bytes).unwrap();
+
+        // Resume to completion: the supervisor must quarantine the damaged
+        // generation, fall back to the older one, and still converge on the
+        // fault-free statistics.
+        let mut resumed = sup_cfg.clone();
+        resumed.fleet.stop_after = None;
+        let sink = SharedSink::new();
+        let sup = run_fleet_supervised(&resumed, &trace, Some(sink.clone()), |_| {}).unwrap();
+        assert_eq!(sup.rollbacks, 1, "discarding the newest generation is a rollback");
+        assert_eq!(sup.quarantined.len(), 1);
+        assert!(sup.quarantined[0].to_string_lossy().contains("quarantined"));
+        assert!(sup.quarantined[0].exists(), "quarantine preserves the evidence");
+        assert!(sup.report.resumed_from.unwrap() < 10_000, "resumed from an older generation");
+        assert_eq!(sup.report.stats, reference.stats, "recovery is bit-identical");
+        assert_eq!(sink.with(|r| r.counter_value("fleet.rollbacks")), 1);
+        assert_eq!(sink.with(|r| r.counter_value("fleet.quarantined")), 1);
+        for s in store.slots() {
+            fs::remove_file(&s).ok();
+        }
+        fs::remove_file(&sup.quarantined[0]).ok();
+        fs::remove_file(&trace).ok();
+    }
+
+    #[test]
+    fn checkpoint_store_rotates_without_overwriting_the_newest() {
+        let cfg = small_cfg();
+        let trace = small_trace(&cfg, 15_000);
+        let base = tmp("rot.ckpt");
+        let mut fleet = cfg.clone();
+        fleet.checkpoint = Some(base.clone());
+        let sup_cfg = SupervisorConfig { keep: 3, ..SupervisorConfig::new(fleet) };
+        run_fleet_supervised(&sup_cfg, &trace, None, |_| {}).unwrap();
+        let store = CheckpointStore::new(real_fs(), base, 3);
+        // 3 segments were checkpointed across 3 slots; the newest holds the
+        // final count and next_slot would not clobber it.
+        let (best, quarantined) = store.latest();
+        assert!(quarantined.is_empty());
+        let (newest_path, newest) = best.unwrap();
+        assert_eq!(newest.accesses_done, 15_000);
+        assert_ne!(store.next_slot(), newest_path);
+        for s in store.slots() {
+            fs::remove_file(&s).ok();
+        }
         fs::remove_file(&trace).ok();
     }
 }

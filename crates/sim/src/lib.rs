@@ -65,8 +65,10 @@ pub use faulted::{
     plan_label, run_matrix_faulted, CellOutcome, FaultedRun, ResilienceCell, ResilienceReport,
 };
 pub use fleet::{
-    read_fleet_checkpoint, run_fleet, synth_fleet_trace, write_fleet_checkpoint, FleetCheckpoint,
-    FleetConfig, FleetProgress, FleetReport, FLEET_CKPT_SCHEMA,
+    read_fleet_checkpoint, run_fleet, run_fleet_supervised, synth_fleet_trace,
+    write_fleet_checkpoint, CheckpointStore, CkptFingerprint, FleetCheckpoint, FleetConfig,
+    FleetError, FleetProgress, FleetReport, SupervisorConfig, SupervisorReport,
+    FLEET_CKPT_FOOTER_SCHEMA, FLEET_CKPT_SCHEMA, FLEET_CKPT_SCHEMA_V1,
 };
 pub use generations::{
     generation_lineup, run_generation_matrix, GenerationCell, GenerationMatrixConfig,

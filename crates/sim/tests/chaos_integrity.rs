@@ -1,0 +1,171 @@
+//! Corruption-safety of the integrity-framed fleet formats.
+//!
+//! The contract under test (DESIGN.md §6l): feed the fleet runner a
+//! recorded trace or checkpoint with **arbitrary damage** — any byte
+//! flipped, or the file truncated at any point — and the run either
+//! produces statistics bit-identical to the fault-free run (the damage
+//! struck bytes that were never consumed) or fails with a typed
+//! [`FleetError`]. It never panics and never completes with silently
+//! different numbers. CRC32C frames on every trace chunk, the trace
+//! header, and every checkpoint line are what make the property hold; this
+//! proptest is what keeps them honest.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use dram_model::geometry::DramGeometry;
+use memctrl::SystemStats;
+use proptest::prelude::*;
+use rh_sim::{
+    read_fleet_checkpoint, run_fleet, synth_fleet_trace, DefenseSpec, FleetConfig, FleetError,
+};
+use workloads::real_fs;
+
+const TRACE_LEN: u64 = 8_000;
+
+fn tmp(name: &str) -> PathBuf {
+    static UNIQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("graphene_repro_chaos_it");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(format!("{}-{}-{}", std::process::id(), UNIQ.fetch_add(1, Ordering::Relaxed), name))
+}
+
+fn config() -> FleetConfig {
+    let mut cfg = FleetConfig::micro2020(DefenseSpec::Graphene { t_rh: 2_000, k: 2 });
+    cfg.system.geometry =
+        DramGeometry { channels: 4, ranks_per_channel: 1, banks_per_rank: 4, rows_per_bank: 4_096 };
+    cfg.threads = 2;
+    cfg.batch = 32;
+    cfg.segment = TRACE_LEN;
+    cfg
+}
+
+/// The clean recorded trace, synthesized once.
+fn clean_trace_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let path = tmp("clean.rht4");
+        synth_fleet_trace(&path, "chaos-prop", &config().system.geometry, 32, TRACE_LEN, 13)
+            .unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        bytes
+    })
+}
+
+/// The fault-free run's statistics — the digest any corrupted run must
+/// either reproduce exactly or refuse to produce at all.
+fn reference() -> &'static SystemStats {
+    static REF: OnceLock<SystemStats> = OnceLock::new();
+    REF.get_or_init(|| {
+        let path = tmp("ref.rht4");
+        std::fs::write(&path, clean_trace_bytes()).unwrap();
+        let report = run_fleet(&config(), &path, |_| {}).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(report.accesses_done, TRACE_LEN);
+        report.stats
+    })
+}
+
+/// A clean mid-run checkpoint, written once.
+fn clean_ckpt_bytes() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let trace = tmp("ckpt-src.rht4");
+        std::fs::write(&trace, clean_trace_bytes()).unwrap();
+        let ckpt = tmp("clean.ckpt");
+        let mut cfg = config();
+        cfg.segment = 3_000;
+        cfg.stop_after = Some(3_000);
+        cfg.checkpoint = Some(ckpt.clone());
+        run_fleet(&cfg, &trace, |_| {}).unwrap();
+        let bytes = std::fs::read(&ckpt).unwrap();
+        std::fs::remove_file(&trace).ok();
+        std::fs::remove_file(&ckpt).ok();
+        bytes
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any single bit flip anywhere in the trace file: the replay either
+    /// matches the fault-free digest exactly or fails typed. A flip in the
+    /// header is caught at open; a flip in a chunk is caught by its CRC
+    /// frame before any record of that chunk is replayed.
+    #[test]
+    fn trace_bit_rot_never_silently_diverges(pos in any::<u64>(), bit in 0u8..8) {
+        let clean = clean_trace_bytes();
+        let reference = reference();
+        let mut rotted = clean.clone();
+        let at = (pos % rotted.len() as u64) as usize;
+        rotted[at] ^= 1 << bit;
+        let path = tmp("rot.rht4");
+        std::fs::write(&path, &rotted).unwrap();
+        match run_fleet(&config(), &path, |_| {}) {
+            Ok(report) => prop_assert_eq!(
+                &report.stats, reference,
+                "flip at byte {} bit {} replayed Ok with different stats", at, bit
+            ),
+            Err(e) => {
+                // Typed, and it renders a diagnostic.
+                prop_assert!(!e.to_string().is_empty());
+                prop_assert!(
+                    matches!(e, FleetError::Trace { .. } | FleetError::TraceStream { .. }),
+                    "unexpected error class for trace damage: {:?}", e
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncation at any point (a torn write that lost the tail): same
+    /// contract. Cutting inside the final chunk must not replay a partial
+    /// chunk as if it were whole.
+    #[test]
+    fn trace_truncation_never_silently_diverges(cut in any::<u64>()) {
+        let clean = clean_trace_bytes();
+        let reference = reference();
+        let keep = (cut % clean.len() as u64) as usize;
+        let path = tmp("cut.rht4");
+        std::fs::write(&path, &clean[..keep]).unwrap();
+        match run_fleet(&config(), &path, |_| {}) {
+            Ok(report) => prop_assert_eq!(&report.stats, reference),
+            Err(e) => prop_assert!(
+                matches!(e, FleetError::Trace { .. } | FleetError::TraceStream { .. }),
+                "unexpected error class for truncation at {}: {:?}", keep, e
+            ),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Any single bit flip anywhere in a checkpoint file is caught by its
+    /// integrity footer (or, for non-UTF-8 damage, by the read itself) —
+    /// reading it back is always a typed error, and a resume through it
+    /// refuses to run rather than restoring half-plausible state.
+    #[test]
+    fn checkpoint_bit_rot_is_always_detected(pos in any::<u64>(), bit in 0u8..8) {
+        let clean = clean_ckpt_bytes();
+        let mut rotted = clean.clone();
+        let at = (pos % rotted.len() as u64) as usize;
+        rotted[at] ^= 1 << bit;
+        let path = tmp("rot.ckpt");
+        std::fs::write(&path, &rotted).unwrap();
+        let err = read_fleet_checkpoint(real_fs().as_ref(), &path);
+        prop_assert!(err.is_err(), "flip at byte {} bit {} read back Ok", at, bit);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Truncated checkpoints (torn writes) are rejected the same way.
+    #[test]
+    fn checkpoint_truncation_is_always_detected(cut in any::<u64>()) {
+        let clean = clean_ckpt_bytes();
+        let keep = (cut % clean.len() as u64) as usize;
+        let path = tmp("cut.ckpt");
+        std::fs::write(&path, &clean[..keep]).unwrap();
+        let err = read_fleet_checkpoint(real_fs().as_ref(), &path);
+        prop_assert!(err.is_err(), "truncation to {} bytes read back Ok", keep);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -33,6 +33,7 @@
 //! ```
 
 pub mod attacks;
+pub mod crc;
 pub mod mix;
 pub mod patterns;
 pub mod spec_like;
@@ -41,9 +42,11 @@ pub mod synthetic;
 pub mod throttle;
 pub mod trace;
 pub mod trace3;
+pub mod vfs;
 pub mod zipf;
 
 pub use attacks::{NSidedAttack, SameRowAllBanks, StripedNSided};
+pub use crc::{crc32c, Crc32c};
 pub use mix::Interleaved;
 pub use patterns::{MrlocAttack, ProhitAttack};
 pub use spec_like::{ProxyParams, ProxyWorkload, SpecPreset};
@@ -52,4 +55,5 @@ pub use synthetic::Synthetic;
 pub use throttle::RateLimited;
 pub use trace::{Trace, TraceError, TraceReplay};
 pub use trace3::{TraceReader, TraceWriter};
+pub use vfs::{real_fs, RealFs, Vfs, VfsFile};
 pub use zipf::Zipf;

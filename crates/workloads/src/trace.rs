@@ -69,6 +69,18 @@ pub enum TraceError {
         /// The geometry it was validated against.
         geometry: DramGeometry,
     },
+    /// A CRC32C integrity frame failed to verify: the bytes on disk are not
+    /// the bytes that were written (bit rot, a torn write behind a valid
+    /// header, or an overwrite). Structurally valid data with a bad
+    /// checksum must never be replayed.
+    Corrupt {
+        /// Which frame failed (`"header"`, `"chunk 3"`, …).
+        what: String,
+        /// The checksum stored in the file.
+        stored: u32,
+        /// The checksum computed over the bytes actually read.
+        computed: u32,
+    },
     /// Any other structural corruption (bad varint, truncated chunk, …).
     Malformed {
         /// Human-readable description of the corruption.
@@ -100,6 +112,11 @@ impl std::fmt::Display for TraceError {
                  ({} banks × {} rows)",
                 geometry.total_banks(),
                 geometry.rows_per_bank
+            ),
+            TraceError::Corrupt { what, stored, computed } => write!(
+                f,
+                "corrupt trace {what}: crc32c mismatch (stored {stored:#010x}, \
+                 computed {computed:#010x})"
             ),
             TraceError::Malformed { detail } => write!(f, "malformed trace: {detail}"),
         }

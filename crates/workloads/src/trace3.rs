@@ -1,10 +1,10 @@
-//! The RHT3 streaming trace format: geometry-stamped, delta-encoded,
-//! chunked.
+//! The RHT4 streaming trace format: geometry-stamped, delta-encoded,
+//! chunked, **CRC32C-framed**.
 //!
 //! The v2 [`crate::trace::Trace`] materializes every access in memory on
 //! both ends, which caps replays at whatever fits in RAM. Fleet-scale runs
 //! (billions of ACTs) need a disk format that is written incrementally and
-//! read back at bounded memory. RHT3 provides:
+//! read back at bounded memory. RHT4 provides:
 //!
 //! * a **geometry-stamped header** — channels/ranks/banks/rows are recorded
 //!   at write time, so a trace replayed against a mismatched
@@ -18,45 +18,83 @@
 //!   carries its own record count and byte length, so a reader can skip
 //!   whole chunks without decoding them (the checkpoint/resume path in
 //!   `rh-sim` seeks this way) and never holds more than one chunk in memory;
+//! * **integrity framing** — the header and every chunk carry a CRC32C
+//!   ([`crate::crc`]); bit rot, torn writes behind a valid header, and
+//!   foreign overwrites surface as [`TraceError::Corrupt`] at read time and
+//!   are never silently replayed. The legacy unframed RHT3 encoding is
+//!   still readable (it simply gets no corruption detection);
 //! * **atomic writes** — [`TraceWriter`] streams into a temp sibling and
 //!   renames into place on [`finish`](TraceWriter::finish), so a crash
 //!   mid-write never leaves a truncated file behind valid magic.
 //!
-//! ## Layout
+//! All file I/O goes through the [`crate::vfs`] seam, so the `faultsim`
+//! chaos harness can inject deterministic I/O faults (torn writes, bit rot,
+//! fsync failures) under this exact reader/writer logic.
+//!
+//! ## Layout (RHT4)
 //!
 //! ```text
-//! header:  "RHT3" | channels u8 | ranks u8 | banks_per_rank u8 |
+//! header:  "RHT4" | channels u8 | ranks u8 | banks_per_rank u8 |
 //!          rows_per_bank u32 LE | total_records u64 LE |
-//!          name_len u16 LE | name bytes
-//! chunk*:  records u32 LE | payload_len u32 LE | payload
+//!          header_crc u32 LE | name_len u16 LE | name bytes
+//! chunk*:  records u32 LE | payload_len u32 LE | chunk_crc u32 LE | payload
 //! payload: per record, against the previous record of the *same chunk*
 //!          (baseline bank 0 / row 0 / stream 0 at each chunk start):
 //!          zigzag(Δbank) | zigzag(Δrow) | varint(gap) | zigzag(Δstream)
 //! ```
 //!
-//! `total_records` is patched into the header just before the final rename,
-//! so a reader never sees a count the body cannot back.
+//! `header_crc` is CRC32C over the header bytes with the crc field itself
+//! excised (magic through `total_records`, then `name_len` and the name);
+//! `chunk_crc` covers the chunk's own 8 framing bytes plus its payload, so
+//! a corrupted record count or length field is caught as corruption, not
+//! misparsed as structure. `total_records` (and therefore `header_crc`) is
+//! patched just before the final rename, so a reader never sees a count the
+//! body cannot back. RHT3 files lack both crc fields and use 8-byte chunk
+//! framing.
 
-use std::fs::File;
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use dram_model::geometry::{DramGeometry, RowId};
 
+use crate::crc::{crc32c, Crc32c};
 use crate::stream::{Access, Workload};
 use crate::trace::{tmp_sibling, TraceError};
+use crate::vfs::{real_fs, Vfs, VfsFile};
 
-/// Magic prefix of the streaming encoding (`"RHT3"`).
-const MAGIC: [u8; 4] = *b"RHT3";
+/// Magic prefix of the CRC-framed streaming encoding (`"RHT4"`).
+const MAGIC: [u8; 4] = *b"RHT4";
+
+/// Magic prefix of the legacy unframed encoding (`"RHT3"`), still readable.
+const MAGIC_V3: [u8; 4] = *b"RHT3";
 
 /// Records per chunk unless overridden — 64 KiB-ish payloads at typical
 /// delta widths, small enough that one decoded chunk is negligible next to
 /// the simulator state.
 pub const DEFAULT_CHUNK_RECORDS: u32 = 8_192;
 
+/// Largest chunk payload a reader will allocate for (64 MiB — orders of
+/// magnitude above any real chunk). Lengths beyond this are treated as
+/// corruption of the frame itself rather than honored.
+const MAX_CHUNK_PAYLOAD: u32 = 1 << 26;
+
 /// Byte offset of the `total_records` field within the header
 /// (magic + 3 geometry bytes + rows_per_bank).
 const COUNT_OFFSET: u64 = 4 + 3 + 4;
+
+/// Byte offset of the RHT4 `header_crc` field (right after
+/// `total_records`).
+const HEADER_CRC_OFFSET: u64 = COUNT_OFFSET + 8;
+
+/// Which on-disk framing a reader is decoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Framing {
+    /// Legacy RHT3: no CRC fields, 8-byte chunk headers.
+    V3,
+    /// RHT4: header CRC + 12-byte chunk headers with a chunk CRC.
+    V4,
+}
 
 fn invalid(e: TraceError) -> std::io::Error {
     e.into()
@@ -131,18 +169,44 @@ fn decode_record(buf: &[u8], pos: &mut usize, prev: &Access) -> Result<Access, T
     Ok(Access { bank, row: RowId(row), gap, stream })
 }
 
-/// Incremental writer of an RHT3 trace.
+/// The RHT4 header bytes for `geometry`/`records`/`name`, with the
+/// `header_crc` field filled in.
+fn render_header(geometry: &DramGeometry, records: u64, name: &[u8]) -> Vec<u8> {
+    let mut covered = Vec::with_capacity(21 + name.len());
+    covered.extend_from_slice(&MAGIC);
+    covered.push(geometry.channels);
+    covered.push(geometry.ranks_per_channel);
+    covered.push(geometry.banks_per_rank);
+    covered.extend_from_slice(&geometry.rows_per_bank.to_le_bytes());
+    covered.extend_from_slice(&records.to_le_bytes());
+    let name_len = u16::try_from(name.len()).expect("validated at create");
+    covered.extend_from_slice(&name_len.to_le_bytes());
+    covered.extend_from_slice(name);
+    let crc = crc32c(&covered);
+    let mut header = covered;
+    // Splice the crc field in at its offset (between total_records and
+    // name_len).
+    header.splice(
+        HEADER_CRC_OFFSET as usize..HEADER_CRC_OFFSET as usize,
+        crc.to_le_bytes().iter().copied(),
+    );
+    header
+}
+
+/// Incremental writer of an RHT4 trace.
 ///
-/// Streams records to a temp sibling of the destination, one chunk at a
-/// time, and atomically renames the complete file into place on
+/// Streams records to a temp sibling of the destination, one CRC-framed
+/// chunk at a time, and atomically renames the complete file into place on
 /// [`finish`](Self::finish). Dropping an unfinished writer removes the temp
 /// file — the destination is never touched until the trace is whole.
 #[derive(Debug)]
 pub struct TraceWriter {
-    file: Option<File>,
+    fs: Arc<dyn Vfs>,
+    file: Option<Box<dyn VfsFile>>,
     tmp: PathBuf,
     path: PathBuf,
     geometry: DramGeometry,
+    name: Vec<u8>,
     buf: Vec<u8>,
     chunk_records: u32,
     chunk_capacity: u32,
@@ -178,6 +242,22 @@ impl TraceWriter {
         geometry: DramGeometry,
         chunk_capacity: u32,
     ) -> std::io::Result<Self> {
+        Self::with_chunk_capacity_on(real_fs(), path, name, geometry, chunk_capacity)
+    }
+
+    /// [`with_chunk_capacity`](Self::with_chunk_capacity) on an explicit
+    /// filesystem — the chaos-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Like [`with_chunk_capacity`](Self::with_chunk_capacity).
+    pub fn with_chunk_capacity_on(
+        fs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        name: &str,
+        geometry: DramGeometry,
+        chunk_capacity: u32,
+    ) -> std::io::Result<Self> {
         if chunk_capacity == 0 {
             return Err(invalid(TraceError::Malformed {
                 detail: "chunk capacity must be at least one record".to_owned(),
@@ -186,29 +266,22 @@ impl TraceWriter {
         geometry.validate().map_err(|e| {
             invalid(TraceError::Malformed { detail: format!("unusable geometry: {e}") })
         })?;
-        let name_len = u16::try_from(name.len()).map_err(|_| {
-            invalid(TraceError::Malformed {
+        if u16::try_from(name.len()).is_err() {
+            return Err(invalid(TraceError::Malformed {
                 detail: format!("trace name of {} bytes exceeds the u16 length field", name.len()),
-            })
-        })?;
+            }));
+        }
         let path = path.as_ref().to_path_buf();
         let tmp = tmp_sibling(&path);
-        let mut file = File::create(&tmp)?;
-        let mut header = Vec::with_capacity(19 + name.len());
-        header.extend_from_slice(&MAGIC);
-        header.push(geometry.channels);
-        header.push(geometry.ranks_per_channel);
-        header.push(geometry.banks_per_rank);
-        header.extend_from_slice(&geometry.rows_per_bank.to_le_bytes());
-        header.extend_from_slice(&0u64.to_le_bytes()); // total_records, patched in finish()
-        header.extend_from_slice(&name_len.to_le_bytes());
-        header.extend_from_slice(name.as_bytes());
-        file.write_all(&header)?;
+        let mut file = fs.create(&tmp)?;
+        file.write_all(&render_header(&geometry, 0, name.as_bytes()))?;
         Ok(TraceWriter {
+            fs,
             file: Some(file),
             tmp,
             path,
             geometry,
+            name: name.as_bytes().to_vec(),
             buf: Vec::new(),
             chunk_records: 0,
             chunk_capacity,
@@ -280,9 +353,16 @@ impl TraceWriter {
                 detail: format!("chunk payload of {} bytes exceeds u32", self.buf.len()),
             })
         })?;
+        // The chunk CRC covers the framing fields too, so a flipped record
+        // count or length is corruption, not plausible structure.
+        let mut digest = Crc32c::new();
+        digest.update(&self.chunk_records.to_le_bytes());
+        digest.update(&payload_len.to_le_bytes());
+        digest.update(&self.buf);
         let file = self.file.as_mut().expect("writer alive until finish");
         file.write_all(&self.chunk_records.to_le_bytes())?;
         file.write_all(&payload_len.to_le_bytes())?;
+        file.write_all(&digest.finish().to_le_bytes())?;
         file.write_all(&self.buf)?;
         self.buf.clear();
         self.chunk_records = 0;
@@ -290,8 +370,9 @@ impl TraceWriter {
         Ok(())
     }
 
-    /// Flushes the final chunk, patches the total record count into the
-    /// header, and atomically renames the temp file onto the destination.
+    /// Flushes the final chunk, patches the total record count (and the
+    /// header CRC that covers it) into the header, and atomically renames
+    /// the temp file onto the destination.
     ///
     /// # Errors
     ///
@@ -300,16 +381,17 @@ impl TraceWriter {
     pub fn finish(mut self) -> std::io::Result<()> {
         let result = (|| {
             self.flush_chunk()?;
+            let header = render_header(&self.geometry, self.records, &self.name);
             let file = self.file.as_mut().expect("writer alive until finish");
             file.seek(SeekFrom::Start(COUNT_OFFSET))?;
-            file.write_all(&self.records.to_le_bytes())?;
+            file.write_all(&header[COUNT_OFFSET as usize..HEADER_CRC_OFFSET as usize + 4])?;
             file.sync_all()?;
             self.file = None; // close before rename
-            std::fs::rename(&self.tmp, &self.path)
+            self.fs.rename(&self.tmp, &self.path)
         })();
         if result.is_err() {
             self.file = None;
-            let _ = std::fs::remove_file(&self.tmp);
+            let _ = self.fs.remove_file(&self.tmp);
         }
         // Drop must not remove the renamed file.
         self.tmp.clear();
@@ -321,25 +403,28 @@ impl Drop for TraceWriter {
     fn drop(&mut self) {
         if !self.tmp.as_os_str().is_empty() {
             self.file = None;
-            let _ = std::fs::remove_file(&self.tmp);
+            let _ = self.fs.remove_file(&self.tmp);
         }
     }
 }
 
-/// Chunked reader of an RHT3 trace, implementing [`Workload`] at O(chunk)
-/// memory.
+/// Chunked reader of an RHT4 (or legacy RHT3) trace, implementing
+/// [`Workload`] at O(chunk) memory.
 ///
 /// The reader holds exactly one decoded chunk; [`next_access`] refills from
 /// disk when the chunk drains and loops back to the first chunk at
-/// end-of-trace (mirroring [`crate::trace::TraceReplay`]). I/O or decode
-/// failures mid-stream panic — the `Workload` contract has no error
-/// channel, and a trace that validated at open only fails here if the file
-/// is modified or the medium dies underneath the run.
+/// end-of-trace (mirroring [`crate::trace::TraceReplay`]). Each RHT4 chunk
+/// is CRC-verified before any of its records are decoded; a failed frame is
+/// [`TraceError::Corrupt`]. I/O or decode failures mid-stream panic through
+/// [`next_access`] — the `Workload` contract has no error channel — but
+/// fallible consumers (the fleet pipeline) use [`try_next`](Self::try_next)
+/// and surface the typed error instead.
 ///
 /// [`next_access`]: Workload::next_access
 #[derive(Debug)]
 pub struct TraceReader {
-    file: File,
+    file: Box<dyn VfsFile>,
+    framing: Framing,
     geometry: DramGeometry,
     name: String,
     total: u64,
@@ -353,34 +438,56 @@ pub struct TraceReader {
 }
 
 impl TraceReader {
-    /// Opens a trace, validating magic and header structure.
+    /// Opens a trace, validating magic, header structure, and (for RHT4)
+    /// the header CRC.
     ///
     /// # Errors
     ///
     /// Returns filesystem errors, or malformations mapped to
-    /// [`std::io::ErrorKind::InvalidData`].
+    /// [`std::io::ErrorKind::InvalidData`] ([`TraceError::Corrupt`] for a
+    /// failed CRC).
     pub fn open(path: impl AsRef<Path>) -> std::io::Result<Self> {
-        let mut file = File::open(path)?;
-        let mut fixed = [0u8; 19];
-        let got = read_up_to(&mut file, &mut fixed)?;
-        if got < fixed.len() {
+        Self::open_on(real_fs(), path)
+    }
+
+    /// [`open`](Self::open) on an explicit filesystem — the
+    /// chaos-injection entry point.
+    ///
+    /// # Errors
+    ///
+    /// Like [`open`](Self::open).
+    pub fn open_on(fs: Arc<dyn Vfs>, path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let mut file = fs.open(path.as_ref())?;
+        let mut magic = [0u8; 4];
+        let got = read_up_to(&mut file, &mut magic)?;
+        if got < magic.len() {
             return Err(invalid(TraceError::ShortHeader { len: got }));
         }
-        if fixed[0..4] != MAGIC {
-            let mut found = [0u8; 4];
-            found.copy_from_slice(&fixed[0..4]);
-            return Err(invalid(TraceError::BadMagic { found }));
+        let framing = match magic {
+            MAGIC => Framing::V4,
+            MAGIC_V3 => Framing::V3,
+            found => return Err(invalid(TraceError::BadMagic { found })),
+        };
+        // Geometry + total, plus the header crc field for v4.
+        let fixed_len = match framing {
+            Framing::V3 => 15,
+            Framing::V4 => 19,
+        };
+        let mut fixed = vec![0u8; fixed_len];
+        let got = read_up_to(&mut file, &mut fixed)?;
+        if got < fixed.len() {
+            return Err(invalid(TraceError::ShortHeader { len: 4 + got }));
         }
         let geometry = DramGeometry {
-            channels: fixed[4],
-            ranks_per_channel: fixed[5],
-            banks_per_rank: fixed[6],
-            rows_per_bank: u32::from_le_bytes(fixed[7..11].try_into().expect("4 bytes")),
+            channels: fixed[0],
+            ranks_per_channel: fixed[1],
+            banks_per_rank: fixed[2],
+            rows_per_bank: u32::from_le_bytes(fixed[3..7].try_into().expect("4 bytes")),
         };
         geometry.validate().map_err(|e| {
             invalid(TraceError::Malformed { detail: format!("unusable geometry: {e}") })
         })?;
-        let total = u64::from_le_bytes(fixed[11..19].try_into().expect("8 bytes"));
+        let total = u64::from_le_bytes(fixed[7..15].try_into().expect("8 bytes"));
         let mut name_len = [0u8; 2];
         file.read_exact(&mut name_len).map_err(|_| {
             invalid(TraceError::Malformed { detail: "header ends inside name field".to_owned() })
@@ -389,12 +496,29 @@ impl TraceReader {
         file.read_exact(&mut name).map_err(|_| {
             invalid(TraceError::Malformed { detail: "header ends inside name".to_owned() })
         })?;
+        if framing == Framing::V4 {
+            let stored = u32::from_le_bytes(fixed[15..19].try_into().expect("4 bytes"));
+            let mut digest = Crc32c::new();
+            digest.update(&magic);
+            digest.update(&fixed[..15]);
+            digest.update(&name_len);
+            digest.update(&name);
+            let computed = digest.finish();
+            if computed != stored {
+                return Err(invalid(TraceError::Corrupt {
+                    what: "header".to_owned(),
+                    stored,
+                    computed,
+                }));
+            }
+        }
         let name = String::from_utf8(name).map_err(|_| {
             invalid(TraceError::Malformed { detail: "trace name is not UTF-8".to_owned() })
         })?;
         let body_start = file.stream_position()?;
         Ok(TraceReader {
             file,
+            framing,
             geometry,
             name,
             total,
@@ -415,7 +539,20 @@ impl TraceReader {
     /// Like [`open`](Self::open), plus [`TraceError::GeometryMismatch`]
     /// (mapped to [`std::io::ErrorKind::InvalidData`]).
     pub fn open_for(path: impl AsRef<Path>, expected: &DramGeometry) -> std::io::Result<Self> {
-        let reader = Self::open(path)?;
+        Self::open_for_on(real_fs(), path, expected)
+    }
+
+    /// [`open_for`](Self::open_for) on an explicit filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Like [`open_for`](Self::open_for).
+    pub fn open_for_on(
+        fs: Arc<dyn Vfs>,
+        path: impl AsRef<Path>,
+        expected: &DramGeometry,
+    ) -> std::io::Result<Self> {
+        let reader = Self::open_on(fs, path)?;
         if reader.geometry != *expected {
             return Err(invalid(TraceError::GeometryMismatch {
                 expected: *expected,
@@ -428,6 +565,11 @@ impl TraceReader {
     /// The geometry stamped into the trace header.
     pub fn geometry(&self) -> &DramGeometry {
         &self.geometry
+    }
+
+    /// The name stamped into the trace header.
+    pub fn name(&self) -> String {
+        self.name.clone()
     }
 
     /// Total records in the trace.
@@ -449,8 +591,10 @@ impl TraceReader {
     /// Repositions the stream so the next access is the one an
     /// uninterrupted reader would produce as its `position`-th record
     /// (loops folded in). Whole chunks are skipped by their byte length
-    /// without decoding; only the chunk containing the target is decoded.
-    /// This is the checkpoint-resume entry point.
+    /// without decoding — and without CRC verification: a resumed run never
+    /// re-executes those records, so their integrity cannot affect it —
+    /// and only the chunk containing the target is decoded (and, for RHT4,
+    /// verified). This is the checkpoint-resume entry point.
     ///
     /// # Errors
     ///
@@ -471,15 +615,15 @@ impl TraceReader {
         let mut remaining = if self.total == 0 { 0 } else { position % self.total };
         // Skip whole chunks by length; decode only the one holding the target.
         while remaining > 0 {
-            let (records, payload_len) = self.read_chunk_header()?.ok_or_else(|| {
+            let frame = self.read_chunk_header()?.ok_or_else(|| {
                 invalid(TraceError::LengthMismatch { body: 0, records: self.total })
             })?;
-            if u64::from(records) <= remaining {
-                self.file.seek(SeekFrom::Current(i64::from(payload_len)))?;
-                self.file_position += u64::from(records);
-                remaining -= u64::from(records);
+            if u64::from(frame.records) <= remaining {
+                self.file.seek(SeekFrom::Current(i64::from(frame.payload_len)))?;
+                self.file_position += u64::from(frame.records);
+                remaining -= u64::from(frame.records);
             } else {
-                self.decode_chunk(records, payload_len)?;
+                self.decode_chunk(&frame)?;
                 self.chunk_pos = remaining as usize;
                 self.file_position += remaining;
                 remaining = 0;
@@ -489,38 +633,74 @@ impl TraceReader {
     }
 
     /// Reads the next chunk header; `None` at end-of-file.
-    fn read_chunk_header(&mut self) -> std::io::Result<Option<(u32, u32)>> {
-        let mut header = [0u8; 8];
-        let got = read_up_to(&mut self.file, &mut header)?;
+    fn read_chunk_header(&mut self) -> std::io::Result<Option<ChunkFrame>> {
+        let frame_len = match self.framing {
+            Framing::V3 => 8,
+            Framing::V4 => 12,
+        };
+        let mut header = [0u8; 12];
+        let got = read_up_to(&mut self.file, &mut header[..frame_len])?;
         if got == 0 {
             return Ok(None);
         }
-        if got < header.len() {
+        if got < frame_len {
             return Err(invalid(TraceError::Malformed {
                 detail: "truncated chunk header".to_owned(),
             }));
         }
         let records = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes"));
         let payload_len = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        let stored_crc = match self.framing {
+            Framing::V3 => None,
+            Framing::V4 => Some(u32::from_le_bytes(header[8..12].try_into().expect("4 bytes"))),
+        };
         if records == 0 {
             return Err(invalid(TraceError::Malformed {
                 detail: "chunk with zero records".to_owned(),
             }));
         }
-        Ok(Some((records, payload_len)))
+        // Plausibility caps BEFORE the payload allocation: a corrupted
+        // length field must fail here as Malformed, not drive a multi-GB
+        // zeroed allocation whose bytes the CRC would reject anyway. Every
+        // record occupies at least one payload byte.
+        if payload_len > MAX_CHUNK_PAYLOAD || u64::from(records) > u64::from(payload_len) {
+            return Err(invalid(TraceError::Malformed {
+                detail: format!(
+                    "implausible chunk frame: {records} record(s) in {payload_len} payload byte(s)"
+                ),
+            }));
+        }
+        Ok(Some(ChunkFrame { records, payload_len, stored_crc }))
     }
 
-    /// Decodes one chunk payload into `self.chunk`.
-    fn decode_chunk(&mut self, records: u32, payload_len: u32) -> std::io::Result<()> {
-        let mut payload = vec![0u8; payload_len as usize];
+    /// Decodes one chunk payload into `self.chunk`, verifying the CRC frame
+    /// first when the format carries one.
+    fn decode_chunk(&mut self, frame: &ChunkFrame) -> std::io::Result<()> {
+        let mut payload = vec![0u8; frame.payload_len as usize];
         self.file.read_exact(&mut payload).map_err(|_| {
             invalid(TraceError::Malformed { detail: "truncated chunk payload".to_owned() })
         })?;
+        if let Some(stored) = frame.stored_crc {
+            let mut digest = Crc32c::new();
+            digest.update(&frame.records.to_le_bytes());
+            digest.update(&frame.payload_len.to_le_bytes());
+            digest.update(&payload);
+            let computed = digest.finish();
+            if computed != stored {
+                // file_position still names the first record of this chunk.
+                let chunk_of = self.file_position;
+                return Err(invalid(TraceError::Corrupt {
+                    what: format!("chunk at record {chunk_of}"),
+                    stored,
+                    computed,
+                }));
+            }
+        }
         self.chunk.clear();
-        self.chunk.reserve(records as usize);
+        self.chunk.reserve(frame.records as usize);
         let mut pos = 0usize;
         let mut prev = BASELINE;
-        for i in 0..records {
+        for i in 0..frame.records {
             let a = decode_record(&payload, &mut pos, &prev).map_err(invalid)?;
             if u32::from(a.bank) >= self.geometry.total_banks()
                 || a.row.0 >= self.geometry.rows_per_bank
@@ -547,8 +727,22 @@ impl TraceReader {
         Ok(())
     }
 
-    /// Advances to the next access, refilling (and looping) as needed.
-    fn try_next(&mut self) -> std::io::Result<Access> {
+    /// Advances to the next access, refilling (and looping) as needed —
+    /// the fallible twin of [`Workload::next_access`], used by consumers
+    /// (the fleet pipeline) that must surface corruption as a typed error
+    /// instead of panicking mid-run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and typed [`TraceError`] malformations
+    /// (mapped to [`std::io::ErrorKind::InvalidData`]), including
+    /// [`TraceError::Corrupt`] for a chunk whose CRC frame fails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty (checked at stream setup by every
+    /// caller).
+    pub fn try_next(&mut self) -> std::io::Result<Access> {
         assert!(self.total > 0, "cannot replay an empty trace");
         loop {
             if self.chunk_pos < self.chunk.len() {
@@ -559,7 +753,7 @@ impl TraceReader {
                 return Ok(a);
             }
             match self.read_chunk_header()? {
-                Some((records, payload_len)) => self.decode_chunk(records, payload_len)?,
+                Some(frame) => self.decode_chunk(&frame)?,
                 None => {
                     if self.file_position != self.total {
                         return Err(invalid(TraceError::LengthMismatch {
@@ -575,9 +769,18 @@ impl TraceReader {
     }
 }
 
+/// One chunk's framing fields.
+#[derive(Debug, Clone, Copy)]
+struct ChunkFrame {
+    records: u32,
+    payload_len: u32,
+    /// `None` for legacy RHT3 chunks, which carry no CRC.
+    stored_crc: Option<u32>,
+}
+
 /// `read` until the buffer is full or EOF; returns bytes read. (`read_exact`
 /// cannot distinguish clean EOF from truncation.)
-fn read_up_to(file: &mut File, buf: &mut [u8]) -> std::io::Result<usize> {
+fn read_up_to(file: &mut dyn Read, buf: &mut [u8]) -> std::io::Result<usize> {
     let mut filled = 0;
     while filled < buf.len() {
         match file.read(&mut buf[filled..])? {
@@ -627,6 +830,33 @@ mod tests {
         w.finish().unwrap();
     }
 
+    /// Writes the legacy RHT3 encoding by hand (no CRC fields, 8-byte chunk
+    /// framing) — the writer only emits RHT4 now, but the reader must keep
+    /// accepting archived v3 traces.
+    fn write_v3(path: &Path, g: DramGeometry, chunk: u32, accesses: &[Access]) {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC_V3);
+        bytes.push(g.channels);
+        bytes.push(g.ranks_per_channel);
+        bytes.push(g.banks_per_rank);
+        bytes.extend_from_slice(&g.rows_per_bank.to_le_bytes());
+        bytes.extend_from_slice(&(accesses.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.push(b't');
+        for group in accesses.chunks(chunk as usize) {
+            let mut payload = Vec::new();
+            let mut prev = BASELINE;
+            for a in group {
+                encode_record(&mut payload, &prev, a);
+                prev = *a;
+            }
+            bytes.extend_from_slice(&(group.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            bytes.extend_from_slice(&payload);
+        }
+        std::fs::write(path, bytes).unwrap();
+    }
+
     fn read_all(path: &Path) -> Vec<Access> {
         let mut r = TraceReader::open(path).unwrap();
         let n = r.len();
@@ -660,6 +890,25 @@ mod tests {
         write_accesses(&path, g, 512, reference.accesses());
         let decoded = read_all(&path);
         assert_eq!(decoded, reference.accesses());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn legacy_v3_traces_stay_readable() {
+        let path = tmp("legacy_v3.rht3");
+        let g = geom(8, 4_096);
+        let mut source = Synthetic::s2(6, 4_096, 3);
+        let reference = crate::trace::Trace::record(&mut source, 700);
+        write_v3(&path, g, 64, reference.accesses());
+        let mut r = TraceReader::open(&path).unwrap();
+        assert_eq!(r.len(), 700);
+        assert_eq!(r.geometry(), &g);
+        let decoded: Vec<Access> = (0..700).map(|_| r.next_access()).collect();
+        assert_eq!(decoded, reference.accesses());
+        // skip_to works on v3 framing too.
+        let mut skipped = TraceReader::open(&path).unwrap();
+        skipped.skip_to(130).unwrap();
+        assert_eq!(skipped.next_access(), reference.accesses()[130]);
         std::fs::remove_file(&path).ok();
     }
 
@@ -790,12 +1039,73 @@ mod tests {
     }
 
     #[test]
+    fn bit_rot_in_a_chunk_is_detected_by_crc() {
+        let path = tmp("bit_rot.rht4");
+        let g = geom(4, 1_000);
+        let accesses: Vec<Access> = (0..200)
+            .map(|i| Access { bank: (i % 4) as u16, row: RowId(i * 3 % 1_000), gap: 9, stream: 0 })
+            .collect();
+        write_accesses(&path, g, 32, &accesses);
+        let clean = std::fs::read(&path).unwrap();
+        let header_len = 25 + 1; // fixed 25 + 1-byte name "t"
+                                 // Flip one bit in every byte of the body, one at a time: each single
+                                 // flip must surface as Corrupt (or a structural error), never decode
+                                 // silently.
+        for target in [header_len, header_len + 13, clean.len() / 2, clean.len() - 1] {
+            let mut rotted = clean.clone();
+            rotted[target] ^= 0x10;
+            std::fs::write(&path, &rotted).unwrap();
+            let mut r = TraceReader::open(&path).unwrap();
+            let err = (0..200).try_for_each(|_| r.try_next().map(|_| ())).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "byte {target}");
+        }
+        // And the typed variant names the crc values for a payload flip.
+        let mut rotted = clean.clone();
+        *rotted.last_mut().unwrap() ^= 0x01;
+        std::fs::write(&path, &rotted).unwrap();
+        let mut r = TraceReader::open(&path).unwrap();
+        let err = (0..200).try_for_each(|_| r.try_next().map(|_| ())).unwrap_err();
+        assert!(err.to_string().contains("crc32c mismatch"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bit_rot_in_the_header_is_detected_at_open() {
+        let path = tmp("header_rot.rht4");
+        write_accesses(
+            &path,
+            geom(4, 1_000),
+            8,
+            &[Access { bank: 1, row: RowId(5), gap: 2, stream: 0 }],
+        );
+        let clean = std::fs::read(&path).unwrap();
+        // Flip a bit of total_records: structurally plausible, caught only
+        // by the header CRC.
+        let mut rotted = clean.clone();
+        rotted[COUNT_OFFSET as usize] ^= 0x02;
+        std::fs::write(&path, &rotted).unwrap();
+        let err = TraceReader::open(&path).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("header"), "{err}");
+        // Flip a bit of the stored name: also header-CRC territory.
+        let mut rotted = clean;
+        let last_header_byte = 25; // the 1-byte name "t"
+        rotted[last_header_byte] ^= 0x40;
+        std::fs::write(&path, &rotted).unwrap();
+        assert!(TraceReader::open(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
     fn rejects_bad_magic_and_short_header() {
         let path = tmp("bad_magic.rht3");
         std::fs::write(&path, b"RHT2\x01\x01\x01\x00\x04\x00\x00plus-enough-padding").unwrap();
         let err = TraceReader::open(&path).unwrap_err();
         assert!(err.to_string().contains("bad magic"), "{err}");
-        std::fs::write(&path, b"RHT3").unwrap();
+        std::fs::write(&path, b"RHT4").unwrap();
+        let err = TraceReader::open(&path).unwrap_err();
+        assert!(err.to_string().contains("shorter than header"), "{err}");
+        std::fs::write(&path, b"RH").unwrap();
         let err = TraceReader::open(&path).unwrap_err();
         assert!(err.to_string().contains("shorter than header"), "{err}");
         std::fs::remove_file(&path).ok();
@@ -804,7 +1114,7 @@ mod tests {
     #[test]
     fn delta_encoding_is_compact_for_local_streams() {
         // A sequential walk (deltas of ±1 and small gaps) must beat the
-        // fixed 16-byte v2 record by a wide margin.
+        // fixed 16-byte v2 record by a wide margin, CRC frames included.
         let path = tmp("compact.rht3");
         let g = geom(1, 65_536);
         let accesses: Vec<Access> = (0..10_000)

@@ -1,0 +1,213 @@
+//! The fallible-filesystem seam under trace and checkpoint I/O.
+//!
+//! Every byte the fleet service persists — RHT4 trace chunks, `fleetckpt`
+//! checkpoint files — flows through this trait pair instead of calling
+//! [`std::fs`] directly. In production the indirection is one vtable hop
+//! ([`RealFs`] delegates straight to the OS); in the chaos harness the
+//! `faultsim` crate substitutes a shim that injects **deterministic,
+//! seeded I/O faults** (torn writes, bit rot, fsync failures, reader
+//! stalls) under the exact same code paths, so crash-and-corruption
+//! behavior is tested against the real reader/writer logic rather than a
+//! mock of it.
+//!
+//! The traits are deliberately minimal: just the operations the trace and
+//! checkpoint paths actually perform. Directory enumeration, permissions,
+//! and metadata stay outside the seam — corruption of *content* and loss
+//! of *durability* are the failure classes under test.
+
+use std::fmt::Debug;
+use std::io::{self, Read, Seek, Write};
+use std::path::Path;
+use std::sync::Arc;
+
+/// An open file handle behind the fallible-FS seam.
+///
+/// `Read + Write + Seek` covers the trace reader (chunked reads + seeks),
+/// the trace writer (streaming appends + the header patch), and checkpoint
+/// I/O; [`sync_all`](Self::sync_all) is the durability point a crash model
+/// cares about.
+pub trait VfsFile: Read + Write + Seek + Debug + Send {
+    /// Flushes file content and metadata to the storage device
+    /// ([`std::fs::File::sync_all`] semantics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying fsync failure.
+    fn sync_all(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem the trace and checkpoint paths can be pointed at.
+///
+/// Implementations must be shareable (`Send + Sync`): one `Arc<dyn Vfs>`
+/// is typically threaded through a whole fleet run so a single injection
+/// plan governs every file the run touches.
+pub trait Vfs: Debug + Send + Sync {
+    /// Creates (truncating) a file for writing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying create failure.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Opens an existing file for reading (and seeking).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open failure.
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>>;
+
+    /// Atomically renames `from` onto `to` (same-directory rename; the
+    /// commit point of every atomic-write idiom in this workspace).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying rename failure.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Removes a file; missing files are an error (callers that don't care
+    /// ignore it).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying unlink failure.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// True if `path` currently exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Reads a whole file as UTF-8 text (checkpoint files are line-oriented
+    /// text). Routed through [`open`](Self::open) so read-side fault
+    /// injection applies.
+    ///
+    /// # Errors
+    ///
+    /// Propagates open/read failures; non-UTF-8 content maps to
+    /// [`std::io::ErrorKind::InvalidData`].
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        let mut f = self.open(path)?;
+        let mut buf = Vec::new();
+        f.read_to_end(&mut buf)?;
+        String::from_utf8(buf).map_err(|_| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("{}: not UTF-8", path.display()))
+        })
+    }
+}
+
+/// The production filesystem: a zero-state passthrough to [`std::fs`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RealFs;
+
+/// The default `Arc<dyn Vfs>` used when a caller doesn't supply one.
+pub fn real_fs() -> Arc<dyn Vfs> {
+    Arc::new(RealFs)
+}
+
+#[derive(Debug)]
+struct RealFile(std::fs::File);
+
+impl Read for RealFile {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read(buf)
+    }
+}
+
+impl Write for RealFile {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0.write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.0.flush()
+    }
+}
+
+impl Seek for RealFile {
+    fn seek(&mut self, pos: io::SeekFrom) -> io::Result<u64> {
+        self.0.seek(pos)
+    }
+}
+
+impl VfsFile for RealFile {
+    fn sync_all(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        // Read+write so the trace writer can patch its header at finish.
+        let file = std::fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn open(&self, path: &Path) -> io::Result<Box<dyn VfsFile>> {
+        Ok(Box::new(RealFile(std::fs::File::open(path)?)))
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("graphene_repro_vfs");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn real_fs_round_trips_and_renames() {
+        let fs = real_fs();
+        let a = tmp("a.bin");
+        let b = tmp("b.bin");
+        {
+            let mut f = fs.create(&a).unwrap();
+            f.write_all(b"integrity").unwrap();
+            f.sync_all().unwrap();
+        }
+        assert!(fs.exists(&a));
+        fs.rename(&a, &b).unwrap();
+        assert!(!fs.exists(&a));
+        assert_eq!(fs.read_to_string(&b).unwrap(), "integrity");
+        let mut f = fs.open(&b).unwrap();
+        f.seek(io::SeekFrom::Start(2)).unwrap();
+        let mut rest = String::new();
+        f.read_to_string(&mut rest).unwrap();
+        assert_eq!(rest, "tegrity");
+        fs.remove_file(&b).unwrap();
+        assert!(!fs.exists(&b));
+        assert!(fs.remove_file(&b).is_err(), "double unlink is an error");
+    }
+
+    #[test]
+    fn create_is_read_write() {
+        let fs = real_fs();
+        let p = tmp("patch.bin");
+        let mut f = fs.create(&p).unwrap();
+        f.write_all(b"0123456789").unwrap();
+        f.seek(io::SeekFrom::Start(4)).unwrap();
+        f.write_all(b"XX").unwrap();
+        f.seek(io::SeekFrom::Start(0)).unwrap();
+        let mut back = String::new();
+        f.read_to_string(&mut back).unwrap();
+        assert_eq!(back, "0123XX6789");
+        fs.remove_file(&p).ok();
+    }
+}
